@@ -1,0 +1,32 @@
+// Design-choice ablation: SpMV nonzero-split granularity. §4.4 argues the
+// two classes of nonzero-split SpMV (coalesced fetch + inter-thread
+// reduction vs per-thread consecutive NZEs + thread-local reduction) are
+// special cases of the GNNOne design; N (NZEs per thread) is the knob that
+// interpolates between them.
+#include "common.h"
+
+int main() {
+  bench::print_header(
+      "Ablation: SpMV NZEs-per-thread (nonzero-split granularity, §4.4)",
+      "extends paper Fig. 12 / §4.4 trade-off discussion");
+  gnnone::Context ctx;
+
+  std::printf("%-22s | %8s %8s %8s %8s  (kilocycles, lower is better)\n",
+              "dataset", "N=1", "N=2", "N=4", "N=8");
+  for (const auto& id : gnnone::kernel_suite_ids()) {
+    const bench::KernelWorkload wl(id);
+    const auto& coo = wl.ds.coo;
+    const auto x = wl.features(1, 99);
+    std::vector<float> y(std::size_t(coo.num_rows));
+    std::printf("%-22s |", (wl.ds.id + "/" + wl.ds.name).c_str());
+    for (int n : {1, 2, 4, 8}) {
+      const auto ks = ctx.spmv(coo, wl.edge_val, x, y, n);
+      std::printf(" %8.1f", double(ks.cycles) / 1000.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nN=1 is the Dalton-style fully coalesced fetch (no "
+              "thread-local reduction);\nlarger N trades NZE-fetch "
+              "coalescing for thread-local reduction, Merrill-style.\n");
+  return 0;
+}

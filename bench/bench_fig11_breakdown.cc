@@ -1,0 +1,49 @@
+// Fig. 11: data-load vs total time breakdown — the paper's Observation #2
+// (data load >> actual compute) verified on the optimized kernels. As in the
+// paper, load time comes from a partial prototype (reduction and write-back
+// elided: KernelMode::kLoadOnly).
+#include "common.h"
+
+int main() {
+  bench::print_header(
+      "Fig. 11: data-load share of kernel time (f=32)",
+      "paper Fig. 11 (load dominates even after optimization)");
+  gnnone::Context ctx;
+  const int dim = 32;
+
+  gnnone::GnnOneConfig full, load_only;
+  load_only.mode = gnnone::KernelMode::kLoadOnly;
+
+  std::printf("%-22s | %12s %12s %7s | %12s %12s %7s\n", "dataset",
+              "SpMM total", "SpMM load", "share", "SDDMM total", "SDDMM load",
+              "share");
+  std::vector<double> spmm_share, sddmm_share;
+  for (const auto& id : gnnone::kernel_suite_ids()) {
+    const bench::KernelWorkload wl(id);
+    const auto& coo = wl.ds.coo;
+    const auto x = wl.features(dim, 71);
+    const auto y2 = wl.features(dim, 72);
+    std::vector<float> y(std::size_t(coo.num_rows) * std::size_t(dim));
+    std::vector<float> w(std::size_t(coo.nnz()));
+
+    const auto st = ctx.spmm(coo, wl.edge_val, x, dim, y, full);
+    const auto sl = ctx.spmm(coo, wl.edge_val, x, dim, y, load_only);
+    const auto dt = ctx.sddmm(coo, x, y2, dim, w, full);
+    const auto dl = ctx.sddmm(coo, x, y2, dim, w, load_only);
+    const double a = double(sl.cycles) / double(st.cycles);
+    const double b = double(dl.cycles) / double(dt.cycles);
+    spmm_share.push_back(a);
+    sddmm_share.push_back(b);
+    std::printf("%-22s | %9.3fms %9.3fms %6.0f%% | %9.3fms %9.3fms %6.0f%%\n",
+                (wl.ds.id + "/" + wl.ds.name).c_str(),
+                gnnone::cycles_to_ms(st.cycles),
+                gnnone::cycles_to_ms(sl.cycles), 100 * a,
+                gnnone::cycles_to_ms(dt.cycles),
+                gnnone::cycles_to_ms(dl.cycles), 100 * b);
+  }
+  std::printf("\naverage data-load share: SpMM %.0f%%, SDDMM %.0f%% — the "
+              "data-load-centric design premise holds.\n",
+              100 * bench::geomean(spmm_share),
+              100 * bench::geomean(sddmm_share));
+  return 0;
+}

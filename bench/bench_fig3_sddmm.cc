@@ -1,0 +1,99 @@
+// Fig. 3: SDDMM — GNNOne speedup over dgSparse, cuSPARSE, Sputnik, FeatGraph
+// and DGL for feature lengths {6, 16, 32, 64} across the dataset suite.
+// "n/s" marks baselines that error out at the paper's dataset scale
+// (Sputnik/cuSPARSE beyond ~2M vertices, §5.1).
+#include <vector>
+
+#include "common.h"
+
+int main() {
+  bench::print_header(
+      "Fig. 3: SDDMM speedup of GNNOne over prior works",
+      "paper Fig. 3; paper averages: 6.54x dgSparse-class, 4.17x DGL, "
+      "6.38x dgSparse, 1-2 orders over cuSPARSE/Sputnik");
+  gnnone::Context ctx;
+  const auto& dev = ctx.device();
+
+  struct Avg {
+    std::vector<double> dgsparse, cusparse, sputnik, featgraph, dgl;
+  };
+  std::vector<std::pair<int, Avg>> byjdim;
+  for (int dim : bench::paper_dims()) byjdim.emplace_back(dim, Avg{});
+
+  for (const auto& id : gnnone::kernel_suite_ids()) {
+    const bench::KernelWorkload wl(id);
+    const auto& coo = wl.ds.coo;
+    std::printf("\n%s (%s)  V=%d E=%lld\n", wl.ds.id.c_str(),
+                wl.ds.name.c_str(), coo.num_rows, (long long)coo.nnz());
+    std::printf("  %-4s %10s | %9s %9s %9s %9s %9s\n", "dim", "GNNOne(ms)",
+                "dgSparse", "cuSPARSE", "Sputnik", "FeatGraph", "DGL");
+    for (std::size_t di = 0; di < bench::paper_dims().size(); ++di) {
+      const int dim = bench::paper_dims()[di];
+      const auto x = wl.features(dim, 21);
+      const auto y = wl.features(dim, 22);
+      std::vector<float> w(std::size_t(coo.nnz()));
+
+      const auto ours = ctx.sddmm(coo, x, y, dim, w);
+      const auto dgsp =
+          gnnone::baselines::dgsparse_sddmm(dev, wl.csr, x, y, dim, w);
+      const auto fg =
+          gnnone::baselines::featgraph_sddmm(dev, wl.csr, x, y, dim, w);
+      const auto dgl = gnnone::baselines::dgl_sddmm(dev, coo, x, y, dim, w);
+
+      auto& avg = byjdim[di].second;
+      const double base = double(ours.cycles);
+      avg.dgsparse.push_back(double(dgsp.cycles) / base);
+      avg.featgraph.push_back(double(fg.cycles) / base);
+      avg.dgl.push_back(double(dgl.cycles) / base);
+
+      char cu[16] = "n/s", sp[16] = "n/s";
+      if (gnnone::baselines::cusparse_sddmm_supports(wl.ds.paper_vertices)) {
+        const auto r =
+            gnnone::baselines::cusparse_sddmm(dev, wl.csr, x, y, dim, w);
+        avg.cusparse.push_back(double(r.cycles) / base);
+        std::snprintf(cu, sizeof cu, "%.2f", double(r.cycles) / base);
+      }
+      if (gnnone::baselines::sputnik_sddmm_supports(wl.ds.paper_vertices)) {
+        const auto r =
+            gnnone::baselines::sputnik_sddmm(dev, wl.csr, x, y, dim, w);
+        avg.sputnik.push_back(double(r.cycles) / base);
+        std::snprintf(sp, sizeof sp, "%.2f", double(r.cycles) / base);
+      }
+      std::printf("  %-4d %10.3f | %9.2f %9s %9s %9.2f %9.2f\n", dim,
+                  gnnone::cycles_to_ms(ours.cycles),
+                  double(dgsp.cycles) / base, cu, sp,
+                  double(fg.cycles) / base, double(dgl.cycles) / base);
+    }
+  }
+
+  std::printf("\nGeometric-mean speedup by feature length (paper values in "
+              "parentheses):\n");
+  std::printf("  %-4s %9s %9s %9s %9s %9s\n", "dim", "dgSparse", "cuSPARSE",
+              "Sputnik", "FeatGraph", "DGL");
+  struct PaperRef { int dim; double fg, dgl, dgsp; };
+  const PaperRef refs[] = {{6, 0, 0, 0},
+                           {16, 7.49, 4.70, 5.04},
+                           {32, 3.00, 5.53, 4.07},
+                           {64, 0, 0, 0}};
+  std::vector<double> all;
+  for (std::size_t di = 0; di < byjdim.size(); ++di) {
+    const auto& [dim, avg] = byjdim[di];
+    std::printf("  %-4d %9.2f %9.2f %9.2f %9.2f %9.2f", dim,
+                bench::geomean(avg.dgsparse), bench::geomean(avg.cusparse),
+                bench::geomean(avg.sputnik), bench::geomean(avg.featgraph),
+                bench::geomean(avg.dgl));
+    if (refs[di].fg > 0) {
+      std::printf("   (paper: FeatGraph %.2f, DGL %.2f, dgSparse %.2f)",
+                  refs[di].fg, refs[di].dgl, refs[di].dgsp);
+    }
+    std::printf("\n");
+    for (double v : avg.dgsparse) all.push_back(v);
+    for (double v : avg.featgraph) all.push_back(v);
+    for (double v : avg.dgl) all.push_back(v);
+  }
+  std::printf("\nOverall average over dgSparse/FeatGraph/DGL: %.2fx "
+              "(paper reports 6.02x across feature lengths excluding "
+              "Sputnik/cuSPARSE)\n",
+              bench::geomean(all));
+  return 0;
+}

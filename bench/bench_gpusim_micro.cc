@@ -1,0 +1,66 @@
+// Micro-benchmarks (google-benchmark) of the simulator substrate itself:
+// host-side throughput of the functional SIMT execution. These are wall-
+// clock numbers about the *simulator*, not modeled GPU time — useful to
+// size experiments and catch performance regressions in gpusim.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/gnnone.h"
+#include "gen/rmat.h"
+#include "gpusim/warp.h"
+
+namespace {
+
+const gnnone::Coo& graph() {
+  static const gnnone::Coo g = [] {
+    gnnone::RmatParams p;
+    p.scale = 12;
+    p.edge_factor = 8;
+    return gnnone::rmat_graph(p);
+  }();
+  return g;
+}
+
+void BM_SimulatedSpmm(benchmark::State& state) {
+  const int f = int(state.range(0));
+  const auto& g = graph();
+  std::vector<float> ev(std::size_t(g.nnz()), 1.0f);
+  std::vector<float> x(std::size_t(g.num_rows) * std::size_t(f), 0.5f);
+  std::vector<float> y(x.size());
+  gnnone::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.spmm(g, ev, x, f, y).cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nnz() * f);
+}
+BENCHMARK(BM_SimulatedSpmm)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SimulatedSddmm(benchmark::State& state) {
+  const int f = int(state.range(0));
+  const auto& g = graph();
+  std::vector<float> x(std::size_t(g.num_rows) * std::size_t(f), 0.5f);
+  std::vector<float> w(std::size_t(g.nnz()));
+  gnnone::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.sddmm(g, x, x, f, w).cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nnz() * f);
+}
+BENCHMARK(BM_SimulatedSddmm)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CoalescingAnalysis(benchmark::State& state) {
+  gpusim::LaneArray<std::uint64_t> addr{};
+  for (int l = 0; l < gpusim::kWarpSize; ++l) {
+    addr[std::size_t(l)] = std::uint64_t(l) * 64;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gpusim::detail::count_transactions(addr, gpusim::kFullMask));
+  }
+}
+BENCHMARK(BM_CoalescingAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each binary regenerates one table or figure of the paper: same rows, same
+// series, with speedups computed from modeled kernel cycles. Absolute times
+// are simulator cycles converted at the A100 clock and are only meaningful
+// relatively (DESIGN.md §1).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/gnnone.h"
+#include "gen/datasets.h"
+#include "gen/rng.h"
+#include "graph/neighbor_group.h"
+#include "graph/row_swizzle.h"
+
+namespace bench {
+
+/// Feature lengths the paper sweeps in Figs. 3 and 4.
+inline const std::vector<int>& paper_dims() {
+  static const std::vector<int> dims = {6, 16, 32, 64};
+  return dims;
+}
+
+/// Geometric mean of positive ratios (how the paper reports averages).
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += std::log(x);
+  return std::exp(s / double(v.size()));
+}
+
+inline std::vector<float> random_features(std::size_t n, std::uint64_t seed) {
+  gnnone::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = float(rng.normal()) * 0.5f;
+  return v;
+}
+
+/// All formats + tensors one dataset needs across the kernel benches.
+struct KernelWorkload {
+  gnnone::Dataset ds;
+  gnnone::Csr csr;
+  gnnone::NeighborGroups ng;
+  gnnone::RowSwizzle swizzle;
+  std::vector<float> edge_val;
+
+  explicit KernelWorkload(const std::string& id)
+      : ds(gnnone::make_dataset(id)),
+        csr(gnnone::coo_to_csr(ds.coo)),
+        ng(gnnone::build_neighbor_groups(csr)),
+        swizzle(gnnone::build_row_swizzle(csr)),
+        edge_val(random_features(std::size_t(ds.coo.nnz()), 11)) {}
+
+  std::vector<float> features(int f, std::uint64_t seed) const {
+    return random_features(std::size_t(ds.coo.num_rows) * std::size_t(f),
+                           seed);
+  }
+};
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench

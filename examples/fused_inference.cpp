@@ -1,0 +1,65 @@
+// Fused attention inference: serve one GAT attention layer with the fused
+// GNNOne kernels (the paper's §5.3.2 future work, implemented here) and
+// compare modeled latency against the unfused kernel sequence — the
+// inference-serving scenario where launch overheads and edge-tensor round
+// trips matter most.
+//
+//   ./build/examples/fused_inference
+#include <cstdio>
+#include <vector>
+
+#include "core/gnnone.h"
+#include "tensor/dense_cost.h"
+#include "gpusim/report.h"
+#include "kernels/gnnone_fused.h"
+
+int main() {
+  const gnnone::Dataset data = gnnone::make_dataset("G13");  // LiveJournal
+  const gnnone::Coo& g = data.coo;
+  const int f = 32;
+  const auto nv = std::size_t(g.num_rows);
+  std::printf("dataset: %s (%s stand-in), %zu vertices, %lld edges, f=%d\n\n",
+              data.id.c_str(), data.name.c_str(), nv, (long long)g.nnz(), f);
+
+  std::vector<float> s_src(nv, 0.3f), s_dst(nv, -0.1f);
+  std::vector<float> h(nv * std::size_t(f), 0.5f);
+  std::vector<float> alpha(std::size_t(g.nnz()));
+  std::vector<float> out(nv * std::size_t(f));
+
+  gnnone::Context ctx;
+
+  // Fused: three passes, alpha normalized in-register.
+  const auto fused = gnnone::gnnone_fused_attention(
+      ctx.device(), g, s_src, s_dst, h, f, 0.2f, alpha, out);
+  std::printf("fused attention (3 launches): %.3f ms\n",
+              gnnone::cycles_to_ms(fused.total_cycles()));
+  std::printf("  max pass      : %.3f ms\n",
+              gnnone::cycles_to_ms(fused.max_pass.cycles));
+  std::printf("  logit pass    : %.3f ms\n",
+              gnnone::cycles_to_ms(fused.logit_pass.cycles));
+  std::printf("  aggregate pass: %.3f ms\n\n",
+              gnnone::cycles_to_ms(fused.aggregate_pass.cycles));
+
+  // Unfused equivalent: SDDMM(f=2) + two f=1 segment passes + the weighted
+  // SpMM, plus three elementwise edge passes for LeakyReLU/exp/normalize.
+  std::vector<float> x2(nv * 2), y2(nv * 2), e(std::size_t(g.nnz()));
+  std::vector<float> ones(nv, 1.0f), seg(nv);
+  const auto k1 = ctx.sddmm(g, x2, y2, 2, e);
+  const auto k2 = ctx.spmm(g, e, ones, 1, seg);
+  const auto k3 = ctx.spmm(g, e, ones, 1, seg);
+  const auto k4 = ctx.spmm(g, alpha, h, f, out);
+  const auto elem = 3 * gnnone::elementwise_cycles(ctx.device(), g.nnz());
+  const auto unfused =
+      k1.cycles + k2.cycles + k3.cycles + k4.cycles + elem;
+  std::printf("unfused pipeline (7 launches): %.3f ms\n",
+              gnnone::cycles_to_ms(unfused));
+  std::printf("\nfusion speedup: %.2fx (forward only; both pipelines are "
+              "DRAM-bandwidth bound on\nthis graph, so the launch/elementwise "
+              "savings are the whole gain — fusing the\nbackward as well is "
+              "the remaining future work).\n",
+              double(unfused) / double(fused.total_cycles()));
+
+  std::printf("\naggregate-pass profile:\n%s",
+              gpusim::describe(fused.aggregate_pass, ctx.device()).c_str());
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "gen/datasets.h"
+
+#include <stdexcept>
+
+#include "gen/grid.h"
+#include "gen/random.h"
+#include "gen/rmat.h"
+#include "gen/rng.h"
+
+namespace gnnone {
+
+namespace {
+
+/// Generator recipe for one Table-1 stand-in.
+struct Spec {
+  const char* id;
+  const char* name;
+  enum Kind { kPlanted, kPowerLaw, kGrid, kRmat, kErdos } kind;
+  vid_t n;             // scaled vertex count (grid: side length)
+  double avg_degree;   // target average degree (pre-dedup)
+  double skew;         // power-law exponent (lower = heavier tail)
+  int feat_len;
+  int classes;
+  bool labeled;
+  vid_t paper_v;
+  eid_t paper_e;
+};
+
+// Scaled suite. Degrees follow the paper's Table 1 (E/V); vertex counts are
+// shrunk so |E| stays ~<= 2.5e5. The small citation graphs keep their real
+// sizes.
+constexpr Spec kSpecs[] = {
+    {"G0", "Cora", Spec::kPlanted, 2708, 4.0, 0, 1433, 7, true, 2708, 10858},
+    {"G1", "Citeseer", Spec::kPlanted, 3327, 2.7, 0, 3703, 6, true, 3327,
+     9104},
+    {"G2", "PubMed", Spec::kPlanted, 19717, 4.5, 0, 500, 3, true, 19717,
+     88648},
+    {"G3", "Amazon", Spec::kPowerLaw, 15000, 16.0, 2.3, 150, 6, false, 400727,
+     6400880},
+    {"G4", "wiki-Talk", Spec::kPowerLaw, 37000, 4.2, 1.9, 150, 6, false,
+     2394385, 10042820},
+    {"G5", "roadNet-CA", Spec::kGrid, 176, 4.0, 0, 150, 6, false, 1971279,
+     11066420},
+    {"G6", "Web-BerkStan", Spec::kPowerLaw, 10700, 22.0, 1.9, 150, 6, false,
+     685230, 15201173},
+    {"G7", "as-Skitter", Spec::kPowerLaw, 20000, 13.0, 2.0, 150, 6, false,
+     1696415, 22190596},
+    {"G8", "cit-Patent", Spec::kPowerLaw, 25000, 8.8, 2.5, 150, 6, false,
+     3774768, 33037894},
+    {"G9", "sx-stackoverflow", Spec::kPowerLaw, 6500, 36.8, 2.0, 150, 6,
+     false, 2601977, 95806532},
+    {"G10", "Kron-21", Spec::kRmat, 13, 16.0, 0, 150, 6, false, 2097152,
+     67108864},
+    {"G11", "hollywood09", Spec::kPowerLaw, 2400, 105.0, 2.2, 150, 6, false,
+     1069127, 112613308},
+    {"G12", "Ogb-product", Spec::kPlanted, 5000, 50.0, 0, 100, 47, true,
+     2449029, 123718280},
+    {"G13", "LiveJournal", Spec::kPowerLaw, 8800, 28.5, 2.1, 150, 6, false,
+     4847571, 137987546},
+    {"G14", "Reddit", Spec::kPlanted, 1500, 170.0, 0, 602, 41, true, 232965,
+     229231784},
+    {"G15", "orkut", Spec::kPowerLaw, 3300, 76.0, 2.2, 150, 6, false, 3072627,
+     234370166},
+    {"G16", "kmer_P1a", Spec::kErdos, 120000, 2.1, 0, 150, 6, false,
+     139353211, 297829982},
+    {"G17", "uk-2002", Spec::kPowerLaw, 7800, 32.0, 1.9, 150, 6, false,
+     18520486, 596227524},
+    {"G18", "uk-2005", Spec::kPowerLaw, 5300, 47.0, 1.9, 150, 6, false,
+     39459925, 1872728564},
+};
+
+const Spec& find_spec(const std::string& id) {
+  for (const Spec& s : kSpecs) {
+    if (id == s.id) return s;
+  }
+  throw std::invalid_argument("unknown dataset id: " + id);
+}
+
+}  // namespace
+
+Dataset make_dataset(const std::string& id) {
+  const Spec& s = find_spec(id);
+  Dataset d;
+  d.id = s.id;
+  d.name = s.name;
+  d.input_feat_len = s.feat_len;
+  d.num_classes = s.classes;
+  d.labeled = s.labeled;
+  d.paper_vertices = s.paper_v;
+  d.paper_edges = s.paper_e;
+  const std::uint64_t seed = 0x5eedull + std::uint64_t(&s - kSpecs);
+  switch (s.kind) {
+    case Spec::kPlanted:
+      d.family = GraphFamily::kPlanted;
+      break;
+    case Spec::kPowerLaw:
+      d.family = GraphFamily::kPowerLaw;
+      break;
+    case Spec::kGrid:
+      d.family = GraphFamily::kGrid;
+      break;
+    case Spec::kRmat:
+      d.family = GraphFamily::kKronecker;
+      break;
+    case Spec::kErdos:
+      d.family = GraphFamily::kUniform;
+      break;
+  }
+  switch (s.kind) {
+    case Spec::kPlanted: {
+      auto pp = planted_partition(s.n, s.classes, s.avg_degree, 0.8, seed);
+      d.coo = std::move(pp.graph);
+      d.labels = std::move(pp.labels);
+      break;
+    }
+    case Spec::kPowerLaw: {
+      PowerLawParams p;
+      p.n = s.n;
+      p.avg_degree = s.avg_degree;
+      p.exponent = s.skew;
+      p.seed = seed;
+      d.coo = power_law(p);
+      break;
+    }
+    case Spec::kGrid:
+      d.coo = grid_graph(s.n);
+      break;
+    case Spec::kRmat: {
+      RmatParams p;
+      p.scale = int(s.n);
+      p.edge_factor = s.avg_degree;
+      p.seed = seed;
+      d.coo = rmat_graph(p);
+      break;
+    }
+    case Spec::kErdos:
+      d.coo = erdos_renyi(s.n, eid_t(s.avg_degree * double(s.n) / 2.0), seed);
+      break;
+  }
+  return d;
+}
+
+std::vector<std::string> kernel_suite_ids() {
+  return {"G3", "G4", "G5", "G6", "G7", "G8",
+          "G9", "G10", "G11", "G12", "G13", "G14", "G15"};
+}
+
+std::vector<std::string> accuracy_suite_ids() { return {"G0", "G1", "G2"}; }
+
+std::vector<std::string> training_suite_ids() {
+  return {"G9", "G10", "G11", "G12", "G13", "G14", "G15", "G16", "G17", "G18"};
+}
+
+std::vector<float> make_features(vid_t n, int f,
+                                 const std::vector<int>& labels,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> x(std::size_t(n) * std::size_t(f));
+  if (labels.empty()) {
+    for (auto& v : x) v = float(rng.normal()) * 0.5f;
+    return x;
+  }
+  // Class centroids: each class activates a distinct block of coordinates.
+  int k = 0;
+  for (int l : labels) k = std::max(k, l + 1);
+  for (vid_t v = 0; v < n; ++v) {
+    const int c = labels[std::size_t(v)];
+    for (int j = 0; j < f; ++j) {
+      const bool on = (j * k / std::max(f, 1)) == c;
+      x[std::size_t(v) * std::size_t(f) + std::size_t(j)] =
+          (on ? 1.0f : 0.0f) + float(rng.normal()) * 0.3f;
+    }
+  }
+  return x;
+}
+
+}  // namespace gnnone

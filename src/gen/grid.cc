@@ -1,0 +1,19 @@
+#include "gen/grid.h"
+
+namespace gnnone {
+
+Coo grid_graph(vid_t side) {
+  EdgeList edges;
+  edges.reserve(std::size_t(side) * std::size_t(side) * 2);
+  auto id = [side](vid_t x, vid_t y) { return x * side + y; };
+  for (vid_t x = 0; x < side; ++x) {
+    for (vid_t y = 0; y < side; ++y) {
+      if (x + 1 < side) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < side) edges.emplace_back(id(x, y), id(x, y + 1));
+    }
+  }
+  const vid_t n = side * side;
+  return coo_from_edges(n, n, symmetrize(edges));
+}
+
+}  // namespace gnnone

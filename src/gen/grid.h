@@ -1,0 +1,14 @@
+// 2D lattice generator: near-uniform degree-4 graphs, the stand-in for
+// road networks (roadNet-CA) and k-mer graphs where workload imbalance is
+// minimal and vertex-parallel baselines are at their best.
+#pragma once
+
+#include "graph/convert.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+/// side x side 4-neighborhood lattice, symmetrized.
+Coo grid_graph(vid_t side);
+
+}  // namespace gnnone

@@ -1,0 +1,100 @@
+#include "gen/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/rng.h"
+
+namespace gnnone {
+
+Coo erdos_renyi(vid_t n, eid_t m, std::uint64_t seed) {
+  if (n <= 1) throw std::invalid_argument("erdos_renyi needs n > 1");
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(std::size_t(m));
+  for (eid_t i = 0; i < m; ++i) {
+    const auto s = vid_t(rng.uniform(std::uint64_t(n)));
+    auto d = vid_t(rng.uniform(std::uint64_t(n)));
+    if (d == s) d = vid_t((d + 1) % n);
+    edges.emplace_back(s, d);
+  }
+  return coo_from_edges(n, n, symmetrize(edges));
+}
+
+Coo power_law(const PowerLawParams& p) {
+  if (p.n <= 1) throw std::invalid_argument("power_law needs n > 1");
+  Rng rng(p.seed);
+  // Default hub cap ~3% of n: real social/web graphs top out at 1-4% of |V|
+  // (orkut ~1%, hollywood ~1%, wiki-Talk ~4%).
+  const vid_t cap =
+      p.max_degree > 0 ? p.max_degree : std::max(vid_t(32), p.n / 32);
+
+  // Endpoint weights follow a Pareto(alpha, 1) tail, alpha = exponent - 1
+  // (degree distribution of the resulting multigraph has the requested
+  // exponent). The average degree is set by the edge count, not the weights.
+  if (p.exponent <= 1.0) throw std::invalid_argument("exponent must be > 1");
+  const double alpha = p.exponent - 1.0;
+  std::vector<double> weight(std::size_t(p.n));
+  for (auto& w : weight) {
+    const double u = std::max(rng.uniform_real(), 1e-12);
+    w = std::min(double(cap), std::pow(u, -1.0 / alpha));
+  }
+
+  // Wire endpoints proportionally to weight via an alias-free CDF table.
+  std::vector<double> cdf(weight.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weight.size(); ++i) {
+    acc += weight[i];
+    cdf[i] = acc;
+  }
+  const auto m = std::uint64_t(p.avg_degree * double(p.n) / 2.0);
+  EdgeList edges;
+  edges.reserve(m);
+  auto sample = [&]() {
+    const double r = rng.uniform_real() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    return vid_t(it - cdf.begin());
+  };
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const vid_t s = sample();
+    vid_t d = sample();
+    if (d == s) d = vid_t((d + 1) % p.n);
+    edges.emplace_back(s, d);
+  }
+  return coo_from_edges(p.n, p.n, symmetrize(edges));
+}
+
+PlantedPartition planted_partition(vid_t n, int k, double avg_degree,
+                                   double intra_fraction,
+                                   std::uint64_t seed) {
+  if (k <= 0 || n < k) throw std::invalid_argument("bad planted partition");
+  Rng rng(seed);
+  PlantedPartition pp;
+  pp.labels.resize(std::size_t(n));
+  for (vid_t v = 0; v < n; ++v) pp.labels[std::size_t(v)] = int(v % k);
+
+  const auto m = std::uint64_t(avg_degree * double(n) / 2.0);
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto s = vid_t(rng.uniform(std::uint64_t(n)));
+    vid_t d;
+    if (rng.uniform_real() < intra_fraction) {
+      // Same community c = s % k: members are {c, c+k, c+2k, ...}.
+      const vid_t c = vid_t(s % k);
+      const auto members = std::uint64_t((n - 1 - c) / k + 1);
+      d = vid_t(c + vid_t(k) * vid_t(rng.uniform(members)));
+      if (d == s) d = (d + k < n) ? vid_t(d + k) : c;
+    } else {
+      d = vid_t(rng.uniform(std::uint64_t(n)));
+      if (d == s) d = vid_t((d + 1) % n);
+    }
+    edges.emplace_back(s, d);
+  }
+  pp.graph = coo_from_edges(n, n, symmetrize(edges));
+  return pp;
+}
+
+}  // namespace gnnone

@@ -1,0 +1,36 @@
+// Random graph families: Erdős–Rényi (near-uniform degrees) and a power-law
+// configuration model (heavy-tailed degrees, stand-in for social/web graphs).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/convert.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+/// G(n, m): m directed edges drawn uniformly, then symmetrized/deduped.
+Coo erdos_renyi(vid_t n, eid_t m, std::uint64_t seed);
+
+struct PowerLawParams {
+  vid_t n = 1 << 14;
+  double avg_degree = 16.0;
+  double exponent = 2.1;   // Pareto tail; lower = more skew
+  vid_t max_degree = 0;    // 0 = n/4 cap
+  std::uint64_t seed = 1;
+};
+
+/// Configuration-model power-law graph: degrees ~ Pareto(exponent), edges
+/// wired by sampling endpoints proportionally to degree, symmetrized.
+Coo power_law(const PowerLawParams& p);
+
+/// Planted-partition labeled graph for accuracy experiments: k communities,
+/// intra-community edge probability >> inter. Labels are community ids.
+struct PlantedPartition {
+  Coo graph;
+  std::vector<int> labels;  // size n, values in [0, k)
+};
+PlantedPartition planted_partition(vid_t n, int k, double avg_degree,
+                                   double intra_fraction, std::uint64_t seed);
+
+}  // namespace gnnone

@@ -1,0 +1,40 @@
+#include "gen/rmat.h"
+
+#include "gen/rng.h"
+
+namespace gnnone {
+
+EdgeList rmat_edges(const RmatParams& p) {
+  Rng rng(p.seed);
+  const vid_t n = vid_t(1) << p.scale;
+  const auto m = std::uint64_t(p.edge_factor * double(n));
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    vid_t src = 0, dst = 0;
+    for (int bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.uniform_real();
+      int quadrant;
+      if (r < p.a) {
+        quadrant = 0;
+      } else if (r < p.a + p.b) {
+        quadrant = 1;
+      } else if (r < p.a + p.b + p.c) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      src = vid_t(src << 1 | (quadrant >> 1));
+      dst = vid_t(dst << 1 | (quadrant & 1));
+    }
+    edges.emplace_back(src, dst);
+  }
+  return edges;
+}
+
+Coo rmat_graph(const RmatParams& p) {
+  const vid_t n = vid_t(1) << p.scale;
+  return coo_from_edges(n, n, symmetrize(rmat_edges(p)));
+}
+
+}  // namespace gnnone

@@ -1,0 +1,25 @@
+// RMAT / Kronecker graph generator (Graph500 style), the stand-in for the
+// paper's Kron-21 dataset and other heavily skewed graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/convert.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct RmatParams {
+  int scale = 14;                 // num vertices = 2^scale
+  double edge_factor = 16.0;      // directed edges before symmetrization
+  double a = 0.57, b = 0.19, c = 0.19;  // Graph500 defaults (d = 1-a-b-c)
+  std::uint64_t seed = 1;
+};
+
+/// Generates an RMAT edge list (directed, may contain duplicates).
+EdgeList rmat_edges(const RmatParams& p);
+
+/// Convenience: symmetrized, deduplicated, CSR-arranged COO.
+Coo rmat_graph(const RmatParams& p);
+
+}  // namespace gnnone

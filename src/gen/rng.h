@@ -1,0 +1,45 @@
+// Deterministic RNG for workload generation.
+//
+// std::mt19937 is deterministic, but the standard *distributions* are
+// implementation-defined, so we implement the few draws we need on top of
+// splitmix64. Same seed => same graph/features on every platform, which the
+// experiment harness and the determinism property tests rely on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace gnnone {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform real in [0, 1).
+  double uniform_real() {
+    return double(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    double u1 = uniform_real();
+    double u2 = uniform_real();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gnnone

@@ -1,0 +1,108 @@
+// Sparse-kernel backends for GNN training (paper §5.3).
+//
+//  * kGnnOne — the paper's system: both SpMM and SDDMM run on the unified
+//    COO kernels; the graph is stored once (COO + its transpose).
+//  * kDgl   — DGL: cuSPARSE-style CSR SpMM plus DGL's own COO edge-parallel
+//    SDDMM; the dual-format storage doubles graph memory (Fig. 7's OOM).
+//  * kDgnn  — dgNN: fused vertex-parallel kernels (dgSparse SDDMM + CSR
+//    SpMM); fusion rebates kernel-launch overheads but inherits the
+//    vertex-parallel SDDMM's weaknesses. GAT only, as in the paper.
+//
+// All backends compute identical math (Fig. 5's accuracy equivalence); only
+// which simulated kernel runs — and therefore the cycle ledger and memory
+// accounting — differs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "gen/datasets.h"
+#include "gpusim/device.h"
+#include "gpusim/memory.h"
+#include "gpusim/stats.h"
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "tensor/ops.h"
+
+namespace gnnone {
+
+enum class Backend {
+  kGnnOne,       // the paper's system (individual unified kernels)
+  kGnnOneFused,  // extension: + fused GAT attention (the paper's future work)
+  kDgl,
+  kDgnn,
+};
+
+std::string backend_name(Backend b);
+
+/// Owns the graph in the backend's storage formats and exposes autograd
+/// sparse ops whose forward/backward invoke the backend's simulated kernels.
+class SparseEngine {
+ public:
+  SparseEngine(Backend backend, const Coo& coo, const gpusim::DeviceSpec& dev);
+
+  Backend backend() const { return backend_; }
+  const Coo& coo() const { return coo_; }
+  vid_t num_vertices() const { return coo_.num_rows; }
+  eid_t num_edges() const { return coo_.nnz(); }
+
+  /// Graph-topology device bytes this backend keeps resident.
+  std::size_t graph_bytes() const;
+
+  /// y = A(edge_w) * x. `edge_w` is an |E| x 1 variable or nullptr for
+  /// unweighted aggregation. Backward produces dx via transposed SpMM and
+  /// (when edge_w requires grad) d(edge_w) via SDDMM — the kernel pairing
+  /// the paper's §1 describes.
+  VarPtr spmm(const OpContext& ctx, const VarPtr& edge_w, const VarPtr& x);
+
+  /// w[e] = dot(x[row e], y[col e]) as an |E| x 1 variable. Backward is two
+  /// SpMMs (with d w as edge values).
+  VarPtr sddmm(const OpContext& ctx, const VarPtr& x, const VarPtr& y);
+
+  /// e[uv] = src_score[u] + dst_score[v] (GAT attention logits); runs as an
+  /// SDDMM with feature length 2 (dot([s_u, 1], [1, d_v])).
+  VarPtr u_add_v(const OpContext& ctx, const VarPtr& src_score,
+                 const VarPtr& dst_score);
+
+  /// Per-destination-row softmax over incoming edges. The segment sums run
+  /// as feature-length-1 SpMMs on the backend's kernels.
+  VarPtr edge_softmax(const OpContext& ctx, const VarPtr& scores);
+
+  /// Extension (kGnnOneFused): the whole GAT attention block — u_add_v,
+  /// LeakyReLU, edge softmax and the weighted aggregation — as two fused
+  /// passes on the GNNOne design (kernels/gnnone_fused.h). Forward is fused;
+  /// backward reuses the individual kernels.
+  VarPtr fused_attention(const OpContext& ctx, const VarPtr& s_src,
+                         const VarPtr& s_dst, const VarPtr& h,
+                         float leaky_slope);
+
+  /// Marks the following sparse calls as one fused kernel region (dgNN):
+  /// launch overheads after the first call are rebated until end_fused().
+  void begin_fused();
+  void end_fused();
+
+  /// Whether this backend can train this dataset at the paper's scale
+  /// (reproduces the support matrix of Figs. 6/7: dgNN's error on Kron-21).
+  static bool supports(Backend b, const Dataset& d);
+
+ private:
+  // Runs the backend's SpMM/SDDMM kernel, charging the ledger.
+  Tensor run_spmm(const OpContext& ctx, const Coo& coo, const Csr& csr,
+                  std::span<const float> ev, const Tensor& x) const;
+  Tensor run_sddmm(const OpContext& ctx, const Tensor& x,
+                   const Tensor& y) const;
+  void charge(const OpContext& ctx, const char* tag,
+              const gpusim::KernelStats& ks) const;
+
+  Backend backend_;
+  const gpusim::DeviceSpec* dev_;
+  Coo coo_;            // forward graph, CSR-arranged COO
+  Coo coo_t_;          // transpose (backward)
+  std::vector<eid_t> perm_;    // transposed NZE -> forward NZE
+  Csr csr_, csr_t_;    // kept resident only by CSR-based backends
+  mutable bool fused_ = false;
+  mutable bool fused_first_ = true;
+};
+
+}  // namespace gnnone

@@ -1,0 +1,104 @@
+#include "gnn/layers.h"
+
+#include <cmath>
+
+#include "gen/rng.h"
+#include "graph/convert.h"
+
+namespace gnnone {
+
+VarPtr glorot(std::int64_t rows, std::int64_t cols, std::uint64_t seed,
+              const std::string& name) {
+  Rng rng(seed);
+  const float limit = std::sqrt(6.0f / float(rows + cols));
+  Tensor t(rows, cols);
+  for (std::size_t i = 0; i < std::size_t(t.numel()); ++i) {
+    t[i] = (float(rng.uniform_real()) * 2.0f - 1.0f) * limit;
+  }
+  auto v = make_var(std::move(t), /*requires_grad=*/true, name);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// GCN
+// ---------------------------------------------------------------------------
+
+GcnConv::GcnConv(const SparseEngine& engine, std::int64_t in, std::int64_t out,
+                 std::uint64_t seed) {
+  weight_ = glorot(in, out, seed, "gcn.w");
+  bias_ = make_var(Tensor(1, out), true, "gcn.b");
+
+  // Symmetric normalization 1/sqrt(deg_r deg_c), computed once (static).
+  const Coo& coo = engine.coo();
+  const auto deg = row_lengths(coo);
+  Tensor nw(coo.nnz(), 1);
+  for (std::size_t e = 0; e < std::size_t(coo.nnz()); ++e) {
+    const auto dr = double(std::max<vid_t>(deg[std::size_t(coo.row[e])], 1));
+    const auto dc = double(std::max<vid_t>(deg[std::size_t(coo.col[e])], 1));
+    nw[e] = float(1.0 / std::sqrt(dr * dc));
+  }
+  norm_w_ = make_var(std::move(nw), /*requires_grad=*/false, "gcn.norm");
+}
+
+VarPtr GcnConv::forward(const OpContext& ctx, SparseEngine& engine,
+                        const VarPtr& x) const {
+  const VarPtr h = vmatmul(ctx, x, weight_);
+  const VarPtr agg = engine.spmm(ctx, norm_w_, h);
+  return vbias(ctx, agg, bias_);
+}
+
+// ---------------------------------------------------------------------------
+// GIN
+// ---------------------------------------------------------------------------
+
+GinConv::GinConv(std::int64_t in, std::int64_t out, std::uint64_t seed,
+                 float eps, bool normalize)
+    : eps_(eps), normalize_(normalize) {
+  w1_ = glorot(in, out, seed, "gin.w1");
+  b1_ = make_var(Tensor(1, out), true, "gin.b1");
+  w2_ = glorot(out, out, seed + 1, "gin.w2");
+  b2_ = make_var(Tensor(1, out), true, "gin.b2");
+}
+
+VarPtr GinConv::forward(const OpContext& ctx, SparseEngine& engine,
+                        const VarPtr& x) const {
+  const VarPtr agg = engine.spmm(ctx, nullptr, x);  // sum aggregation
+  const VarPtr combined = vadd(ctx, vscale(ctx, x, 1.0f + eps_), agg);
+  const VarPtr h1 = vrelu(ctx, vbias(ctx, vmatmul(ctx, combined, w1_), b1_));
+  const VarPtr h2 = vbias(ctx, vmatmul(ctx, h1, w2_), b2_);
+  // GIN's sum aggregation grows activations with vertex degree; the GIN
+  // recipe stabilizes each layer with batch normalization.
+  return normalize_ ? vcolnorm(ctx, h2) : h2;
+}
+
+// ---------------------------------------------------------------------------
+// GAT
+// ---------------------------------------------------------------------------
+
+GatConv::GatConv(std::int64_t in, std::int64_t out, std::uint64_t seed) {
+  weight_ = glorot(in, out, seed, "gat.w");
+  attn_src_ = glorot(out, 1, seed + 1, "gat.asrc");
+  attn_dst_ = glorot(out, 1, seed + 2, "gat.adst");
+  bias_ = make_var(Tensor(1, out), true, "gat.b");
+}
+
+VarPtr GatConv::forward(const OpContext& ctx, SparseEngine& engine,
+                        const VarPtr& x) const {
+  const VarPtr h = vmatmul(ctx, x, weight_);
+  const VarPtr s_src = vmatmul(ctx, h, attn_src_);  // |V| x 1
+  const VarPtr s_dst = vmatmul(ctx, h, attn_dst_);
+  if (engine.backend() == Backend::kGnnOneFused) {
+    // Extension: the attention block as two fused GNNOne passes.
+    const VarPtr out = engine.fused_attention(ctx, s_src, s_dst, h, 0.2f);
+    return vbias(ctx, out, bias_);
+  }
+  engine.begin_fused();  // dgNN fuses this SDDMM..SpMM chain into one kernel
+  const VarPtr logits = engine.u_add_v(ctx, s_src, s_dst);
+  const VarPtr act = vleaky_relu(ctx, logits, 0.2f);
+  const VarPtr alpha = engine.edge_softmax(ctx, act);
+  const VarPtr out = engine.spmm(ctx, alpha, h);
+  engine.end_fused();
+  return vbias(ctx, out, bias_);
+}
+
+}  // namespace gnnone

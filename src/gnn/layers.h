@@ -1,0 +1,63 @@
+// GNN layers composed from dense autograd ops and the SparseEngine's
+// sparse autograd ops. All three model families of the paper's §5.3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/backends.h"
+#include "tensor/ops.h"
+
+namespace gnnone {
+
+/// Glorot-uniform initialized weight (deterministic per seed).
+VarPtr glorot(std::int64_t rows, std::int64_t cols, std::uint64_t seed,
+              const std::string& name);
+
+/// GCN convolution: Y = Â (X W) + b with Â the symmetric-normalized
+/// adjacency (static edge weights; GCN's backward needs only SpMM — §2).
+class GcnConv {
+ public:
+  GcnConv(const SparseEngine& engine, std::int64_t in, std::int64_t out,
+          std::uint64_t seed);
+  VarPtr forward(const OpContext& ctx, SparseEngine& engine,
+                 const VarPtr& x) const;
+  std::vector<VarPtr> params() const { return {weight_, bias_}; }
+
+ private:
+  VarPtr weight_, bias_;
+  VarPtr norm_w_;  // |E| x 1 constant 1/sqrt(deg_r * deg_c)
+};
+
+/// GIN convolution: Y = MLP((1 + eps) X + sum-aggregate(X)).
+class GinConv {
+ public:
+  GinConv(std::int64_t in, std::int64_t out, std::uint64_t seed,
+          float eps = 0.0f, bool normalize = true);
+  VarPtr forward(const OpContext& ctx, SparseEngine& engine,
+                 const VarPtr& x) const;
+  std::vector<VarPtr> params() const { return {w1_, b1_, w2_, b2_}; }
+
+ private:
+  VarPtr w1_, b1_, w2_, b2_;
+  float eps_;
+  bool normalize_;  // BatchNorm-style standardization after the MLP
+};
+
+/// Single-head GAT convolution: attention logits via a feature-length-2
+/// SDDMM (u_add_v), LeakyReLU, edge softmax, then attention-weighted SpMM —
+/// the SDDMM+SpMM pairing that motivates the paper (§3.1).
+class GatConv {
+ public:
+  GatConv(std::int64_t in, std::int64_t out, std::uint64_t seed);
+  VarPtr forward(const OpContext& ctx, SparseEngine& engine,
+                 const VarPtr& x) const;
+  std::vector<VarPtr> params() const {
+    return {weight_, attn_src_, attn_dst_, bias_};
+  }
+
+ private:
+  VarPtr weight_, attn_src_, attn_dst_, bias_;
+};
+
+}  // namespace gnnone

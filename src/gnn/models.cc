@@ -1,0 +1,171 @@
+#include "gnn/models.h"
+
+namespace gnnone {
+
+namespace {
+
+class Gcn : public GnnModel {
+ public:
+  Gcn(const SparseEngine& engine, const ModelConfig& cfg) : cfg_(cfg) {
+    std::int64_t in = cfg.in_dim;
+    for (int l = 0; l < cfg.num_layers; ++l) {
+      const std::int64_t out =
+          l + 1 == cfg.num_layers ? cfg.num_classes : cfg.hidden;
+      layers_.emplace_back(engine, in, out, 100 + std::uint64_t(l));
+      in = out;
+    }
+  }
+
+  VarPtr forward(const OpContext& ctx, SparseEngine& engine, const VarPtr& x,
+                 std::uint64_t epoch_seed) override {
+    VarPtr h = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      h = layers_[l].forward(ctx, engine, h);
+      if (l + 1 < layers_.size()) {
+        h = vrelu(ctx, h);
+        h = vdropout(ctx, h, cfg_.dropout, epoch_seed + l);
+      }
+    }
+    return vlog_softmax(ctx, h);
+  }
+
+  std::vector<VarPtr> params() const override {
+    std::vector<VarPtr> ps;
+    for (const auto& l : layers_) {
+      for (const auto& p : l.params()) ps.push_back(p);
+    }
+    return ps;
+  }
+
+  std::string name() const override { return "GCN"; }
+
+ private:
+  ModelConfig cfg_;
+  std::vector<GcnConv> layers_;
+};
+
+class Gin : public GnnModel {
+ public:
+  explicit Gin(const ModelConfig& cfg) : cfg_(cfg) {
+    std::int64_t in = cfg.in_dim;
+    for (int l = 0; l < cfg.num_layers; ++l) {
+      const std::int64_t out =
+          l + 1 == cfg.num_layers ? cfg.num_classes : cfg.hidden;
+      const bool normalize = l + 1 < cfg.num_layers;  // logits stay raw
+      layers_.emplace_back(in, out, 200 + std::uint64_t(l) * 3, 0.0f,
+                           normalize);
+      in = out;
+    }
+  }
+
+  VarPtr forward(const OpContext& ctx, SparseEngine& engine, const VarPtr& x,
+                 std::uint64_t epoch_seed) override {
+    VarPtr h = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      h = layers_[l].forward(ctx, engine, h);
+      if (l + 1 < layers_.size()) {
+        h = vrelu(ctx, h);
+        h = vdropout(ctx, h, cfg_.dropout, epoch_seed + l);
+      }
+    }
+    return vlog_softmax(ctx, h);
+  }
+
+  std::vector<VarPtr> params() const override {
+    std::vector<VarPtr> ps;
+    for (const auto& l : layers_) {
+      for (const auto& p : l.params()) ps.push_back(p);
+    }
+    return ps;
+  }
+
+  std::string name() const override { return "GIN"; }
+
+ private:
+  ModelConfig cfg_;
+  std::vector<GinConv> layers_;
+};
+
+class Gat : public GnnModel {
+ public:
+  explicit Gat(const ModelConfig& cfg) : cfg_(cfg) {
+    std::int64_t in = cfg.in_dim;
+    for (int l = 0; l < cfg.num_layers; ++l) {
+      const std::int64_t out =
+          l + 1 == cfg.num_layers ? cfg.num_classes : cfg.hidden;
+      layers_.emplace_back(in, out, 300 + std::uint64_t(l) * 5);
+      in = out;
+    }
+  }
+
+  VarPtr forward(const OpContext& ctx, SparseEngine& engine, const VarPtr& x,
+                 std::uint64_t epoch_seed) override {
+    VarPtr h = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      h = layers_[l].forward(ctx, engine, h);
+      if (l + 1 < layers_.size()) {
+        h = vrelu(ctx, h);
+        h = vdropout(ctx, h, cfg_.dropout, epoch_seed + l);
+      }
+    }
+    return vlog_softmax(ctx, h);
+  }
+
+  std::vector<VarPtr> params() const override {
+    std::vector<VarPtr> ps;
+    for (const auto& l : layers_) {
+      for (const auto& p : l.params()) ps.push_back(p);
+    }
+    return ps;
+  }
+
+  std::string name() const override { return "GAT"; }
+
+ private:
+  ModelConfig cfg_;
+  std::vector<GatConv> layers_;
+};
+
+}  // namespace
+
+std::unique_ptr<GnnModel> make_gcn(const SparseEngine& engine,
+                                   const ModelConfig& cfg) {
+  return std::make_unique<Gcn>(engine, cfg);
+}
+
+std::unique_ptr<GnnModel> make_gin(const ModelConfig& cfg) {
+  return std::make_unique<Gin>(cfg);
+}
+
+std::unique_ptr<GnnModel> make_gat(const ModelConfig& cfg) {
+  return std::make_unique<Gat>(cfg);
+}
+
+ModelConfig paper_gcn_config(std::int64_t in_dim, std::int64_t classes) {
+  ModelConfig c;
+  c.in_dim = in_dim;
+  c.hidden = 16;
+  c.num_classes = classes;
+  c.num_layers = 2;
+  return c;
+}
+
+ModelConfig paper_gin_config(std::int64_t in_dim, std::int64_t classes) {
+  ModelConfig c;
+  c.in_dim = in_dim;
+  c.hidden = 64;
+  c.num_classes = classes;
+  c.num_layers = 5;
+  return c;
+}
+
+ModelConfig paper_gat_config(std::int64_t in_dim, std::int64_t classes) {
+  ModelConfig c;
+  c.in_dim = in_dim;
+  c.hidden = 16;
+  c.num_classes = classes;
+  c.num_layers = 5;
+  return c;
+}
+
+}  // namespace gnnone

@@ -1,0 +1,41 @@
+// The three GNN models of the paper's training evaluation (§5.3): 2-layer
+// GCN (hidden 16), 5-layer GIN (hidden 64), 5-layer GAT (hidden 16).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnn/layers.h"
+
+namespace gnnone {
+
+struct ModelConfig {
+  std::int64_t in_dim = 0;
+  std::int64_t hidden = 16;
+  std::int64_t num_classes = 0;
+  int num_layers = 2;
+  float dropout = 0.5f;
+};
+
+class GnnModel {
+ public:
+  virtual ~GnnModel() = default;
+  /// Returns per-vertex log-probabilities (|V| x classes).
+  virtual VarPtr forward(const OpContext& ctx, SparseEngine& engine,
+                         const VarPtr& x, std::uint64_t epoch_seed) = 0;
+  virtual std::vector<VarPtr> params() const = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<GnnModel> make_gcn(const SparseEngine& engine,
+                                   const ModelConfig& cfg);
+std::unique_ptr<GnnModel> make_gin(const ModelConfig& cfg);
+std::unique_ptr<GnnModel> make_gat(const ModelConfig& cfg);
+
+/// Paper §5.3 configurations.
+ModelConfig paper_gcn_config(std::int64_t in_dim, std::int64_t classes);
+ModelConfig paper_gin_config(std::int64_t in_dim, std::int64_t classes);
+ModelConfig paper_gat_config(std::int64_t in_dim, std::int64_t classes);
+
+}  // namespace gnnone

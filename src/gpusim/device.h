@@ -1,0 +1,60 @@
+// Device specification and latency table for the SIMT simulator.
+//
+// The simulator stands in for the NVIDIA A100 used in the paper. Constants
+// are first-order approximations taken from public microbenchmark studies;
+// the model is calibrated for *relative* behaviour (who wins, by what
+// factor), never for absolute milliseconds. All values are in units of SM
+// clock cycles unless stated otherwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpusim {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr int kTransactionBytes = 128;  // global-memory segment size
+
+/// Hardware parameters of the simulated device. Defaults model an A100-40GB.
+struct DeviceSpec {
+  // --- structural limits -------------------------------------------------
+  int num_sms = 108;
+  int max_warps_per_sm = 64;
+  int max_ctas_per_sm = 32;
+  std::size_t regs_per_sm = 65536;          // 32-bit registers
+  std::size_t shared_mem_per_sm = 164 * 1024;
+  std::size_t shared_mem_per_cta = 96 * 1024;
+  std::size_t device_memory_bytes = 40ull * 1024 * 1024 * 1024;
+
+  // --- latency / throughput model ----------------------------------------
+  int global_load_latency = 400;   // DRAM round trip, cycles
+  int l2_load_latency = 120;       // L2-resident load (hot metadata), cycles
+  int tx_issue_cycles = 4;         // LSU occupancy per 128B transaction
+  int shared_access_cycles = 2;    // issue cost of one shared-memory op
+  int shuffle_cycles = 2;          // issue cost of one warp shuffle
+  int barrier_cycles = 4;          // fixed cost of a warp-level barrier
+  int atomic_issue_cycles = 8;     // global atomic, per serialized address
+  int alu_cycles_per_instr = 1;    // one 32-lane ALU/FMA instruction
+
+  // Aggregate DRAM bandwidth floor: bytes the device can move per cycle.
+  // A100: ~1.5 TB/s at ~1.4 GHz  =>  ~1100 B/cycle; rounded down.
+  double dram_bytes_per_cycle = 1024.0;
+
+  // Maximum number of load instructions whose latency can overlap within a
+  // single warp before the LSU queue itself serializes (MSHR-style cap).
+  int max_outstanding_loads = 32;
+
+  // How many co-resident warps' worth of exposed memory latency the SM can
+  // overlap (memory-level-parallelism cap). Aggregate stall cycles in a wave
+  // are divided by min(resident warps, this). Smaller values make exposed
+  // latency (ILP, memory barriers) matter more even at full occupancy.
+  int latency_hiding_warps = 12;
+};
+
+/// Returns the default simulated device (A100-40GB class).
+inline const DeviceSpec& default_device() {
+  static const DeviceSpec spec{};
+  return spec;
+}
+
+}  // namespace gpusim

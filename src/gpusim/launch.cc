@@ -1,0 +1,123 @@
+#include "gpusim/launch.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/shared.h"
+
+namespace gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  if (cfg.warps_per_cta <= 0) {
+    throw std::invalid_argument("warps_per_cta must be positive");
+  }
+  if (cfg.shared_bytes_per_cta > spec.shared_mem_per_cta) {
+    throw std::invalid_argument("shared memory request exceeds per-CTA limit");
+  }
+  const int threads_per_cta = cfg.warps_per_cta * kWarpSize;
+  std::int64_t by_regs =
+      cfg.regs_per_thread > 0
+          ? std::int64_t(spec.regs_per_sm) /
+                (std::int64_t(cfg.regs_per_thread) * threads_per_cta)
+          : spec.max_ctas_per_sm;
+  std::int64_t by_smem =
+      cfg.shared_bytes_per_cta > 0
+          ? std::int64_t(spec.shared_mem_per_sm / cfg.shared_bytes_per_cta)
+          : spec.max_ctas_per_sm;
+  std::int64_t by_warps = spec.max_warps_per_sm / cfg.warps_per_cta;
+  std::int64_t ctas = std::min({std::int64_t(spec.max_ctas_per_sm), by_regs,
+                                by_smem, by_warps});
+  if (ctas < 1) ctas = 1;  // the hardware always runs at least one CTA
+  Occupancy occ;
+  occ.ctas_per_sm = int(ctas);
+  occ.warps_per_sm = int(ctas) * cfg.warps_per_cta;
+  return occ;
+}
+
+namespace {
+
+struct WarpCost {
+  std::uint64_t issue = 0;
+  std::uint64_t stall = 0;
+};
+
+}  // namespace
+
+KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
+                   const KernelFn& body) {
+  if (cfg.num_ctas < 0) throw std::invalid_argument("negative grid size");
+  const Occupancy occ = compute_occupancy(spec, cfg);
+
+  KernelStats ks;
+  ks.num_ctas = std::uint64_t(cfg.num_ctas);
+  ks.num_warps = std::uint64_t(cfg.num_ctas) * std::uint64_t(cfg.warps_per_cta);
+  ks.resident_ctas_per_sm = occ.ctas_per_sm;
+  ks.resident_warps_per_sm = occ.warps_per_sm;
+
+  // Functional pass: run every warp, collect per-warp costs.
+  SharedMem shmem(cfg.shared_bytes_per_cta);
+  std::vector<WarpCost> costs(std::size_t(ks.num_warps));
+  for (std::int64_t cta = 0; cta < cfg.num_ctas; ++cta) {
+    shmem.reset();
+    for (int w = 0; w < cfg.warps_per_cta; ++w) {
+      WarpCtx ctx(spec, cta, w, cfg.warps_per_cta, shmem);
+      body(ctx);
+      ctx.finish();
+      const WarpStats& s = ctx.stats();
+      ks.totals.add(s);
+      costs[std::size_t(cta) * std::size_t(cfg.warps_per_cta) + std::size_t(w)] =
+          {s.issue_cycles, s.stall_cycles};
+    }
+  }
+
+  // Scheduling pass: round-robin CTA assignment, wave-based SM timing.
+  std::uint64_t makespan = 0;
+  const int S = spec.num_sms;
+  for (int sm = 0; sm < S && sm < cfg.num_ctas; ++sm) {
+    std::uint64_t sm_time = 0;
+    for (std::int64_t first = sm; first < cfg.num_ctas;
+         first += std::int64_t(S) * occ.ctas_per_sm) {
+      // One wave: up to ctas_per_sm CTAs resident together on this SM.
+      std::uint64_t wave_issue = 0;
+      std::uint64_t wave_stall = 0;
+      std::uint64_t wave_crit = 0;
+      int wave_warps = 0;
+      for (int r = 0; r < occ.ctas_per_sm; ++r) {
+        const std::int64_t cta = first + std::int64_t(r) * S;
+        if (cta >= cfg.num_ctas) break;
+        for (int w = 0; w < cfg.warps_per_cta; ++w) {
+          const WarpCost& c =
+              costs[std::size_t(cta) * std::size_t(cfg.warps_per_cta) +
+                    std::size_t(w)];
+          wave_issue += c.issue;
+          wave_stall += c.stall;
+          wave_crit = std::max(wave_crit, c.issue + c.stall);
+          ++wave_warps;
+        }
+      }
+      // Wave time: issue-bandwidth bound; critical (unhideable) warp bound;
+      // and the MLP bound — aggregate exposed latency overlapped across at
+      // most `latency_hiding_warps` co-resident warps.
+      const int hide = std::max(
+          1, std::min(wave_warps, spec.latency_hiding_warps));
+      sm_time += std::max({wave_issue, wave_crit,
+                           wave_stall / std::uint64_t(hide)});
+    }
+    makespan = std::max(makespan, sm_time);
+  }
+
+  std::uint64_t cycles = cfg.launch_overhead_cycles + makespan;
+  const auto total_bytes = ks.totals.bytes_loaded + ks.totals.bytes_stored;
+  const auto bw_floor = std::uint64_t(double(total_bytes) /
+                                      spec.dram_bytes_per_cycle) +
+                        cfg.launch_overhead_cycles;
+  if (bw_floor > cycles) {
+    cycles = bw_floor;
+    ks.dram_bandwidth_bound = true;
+  }
+  ks.cycles = cycles;
+  return ks;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,53 @@
+// Kernel launch and SM scheduling: turns per-warp cost traces into a
+// modeled kernel execution time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "gpusim/device.h"
+#include "gpusim/stats.h"
+#include "gpusim/warp.h"
+
+namespace gpusim {
+
+/// Launch-time resource declaration. Register usage per thread cannot be
+/// measured in a functional simulator, so kernels declare it, mirroring what
+/// `nvcc --ptxas-options=-v` reports for the corresponding CUDA design. This
+/// is the lever behind the paper's occupancy analysis (§3.2): nonzero-split
+/// SpMM materializing F dot products per thread declares ~F extra registers
+/// and collapses its occupancy.
+struct LaunchConfig {
+  std::int64_t num_ctas = 0;
+  int warps_per_cta = 4;
+  std::size_t shared_bytes_per_cta = 0;
+  int regs_per_thread = 32;
+  std::uint64_t launch_overhead_cycles = 2000;  // ~1.5 us at 1.4 GHz
+};
+
+/// Achieved occupancy for a launch configuration on a device.
+struct Occupancy {
+  int ctas_per_sm = 0;
+  int warps_per_sm = 0;
+};
+
+Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+using KernelFn = std::function<void(WarpCtx&)>;
+
+/// Executes `body` once per warp (functionally, in deterministic order) and
+/// returns the modeled kernel time:
+///
+///   - CTAs are assigned to SMs round-robin.
+///   - Each SM runs its CTA queue in batches of `ctas_per_sm` resident CTAs
+///     (a "wave"). Wave time = max(sum of issue cycles over resident warps,
+///     max over resident warps of issue+stall). The first term is the SM's
+///     issue-bandwidth bound; the second is the critical warp whose memory
+///     latency cannot be hidden by co-resident warps — this is where both
+///     workload imbalance and occupancy collapse surface as time.
+///   - Total = launch overhead + max over SMs, floored by aggregate DRAM
+///     bandwidth.
+KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
+                   const KernelFn& body);
+
+}  // namespace gpusim

@@ -1,0 +1,123 @@
+// Simulated device memory: allocation tracking with out-of-memory behaviour.
+//
+// Buffers live in ordinary host memory (the simulator runs in-process) but
+// every allocation is registered with a DeviceMemory tracker so that the
+// paper's OOM experiments (Fig. 6/7: DGL's dual-format storage exhausting the
+// 40 GB card while GNNOne's single COO format fits) reproduce as real
+// allocation failures rather than hard-coded outcomes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace gpusim {
+
+/// Thrown when a simulated allocation exceeds the device capacity.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t in_use,
+                    std::size_t capacity)
+      : std::runtime_error("device out of memory: requested " +
+                           std::to_string(requested) + " B with " +
+                           std::to_string(in_use) + "/" +
+                           std::to_string(capacity) + " B in use"),
+        requested_(requested) {}
+  std::size_t requested() const { return requested_; }
+
+ private:
+  std::size_t requested_;
+};
+
+/// Tracks simulated device-memory usage. Not thread-safe (the simulator is
+/// single-threaded by design; determinism is a feature).
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Registers an allocation; throws DeviceOutOfMemory when it does not fit.
+  void allocate(std::size_t bytes) {
+    if (in_use_ + bytes > capacity_) {
+      throw DeviceOutOfMemory(bytes, in_use_, capacity_);
+    }
+    in_use_ += bytes;
+    peak_ = in_use_ > peak_ ? in_use_ : peak_;
+  }
+
+  void release(std::size_t bytes) {
+    in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
+  }
+
+  std::size_t in_use() const { return in_use_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// A typed device buffer. Owns host storage and a registration with a
+/// DeviceMemory tracker (optional: a null tracker means "untracked scratch").
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+
+  explicit Buffer(std::size_t n, DeviceMemory* tracker = nullptr)
+      : data_(n), tracker_(tracker) {
+    if (tracker_ != nullptr) tracker_->allocate(bytes());
+  }
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  Buffer(Buffer&& other) noexcept { *this = std::move(other); }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      unregister();
+      data_ = std::move(other.data_);
+      tracker_ = other.tracker_;
+      other.tracker_ = nullptr;
+      other.data_.clear();
+    }
+    return *this;
+  }
+
+  ~Buffer() { unregister(); }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  void unregister() {
+    if (tracker_ != nullptr) {
+      tracker_->release(bytes());
+      tracker_ = nullptr;
+    }
+  }
+
+  std::vector<T> data_;
+  DeviceMemory* tracker_ = nullptr;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,62 @@
+#include "gpusim/report.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace gpusim {
+
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string describe(const KernelStats& ks, const DeviceSpec& spec) {
+  std::string out;
+  const double ms = double(ks.cycles) / 1.41e6;  // A100-class clock
+  out += fmt("modeled time     : %.3f ms (%" PRIu64 " cycles)%s\n", ms,
+             ks.cycles, ks.dram_bandwidth_bound ? "  [DRAM-BW bound]" : "");
+  out += fmt("grid             : %" PRIu64 " CTAs x %d warps resident/SM "
+             "(%d CTAs/SM) on %d SMs\n",
+             ks.num_ctas, ks.resident_warps_per_sm, ks.resident_ctas_per_sm,
+             spec.num_sms);
+  out += fmt("global loads     : %" PRIu64 " instr, %" PRIu64
+             " transactions, %.2f MB\n",
+             ks.totals.global_load_instrs, ks.totals.load_transactions,
+             double(ks.totals.bytes_loaded) / 1e6);
+  out += fmt("global stores    : %" PRIu64 " instr, %.2f MB\n",
+             ks.totals.global_store_instrs,
+             double(ks.totals.bytes_stored) / 1e6);
+  out += fmt("shared / shfl    : %" PRIu64 " ops / %" PRIu64
+             " shuffles, %" PRIu64 " barriers\n",
+             ks.totals.shared_ops, ks.totals.shuffles, ks.totals.barriers);
+  out += fmt("atomics          : %" PRIu64 " instr (%" PRIu64
+             " serialized conflicts)\n",
+             ks.totals.atomic_instrs, ks.totals.atomic_serializations);
+  out += fmt("issue vs stall   : %" PRIu64 " vs %" PRIu64
+             " cycles (data-load share %.0f%%)\n",
+             ks.totals.issue_cycles, ks.totals.stall_cycles,
+             100.0 * ks.data_load_fraction());
+  return out;
+}
+
+std::string csv_header() {
+  return "cycles,warps,warps_per_sm,load_tx,bytes_loaded,load_fraction";
+}
+
+std::string csv_row(const KernelStats& ks) {
+  return fmt("%" PRIu64 ",%" PRIu64 ",%d,%" PRIu64 ",%" PRIu64 ",%.3f",
+             ks.cycles, ks.num_warps, ks.resident_warps_per_sm,
+             ks.totals.load_transactions, ks.totals.bytes_loaded,
+             ks.data_load_fraction());
+}
+
+}  // namespace gpusim

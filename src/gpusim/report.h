@@ -1,0 +1,20 @@
+// Human-readable reporting of kernel statistics (profiler-style output).
+#pragma once
+
+#include <string>
+
+#include "gpusim/device.h"
+#include "gpusim/stats.h"
+
+namespace gpusim {
+
+/// Multi-line summary of one kernel launch: modeled time, occupancy, memory
+/// traffic, and the issue/stall composition. Intended for tools and
+/// examples; format is stable enough to grep but not a machine interface.
+std::string describe(const KernelStats& ks, const DeviceSpec& spec);
+
+/// One-line CSV-ish record: cycles,warps,occupancy,tx,bytes,load_fraction.
+std::string csv_row(const KernelStats& ks);
+std::string csv_header();
+
+}  // namespace gpusim

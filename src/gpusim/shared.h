@@ -1,0 +1,53 @@
+// Per-CTA shared-memory arena for simulated kernels.
+//
+// Functional storage for the GPU's programmable shared memory. The launcher
+// resets the arena at each CTA boundary; warps of a CTA allocate disjoint
+// slices from it (warps execute sequentially in the simulator, but slices are
+// warp-private by kernel construction, mirroring the paper's per-warp
+// CACHE_SIZE staging buffers). Over-allocating beyond the launch
+// configuration's declared shared bytes is a kernel bug and throws.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace gpusim {
+
+class SharedMem {
+ public:
+  explicit SharedMem(std::size_t capacity_bytes)
+      : storage_(capacity_bytes), top_(0) {}
+
+  /// Allocates `count` elements of T, 16-byte aligned. Lifetime ends at the
+  /// next reset(); spans must not be retained across CTAs.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    constexpr std::size_t kAlign = 16;
+    std::size_t offset = (top_ + kAlign - 1) / kAlign * kAlign;
+    std::size_t bytes = count * sizeof(T);
+    if (offset + bytes > storage_.size()) {
+      throw std::runtime_error(
+          "shared memory overflow: kernel allocated more than the launch "
+          "config declared");
+    }
+    top_ = offset + bytes;
+    high_water_ = top_ > high_water_ ? top_ : high_water_;
+    return {reinterpret_cast<T*>(storage_.data() + offset), count};
+  }
+
+  /// Frees all allocations (CTA boundary).
+  void reset() { top_ = 0; }
+
+  std::size_t capacity() const { return storage_.size(); }
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::size_t top_;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace gpusim

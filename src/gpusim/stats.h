@@ -1,0 +1,75 @@
+// Cost-model counters produced by simulated kernel execution.
+#pragma once
+
+#include <cstdint>
+
+namespace gpusim {
+
+/// Per-warp counters. `issue_cycles` models instruction/LSU occupancy of the
+/// SM pipeline; `stall_cycles` models exposed memory latency (the part that
+/// multithreading across resident warps can hide). The split drives the wave
+/// scheduling model in launch.cc.
+struct WarpStats {
+  // Cost accumulation.
+  std::uint64_t issue_cycles = 0;
+  std::uint64_t stall_cycles = 0;
+
+  // Raw event counters (for assertions, breakdowns, and Fig. 11).
+  std::uint64_t global_load_instrs = 0;
+  std::uint64_t global_store_instrs = 0;
+  std::uint64_t load_transactions = 0;
+  std::uint64_t store_transactions = 0;
+  std::uint64_t bytes_loaded = 0;
+  std::uint64_t bytes_stored = 0;
+  std::uint64_t shared_ops = 0;
+  std::uint64_t shuffles = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t atomic_instrs = 0;
+  std::uint64_t atomic_serializations = 0;
+  std::uint64_t alu_instrs = 0;
+
+  // Portion of issue/stall attributable to moving data (loads/stores and the
+  // latency they expose), used for the paper's data-load-vs-compute breakdown.
+  std::uint64_t load_issue_cycles = 0;
+  std::uint64_t load_stall_cycles = 0;
+
+  void add(const WarpStats& o) {
+    issue_cycles += o.issue_cycles;
+    stall_cycles += o.stall_cycles;
+    global_load_instrs += o.global_load_instrs;
+    global_store_instrs += o.global_store_instrs;
+    load_transactions += o.load_transactions;
+    store_transactions += o.store_transactions;
+    bytes_loaded += o.bytes_loaded;
+    bytes_stored += o.bytes_stored;
+    shared_ops += o.shared_ops;
+    shuffles += o.shuffles;
+    barriers += o.barriers;
+    atomic_instrs += o.atomic_instrs;
+    atomic_serializations += o.atomic_serializations;
+    alu_instrs += o.alu_instrs;
+    load_issue_cycles += o.load_issue_cycles;
+    load_stall_cycles += o.load_stall_cycles;
+  }
+};
+
+/// Result of one simulated kernel launch.
+struct KernelStats {
+  std::uint64_t cycles = 0;        // modeled execution time (makespan)
+  WarpStats totals;                // sum over all warps
+  int resident_ctas_per_sm = 0;    // achieved occupancy (CTAs)
+  int resident_warps_per_sm = 0;   // achieved occupancy (warps)
+  std::uint64_t num_warps = 0;
+  std::uint64_t num_ctas = 0;
+  bool dram_bandwidth_bound = false;
+
+  /// Fraction of modeled time spent moving data; >0.5 means load-dominated.
+  double data_load_fraction() const {
+    const auto work = totals.issue_cycles + totals.stall_cycles;
+    if (work == 0) return 0.0;
+    return double(totals.load_issue_cycles + totals.load_stall_cycles) /
+           double(work);
+  }
+};
+
+}  // namespace gpusim

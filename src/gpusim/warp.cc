@@ -1,0 +1,22 @@
+#include "gpusim/warp.h"
+
+#include <algorithm>
+
+namespace gpusim::detail {
+
+int count_transactions(const LaneArray<std::uint64_t>& addr, Mask mask) {
+  std::array<std::uint64_t, kWarpSize> segs;
+  int n = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (mask >> l & 1u) segs[n++] = addr[l] / kTransactionBytes;
+  }
+  if (n == 0) return 0;
+  std::sort(segs.begin(), segs.begin() + n);
+  int distinct = 1;
+  for (int i = 1; i < n; ++i) {
+    if (segs[i] != segs[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+}  // namespace gpusim::detail

@@ -1,0 +1,380 @@
+// WarpCtx: the lane-level execution context simulated kernels run against.
+//
+// A kernel body is invoked once per warp and performs *functional* work
+// (actual loads, stores, arithmetic on host memory) through collective,
+// warp-wide operations. Each operation simultaneously feeds the cost model:
+//
+//  * Global accesses are coalesced into 128-byte transactions from the
+//    per-lane byte addresses, exactly as the hardware's LSU would.
+//  * Load latency is modeled with an ILP window: load instructions issued
+//    back-to-back overlap, and the window is flushed (one exposed
+//    `global_load_latency`) at the first serialization point — a warp
+//    barrier, a shuffle, an explicit use(), or the end of the kernel. This
+//    is the mechanism behind the paper's central claim that reduction's
+//    memory barriers throttle data-load ILP (§3.2, §4.2.1).
+//  * Shuffles, shared-memory ops, barriers, atomics and ALU instructions
+//    cost fixed issue cycles from the DeviceSpec latency table.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "gpusim/device.h"
+#include "gpusim/shared.h"
+#include "gpusim/stats.h"
+
+namespace gpusim {
+
+template <typename T>
+using LaneArray = std::array<T, kWarpSize>;
+
+using Mask = std::uint32_t;
+inline constexpr Mask kFullMask = 0xffffffffu;
+
+/// Builds a mask with the low `n` lanes active.
+inline Mask lanes_below(int n) {
+  return n >= kWarpSize ? kFullMask : ((Mask{1} << n) - 1);
+}
+
+namespace detail {
+/// Counts distinct 128-byte segments among the active lanes' byte addresses.
+int count_transactions(const LaneArray<std::uint64_t>& addr, Mask mask);
+}  // namespace detail
+
+/// Global-memory addresses are modeled relative to each array's base
+/// (device allocations are transaction-aligned, as cudaMalloc guarantees),
+/// so coalescing costs depend only on the access pattern — never on host
+/// allocator placement.
+class WarpCtx {
+ public:
+  WarpCtx(const DeviceSpec& spec, std::int64_t cta_id, int warp_in_cta,
+          int warps_per_cta, SharedMem& shmem)
+      : spec_(&spec),
+        shmem_(&shmem),
+        cta_id_(cta_id),
+        warp_in_cta_(warp_in_cta),
+        warps_per_cta_(warps_per_cta) {}
+
+  std::int64_t cta_id() const { return cta_id_; }
+  int warp_in_cta() const { return warp_in_cta_; }
+  int warps_per_cta() const { return warps_per_cta_; }
+  std::int64_t global_warp_id() const {
+    return cta_id_ * warps_per_cta_ + warp_in_cta_;
+  }
+  const DeviceSpec& device() const { return *spec_; }
+  SharedMem& shared() { return *shmem_; }
+  WarpStats& stats() { return stats_; }
+
+  // ---------------------------------------------------------------------
+  // Global memory
+  // ---------------------------------------------------------------------
+
+  /// Warp-wide gather: active lane l reads base[index[l]].
+  template <typename T>
+  LaneArray<T> ld_global(const T* base, const LaneArray<std::int64_t>& index,
+                         Mask mask = kFullMask) {
+    LaneArray<T> out{};
+    LaneArray<std::uint64_t> addr{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!(mask >> l & 1u)) continue;
+      out[l] = base[index[l]];
+      addr[l] = std::uint64_t(index[l]) * sizeof(T);
+    }
+    record_load(detail::count_transactions(addr, mask), bytes_of<T>(mask), 1);
+    return out;
+  }
+
+  /// Like ld_global, but for data that is L2-resident by construction (small
+  /// hot metadata such as row offsets probed by merge-path binary search).
+  /// Costs the same issue cycles; exposed latency on flush is the L2 latency.
+  template <typename T>
+  LaneArray<T> ld_global_l2(const T* base, const LaneArray<std::int64_t>& index,
+                            Mask mask = kFullMask) {
+    LaneArray<T> out{};
+    LaneArray<std::uint64_t> addr{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!(mask >> l & 1u)) continue;
+      out[l] = base[index[l]];
+      addr[l] = std::uint64_t(index[l]) * sizeof(T);
+    }
+    const int tx = detail::count_transactions(addr, mask);
+    const std::uint64_t c =
+        std::uint64_t(spec_->tx_issue_cycles) * std::uint64_t(tx);
+    stats_.issue_cycles += c;
+    stats_.load_issue_cycles += c;
+    stats_.global_load_instrs += 1;
+    stats_.load_transactions += std::uint64_t(tx);
+    // L2 hits do not consume DRAM bandwidth.
+    pending_l2_ += 1;
+    return out;
+  }
+
+  /// Warp-wide vector gather (the paper's float4/float2 path): active lane l
+  /// reads W consecutive elements starting at base[index[l]] with a single
+  /// vector load instruction.
+  template <typename T, int W>
+  std::array<std::array<T, W>, kWarpSize> ld_global_vec(
+      const T* base, const LaneArray<std::int64_t>& index,
+      Mask mask = kFullMask) {
+    static_assert(W >= 1 && W <= 4);
+    std::array<std::array<T, W>, kWarpSize> out{};
+    LaneArray<std::uint64_t> addr{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!(mask >> l & 1u)) continue;
+      for (int j = 0; j < W; ++j) out[l][j] = base[index[l] + j];
+      addr[l] = std::uint64_t(index[l]) * sizeof(T);
+    }
+    // A W-wide vector access can straddle segments; approximate by counting
+    // segments of the start addresses plus the extra coverage of wide lanes.
+    int tx = detail::count_transactions(addr, mask);
+    const int lanes = popcount(mask);
+    const int covered_bytes = lanes * int(sizeof(T)) * W;
+    const int min_tx = (covered_bytes + kTransactionBytes - 1) / kTransactionBytes;
+    if (tx < min_tx) tx = min_tx;
+    record_load(tx, std::uint64_t(covered_bytes), 1);
+    return out;
+  }
+
+  /// Warp-wide scatter: active lane l writes value[l] to base[index[l]].
+  template <typename T>
+  void st_global(T* base, const LaneArray<std::int64_t>& index,
+                 const LaneArray<T>& value, Mask mask = kFullMask) {
+    LaneArray<std::uint64_t> addr{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!(mask >> l & 1u)) continue;
+      base[index[l]] = value[l];
+      addr[l] = std::uint64_t(index[l]) * sizeof(T);
+    }
+    record_store(detail::count_transactions(addr, mask), bytes_of<T>(mask));
+  }
+
+  /// Warp-wide vector scatter: lane l writes W consecutive elements.
+  template <typename T, int W>
+  void st_global_vec(T* base, const LaneArray<std::int64_t>& index,
+                     const std::array<std::array<T, W>, kWarpSize>& value,
+                     Mask mask = kFullMask) {
+    static_assert(W >= 1 && W <= 4);
+    LaneArray<std::uint64_t> addr{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!(mask >> l & 1u)) continue;
+      for (int j = 0; j < W; ++j) base[index[l] + j] = value[l][j];
+      addr[l] = std::uint64_t(index[l]) * sizeof(T);
+    }
+    int tx = detail::count_transactions(addr, mask);
+    const int lanes = popcount(mask);
+    const int covered = lanes * int(sizeof(T)) * W;
+    const int min_tx = (covered + kTransactionBytes - 1) / kTransactionBytes;
+    if (tx < min_tx) tx = min_tx;
+    record_store(tx, std::uint64_t(covered));
+  }
+
+  /// Warp-wide global atomic add. Lanes hitting the same address serialize.
+  void atomic_add(float* base, const LaneArray<std::int64_t>& index,
+                  const LaneArray<float>& value, Mask mask = kFullMask) {
+    int max_mult = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!(mask >> l & 1u)) continue;
+      base[index[l]] += value[l];
+      int mult = 1;
+      for (int m = 0; m < l; ++m) {
+        if ((mask >> m & 1u) && index[m] == index[l]) ++mult;
+      }
+      if (mult > max_mult) max_mult = mult;
+    }
+    if (max_mult == 0) return;
+    const std::uint64_t c =
+        std::uint64_t(spec_->atomic_issue_cycles) * std::uint64_t(max_mult);
+    stats_.issue_cycles += c;
+    stats_.load_issue_cycles += c;
+    stats_.atomic_instrs += 1;
+    stats_.atomic_serializations += std::uint64_t(max_mult - 1);
+    stats_.bytes_stored += bytes_of<float>(mask);
+    stats_.store_transactions += 1;
+  }
+
+  /// Warp-wide global atomic max (same cost model as atomic_add).
+  void atomic_max(float* base, const LaneArray<std::int64_t>& index,
+                  const LaneArray<float>& value, Mask mask = kFullMask) {
+    int max_mult = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!(mask >> l & 1u)) continue;
+      float& slot = base[index[l]];
+      if (value[l] > slot) slot = value[l];
+      int mult = 1;
+      for (int m = 0; m < l; ++m) {
+        if ((mask >> m & 1u) && index[m] == index[l]) ++mult;
+      }
+      if (mult > max_mult) max_mult = mult;
+    }
+    if (max_mult == 0) return;
+    const std::uint64_t c =
+        std::uint64_t(spec_->atomic_issue_cycles) * std::uint64_t(max_mult);
+    stats_.issue_cycles += c;
+    stats_.load_issue_cycles += c;
+    stats_.atomic_instrs += 1;
+    stats_.atomic_serializations += std::uint64_t(max_mult - 1);
+    stats_.bytes_stored += bytes_of<float>(mask);
+    stats_.store_transactions += 1;
+  }
+
+  // ---------------------------------------------------------------------
+  // Shared memory (functional storage comes from SharedMem::alloc)
+  // ---------------------------------------------------------------------
+
+  template <typename T>
+  LaneArray<T> sh_read(std::span<const T> arr, const LaneArray<int>& idx,
+                       Mask mask = kFullMask) {
+    LaneArray<T> out{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (mask >> l & 1u) out[l] = arr[std::size_t(idx[l])];
+    }
+    stats_.issue_cycles += spec_->shared_access_cycles;
+    stats_.shared_ops += 1;
+    return out;
+  }
+
+  template <typename T>
+  void sh_write(std::span<T> arr, const LaneArray<int>& idx,
+                const LaneArray<T>& value, Mask mask = kFullMask) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (mask >> l & 1u) arr[std::size_t(idx[l])] = value[l];
+    }
+    stats_.issue_cycles += spec_->shared_access_cycles;
+    stats_.shared_ops += 1;
+  }
+
+  /// Scalar shared read visible to all lanes (e.g. reading a cached NZE).
+  template <typename T>
+  T sh_read_scalar(std::span<const T> arr, int idx) {
+    stats_.issue_cycles += spec_->shared_access_cycles;
+    stats_.shared_ops += 1;
+    return arr[std::size_t(idx)];
+  }
+
+  // ---------------------------------------------------------------------
+  // Warp collectives
+  // ---------------------------------------------------------------------
+
+  /// __shfl_down_sync: lane l receives v[l + delta] within `width` segments.
+  /// Serializes the warp (flushes the load window) like the real instruction.
+  template <typename T>
+  LaneArray<T> shfl_down(const LaneArray<T>& v, int delta,
+                         int width = kWarpSize) {
+    flush_window();
+    LaneArray<T> out = v;
+    for (int l = 0; l < kWarpSize; ++l) {
+      const int seg = l / width * width;
+      const int src = l + delta;
+      if (src < seg + width) out[l] = v[src];
+    }
+    stats_.issue_cycles += spec_->shuffle_cycles;
+    stats_.shuffles += 1;
+    return out;
+  }
+
+  /// __shfl_sync broadcast from a single source lane.
+  template <typename T>
+  T shfl_broadcast(const LaneArray<T>& v, int src_lane) {
+    flush_window();
+    stats_.issue_cycles += spec_->shuffle_cycles;
+    stats_.shuffles += 1;
+    return v[src_lane];
+  }
+
+  /// Warp-level barrier (__syncwarp): the memory barrier the paper's §3.2
+  /// analyzes. Flushes the outstanding-load window and costs fixed cycles.
+  void sync() {
+    flush_window();
+    stats_.issue_cycles += spec_->barrier_cycles;
+    stats_.barriers += 1;
+  }
+
+  /// CTA-level barrier (__syncthreads); costlier than a warp barrier.
+  void cta_sync() {
+    flush_window();
+    stats_.issue_cycles += std::uint64_t(spec_->barrier_cycles) * 4;
+    stats_.barriers += 1;
+  }
+
+  // ---------------------------------------------------------------------
+  // Compute & serialization
+  // ---------------------------------------------------------------------
+
+  /// Records n warp-wide ALU/FMA instructions.
+  void alu(int n_instrs = 1) {
+    stats_.issue_cycles +=
+        std::uint64_t(spec_->alu_cycles_per_instr) * std::uint64_t(n_instrs);
+    stats_.alu_instrs += std::uint64_t(n_instrs);
+  }
+
+  /// Marks a data dependence on all pending loads (first-use serialization):
+  /// exposes the latency of the current load window without barrier cost.
+  void use() { flush_window(); }
+
+  /// Called by the launcher when the warp body returns.
+  void finish() { flush_window(); }
+
+ private:
+  static int popcount(Mask m) { return __builtin_popcount(m); }
+
+  template <typename T>
+  static std::uint64_t bytes_of(Mask mask) {
+    return std::uint64_t(__builtin_popcount(mask)) * sizeof(T);
+  }
+
+  void record_load(int transactions, std::uint64_t bytes, int instrs) {
+    const std::uint64_t c =
+        std::uint64_t(spec_->tx_issue_cycles) * std::uint64_t(transactions);
+    stats_.issue_cycles += c;
+    stats_.load_issue_cycles += c;
+    stats_.global_load_instrs += std::uint64_t(instrs);
+    stats_.load_transactions += std::uint64_t(transactions);
+    stats_.bytes_loaded += bytes;
+    pending_loads_ += instrs;
+  }
+
+  void record_store(int transactions, std::uint64_t bytes) {
+    const std::uint64_t c =
+        std::uint64_t(spec_->tx_issue_cycles) * std::uint64_t(transactions);
+    stats_.issue_cycles += c;
+    stats_.load_issue_cycles += c;
+    stats_.global_store_instrs += 1;
+    stats_.store_transactions += std::uint64_t(transactions);
+    stats_.bytes_stored += bytes;
+  }
+
+  /// Exposes the latency of outstanding loads. Loads within one window
+  /// overlap; windows larger than the MSHR cap serialize into multiple
+  /// exposed latencies.
+  void flush_window() {
+    if (pending_loads_ == 0 && pending_l2_ == 0) return;
+    const int cap = spec_->max_outstanding_loads;
+    std::uint64_t dram = 0, l2 = 0;
+    if (pending_loads_ > 0) {
+      const int rounds = (pending_loads_ + cap - 1) / cap;
+      dram = std::uint64_t(spec_->global_load_latency) * std::uint64_t(rounds);
+    }
+    if (pending_l2_ > 0) {
+      const int rounds = (pending_l2_ + cap - 1) / cap;
+      l2 = std::uint64_t(spec_->l2_load_latency) * std::uint64_t(rounds);
+    }
+    const std::uint64_t c = std::max(dram, l2);  // in-flight loads overlap
+    stats_.stall_cycles += c;
+    stats_.load_stall_cycles += c;
+    pending_loads_ = 0;
+    pending_l2_ = 0;
+  }
+
+  const DeviceSpec* spec_;
+  SharedMem* shmem_;
+  std::int64_t cta_id_;
+  int warp_in_cta_;
+  int warps_per_cta_;
+  int pending_loads_ = 0;
+  int pending_l2_ = 0;
+  WarpStats stats_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,150 @@
+#include "graph/convert.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace gnnone {
+
+Coo coo_from_edges(vid_t num_rows, vid_t num_cols, EdgeList edges) {
+  for (const auto& [s, d] : edges) {
+    if (s < 0 || s >= num_rows || d < 0 || d >= num_cols) {
+      throw std::out_of_range("edge endpoint out of range: (" +
+                              std::to_string(s) + ", " + std::to_string(d) +
+                              ")");
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  Coo coo;
+  coo.num_rows = num_rows;
+  coo.num_cols = num_cols;
+  coo.row.reserve(edges.size());
+  coo.col.reserve(edges.size());
+  for (const auto& [s, d] : edges) {
+    coo.row.push_back(s);
+    coo.col.push_back(d);
+  }
+  return coo;
+}
+
+EdgeList symmetrize(const EdgeList& edges) {
+  EdgeList out;
+  out.reserve(edges.size() * 2);
+  for (const auto& [s, d] : edges) {
+    out.emplace_back(s, d);
+    out.emplace_back(d, s);
+  }
+  return out;
+}
+
+bool Coo::is_csr_arranged() const {
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    if (row[i] < row[i - 1]) return false;
+    if (row[i] == row[i - 1] && col[i] < col[i - 1]) return false;
+  }
+  return true;
+}
+
+Csr coo_to_csr(const Coo& coo) {
+  Csr csr;
+  csr.num_rows = coo.num_rows;
+  csr.num_cols = coo.num_cols;
+  csr.offsets.assign(std::size_t(coo.num_rows) + 1, 0);
+  for (vid_t r : coo.row) csr.offsets[std::size_t(r) + 1] += 1;
+  for (std::size_t i = 1; i < csr.offsets.size(); ++i) {
+    csr.offsets[i] += csr.offsets[i - 1];
+  }
+  if (coo.is_csr_arranged()) {
+    csr.col = coo.col;
+  } else {
+    csr.col.resize(coo.col.size());
+    std::vector<eid_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+    for (std::size_t i = 0; i < coo.row.size(); ++i) {
+      csr.col[std::size_t(cursor[std::size_t(coo.row[i])]++)] = coo.col[i];
+    }
+    for (vid_t r = 0; r < csr.num_rows; ++r) {
+      std::sort(csr.col.begin() + csr.row_begin(r),
+                csr.col.begin() + csr.row_end(r));
+    }
+  }
+  return csr;
+}
+
+Coo csr_to_coo(const Csr& csr) {
+  Coo coo;
+  coo.num_rows = csr.num_rows;
+  coo.num_cols = csr.num_cols;
+  coo.col = csr.col;
+  coo.row.resize(csr.col.size());
+  for (vid_t r = 0; r < csr.num_rows; ++r) {
+    for (eid_t e = csr.row_begin(r); e < csr.row_end(r); ++e) {
+      coo.row[std::size_t(e)] = r;
+    }
+  }
+  return coo;
+}
+
+std::pair<Coo, std::vector<eid_t>> coo_transpose(const Coo& coo) {
+  const std::size_t m = coo.row.size();
+  std::vector<eid_t> perm(m);
+  for (std::size_t i = 0; i < m; ++i) perm[i] = eid_t(i);
+  std::sort(perm.begin(), perm.end(), [&](eid_t a, eid_t b) {
+    const auto ka = std::make_pair(coo.col[std::size_t(a)], coo.row[std::size_t(a)]);
+    const auto kb = std::make_pair(coo.col[std::size_t(b)], coo.row[std::size_t(b)]);
+    return ka < kb;
+  });
+  Coo t;
+  t.num_rows = coo.num_cols;
+  t.num_cols = coo.num_rows;
+  t.row.resize(m);
+  t.col.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    t.row[i] = coo.col[std::size_t(perm[i])];
+    t.col[i] = coo.row[std::size_t(perm[i])];
+  }
+  return {std::move(t), std::move(perm)};
+}
+
+std::vector<vid_t> row_lengths(const Coo& coo) {
+  std::vector<vid_t> len(std::size_t(coo.num_rows), 0);
+  for (vid_t r : coo.row) len[std::size_t(r)] += 1;
+  return len;
+}
+
+void validate(const Csr& csr) {
+  if (csr.offsets.size() != std::size_t(csr.num_rows) + 1) {
+    throw std::invalid_argument("CSR offsets size mismatch");
+  }
+  if (csr.offsets.front() != 0 ||
+      csr.offsets.back() != eid_t(csr.col.size())) {
+    throw std::invalid_argument("CSR offsets endpoints invalid");
+  }
+  for (std::size_t i = 1; i < csr.offsets.size(); ++i) {
+    if (csr.offsets[i] < csr.offsets[i - 1]) {
+      throw std::invalid_argument("CSR offsets not monotone");
+    }
+  }
+  for (vid_t c : csr.col) {
+    if (c < 0 || c >= csr.num_cols) {
+      throw std::invalid_argument("CSR column id out of range");
+    }
+  }
+}
+
+void validate(const Coo& coo) {
+  if (coo.row.size() != coo.col.size()) {
+    throw std::invalid_argument("COO row/col size mismatch");
+  }
+  for (std::size_t i = 0; i < coo.row.size(); ++i) {
+    if (coo.row[i] < 0 || coo.row[i] >= coo.num_rows ||
+        coo.col[i] < 0 || coo.col[i] >= coo.num_cols) {
+      throw std::invalid_argument("COO entry out of range");
+    }
+  }
+  if (!coo.is_csr_arranged()) {
+    throw std::invalid_argument("COO not arranged the CSR way");
+  }
+}
+
+}  // namespace gnnone

@@ -1,0 +1,40 @@
+// Builders and conversions between sparse formats.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+/// An unordered (src, dst) edge list, possibly with duplicates/self-loops.
+using EdgeList = std::vector<std::pair<vid_t, vid_t>>;
+
+/// Builds a CSR-arranged COO from an edge list: sorts by (row, col) and
+/// removes duplicate entries. Self-loops are kept (GNN models often add
+/// them explicitly).
+Coo coo_from_edges(vid_t num_rows, vid_t num_cols, EdgeList edges);
+
+/// Symmetrizes an edge list (adds the reverse of every edge), mirroring the
+/// paper's treatment of datasets as undirected graphs with doubled edges.
+EdgeList symmetrize(const EdgeList& edges);
+
+Csr coo_to_csr(const Coo& coo);
+Coo csr_to_coo(const Csr& csr);
+
+/// Transposes a COO (also returns the permutation mapping transposed NZE
+/// position -> original NZE position, needed to carry edge features along).
+std::pair<Coo, std::vector<eid_t>> coo_transpose(const Coo& coo);
+
+/// Row lengths (vertex degrees) of a COO.
+std::vector<vid_t> row_lengths(const Coo& coo);
+
+/// Validates CSR invariants (monotone offsets, in-range columns); throws on
+/// violation. Used by tests and debug assertions.
+void validate(const Csr& csr);
+void validate(const Coo& coo);
+
+}  // namespace gnnone

@@ -1,0 +1,31 @@
+// COO sparse format, arranged the CSR way (sorted by row id, then column id)
+// as cuSPARSE defines it and as the paper's GNNOne kernels require
+// (consecutive NZEs of the same row enable row-feature reuse and thread-local
+// reduction, §4.2.2/§4.3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct Coo {
+  vid_t num_rows = 0;
+  vid_t num_cols = 0;
+  std::vector<vid_t> row;  // row id of every NZE, non-decreasing
+  std::vector<vid_t> col;  // column id of every NZE
+
+  eid_t nnz() const { return eid_t(row.size()); }
+
+  /// Device-memory footprint of the topology (row + col arrays).
+  std::size_t device_bytes() const {
+    return (row.size() + col.size()) * sizeof(vid_t);
+  }
+
+  /// True when NZEs are sorted by (row, col) — the CSR arrangement.
+  bool is_csr_arranged() const;
+};
+
+}  // namespace gnnone

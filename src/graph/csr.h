@@ -1,0 +1,29 @@
+// Compressed Sparse Row format (and CSC via transposition).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct Csr {
+  vid_t num_rows = 0;
+  vid_t num_cols = 0;
+  std::vector<eid_t> offsets;  // size num_rows + 1
+  std::vector<vid_t> col;      // column id of every NZE
+
+  eid_t nnz() const { return eid_t(col.size()); }
+
+  eid_t row_begin(vid_t r) const { return offsets[std::size_t(r)]; }
+  eid_t row_end(vid_t r) const { return offsets[std::size_t(r) + 1]; }
+  vid_t row_length(vid_t r) const { return vid_t(row_end(r) - row_begin(r)); }
+
+  /// Device-memory footprint of the topology (offsets + col arrays).
+  std::size_t device_bytes() const {
+    return offsets.size() * sizeof(eid_t) + col.size() * sizeof(vid_t);
+  }
+};
+
+}  // namespace gnnone

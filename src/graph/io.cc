@@ -1,0 +1,134 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnnone {
+
+namespace {
+
+EdgeList finalize(EdgeList edges, const MtxOptions& opts) {
+  if (opts.drop_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const auto& e) { return e.first == e.second; }),
+                edges.end());
+  }
+  if (opts.symmetrize) return symmetrize(edges);
+  return edges;
+}
+
+std::runtime_error parse_error(const std::string& what, std::size_t line) {
+  return std::runtime_error("mtx parse error at line " + std::to_string(line) +
+                            ": " + what);
+}
+
+}  // namespace
+
+Coo read_mtx(std::istream& in, const MtxOptions& opts) {
+  std::string line;
+  std::size_t lineno = 0;
+  bool symmetric = false;
+  // Header.
+  if (!std::getline(in, line)) throw parse_error("empty input", 0);
+  ++lineno;
+  if (line.rfind("%%MatrixMarket", 0) != 0) {
+    throw parse_error("missing %%MatrixMarket banner", lineno);
+  }
+  {
+    std::istringstream hs(line);
+    std::string banner, object, format, field, qualifier;
+    hs >> banner >> object >> format >> field >> qualifier;
+    if (object != "matrix" || format != "coordinate") {
+      throw parse_error("only 'matrix coordinate' is supported", lineno);
+    }
+    if (field != "pattern" && field != "real" && field != "integer") {
+      throw parse_error("unsupported field '" + field + "'", lineno);
+    }
+    symmetric = qualifier == "symmetric";
+  }
+  // Comments, then the size line.
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::int64_t rows = 0, cols = 0, nnz = 0;
+  {
+    std::istringstream ss(line);
+    if (!(ss >> rows >> cols >> nnz) || rows <= 0 || cols <= 0 || nnz < 0) {
+      throw parse_error("bad size line", lineno);
+    }
+  }
+  EdgeList edges;
+  edges.reserve(std::size_t(nnz));
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    if (!std::getline(in, line)) {
+      throw parse_error("unexpected end of file", lineno);
+    }
+    ++lineno;
+    std::istringstream ss(line);
+    std::int64_t r = 0, c = 0;
+    if (!(ss >> r >> c)) throw parse_error("bad entry", lineno);
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw parse_error("entry out of bounds", lineno);
+    }
+    edges.emplace_back(vid_t(r - 1), vid_t(c - 1));  // mtx is 1-based
+    if (symmetric && r != c) edges.emplace_back(vid_t(c - 1), vid_t(r - 1));
+  }
+  const vid_t n = vid_t(std::max(rows, cols));
+  return coo_from_edges(n, n, finalize(std::move(edges), opts));
+}
+
+Coo read_mtx_file(const std::string& path, const MtxOptions& opts) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_mtx(f, opts);
+}
+
+void write_mtx(std::ostream& out, const Coo& coo) {
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << coo.num_rows << ' ' << coo.num_cols << ' ' << coo.nnz() << '\n';
+  for (std::size_t e = 0; e < coo.row.size(); ++e) {
+    out << coo.row[e] + 1 << ' ' << coo.col[e] + 1 << '\n';
+  }
+}
+
+void write_mtx_file(const std::string& path, const Coo& coo) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  write_mtx(f, coo);
+}
+
+Coo read_edge_list(std::istream& in, const MtxOptions& opts) {
+  EdgeList edges;
+  std::string line;
+  vid_t max_id = 0;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    std::int64_t s = 0, d = 0;
+    if (!(ss >> s >> d)) {
+      throw std::runtime_error("edge-list parse error at line " +
+                               std::to_string(lineno));
+    }
+    if (s < 0 || d < 0) {
+      throw std::runtime_error("negative vertex id at line " +
+                               std::to_string(lineno));
+    }
+    edges.emplace_back(vid_t(s), vid_t(d));
+    max_id = std::max({max_id, vid_t(s), vid_t(d)});
+  }
+  const vid_t n = edges.empty() ? 0 : max_id + 1;
+  return coo_from_edges(n, n, finalize(std::move(edges), opts));
+}
+
+Coo read_edge_list_file(const std::string& path, const MtxOptions& opts) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(f, opts);
+}
+
+}  // namespace gnnone

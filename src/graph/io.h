@@ -1,0 +1,38 @@
+// Sparse-matrix / graph I/O: MatrixMarket (.mtx) and plain edge lists.
+//
+// The paper's datasets come from SNAP and the UF Sparse Matrix Collection,
+// both of which distribute MatrixMarket / edge-list files; these routines
+// let users run the library on the real graphs when they have them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/convert.h"
+#include "graph/coo.h"
+
+namespace gnnone {
+
+struct MtxOptions {
+  bool symmetrize = true;   // treat as undirected: double the edges, like
+                            // the paper's preprocessing (Table 1)
+  bool drop_self_loops = false;
+};
+
+/// Reads a MatrixMarket coordinate-format matrix into a CSR-arranged COO.
+/// Supports `pattern`/`real`/`integer` fields and the `symmetric` qualifier
+/// (values are not retained; edge features are separate tensors, Fig. 1).
+/// Throws std::runtime_error on malformed input.
+Coo read_mtx(std::istream& in, const MtxOptions& opts = {});
+Coo read_mtx_file(const std::string& path, const MtxOptions& opts = {});
+
+/// Writes the topology in MatrixMarket pattern format.
+void write_mtx(std::ostream& out, const Coo& coo);
+void write_mtx_file(const std::string& path, const Coo& coo);
+
+/// Reads a whitespace-separated "src dst" edge list ('#'/'%' comments),
+/// SNAP style. Vertices are the 0..max_id range.
+Coo read_edge_list(std::istream& in, const MtxOptions& opts = {});
+Coo read_edge_list_file(const std::string& path, const MtxOptions& opts = {});
+
+}  // namespace gnnone

@@ -1,0 +1,31 @@
+// Per-format device-memory accounting used by the training backends to
+// reproduce the paper's OOM asymmetry (Fig. 7: DGL stores CSR *and* COO and
+// runs out of memory on UK-2002 while GNNOne's single COO fits).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+/// Bytes for graph storage when only the COO format is kept (GNNOne): the
+/// forward matrix and its transpose (backward pass) share scale.
+inline std::size_t coo_only_bytes(eid_t nnz, vid_t num_rows) {
+  (void)num_rows;
+  // row + col ids for A and for A^T.
+  return std::size_t(nnz) * 2 * sizeof(vid_t) * 2;
+}
+
+/// Bytes for graph storage in a DGL-like system holding CSR (for SpMM) and
+/// COO (for SDDMM) simultaneously, plus the CSC/transpose for backward.
+inline std::size_t dgl_dual_format_bytes(eid_t nnz, vid_t num_rows) {
+  const std::size_t csr = std::size_t(num_rows + 1) * sizeof(eid_t) +
+                          std::size_t(nnz) * sizeof(vid_t);
+  const std::size_t coo = std::size_t(nnz) * 2 * sizeof(vid_t);
+  return (csr + coo) * 2;  // forward + transposed copies
+}
+
+}  // namespace gnnone

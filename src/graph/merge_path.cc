@@ -1,0 +1,35 @@
+#include "graph/merge_path.h"
+
+#include <algorithm>
+
+namespace gnnone {
+
+MergeCoord merge_path_search(const Csr& csr, std::int64_t diagonal) {
+  // Coordinates (r, e) on diagonal satisfy r + e == diagonal; the merge path
+  // crosses where offsets[r] (end-exclusive row boundary) first exceeds e.
+  std::int64_t lo = std::max<std::int64_t>(0, diagonal - csr.nnz());
+  std::int64_t hi = std::min<std::int64_t>(diagonal, csr.num_rows);
+  while (lo < hi) {
+    const std::int64_t mid = (lo + hi) / 2;
+    // Consume row boundary `mid` before NZE `diagonal - mid - ...`?
+    if (csr.offsets[std::size_t(mid)] <= diagonal - mid - 1) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {vid_t(lo), eid_t(diagonal - lo)};
+}
+
+std::vector<MergeCoord> merge_path_partition(const Csr& csr, int num_parts) {
+  const std::int64_t total = std::int64_t(csr.num_rows) + csr.nnz();
+  std::vector<MergeCoord> coords;
+  coords.reserve(std::size_t(num_parts) + 1);
+  for (int p = 0; p <= num_parts; ++p) {
+    const std::int64_t diag = total * p / num_parts;
+    coords.push_back(merge_path_search(csr, diag));
+  }
+  return coords;
+}
+
+}  // namespace gnnone

@@ -1,0 +1,31 @@
+// Merge-path work partitioning (Merrill & Garland SpMV).
+//
+// Models the merge of the CSR row-offsets list with the NZE index list as a
+// 2D grid; splitting the merge path into equal-length diagonals assigns every
+// worker an equal share of (rows + NZEs). The per-worker starting coordinate
+// is found by binary search on the diagonal — the "online search on metadata"
+// overhead the paper contrasts with COO's direct row ids (§5.4.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct MergeCoord {
+  vid_t row = 0;   // position in the row-offsets list
+  eid_t nze = 0;   // position in the NZE list
+};
+
+/// Finds the merge-path coordinate where `diagonal` crosses the path, via
+/// binary search over row offsets (cost: O(log rows) metadata probes).
+MergeCoord merge_path_search(const Csr& csr, std::int64_t diagonal);
+
+/// Partitions the merge matrix into `num_parts` equal diagonals and returns
+/// the num_parts+1 starting coordinates.
+std::vector<MergeCoord> merge_path_partition(const Csr& csr, int num_parts);
+
+}  // namespace gnnone

@@ -1,0 +1,22 @@
+#include "graph/neighbor_group.h"
+
+#include <stdexcept>
+
+namespace gnnone {
+
+NeighborGroups build_neighbor_groups(const Csr& csr, int group_size) {
+  if (group_size <= 0) throw std::invalid_argument("group_size must be > 0");
+  NeighborGroups ng;
+  ng.group_size = group_size;
+  for (vid_t r = 0; r < csr.num_rows; ++r) {
+    for (eid_t e = csr.row_begin(r); e < csr.row_end(r); e += group_size) {
+      const eid_t end = std::min(e + group_size, csr.row_end(r));
+      ng.group_row.push_back(r);
+      ng.group_start.push_back(e);
+      ng.group_len.push_back(vid_t(end - e));
+    }
+  }
+  return ng;
+}
+
+}  // namespace gnnone

@@ -1,0 +1,38 @@
+// Neighbor-group custom format (GNNAdvisor / Huang et al. style).
+//
+// A preprocessing step splits every CSR row into groups of at most
+// `group_size` (32 in the papers) consecutive NZEs and emits per-group
+// metadata (row id, start offset, length). Warps are then assigned one group
+// each, which balances workload *approximately*: the last group of each row
+// is fragmented (len < 32), so imbalance and idle lanes remain — the
+// pathology the paper exploits in §5.2/§6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct NeighborGroups {
+  int group_size = 32;
+  std::vector<vid_t> group_row;    // row id of each group
+  std::vector<eid_t> group_start;  // first NZE offset (into csr.col)
+  std::vector<vid_t> group_len;    // 1..group_size
+
+  std::size_t num_groups() const { return group_row.size(); }
+
+  /// Metadata footprint on top of the CSR it annotates.
+  std::size_t device_bytes() const {
+    return group_row.size() * sizeof(vid_t) +
+           group_start.size() * sizeof(eid_t) +
+           group_len.size() * sizeof(vid_t);
+  }
+};
+
+/// Builds neighbor groups for a CSR (the papers' preprocessing step).
+NeighborGroups build_neighbor_groups(const Csr& csr, int group_size = 32);
+
+}  // namespace gnnone

@@ -1,0 +1,18 @@
+#include "graph/row_swizzle.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gnnone {
+
+RowSwizzle build_row_swizzle(const Csr& csr) {
+  RowSwizzle rs;
+  rs.order.resize(std::size_t(csr.num_rows));
+  std::iota(rs.order.begin(), rs.order.end(), vid_t{0});
+  std::stable_sort(rs.order.begin(), rs.order.end(), [&](vid_t a, vid_t b) {
+    return csr.row_length(a) > csr.row_length(b);
+  });
+  return rs;
+}
+
+}  // namespace gnnone

@@ -1,0 +1,26 @@
+// Row-swizzle reordering (Sputnik style).
+//
+// A preprocessing step emits a permutation of row ids sorted by decreasing
+// row length, so that warps scheduled in permutation order process similar
+// amounts of work at similar times (exploiting the hardware warp scheduler's
+// roughly-in-order CTA issue). The permutation is extra metadata on top of
+// CSR — a custom format in the paper's taxonomy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct RowSwizzle {
+  std::vector<vid_t> order;  // row ids, longest row first
+
+  std::size_t device_bytes() const { return order.size() * sizeof(vid_t); }
+};
+
+RowSwizzle build_row_swizzle(const Csr& csr);
+
+}  // namespace gnnone

@@ -1,0 +1,17 @@
+// Basic graph/sparse-matrix typedefs shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace gnnone {
+
+/// Vertex (row/column) identifier. The simulated datasets are scaled-down
+/// stand-ins for the paper's suite, so 32-bit ids always suffice — which also
+/// matches what the paper's CUDA kernels use (4-byte row/col ids, §5.4.5).
+using vid_t = std::int32_t;
+
+/// Edge (non-zero element) index; 64-bit because edge counts reach billions
+/// in the paper's Table 1.
+using eid_t = std::int64_t;
+
+}  // namespace gnnone

@@ -1,0 +1,144 @@
+// Reimplementations of every system the paper compares against, each on the
+// same simulator substrate and each faithful to the cited design's documented
+// strategy (format, parallelism, caching, reduction). See DESIGN.md §2 for
+// the per-baseline pathology each one carries.
+//
+// All SpMM kernels compute  y[|V| x f] = A * x[|V| x f]  and all SDDMM
+// kernels compute  w[e] = dot(x[row e], y[col e]); outputs are bit-checked
+// against kernels/reference.h in the test suite.
+#pragma once
+
+#include <span>
+
+#include "gpusim/device.h"
+#include "gpusim/stats.h"
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/merge_path.h"
+#include "graph/neighbor_group.h"
+#include "graph/row_swizzle.h"
+
+namespace gnnone::baselines {
+
+// ---------------------------------------------------------------------------
+// SpMM baselines (Fig. 4)
+// ---------------------------------------------------------------------------
+
+/// GE-SpMM [Huang et al., SC'20]: CSR vertex-parallel, one warp per row,
+/// stages 32 col-ids in shared memory — but drops that caching when f < 32,
+/// and its warp-per-row split inherits the row-skew imbalance.
+gpusim::KernelStats gespmm_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                                std::span<const float> edge_val,
+                                std::span<const float> x, int f,
+                                std::span<float> y);
+
+/// cuSPARSE-like CSR SpMM: a well-tuned vertex-parallel row-split kernel
+/// (vector loads, index staging) that still lacks workload balancing.
+gpusim::KernelStats cusparse_spmm(const gpusim::DeviceSpec& dev,
+                                  const Csr& csr,
+                                  std::span<const float> edge_val,
+                                  std::span<const float> x, int f,
+                                  std::span<float> y);
+
+/// GNNAdvisor [OSDI'21]: neighbor-group custom format; per-group metadata is
+/// fetched by one lane and broadcast, feature lanes idle when f < 32, and the
+/// fragmented last group of each row leaves residual imbalance.
+gpusim::KernelStats gnnadvisor_spmm(const gpusim::DeviceSpec& dev,
+                                    const Csr& csr, const NeighborGroups& ng,
+                                    std::span<const float> edge_val,
+                                    std::span<const float> x, int f,
+                                    std::span<float> y);
+
+/// Huang et al. [PPoPP'21]: neighbor-group format with tighter pipelining —
+/// the closest SpMM competitor in the paper (~1.3-1.7x behind GNNOne).
+gpusim::KernelStats huang_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                               const NeighborGroups& ng,
+                               std::span<const float> edge_val,
+                               std::span<const float> x, int f,
+                               std::span<float> y);
+
+/// FeatGraph [SC'20]: plain vertex-parallel SpMM without index staging.
+gpusim::KernelStats featgraph_spmm(const gpusim::DeviceSpec& dev,
+                                   const Csr& csr,
+                                   std::span<const float> edge_val,
+                                   std::span<const float> x, int f,
+                                   std::span<float> y);
+
+/// Sputnik [SC'20]: row-swizzled CSR SpMM with vector loads.
+gpusim::KernelStats sputnik_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                                 const RowSwizzle& swizzle,
+                                 std::span<const float> edge_val,
+                                 std::span<const float> x, int f,
+                                 std::span<float> y);
+
+/// Yang et al. [Euro-Par'18] nonzero-split SpMM: edge-parallel and fully
+/// balanced, but materializes all F dot products per NZE in registers before
+/// reducing — the register blowup that collapses occupancy (paper §3.2).
+gpusim::KernelStats nonzero_split_spmm(const gpusim::DeviceSpec& dev,
+                                       const Coo& coo,
+                                       std::span<const float> edge_val,
+                                       std::span<const float> x, int f,
+                                       std::span<float> y);
+
+// ---------------------------------------------------------------------------
+// SDDMM baselines (Fig. 3)
+// ---------------------------------------------------------------------------
+
+/// DGL [arXiv'19]: COO edge-parallel SDDMM — workload balanced, but one warp
+/// handles one NZE at a time with one feature per thread, no NZE caching and
+/// no row-feature reuse (paper §3.2: balance alone is not sufficient).
+gpusim::KernelStats dgl_sddmm(const gpusim::DeviceSpec& dev, const Coo& coo,
+                              std::span<const float> x,
+                              std::span<const float> y, int f,
+                              std::span<float> w);
+
+/// dgSparse (used by dgNN [MLSys'22]): CSR vertex-parallel SDDMM; the row's
+/// features are naturally reused across its NZEs, but the warp-per-row split
+/// is imbalanced and NZE ids are re-loaded per edge.
+gpusim::KernelStats dgsparse_sddmm(const gpusim::DeviceSpec& dev,
+                                   const Csr& csr, std::span<const float> x,
+                                   std::span<const float> y, int f,
+                                   std::span<float> w);
+
+/// FeatGraph [SC'20] SDDMM: vertex-parallel, one thread per feature (idle
+/// lanes for f < 32), full-width tree reduction per NZE.
+gpusim::KernelStats featgraph_sddmm(const gpusim::DeviceSpec& dev,
+                                    const Csr& csr, std::span<const float> x,
+                                    std::span<const float> y, int f,
+                                    std::span<float> w);
+
+/// Sputnik SDDMM: vertex-parallel with no row-feature reuse; launches a
+/// |V|^2-shaped grid, so it fails beyond ~2M vertices (paper §5.1).
+gpusim::KernelStats sputnik_sddmm(const gpusim::DeviceSpec& dev,
+                                  const Csr& csr, std::span<const float> x,
+                                  std::span<const float> y, int f,
+                                  std::span<float> w);
+
+/// Whether Sputnik's |V|^2 grid fits CUDA's launch limits at the *paper's*
+/// dataset scale (the stand-ins are shrunk; the limit check uses the
+/// original vertex count recorded in the Dataset).
+bool sputnik_sddmm_supports(vid_t paper_vertices);
+
+/// cuSPARSE SDDMM (CSR only, recently introduced): one thread walks a whole
+/// NZE serially, feature by feature, fully uncoalesced — "extremely slow"
+/// per the paper's measurements; also fails beyond ~2M vertices.
+gpusim::KernelStats cusparse_sddmm(const gpusim::DeviceSpec& dev,
+                                   const Csr& csr, std::span<const float> x,
+                                   std::span<const float> y, int f,
+                                   std::span<float> w);
+
+bool cusparse_sddmm_supports(vid_t paper_vertices);
+
+// ---------------------------------------------------------------------------
+// SpMV baseline (Fig. 12)
+// ---------------------------------------------------------------------------
+
+/// Merge-SpMV [Merrill & Garland, SC'16]: merge-path partitioning over a
+/// custom (CSR + diagonal metadata) format; per-warp binary search and
+/// metadata broadcast replace COO's direct row-id loads.
+gpusim::KernelStats merge_spmv(const gpusim::DeviceSpec& dev, const Csr& csr,
+                               std::span<const float> edge_val,
+                               std::span<const float> x, std::span<float> y,
+                               int items_per_thread = 4);
+
+}  // namespace gnnone::baselines

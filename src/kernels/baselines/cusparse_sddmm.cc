@@ -1,0 +1,87 @@
+// cuSPARSE's recently-introduced CSR SDDMM, which the paper measures as
+// "extremely slow" (§1, §5.1): one thread walks one NZE's entire dot product
+// serially, so feature loads are uncoalesced lane-gathers (32 distinct rows
+// per warp access) and the per-thread accumulation chain caps pipelining.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "gpusim/launch.h"
+#include "kernels/baselines.h"
+
+namespace gnnone::baselines {
+
+namespace {
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+}  // namespace
+
+gpusim::KernelStats cusparse_sddmm(const gpusim::DeviceSpec& dev,
+                                   const Csr& csr, std::span<const float> x,
+                                   std::span<const float> y, int f,
+                                   std::span<float> w_out) {
+  assert(x.size() == std::size_t(csr.num_rows) * std::size_t(f));
+  assert(y.size() == std::size_t(csr.num_cols) * std::size_t(f));
+  assert(w_out.size() == std::size_t(csr.nnz()));
+  std::memset(w_out.data(), 0, w_out.size() * sizeof(float));
+
+  // One warp per row; each lane serially owns every 32nd NZE of the row.
+  gpusim::LaunchConfig lc;
+  lc.warps_per_cta = 4;
+  const std::int64_t warps = csr.num_rows;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  lc.regs_per_thread = 40;
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const vid_t r = vid_t(w.global_warp_id());
+    if (r >= csr.num_rows) return;
+    {
+      LaneArray<std::int64_t> oi{};
+      for (int l = 0; l < kWarpSize; ++l) oi[l] = r;
+      (void)w.ld_global(csr.offsets.data(), oi);
+      for (int l = 0; l < kWarpSize; ++l) oi[l] = r + 1;
+      (void)w.ld_global(csr.offsets.data(), oi);
+      w.use();
+    }
+    const eid_t rb = csr.row_begin(r);
+    const int len = int(csr.row_end(r) - rb);
+
+    for (int t0 = 0; t0 < len; t0 += kWarpSize) {
+      const int k = std::min(kWarpSize, len - t0);
+      const Mask m = gpusim::lanes_below(k);
+      LaneArray<std::int64_t> ei{};
+      for (int l = 0; l < k; ++l) ei[l] = rb + t0 + l;
+      const auto cols = w.ld_global(csr.col.data(), ei, m);
+      w.use();
+
+      LaneArray<float> dot{};
+      for (int j = 0; j < f; ++j) {
+        // Lane l gathers x[r, j] and y[cols[l], j]: the y access touches 32
+        // scattered rows — one transaction per lane.
+        LaneArray<std::int64_t> xi{}, yi{};
+        for (int l = 0; l < k; ++l) {
+          xi[l] = std::int64_t(r) * f + j;
+          yi[l] = std::int64_t(cols[l]) * f + j;
+        }
+        const auto xv = w.ld_global(x.data(), xi, m);
+        const auto yv = w.ld_global(y.data(), yi, m);
+        for (int l = 0; l < k; ++l) dot[l] += xv[l] * yv[l];
+        w.alu(1);
+        if ((j + 1) % 4 == 0) w.use();  // serial accumulation chain
+      }
+      w.use();
+      w.st_global(w_out.data(), ei, dot, m);
+    }
+  };
+
+  return gpusim::launch(dev, lc, body);
+}
+
+bool cusparse_sddmm_supports(vid_t paper_vertices) {
+  // Observed failure threshold in the paper's experiments: around 2M
+  // vertices (an internal 32-bit dimension product overflows).
+  return paper_vertices <= 2100000;
+}
+
+}  // namespace gnnone::baselines

@@ -1,0 +1,170 @@
+// Merge-SpMV [Merrill & Garland, SC'16]: perfectly balanced nonzero split
+// via merge-path partitioning of (row boundaries x NZEs). The row id of an
+// NZE is *not* stored; each warp binary-searches its starting coordinate on
+// the diagonal (serial, dependent metadata probes) and walks row boundaries
+// as it consumes NZEs — the metadata-search overhead the paper trades
+// against COO's 4 extra bytes per NZE (§5.4.5, Fig. 12).
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "kernels/baselines.h"
+
+namespace gnnone::baselines {
+
+namespace {
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+}  // namespace
+
+gpusim::KernelStats merge_spmv(const gpusim::DeviceSpec& dev, const Csr& csr,
+                               std::span<const float> edge_val,
+                               std::span<const float> x, std::span<float> y,
+                               int items_per_thread) {
+  assert(edge_val.size() == std::size_t(csr.nnz()));
+  assert(x.size() == std::size_t(csr.num_cols));
+  assert(y.size() == std::size_t(csr.num_rows));
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+
+  const int ipt = std::max(1, items_per_thread);
+  const std::int64_t per_warp = std::int64_t(kWarpSize) * ipt;
+  const std::int64_t total = std::int64_t(csr.num_rows) + csr.nnz();
+  const std::int64_t warps = (total + per_warp - 1) / per_warp;
+
+  gpusim::LaunchConfig lc;
+  lc.warps_per_cta = 4;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  lc.regs_per_thread = 34;
+
+  // Host-side ground truth of the partition (what the device search finds).
+  const auto coords = merge_path_partition(csr, int(warps));
+  const int probes =
+      int(std::ceil(std::log2(double(std::max<vid_t>(csr.num_rows, 2)))));
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const std::int64_t wid = w.global_warp_id();
+    if (wid >= warps) return;
+    const MergeCoord c0 = coords[std::size_t(wid)];
+    const MergeCoord c1 = coords[std::size_t(wid) + 1];
+
+    // Diagonal binary search for each *thread's* starting coordinate (as in
+    // the reference implementation): every lane probes its own diagonal, so
+    // each round is a scattered warp access, and the next probe depends on
+    // the comparison (a serial chain of exposed L2 latencies).
+    for (int p = 0; p < probes; ++p) {
+      LaneArray<std::int64_t> pi{};
+      // Lanes' diagonals sit `ipt` apart, so probe addresses cluster within
+      // a few cache lines per round.
+      for (int l = 0; l < kWarpSize; ++l) {
+        pi[l] = (std::int64_t(c0.row) + l * ipt + p) % (csr.num_rows + 1);
+      }
+      (void)w.ld_global_l2(csr.offsets.data(), pi);
+      if (p % 2 == 1) w.use();  // upper probe levels are L1-resident
+    }
+    w.use();
+
+    const eid_t e_begin = c0.nze;
+    const eid_t e_end = c1.nze;
+    const int n_nze = int(e_end - e_begin);
+    if (n_nze <= 0 && c1.row <= c0.row) return;
+
+    // Phase 1: col ids + values of the warp's NZE span (each thread owns a
+    // consecutive slice, like the COO kernel, minus the row-id array).
+    const int per_thread = (n_nze + kWarpSize - 1) / kWarpSize;
+    std::vector<LaneArray<vid_t>> cols(static_cast<std::size_t>(per_thread));
+    std::vector<LaneArray<float>> vals(static_cast<std::size_t>(per_thread));
+    std::vector<LaneArray<float>> xs(static_cast<std::size_t>(per_thread));
+    auto mask_at = [&](int i) {
+      Mask m = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (std::int64_t(l) * per_thread + i < n_nze) m |= Mask{1} << l;
+      }
+      return m;
+    };
+    for (int i = 0; i < per_thread; ++i) {
+      const Mask m = mask_at(i);
+      if (m == 0) break;
+      LaneArray<std::int64_t> ei{};
+      for (int l = 0; l < kWarpSize; ++l) {
+        ei[l] = e_begin + std::int64_t(l) * per_thread + i;
+      }
+      cols[std::size_t(i)] = w.ld_global(csr.col.data(), ei, m);
+      vals[std::size_t(i)] = w.ld_global(edge_val.data(), ei, m);
+    }
+    w.use();
+
+    // Phase 2: gather x[col].
+    for (int i = 0; i < per_thread; ++i) {
+      const Mask m = mask_at(i);
+      if (m == 0) break;
+      LaneArray<std::int64_t> xi{};
+      for (int l = 0; l < kWarpSize; ++l) xi[l] = cols[std::size_t(i)][l];
+      xs[std::size_t(i)] = w.ld_global(x.data(), xi, m);
+    }
+    w.use();
+
+    // Phase 3: merge consumption. Row boundaries come from walking the
+    // offsets list (one L2 probe per row advance) instead of per-NZE row ids.
+    LaneArray<float> acc{};
+    LaneArray<vid_t> cur{};
+    cur.fill(-1);
+    // Functional row of each NZE, derived from the offsets the walk reads.
+    auto row_of = [&](eid_t e) {
+      const auto it = std::upper_bound(csr.offsets.begin(), csr.offsets.end(), e);
+      return vid_t(it - csr.offsets.begin() - 1);
+    };
+    for (int i = 0; i < per_thread; ++i) {
+      const Mask m = mask_at(i);
+      if (m == 0) break;
+      LaneArray<std::int64_t> fidx{};
+      LaneArray<float> fval{};
+      Mask fmask = 0, advance = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!(m >> l & 1u)) continue;
+        const eid_t e = e_begin + std::int64_t(l) * per_thread + i;
+        const vid_t r = row_of(e);
+        if (cur[l] != r) {
+          advance |= Mask{1} << l;
+          if (cur[l] >= 0) {
+            fidx[l] = cur[l];
+            fval[l] = acc[l];
+            fmask |= Mask{1} << l;
+            acc[l] = 0.0f;
+          }
+        }
+        cur[l] = r;
+        acc[l] += vals[std::size_t(i)][l] * xs[std::size_t(i)][l];
+      }
+      if (advance != 0) {
+        // Boundary refresh for the advancing lanes.
+        LaneArray<std::int64_t> bi{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (advance >> l & 1u) bi[l] = cur[l] + 1;
+        }
+        (void)w.ld_global_l2(csr.offsets.data(), bi, advance);
+        w.use();
+      }
+      w.alu(1);
+      if (fmask != 0) w.atomic_add(y.data(), fidx, fval, fmask);
+    }
+    LaneArray<std::int64_t> fidx{};
+    LaneArray<float> fval{};
+    Mask fmask = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (cur[l] >= 0) {
+        fidx[l] = cur[l];
+        fval[l] = acc[l];
+        fmask |= Mask{1} << l;
+      }
+    }
+    if (fmask != 0) w.atomic_add(y.data(), fidx, fval, fmask);
+  };
+
+  return gpusim::launch(dev, lc, body);
+}
+
+}  // namespace gnnone::baselines

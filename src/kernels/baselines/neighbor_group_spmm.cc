@@ -1,0 +1,190 @@
+// Neighbor-group SpMM (GNNAdvisor [OSDI'21] and Huang et al. [PPoPP'21]).
+//
+// A preprocessing step split rows into groups of <= 32 NZEs (see
+// graph/neighbor_group.h); each warp processes one group. Workload balance
+// is approximate: the metadata fetch keeps most lanes idle and needs a
+// broadcast, the last group of every row is fragmented, and — like all
+// feature-parallel designs — lanes idle when f < 32 (paper §4.1.1, §6).
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "kernels/baselines.h"
+#include "kernels/detail/vec_load.h"
+
+namespace gnnone::baselines {
+
+namespace {
+
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+
+struct NgTuning {
+  int vec_width = 1;
+  int unroll = 4;
+  bool packed_metadata = false;   // one metadata load instead of three
+  bool shared_partials = false;   // aggregate via shared memory + barrier
+  int regs_per_thread = 42;
+};
+
+gpusim::KernelStats ng_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                            const NeighborGroups& ng,
+                            std::span<const float> edge_val,
+                            std::span<const float> x, int f,
+                            std::span<float> y, const NgTuning& tune) {
+  assert(edge_val.size() == std::size_t(csr.nnz()));
+  assert(x.size() == std::size_t(csr.num_cols) * std::size_t(f));
+  assert(y.size() == std::size_t(csr.num_rows) * std::size_t(f));
+  assert(ng.group_size <= kWarpSize);
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+
+  const int vec = std::max(1, std::min(tune.vec_width, 4));
+  const int fb = std::min(f, kWarpSize * vec);
+  const int fblocks = (f + fb - 1) / fb;
+  const auto groups = std::int64_t(ng.num_groups());
+
+  gpusim::LaunchConfig lc;
+  lc.warps_per_cta = 4;
+  const std::int64_t warps = groups * fblocks;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  lc.shared_bytes_per_cta =
+      tune.shared_partials
+          ? std::size_t(lc.warps_per_cta) * kWarpSize * sizeof(float)
+          : 0;
+  lc.regs_per_thread = tune.regs_per_thread;
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const std::int64_t wid = w.global_warp_id();
+    if (wid >= warps) return;
+    const auto g = std::size_t(wid / fblocks);
+    const int fo = int(wid % fblocks) * fb;
+    const int nf = std::min(fb, f - fo);
+    const int nlanes = (nf + vec - 1) / vec;
+    const Mask fmask = gpusim::lanes_below(nlanes);
+
+    // Metadata fetch: lane 0 reads (row, start, len) — 3 loads (or 1 when
+    // the format packs them) — then broadcasts to the warp. This is the
+    // "few threads bring metadata + broadcast + search" overhead the paper
+    // contrasts with COO's direct row ids (§5.4.5).
+    {
+      LaneArray<std::int64_t> mi{};
+      mi[0] = std::int64_t(g);
+      const Mask lane0 = 1;
+      (void)w.ld_global(ng.group_row.data(), mi, lane0);
+      if (!tune.packed_metadata) {
+        (void)w.ld_global(ng.group_start.data(), mi, lane0);
+        (void)w.ld_global(ng.group_len.data(), mi, lane0);
+      }
+      LaneArray<vid_t> bc{};
+      (void)w.shfl_broadcast(bc, 0);  // flushes: everything depends on it
+    }
+    const vid_t row = ng.group_row[g];
+    const eid_t start = ng.group_start[g];
+    const int len = ng.group_len[g];
+
+    // Coalesced load of the group's col ids and edge values; only `len`
+    // lanes participate (fragmented last groups leave the rest idle).
+    LaneArray<std::int64_t> ei{};
+    const Mask emask = gpusim::lanes_below(len);
+    for (int l = 0; l < len; ++l) ei[l] = start + l;
+    const auto cols = w.ld_global(csr.col.data(), ei, emask);
+    const auto vals = w.ld_global(edge_val.data(), ei, emask);
+    w.use();  // feature addresses depend on the ids
+
+    std::vector<std::array<float, 4>> acc(kWarpSize, std::array<float, 4>{});
+    auto lane_feats = [&](int l) { return std::min(vec, nf - l * vec); };
+
+    std::span<float> sh_part;
+    if (tune.shared_partials) {
+      sh_part = w.shared().alloc<float>(kWarpSize);
+    }
+    const int U = std::max(1, tune.unroll);
+    std::vector<detail::VecLanes> bx(static_cast<std::size_t>(U));
+    for (int e0 = 0; e0 < len; e0 += U) {
+      const int n = std::min(U, len - e0);
+      // Lane j of the group's NZE e needs a broadcastable col id; in the
+      // real kernels it comes from a register shuffle — modeled by the ids
+      // already being warp-resident after the coalesced load above.
+      for (int t = 0; t < n; ++t) {
+        LaneArray<std::int64_t> fi{};
+        for (int l = 0; l < nlanes; ++l) {
+          fi[l] = std::int64_t(cols[e0 + t]) * f + fo + l * vec;
+        }
+        bx[std::size_t(t)] = detail::load_vec(w, x.data(), fi, fmask, vec);
+      }
+      w.use();
+      for (int t = 0; t < n; ++t) {
+        for (int l = 0; l < nlanes; ++l) {
+          const int k = lane_feats(l);
+          for (int j = 0; j < k; ++j) {
+            acc[std::size_t(l)][std::size_t(j)] +=
+                vals[e0 + t] * bx[std::size_t(t)][l][j];
+          }
+        }
+        w.alu(vec);
+      }
+      if (tune.shared_partials) {
+        // GNNAdvisor stages partial sums in shared memory between neighbor
+        // iterations, paying a barrier that caps the load window (§3.2).
+        LaneArray<int> si{};
+        LaneArray<float> sv{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          si[l] = l;
+          sv[l] = acc[std::size_t(l)][0];
+        }
+        w.sh_write(sh_part, si, sv, fmask);
+        w.sync();
+      }
+    }
+
+    // Several groups may share a row: atomic accumulation into y.
+    for (int j = 0; j < vec; ++j) {
+      LaneArray<std::int64_t> oi{};
+      LaneArray<float> ov{};
+      Mask omask = 0;
+      for (int l = 0; l < nlanes; ++l) {
+        if (j >= lane_feats(l)) continue;
+        oi[l] = std::int64_t(row) * f + fo + l * vec + j;
+        ov[l] = acc[std::size_t(l)][std::size_t(j)];
+        omask |= Mask{1} << l;
+      }
+      if (omask != 0) w.atomic_add(y.data(), oi, ov, omask);
+    }
+  };
+
+  return gpusim::launch(dev, lc, body);
+}
+
+}  // namespace
+
+gpusim::KernelStats gnnadvisor_spmm(const gpusim::DeviceSpec& dev,
+                                    const Csr& csr, const NeighborGroups& ng,
+                                    std::span<const float> edge_val,
+                                    std::span<const float> x, int f,
+                                    std::span<float> y) {
+  NgTuning t;
+  t.vec_width = 1;
+  t.unroll = 2;
+  t.packed_metadata = false;
+  t.shared_partials = true;
+  return ng_spmm(dev, csr, ng, edge_val, x, f, y, t);
+}
+
+gpusim::KernelStats huang_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                               const NeighborGroups& ng,
+                               std::span<const float> edge_val,
+                               std::span<const float> x, int f,
+                               std::span<float> y) {
+  NgTuning t;
+  t.vec_width = 2;
+  t.unroll = 4;
+  t.packed_metadata = true;
+  t.shared_partials = true;  // Huang et al. also aggregate via shared memory
+  return ng_spmm(dev, csr, ng, edge_val, x, f, y, t);
+}
+
+}  // namespace gnnone::baselines

@@ -1,0 +1,105 @@
+// Yang et al. [Euro-Par'18] nonzero-split SpMM: the SpMV nonzero-split
+// recipe extended to SpMM *as is*. Every lane owns one NZE and materializes
+// all F dot products in registers before a segmented reduction at the very
+// end — the register blowup (≈ F extra registers per thread) that collapses
+// occupancy and starves the SM of latency-hiding warps (paper §3.2).
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "kernels/baselines.h"
+
+namespace gnnone::baselines {
+
+namespace {
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+}  // namespace
+
+gpusim::KernelStats nonzero_split_spmm(const gpusim::DeviceSpec& dev,
+                                       const Coo& coo,
+                                       std::span<const float> edge_val,
+                                       std::span<const float> x, int f,
+                                       std::span<float> y) {
+  assert(edge_val.size() == std::size_t(coo.nnz()));
+  assert(x.size() == std::size_t(coo.num_cols) * std::size_t(f));
+  assert(y.size() == std::size_t(coo.num_rows) * std::size_t(f));
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+
+  const eid_t nnz = coo.nnz();
+  gpusim::LaunchConfig lc;
+  lc.warps_per_cta = 4;
+  const std::int64_t warps = (nnz + kWarpSize - 1) / kWarpSize;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  // The defining pathology: ~F registers of materialized products per
+  // thread (ptxas-level estimate for the CUDA original).
+  lc.regs_per_thread = 32 + f;
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const std::int64_t base = w.global_warp_id() * kWarpSize;
+    if (base >= nnz) return;
+    const int k = int(std::min<std::int64_t>(kWarpSize, nnz - base));
+    const Mask m = gpusim::lanes_below(k);
+
+    // Coalesced NZE fetch (the strength inherited from SpMV nonzero-split).
+    LaneArray<std::int64_t> ei{};
+    for (int l = 0; l < k; ++l) ei[l] = base + l;
+    const auto rows = w.ld_global(coo.row.data(), ei, m);
+    const auto cols = w.ld_global(coo.col.data(), ei, m);
+    const auto vals = w.ld_global(edge_val.data(), ei, m);
+    w.use();
+
+    // Materialize all F products per lane. Feature j is gathered across the
+    // lanes' (distinct) columns: an uncoalesced stride-f access.
+    std::vector<float> prod(std::size_t(kWarpSize) * std::size_t(f), 0.0f);
+    for (int j = 0; j < f; ++j) {
+      LaneArray<std::int64_t> fi{};
+      for (int l = 0; l < k; ++l) fi[l] = std::int64_t(cols[l]) * f + j;
+      const auto xv = w.ld_global(x.data(), fi, m);
+      for (int l = 0; l < k; ++l) {
+        prod[std::size_t(l) * std::size_t(f) + std::size_t(j)] =
+            vals[l] * xv[l];
+      }
+      w.alu(1);
+      if ((j + 1) % 8 == 0) w.use();  // register pressure limits pipelining
+    }
+    w.use();
+
+    // Segmented reduction across lanes sharing a row id, feature by feature
+    // (log2(32) shuffle rounds each), then one atomic per segment head.
+    for (int j = 0; j < f; ++j) {
+      LaneArray<float> v{};
+      for (int l = 0; l < k; ++l) {
+        v[l] = prod[std::size_t(l) * std::size_t(f) + std::size_t(j)];
+      }
+      // Functional segmented sum: head lane of each equal-row run collects
+      // the run's total; cost modeled as the full shuffle tree.
+      for (int d = 1; d < kWarpSize; d <<= 1) {
+        (void)w.shfl_down(v, d);
+        w.alu(1);
+      }
+      LaneArray<std::int64_t> oi{};
+      LaneArray<float> ov{};
+      Mask omask = 0;
+      for (int l = 0; l < k; ++l) {
+        if (l > 0 && rows[l] == rows[l - 1]) continue;  // not a segment head
+        float sum = 0.0f;
+        for (int q = l; q < k && rows[q] == rows[l]; ++q) {
+          sum += prod[std::size_t(q) * std::size_t(f) + std::size_t(j)];
+        }
+        oi[l] = std::int64_t(rows[l]) * f + j;
+        ov[l] = sum;
+        omask |= Mask{1} << l;
+      }
+      if (omask != 0) w.atomic_add(y.data(), oi, ov, omask);
+    }
+  };
+
+  return gpusim::launch(dev, lc, body);
+}
+
+}  // namespace gnnone::baselines

@@ -1,0 +1,237 @@
+// Vertex-parallel (warp-per-row) SDDMM skeleton shared by dgSparse/dgNN,
+// FeatGraph and Sputnik. The row's X features can be reused across the row's
+// NZEs (the one advantage of the vertex-centric variant), but the row split
+// is imbalanced and none of these stage NZE ids (paper §3.2, §6).
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "kernels/baselines.h"
+#include "kernels/detail/thread_group.h"
+#include "kernels/detail/vec_load.h"
+
+namespace gnnone::baselines {
+
+namespace {
+
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+
+struct VpSddmmTuning {
+  bool row_reuse = true;   // keep X[row] in registers across the row's NZEs
+  int vec_width = 1;
+  bool multi_edge = true;  // process 32/f edges at once when f < 32
+  bool tile_scan = false;  // Sputnik: redundant column-tile bitmap walk
+  int warps_per_row = 1;   // tuned kernels split a row across the CTA
+  int regs_per_thread = 36;
+};
+
+gpusim::KernelStats vp_sddmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                             std::span<const float> x,
+                             std::span<const float> y, int f,
+                             std::span<float> w_out,
+                             const VpSddmmTuning& tune) {
+  assert(x.size() == std::size_t(csr.num_rows) * std::size_t(f));
+  assert(y.size() == std::size_t(csr.num_cols) * std::size_t(f));
+  assert(w_out.size() == std::size_t(csr.nnz()));
+  std::memset(w_out.data(), 0, w_out.size() * sizeof(float));
+
+  const int vec = std::max(1, std::min(tune.vec_width, 4));
+  const int fb = std::min(f, kWarpSize * vec);  // features per pass
+  const int fblocks = (f + fb - 1) / fb;
+
+  auto geom = detail::make_group_geom(fb, vec);
+  if (!tune.multi_edge) {
+    // One edge at a time; lanes beyond the feature width stay idle.
+    geom.n_groups = 1;
+  }
+
+  const int wpr = std::max(1, tune.warps_per_row);
+  gpusim::LaunchConfig lc;
+  lc.warps_per_cta = 4;
+  const std::int64_t warps = std::int64_t(csr.num_rows) * fblocks * wpr;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  lc.regs_per_thread = tune.regs_per_thread;
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const std::int64_t wid = w.global_warp_id();
+    if (wid >= warps) return;
+    const vid_t r = vid_t(wid / (std::int64_t(fblocks) * wpr));
+    const std::int64_t rem = wid % (std::int64_t(fblocks) * wpr);
+    const int fo = int(rem / wpr) * fb;
+    const int slice = int(rem % wpr);
+    const int nf = std::min(fb, f - fo);
+
+    {
+      LaneArray<std::int64_t> oi{};
+      for (int l = 0; l < kWarpSize; ++l) oi[l] = r;
+      (void)w.ld_global(csr.offsets.data(), oi);
+      for (int l = 0; l < kWarpSize; ++l) oi[l] = r + 1;
+      (void)w.ld_global(csr.offsets.data(), oi);
+      w.use();
+    }
+    // This warp's contiguous slice of the row's NZEs (wpr == 1: all).
+    const int full_len = int(csr.row_end(r) - csr.row_begin(r));
+    const int slice_len = (full_len + wpr - 1) / wpr;
+    const eid_t rb = csr.row_begin(r) + eid_t(slice) * slice_len;
+    const int len =
+        std::max(0, std::min(slice_len, full_len - slice * slice_len));
+
+    if (tune.tile_scan) {
+      // Sputnik walks a per-row bitmap of populated column tiles (32 tiles
+      // per word) before touching NZEs — redundant metadata traffic that
+      // grows with |V| regardless of the row's length.
+      const int words = (csr.num_cols / (32 * 32)) + 1;
+      LaneArray<std::int64_t> ti{};
+      for (int t = 0; t < words; ++t) {
+        ti[0] = t;
+        (void)w.ld_global_l2(csr.offsets.data(), ti, Mask{1});
+        if ((t + 1) % 8 == 0) w.use();
+      }
+      w.use();
+    }
+    if (len == 0) return;
+
+    const int G = geom.n_groups;
+    auto feat_off = [&](int l) { return geom.lane_in_group(l) * geom.vec; };
+    auto lane_ok = [&](int l) {
+      return geom.lane_active(l) && geom.lane_group(l) < G && feat_off(l) < nf;
+    };
+
+    // Row features loaded once per pass when reused (every group's lanes get
+    // their own copy — in hardware this is the same registers).
+    std::vector<std::array<float, 4>> rowfeat(kWarpSize,
+                                              std::array<float, 4>{});
+    if (tune.row_reuse) {
+      LaneArray<std::int64_t> xi{};
+      Mask m = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_ok(l)) continue;
+        xi[l] = std::int64_t(r) * f + fo + feat_off(l);
+        m |= Mask{1} << l;
+      }
+      const auto xv = detail::load_vec(w, x.data(), xi, m, geom.vec);
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (m >> l & 1u) rowfeat[std::size_t(l)] = xv[l];
+      }
+      w.use();
+    }
+
+    const int rounds = detail::reduction_rounds(geom.group_threads);
+    for (int t0 = 0; t0 < len; t0 += G) {
+      const int ng = std::min(G, len - t0);
+      // Column ids for the ng edges of this iteration (no staging: straight
+      // from global memory, re-loaded per edge).
+      LaneArray<std::int64_t> ei{};
+      Mask m = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_ok(l) || geom.lane_group(l) >= ng) continue;
+        ei[l] = rb + t0 + geom.lane_group(l);
+        m |= Mask{1} << l;
+      }
+      if (m == 0) break;
+      const auto cols = w.ld_global(csr.col.data(), ei, m);
+      w.use();
+
+      LaneArray<std::int64_t> yi{}, xi{};
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!(m >> l & 1u)) continue;
+        yi[l] = std::int64_t(cols[l]) * f + fo + feat_off(l);
+        xi[l] = std::int64_t(r) * f + fo + feat_off(l);
+      }
+      const auto yv = detail::load_vec(w, y.data(), yi, m, geom.vec);
+      if (!tune.row_reuse) {
+        const auto xv = detail::load_vec(w, x.data(), xi, m, geom.vec);
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (m >> l & 1u) rowfeat[std::size_t(l)] = xv[l];
+        }
+      }
+
+      LaneArray<float> partial{};
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!(m >> l & 1u)) continue;
+        for (int j = 0; j < geom.vec; ++j) {
+          if (feat_off(l) + j >= nf) break;
+          partial[l] += rowfeat[std::size_t(l)][std::size_t(j)] * yv[l][j];
+        }
+      }
+      w.alu(geom.vec);
+      for (int q = 0; q < rounds; ++q) {
+        const int delta = geom.layout_stride >> (q + 1);
+        const auto shifted = w.shfl_down(partial, delta, geom.layout_stride);
+        for (int l = 0; l < kWarpSize; ++l) partial[l] += shifted[l];
+        w.alu(1);
+      }
+
+      LaneArray<std::int64_t> oi{};
+      LaneArray<float> ov{};
+      Mask om = 0;
+      for (int g = 0; g < ng; ++g) {
+        const int l = g * geom.layout_stride;
+        if (!(m >> l & 1u)) continue;
+        oi[l] = rb + t0 + g;
+        ov[l] = partial[l];
+        om |= Mask{1} << l;
+      }
+      if (om == 0) continue;
+      if (fblocks == 1) {
+        w.st_global(w_out.data(), oi, ov, om);
+      } else {
+        w.atomic_add(w_out.data(), oi, ov, om);  // partial dots per pass
+      }
+    }
+  };
+
+  return gpusim::launch(dev, lc, body);
+}
+
+}  // namespace
+
+gpusim::KernelStats dgsparse_sddmm(const gpusim::DeviceSpec& dev,
+                                   const Csr& csr, std::span<const float> x,
+                                   std::span<const float> y, int f,
+                                   std::span<float> w) {
+  VpSddmmTuning t;
+  t.row_reuse = true;
+  t.vec_width = 1;
+  t.multi_edge = true;  // hand-tuned kernel keeps all lanes busy for f < 32
+  t.warps_per_row = 4;
+  return vp_sddmm(dev, csr, x, y, f, w, t);
+}
+
+gpusim::KernelStats featgraph_sddmm(const gpusim::DeviceSpec& dev,
+                                    const Csr& csr, std::span<const float> x,
+                                    std::span<const float> y, int f,
+                                    std::span<float> w) {
+  VpSddmmTuning t;
+  t.row_reuse = true;
+  t.vec_width = 1;
+  t.multi_edge = false;  // template kernel idles lanes when f < 32
+  t.warps_per_row = 4;
+  return vp_sddmm(dev, csr, x, y, f, w, t);
+}
+
+gpusim::KernelStats sputnik_sddmm(const gpusim::DeviceSpec& dev,
+                                  const Csr& csr, std::span<const float> x,
+                                  std::span<const float> y, int f,
+                                  std::span<float> w) {
+  VpSddmmTuning t;
+  t.row_reuse = false;  // paper §6: Sputnik does not reuse row features
+  t.vec_width = 4;
+  t.multi_edge = false;
+  t.tile_scan = true;
+  return vp_sddmm(dev, csr, x, y, f, w, t);
+}
+
+bool sputnik_sddmm_supports(vid_t paper_vertices) {
+  // The |V|^2-shaped grid exceeds CUDA's launch limits past ~1.5-2M
+  // vertices: (V/32)^2 thread blocks no longer fit a 31-bit grid dimension.
+  const double tiles = double(paper_vertices) / 32.0;
+  return tiles * tiles < 2147483647.0;
+}
+
+}  // namespace gnnone::baselines

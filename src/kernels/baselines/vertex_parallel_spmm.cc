@@ -1,0 +1,290 @@
+// Vertex-parallel (warp-per-row) SpMM skeleton shared by GE-SpMM,
+// cuSPARSE-like, FeatGraph and Sputnik. The systems genuinely share this
+// structure; they differ in index staging, vector widths, pipelining depth
+// and row ordering — exactly the knobs of the tuning struct below. All of
+// them inherit the same pathology the paper targets: work per warp is the
+// row length, so skewed graphs leave stragglers (§2, §3.1).
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "kernels/baselines.h"
+#include "kernels/detail/vec_load.h"
+
+namespace gnnone::baselines {
+
+namespace {
+
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+
+struct VpSpmmTuning {
+  bool stage_indices = true;   // cache 32 col ids + vals in shared memory
+  int min_f_for_staging = 1;   // staging dropped below this feature length
+  int vec_width = 1;           // features per thread per load
+  int unroll = 4;              // software pipelining depth over NZEs
+  int warps_per_row = 1;       // tuned kernels split a row across the CTA
+  int regs_per_thread = 40;
+  const RowSwizzle* swizzle = nullptr;  // optional row processing order
+};
+
+gpusim::KernelStats vp_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                            std::span<const float> edge_val,
+                            std::span<const float> x, int f,
+                            std::span<float> y, const VpSpmmTuning& tune) {
+  assert(edge_val.size() == std::size_t(csr.nnz()));
+  assert(x.size() == std::size_t(csr.num_cols) * std::size_t(f));
+  assert(y.size() == std::size_t(csr.num_rows) * std::size_t(f));
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+
+  const int vec = std::max(1, std::min(tune.vec_width, 4));
+  const int fb = std::min(f, kWarpSize * vec);  // features per warp pass
+  const int fblocks = (f + fb - 1) / fb;
+  const bool staging = tune.stage_indices && f >= tune.min_f_for_staging;
+
+  const int wpr = std::max(1, tune.warps_per_row);
+  gpusim::LaunchConfig lc;
+  lc.warps_per_cta = 4;
+  const std::int64_t warps = std::int64_t(csr.num_rows) * fblocks * wpr;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  lc.shared_bytes_per_cta =
+      staging ? std::size_t(lc.warps_per_cta) * kWarpSize *
+                    (sizeof(vid_t) + sizeof(float))
+              : 0;
+  lc.regs_per_thread = tune.regs_per_thread;
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const std::int64_t wid = w.global_warp_id();
+    if (wid >= warps) return;
+    vid_t r = vid_t(wid / (std::int64_t(fblocks) * wpr));
+    if (tune.swizzle != nullptr) r = tune.swizzle->order[std::size_t(r)];
+    const std::int64_t rem = wid % (std::int64_t(fblocks) * wpr);
+    const int fo = int(rem / wpr) * fb;
+    const int slice = int(rem % wpr);
+    const int nf = std::min(fb, f - fo);
+    const int nlanes = (nf + vec - 1) / vec;
+    const Mask fmask = gpusim::lanes_below(nlanes);
+
+    // Row bounds (all lanes read the same two offsets).
+    {
+      LaneArray<std::int64_t> oi{};
+      for (int l = 0; l < kWarpSize; ++l) oi[l] = r;
+      (void)w.ld_global(csr.offsets.data(), oi);
+      for (int l = 0; l < kWarpSize; ++l) oi[l] = r + 1;
+      (void)w.ld_global(csr.offsets.data(), oi);
+      w.use();  // the loop bound depends on these
+    }
+    // This warp's contiguous slice of the row (wpr == 1: the whole row).
+    const int full_len = int(csr.row_end(r) - csr.row_begin(r));
+    const int slice_len = (full_len + wpr - 1) / wpr;
+    const eid_t rb = csr.row_begin(r) + eid_t(slice) * slice_len;
+    const int len = std::max(0, std::min(slice_len, full_len - slice * slice_len));
+    if (len == 0 && slice > 0) return;
+
+    std::vector<std::array<float, 4>> acc(kWarpSize, std::array<float, 4>{});
+    auto fidx_of = [&](int l, vid_t col) {
+      return std::int64_t(col) * f + fo + l * vec;
+    };
+    auto lane_feats = [&](int l) {
+      return std::min(vec, nf - l * vec);  // tail lane may cover fewer
+    };
+
+    const int U = std::max(1, tune.unroll);
+    std::vector<vid_t> bcol(static_cast<std::size_t>(U));
+    std::vector<float> bval(static_cast<std::size_t>(U));
+    std::vector<detail::VecLanes> bx(static_cast<std::size_t>(U));
+
+    auto consume_block = [&](int n) {
+      w.use();
+      for (int t = 0; t < n; ++t) {
+        for (int l = 0; l < nlanes; ++l) {
+          const int k = lane_feats(l);
+          for (int j = 0; j < k; ++j) {
+            acc[std::size_t(l)][std::size_t(j)] +=
+                bval[std::size_t(t)] * bx[std::size_t(t)][l][j];
+          }
+        }
+        w.alu(vec);
+      }
+    };
+
+    if (staging) {
+      auto sh_col = w.shared().alloc<vid_t>(kWarpSize);
+      auto sh_val = w.shared().alloc<float>(kWarpSize);
+      for (int chunk = 0; chunk < len; chunk += kWarpSize) {
+        const int k = std::min(kWarpSize, len - chunk);
+        const Mask m = gpusim::lanes_below(k);
+        LaneArray<std::int64_t> idx{};
+        LaneArray<int> sidx{};
+        for (int l = 0; l < k; ++l) {
+          idx[l] = rb + chunk + l;
+          sidx[l] = l;
+        }
+        w.sh_write(sh_col, sidx, w.ld_global(csr.col.data(), idx, m), m);
+        w.sh_write(sh_val, sidx, w.ld_global(edge_val.data(), idx, m), m);
+        w.sync();
+        for (int e0 = 0; e0 < k; e0 += U) {
+          const int n = std::min(U, k - e0);
+          for (int t = 0; t < n; ++t) {
+            LaneArray<int> si{};
+            for (int l = 0; l < kWarpSize; ++l) si[l] = e0 + t;
+            bcol[std::size_t(t)] =
+                w.sh_read(std::span<const vid_t>(sh_col), si, fmask)[0];
+            bval[std::size_t(t)] =
+                w.sh_read(std::span<const float>(sh_val), si, fmask)[0];
+            LaneArray<std::int64_t> fi{};
+            for (int l = 0; l < nlanes; ++l) {
+              fi[l] = fidx_of(l, bcol[std::size_t(t)]);
+            }
+            bx[std::size_t(t)] = detail::load_vec(w, x.data(), fi, fmask, vec);
+          }
+          consume_block(n);
+        }
+      }
+    } else {
+      for (int e0 = 0; e0 < len; e0 += U) {
+        const int n = std::min(U, len - e0);
+        // Index loads for the block (all lanes fetch the same scalar).
+        for (int t = 0; t < n; ++t) {
+          LaneArray<std::int64_t> ei{};
+          for (int l = 0; l < kWarpSize; ++l) ei[l] = rb + e0 + t;
+          bcol[std::size_t(t)] = w.ld_global(csr.col.data(), ei, fmask)[0];
+          bval[std::size_t(t)] = w.ld_global(edge_val.data(), ei, fmask)[0];
+        }
+        w.use();  // feature addresses depend on the ids
+        for (int t = 0; t < n; ++t) {
+          LaneArray<std::int64_t> fi{};
+          for (int l = 0; l < nlanes; ++l) {
+            fi[l] = fidx_of(l, bcol[std::size_t(t)]);
+          }
+          bx[std::size_t(t)] = detail::load_vec(w, x.data(), fi, fmask, vec);
+        }
+        consume_block(n);
+      }
+    }
+
+    if (wpr > 1) {
+      // Row split across warps: partial sums accumulate atomically.
+      for (int j = 0; j < vec; ++j) {
+        LaneArray<std::int64_t> ai{};
+        LaneArray<float> av{};
+        Mask am = 0;
+        for (int l = 0; l < nlanes; ++l) {
+          if (j >= lane_feats(l)) continue;
+          ai[l] = std::int64_t(r) * f + fo + l * vec + j;
+          av[l] = acc[std::size_t(l)][std::size_t(j)];
+          am |= Mask{1} << l;
+        }
+        if (am != 0) w.atomic_add(y.data(), ai, av, am);
+      }
+      return;
+    }
+    // Vertex-parallel owns its row: direct (non-atomic) vector store.
+    std::array<std::array<float, 4>, kWarpSize> out{};
+    LaneArray<std::int64_t> oi{};
+    Mask omask = 0;
+    for (int l = 0; l < nlanes; ++l) {
+      // Tail lanes with partial vectors fall back to scalar stores below.
+      if (lane_feats(l) == vec) {
+        out[l] = acc[std::size_t(l)];
+        oi[l] = std::int64_t(r) * f + fo + l * vec;
+        omask |= Mask{1} << l;
+      }
+    }
+    switch (vec) {
+      case 1: {
+        LaneArray<float> v{};
+        for (int l = 0; l < nlanes; ++l) v[l] = acc[std::size_t(l)][0];
+        w.st_global(y.data(), oi, v, omask);
+        break;
+      }
+      case 2: {
+        std::array<std::array<float, 2>, kWarpSize> v{};
+        for (int l = 0; l < nlanes; ++l) {
+          v[l] = {acc[std::size_t(l)][0], acc[std::size_t(l)][1]};
+        }
+        w.st_global_vec<float, 2>(y.data(), oi, v, omask);
+        break;
+      }
+      default:
+        w.st_global_vec<float, 4>(y.data(), oi, out, omask);
+        break;
+    }
+    // Scalar stores for tail lanes with partial vectors.
+    for (int l = 0; l < nlanes; ++l) {
+      const int k = lane_feats(l);
+      if (k == vec) continue;
+      for (int j = 0; j < k; ++j) {
+        LaneArray<std::int64_t> si{};
+        LaneArray<float> sv{};
+        si[l] = std::int64_t(r) * f + fo + l * vec + j;
+        sv[l] = acc[std::size_t(l)][std::size_t(j)];
+        w.st_global(y.data(), si, sv, Mask{1} << l);
+      }
+    }
+  };
+
+  return gpusim::launch(dev, lc, body);
+}
+
+}  // namespace
+
+gpusim::KernelStats gespmm_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                                std::span<const float> edge_val,
+                                std::span<const float> x, int f,
+                                std::span<float> y) {
+  VpSpmmTuning t;
+  t.stage_indices = true;
+  t.min_f_for_staging = 32;  // GE-SpMM drops caching below 32 (paper §4.1.1)
+  t.vec_width = 1;
+  t.unroll = 4;
+  return vp_spmm(dev, csr, edge_val, x, f, y, t);
+}
+
+gpusim::KernelStats cusparse_spmm(const gpusim::DeviceSpec& dev,
+                                  const Csr& csr,
+                                  std::span<const float> edge_val,
+                                  std::span<const float> x, int f,
+                                  std::span<float> y) {
+  VpSpmmTuning t;
+  t.stage_indices = true;
+  t.min_f_for_staging = 1;  // vendor kernel stages indices at every f
+  t.vec_width = 2;
+  t.unroll = 8;
+  t.warps_per_row = 4;  // row split across the CTA
+  return vp_spmm(dev, csr, edge_val, x, f, y, t);
+}
+
+gpusim::KernelStats featgraph_spmm(const gpusim::DeviceSpec& dev,
+                                   const Csr& csr,
+                                   std::span<const float> edge_val,
+                                   std::span<const float> x, int f,
+                                   std::span<float> y) {
+  VpSpmmTuning t;
+  t.stage_indices = false;  // template-generated code, no index staging
+  t.vec_width = 1;
+  t.unroll = 2;
+  t.warps_per_row = 2;
+  return vp_spmm(dev, csr, edge_val, x, f, y, t);
+}
+
+gpusim::KernelStats sputnik_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
+                                 const RowSwizzle& swizzle,
+                                 std::span<const float> edge_val,
+                                 std::span<const float> x, int f,
+                                 std::span<float> y) {
+  VpSpmmTuning t;
+  t.stage_indices = true;
+  t.min_f_for_staging = 1;
+  t.vec_width = 4;  // Sputnik is built around vector memory instructions
+  t.unroll = 4;
+  t.warps_per_row = 2;
+  t.swizzle = &swizzle;
+  return vp_spmm(dev, csr, edge_val, x, f, y, t);
+}
+
+}  // namespace gnnone::baselines

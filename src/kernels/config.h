@@ -1,0 +1,49 @@
+// Tunable design knobs of the GNNOne kernels. Every ablation figure in the
+// paper's §5.4 is a sweep over one of these fields.
+#pragma once
+
+namespace gnnone {
+
+/// Stage-2 NZE assignment policy across thread-groups (paper §4.2.2).
+enum class SchedulePolicy {
+  kConsecutive,  // group g gets cached NZEs [g*B, (g+1)*B) — the winner
+  kRoundRobin,   // group g gets NZEs g, g+G, g+2G, ...
+};
+
+/// Execution mode: kLoadOnly reproduces the paper's "partial prototype" used
+/// for the Fig. 11 data-load breakdown (loads run, reduction and write-back
+/// are elided).
+enum class KernelMode { kFull, kLoadOnly };
+
+struct GnnOneConfig {
+  /// NZEs staged per warp in Stage 1; multiple of 32 (paper §4.1.1; Fig. 9
+  /// sweeps 32 vs 128).
+  int cache_size = 128;
+
+  /// Features loaded per thread per vector instruction in Stage 2 (the
+  /// float4 path; Fig. 8 sweeps 1 vs 4). Values 1..4; shrunk automatically
+  /// when the feature length is not divisible (e.g. float3 for F=6, §4.4).
+  int vec_width = 4;
+
+  SchedulePolicy policy = SchedulePolicy::kConsecutive;
+
+  /// Stage-1 staging of NZE ids (+ edge features for SpMM) in shared memory.
+  /// Disabling reverts to per-iteration global index loads (the DGL-style
+  /// "no data reuse" baseline of Fig. 8).
+  bool stage1_caching = true;
+
+  /// SDDMM only: keep the row's vertex features in registers across
+  /// consecutive same-row NZEs (paper §4.2.2 data-reuse analysis).
+  bool row_reuse = true;
+
+  /// Software-pipelining depth for serial-accumulation loops: how many
+  /// iterations' loads are hoisted ahead of their uses (compiler unroll).
+  /// Applied uniformly to GNNOne and baselines with the same loop structure.
+  int unroll = 4;
+
+  int warps_per_cta = 4;
+
+  KernelMode mode = KernelMode::kFull;
+};
+
+}  // namespace gnnone

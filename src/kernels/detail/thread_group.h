@@ -1,0 +1,63 @@
+// Thread-group geometry for the symbiotic scheduler (paper §4.2).
+#pragma once
+
+#include <stdexcept>
+
+#include "gpusim/device.h"
+#include "kernels/config.h"
+
+namespace gnnone::detail {
+
+/// How a warp is carved into thread-groups for a given feature length.
+struct GroupGeom {
+  int vec = 1;            // features per thread per vector load (1..4)
+  int group_threads = 1;  // lanes cooperating on one NZE
+  int layout_stride = 1;  // lane distance between groups (pow2 >= threads;
+                          // the gap models the idle lanes of odd F)
+  int n_groups = 1;       // thread-groups per warp
+  int chunks = 1;         // vector loads per lane per NZE (f > 32*vec)
+
+  int lanes_used() const { return group_threads * n_groups; }
+  int lane_group(int l) const { return l / layout_stride; }
+  int lane_in_group(int l) const { return l % layout_stride; }
+  bool lane_active(int l) const {
+    return lane_group(l) < n_groups && lane_in_group(l) < group_threads;
+  }
+};
+
+/// Picks the widest vector load (<= cfg_vec, <= 4) dividing f, then forms
+/// groups of f/vec lanes (capped at a full warp; wider features loop in
+/// chunks). F=32,vec=4 -> 4 groups of 8, as in the paper's running example;
+/// F=6 -> float3 loads, 16 groups of 2 (§4.4); vec=1 reproduces the vanilla
+/// feature-parallel baseline with its idle lanes for F<32.
+inline GroupGeom make_group_geom(int f, int cfg_vec) {
+  if (f <= 0) throw std::invalid_argument("feature length must be positive");
+  GroupGeom g;
+  g.vec = 1;
+  for (int v = std::min(cfg_vec, 4); v >= 1; --v) {
+    if (f % v == 0) {
+      g.vec = v;
+      break;
+    }
+  }
+  const int threads_needed = f / g.vec;
+  g.group_threads = std::min(threads_needed, gpusim::kWarpSize);
+  g.chunks = (threads_needed + g.group_threads - 1) / g.group_threads;
+  g.layout_stride = 1;
+  while (g.layout_stride < g.group_threads) g.layout_stride <<= 1;
+  g.n_groups = gpusim::kWarpSize / g.layout_stride;
+  return g;
+}
+
+/// Rounds of tree reduction needed across `lanes` lanes.
+inline int reduction_rounds(int lanes) {
+  int rounds = 0;
+  int span = 1;
+  while (span < lanes) {
+    span <<= 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace gnnone::detail

@@ -1,0 +1,34 @@
+// Runtime-width dispatch onto WarpCtx's compile-time vector loads/stores.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+
+#include "gpusim/warp.h"
+
+namespace gnnone::detail {
+
+using VecLanes = std::array<std::array<float, 4>, gpusim::kWarpSize>;
+
+/// Vector gather of `vec` consecutive floats per lane (float/float2/float3/
+/// float4 in the CUDA original).
+inline VecLanes load_vec(gpusim::WarpCtx& w, const float* base,
+                         const gpusim::LaneArray<std::int64_t>& idx,
+                         gpusim::Mask mask, int vec) {
+  VecLanes out{};
+  auto copy = [&out](const auto& v) {
+    for (int l = 0; l < gpusim::kWarpSize; ++l) {
+      for (std::size_t j = 0; j < v[l].size(); ++j) out[l][j] = v[l][j];
+    }
+  };
+  switch (vec) {
+    case 1: copy(w.ld_global_vec<float, 1>(base, idx, mask)); break;
+    case 2: copy(w.ld_global_vec<float, 2>(base, idx, mask)); break;
+    case 3: copy(w.ld_global_vec<float, 3>(base, idx, mask)); break;
+    case 4: copy(w.ld_global_vec<float, 4>(base, idx, mask)); break;
+    default: throw std::invalid_argument("vec width must be 1..4");
+  }
+  return out;
+}
+
+}  // namespace gnnone::detail

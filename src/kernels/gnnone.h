@@ -1,0 +1,60 @@
+// GNNOne's unified two-stage sparse kernels (the paper's core contribution).
+//
+// All three kernels share the same design (§4):
+//   Stage 1 — edge-parallel, fully balanced, coalesced load of CACHE_SIZE
+//             NZEs (+ edge features for SpMM) into shared memory per warp.
+//   Stage 2 — the symbiotic thread scheduler: the warp is split into
+//             thread-groups of F/vec lanes; each lane fetches `vec`
+//             consecutive vertex features with one vector (float4) load;
+//             groups are assigned consecutive cached NZEs, enabling
+//             row-feature reuse (SDDMM) and running thread-local reduction
+//             with atomic write-back at row splits (SpMM).
+//
+// Inputs use the standard CSR-arranged COO format only.
+#pragma once
+
+#include <span>
+
+#include "gpusim/device.h"
+#include "gpusim/stats.h"
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "kernels/config.h"
+
+namespace gnnone {
+
+/// SpMM: y[|V| x f] = A(coo, edge_val) * x[|V| x f].
+gpusim::KernelStats gnnone_spmm(const gpusim::DeviceSpec& dev, const Coo& coo,
+                                std::span<const float> edge_val,
+                                std::span<const float> x, int f,
+                                std::span<float> y,
+                                const GnnOneConfig& cfg = {});
+
+/// SDDMM: w[e] = dot(x[row[e], :], y[col[e], :]) for every NZE.
+gpusim::KernelStats gnnone_sddmm(const gpusim::DeviceSpec& dev, const Coo& coo,
+                                 std::span<const float> x,
+                                 std::span<const float> y, int f,
+                                 std::span<float> w,
+                                 const GnnOneConfig& cfg = {});
+
+/// GNNOne SpMM over a CSR input (§5.4.5 format trade-off): the two-stage
+/// design is format-agnostic as long as the row id of each NZE can be
+/// located; with CSR the row ids are *derived* — a per-warp binary search
+/// on the offsets metadata plus boundary walking during Stage-1 staging —
+/// instead of loaded (COO's 4 extra bytes per NZE).
+gpusim::KernelStats gnnone_spmm_csr(const gpusim::DeviceSpec& dev,
+                                    const Csr& csr,
+                                    std::span<const float> edge_val,
+                                    std::span<const float> x, int f,
+                                    std::span<float> y,
+                                    const GnnOneConfig& cfg = {});
+
+/// COO nonzero-split SpMV (Fig. 12): Stage-1 caching is dropped (feature
+/// length is 1, §4.4); each thread reduces N consecutive NZEs thread-locally
+/// and writes row segments with atomics.
+gpusim::KernelStats gnnone_spmv(const gpusim::DeviceSpec& dev, const Coo& coo,
+                                std::span<const float> edge_val,
+                                std::span<const float> x, std::span<float> y,
+                                int nzes_per_thread = 4);
+
+}  // namespace gnnone

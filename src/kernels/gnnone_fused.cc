@@ -1,0 +1,318 @@
+// Fused GAT attention on the GNNOne two-stage design (see gnnone_fused.h).
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "kernels/detail/thread_group.h"
+#include "kernels/detail/vec_load.h"
+#include "kernels/gnnone_fused.h"
+
+namespace gnnone {
+
+namespace {
+
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+
+int normalized_cache_size(const GnnOneConfig& cfg) {
+  int c = std::max(cfg.cache_size, kWarpSize);
+  return (c + kWarpSize - 1) / kWarpSize * kWarpSize;
+}
+
+float leaky(float v, float slope) { return v >= 0.0f ? v : slope * v; }
+
+/// Shared skeleton of the two edge-parallel scalar passes: stages row/col
+/// ids, gathers the per-vertex scores, computes the LeakyReLU logit per NZE
+/// and hands it to `sink`, one 32-NZE chunk at a time.
+template <typename Sink>
+gpusim::KernelStats scalar_pass(const gpusim::DeviceSpec& dev, const Coo& coo,
+                                std::span<const float> s_src,
+                                std::span<const float> s_dst,
+                                float leaky_slope, const GnnOneConfig& cfg,
+                                Sink&& sink) {
+  const eid_t nnz = coo.nnz();
+  const int cache = normalized_cache_size(cfg);
+  gpusim::LaunchConfig lc;
+  const std::int64_t warps = (nnz + cache - 1) / cache;
+  lc.warps_per_cta = cfg.warps_per_cta;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  lc.shared_bytes_per_cta = std::size_t(lc.warps_per_cta) *
+                            std::size_t(cache) * (2 * sizeof(vid_t));
+  lc.regs_per_thread = 32;
+
+  const vid_t* row_ids = coo.row.data();
+  const vid_t* col_ids = coo.col.data();
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const std::int64_t base = w.global_warp_id() * cache;
+    if (base >= nnz) return;
+    const int count = int(std::min<std::int64_t>(cache, nnz - base));
+
+    auto sh_row = w.shared().alloc<vid_t>(std::size_t(cache));
+    auto sh_col = w.shared().alloc<vid_t>(std::size_t(cache));
+    for (int c = 0; c < count; c += kWarpSize) {
+      const int k = std::min(kWarpSize, count - c);
+      const Mask mask = gpusim::lanes_below(k);
+      LaneArray<std::int64_t> idx{};
+      LaneArray<int> sidx{};
+      for (int l = 0; l < k; ++l) {
+        idx[l] = base + c + l;
+        sidx[l] = c + l;
+      }
+      w.sh_write(sh_row, sidx, w.ld_global(row_ids, idx, mask), mask);
+      w.sh_write(sh_col, sidx, w.ld_global(col_ids, idx, mask), mask);
+    }
+    w.sync();
+
+    for (int c = 0; c < count; c += kWarpSize) {
+      const int k = std::min(kWarpSize, count - c);
+      const Mask mask = gpusim::lanes_below(k);
+      LaneArray<int> sidx{};
+      for (int l = 0; l < k; ++l) sidx[l] = c + l;
+      const auto rows = w.sh_read(std::span<const vid_t>(sh_row), sidx, mask);
+      const auto cols = w.sh_read(std::span<const vid_t>(sh_col), sidx, mask);
+      LaneArray<std::int64_t> ri{}, ci{};
+      for (int l = 0; l < k; ++l) {
+        ri[l] = rows[l];
+        ci[l] = cols[l];
+      }
+      const auto sd = w.ld_global(s_dst.data(), ri, mask);
+      const auto ss = w.ld_global(s_src.data(), ci, mask);
+      w.use();
+      LaneArray<float> logit{};
+      for (int l = 0; l < k; ++l) logit[l] = leaky(sd[l] + ss[l], leaky_slope);
+      w.alu(2);
+      LaneArray<std::int64_t> ei{};
+      for (int l = 0; l < k; ++l) ei[l] = base + c + l;
+      sink(w, mask, k, ri, ei, logit);
+    }
+  };
+  return gpusim::launch(dev, lc, body);
+}
+
+}  // namespace
+
+FusedAttentionStats gnnone_fused_attention(
+    const gpusim::DeviceSpec& dev, const Coo& coo,
+    std::span<const float> s_src, std::span<const float> s_dst,
+    std::span<const float> h, int f, float leaky_slope,
+    std::span<float> alpha, std::span<float> out, const GnnOneConfig& cfg) {
+  assert(s_src.size() == std::size_t(coo.num_rows));
+  assert(s_dst.size() == std::size_t(coo.num_rows));
+  assert(h.size() == std::size_t(coo.num_cols) * std::size_t(f));
+  assert(alpha.size() == std::size_t(coo.nnz()));
+  assert(out.size() == std::size_t(coo.num_rows) * std::size_t(f));
+  std::memset(out.data(), 0, out.size() * sizeof(float));
+
+  FusedAttentionStats stats;
+  std::vector<float> row_max(std::size_t(coo.num_rows), -1e30f);
+  std::vector<float> row_norm(std::size_t(coo.num_rows), 0.0f);
+
+  // Pass 0: per-destination running max (softmax stability).
+  stats.max_pass = scalar_pass(
+      dev, coo, s_src, s_dst, leaky_slope, cfg,
+      [&](gpusim::WarpCtx& w, Mask mask, int, const LaneArray<std::int64_t>& ri,
+          const LaneArray<std::int64_t>&, const LaneArray<float>& logit) {
+        w.atomic_max(row_max.data(), ri, logit, mask);
+      });
+
+  // Pass 1: exp(e - max) into the edge tensor + destination normalizer.
+  stats.logit_pass = scalar_pass(
+      dev, coo, s_src, s_dst, leaky_slope, cfg,
+      [&](gpusim::WarpCtx& w, Mask mask, int k,
+          const LaneArray<std::int64_t>& ri, const LaneArray<std::int64_t>& ei,
+          const LaneArray<float>& logit) {
+        const auto mx = w.ld_global(row_max.data(), ri, mask);
+        w.use();
+        LaneArray<float> z{};
+        for (int l = 0; l < k; ++l) z[l] = std::exp(logit[l] - mx[l]);
+        w.alu(1);
+        w.st_global(alpha.data(), ei, z, mask);  // un-normalized for now
+        w.atomic_add(row_norm.data(), ri, z, mask);
+      });
+
+  // Pass 2: alpha = z / norm[dst] computed on the fly, feeding the running-
+  // reduction SpMM directly — alpha is normalized in-register and written
+  // once (for backward), never re-read.
+  {
+    const eid_t nnz = coo.nnz();
+    const int cache = normalized_cache_size(cfg);
+    const auto geom = detail::make_group_geom(f, cfg.vec_width);
+    gpusim::LaunchConfig lc;
+    const std::int64_t warps = (nnz + cache - 1) / cache;
+    lc.warps_per_cta = cfg.warps_per_cta;
+    lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+    lc.shared_bytes_per_cta = std::size_t(lc.warps_per_cta) *
+                              std::size_t(cache) *
+                              (2 * sizeof(vid_t) + sizeof(float));
+    lc.regs_per_thread = 34 + geom.vec * geom.chunks;
+
+    const vid_t* row_ids = coo.row.data();
+    const vid_t* col_ids = coo.col.data();
+
+    auto body = [&](gpusim::WarpCtx& w) {
+      const std::int64_t base = w.global_warp_id() * cache;
+      if (base >= nnz) return;
+      const int count = int(std::min<std::int64_t>(cache, nnz - base));
+
+      // Stage 1: ids + un-normalized attention values.
+      auto sh_row = w.shared().alloc<vid_t>(std::size_t(cache));
+      auto sh_col = w.shared().alloc<vid_t>(std::size_t(cache));
+      auto sh_z = w.shared().alloc<float>(std::size_t(cache));
+      for (int c = 0; c < count; c += kWarpSize) {
+        const int k = std::min(kWarpSize, count - c);
+        const Mask mask = gpusim::lanes_below(k);
+        LaneArray<std::int64_t> idx{};
+        LaneArray<int> sidx{};
+        for (int l = 0; l < k; ++l) {
+          idx[l] = base + c + l;
+          sidx[l] = c + l;
+        }
+        w.sh_write(sh_row, sidx, w.ld_global(row_ids, idx, mask), mask);
+        w.sh_write(sh_col, sidx, w.ld_global(col_ids, idx, mask), mask);
+        w.sh_write(sh_z, sidx, w.ld_global(alpha.data(), idx, mask), mask);
+      }
+      w.sync();
+
+      // Normalize the cached z in place (one gather of norm per 32 NZEs)
+      // and write alpha back for the training backward.
+      for (int c = 0; c < count; c += kWarpSize) {
+        const int k = std::min(kWarpSize, count - c);
+        const Mask mask = gpusim::lanes_below(k);
+        LaneArray<int> sidx{};
+        for (int l = 0; l < k; ++l) sidx[l] = c + l;
+        const auto rows = w.sh_read(std::span<const vid_t>(sh_row), sidx, mask);
+        LaneArray<std::int64_t> ri{};
+        for (int l = 0; l < k; ++l) ri[l] = rows[l];
+        const auto norm = w.ld_global(row_norm.data(), ri, mask);
+        w.use();
+        auto z = w.sh_read(std::span<const float>(sh_z), sidx, mask);
+        for (int l = 0; l < k; ++l) {
+          z[l] = norm[l] > 0.0f ? z[l] / norm[l] : 0.0f;
+        }
+        w.alu(1);
+        w.sh_write(sh_z, sidx, z, mask);
+        LaneArray<std::int64_t> ei{};
+        for (int l = 0; l < k; ++l) ei[l] = base + c + l;
+        w.st_global(alpha.data(), ei, z, mask);
+      }
+      w.sync();
+
+      // Stage 2: running-reduction SpMM with the in-shared alpha.
+      const int G = geom.n_groups;
+      const int per = (count + G - 1) / G;
+      std::vector<std::array<float, 4>> acc(
+          std::size_t(kWarpSize) * std::size_t(geom.chunks),
+          std::array<float, 4>{});
+      std::vector<vid_t> cur(std::size_t(G), -1);
+      auto feat_off = [&](int l, int c) {
+        return (c * geom.group_threads + geom.lane_in_group(l)) * geom.vec;
+      };
+      auto flush = [&](const std::vector<int>& gs) {
+        for (int c = 0; c < geom.chunks; ++c) {
+          for (int j = 0; j < geom.vec; ++j) {
+            LaneArray<std::int64_t> oi{};
+            LaneArray<float> ov{};
+            Mask mask = 0;
+            for (int g : gs) {
+              for (int t = 0; t < geom.group_threads; ++t) {
+                const int l = g * geom.layout_stride + t;
+                const int off = feat_off(l, c);
+                if (off >= f) continue;
+                oi[l] = std::int64_t(cur[std::size_t(g)]) * f + off + j;
+                ov[l] = acc[std::size_t(l) * std::size_t(geom.chunks) +
+                            std::size_t(c)][std::size_t(j)];
+                mask |= Mask{1} << l;
+              }
+            }
+            if (mask != 0) w.atomic_add(out.data(), oi, ov, mask);
+          }
+        }
+        for (int g : gs) {
+          for (int t = 0; t < geom.group_threads; ++t) {
+            const int l = g * geom.layout_stride + t;
+            for (int c = 0; c < geom.chunks; ++c) {
+              acc[std::size_t(l) * std::size_t(geom.chunks) +
+                  std::size_t(c)] = {};
+            }
+          }
+        }
+      };
+
+      for (int t = 0; t < per; ++t) {
+        LaneArray<int> sidx{};
+        Mask mask = 0;
+        std::vector<bool> ok(static_cast<std::size_t>(G));
+        for (int g = 0; g < G; ++g) {
+          const int pos = g * per + t;
+          ok[std::size_t(g)] = pos < count;
+          if (!ok[std::size_t(g)]) continue;
+          for (int q = 0; q < geom.group_threads; ++q) {
+            const int l = g * geom.layout_stride + q;
+            sidx[l] = pos;
+            mask |= Mask{1} << l;
+          }
+        }
+        if (mask == 0) continue;
+        const auto rows = w.sh_read(std::span<const vid_t>(sh_row), sidx, mask);
+        const auto cols = w.sh_read(std::span<const vid_t>(sh_col), sidx, mask);
+        const auto zs = w.sh_read(std::span<const float>(sh_z), sidx, mask);
+
+        std::vector<int> flushing;
+        for (int g = 0; g < G; ++g) {
+          if (!ok[std::size_t(g)]) continue;
+          const vid_t r = rows[g * geom.layout_stride];
+          if (cur[std::size_t(g)] != r && cur[std::size_t(g)] >= 0) {
+            flushing.push_back(g);
+          }
+        }
+        if (!flushing.empty()) flush(flushing);
+        for (int g = 0; g < G; ++g) {
+          if (ok[std::size_t(g)]) cur[std::size_t(g)] = rows[g * geom.layout_stride];
+        }
+
+        for (int c = 0; c < geom.chunks; ++c) {
+          LaneArray<std::int64_t> fi{};
+          Mask fmask = 0;
+          for (int l = 0; l < kWarpSize; ++l) {
+            if (!geom.lane_active(l)) continue;
+            const int g = geom.lane_group(l);
+            if (!ok[std::size_t(g)]) continue;
+            const int off = feat_off(l, c);
+            if (off >= f) continue;
+            fi[l] = std::int64_t(cols[g * geom.layout_stride]) * f + off;
+            fmask |= Mask{1} << l;
+          }
+          if (fmask == 0) continue;
+          const auto hv = detail::load_vec(w, h.data(), fi, fmask, geom.vec);
+          if (t % std::max(1, cfg.unroll) == std::max(1, cfg.unroll) - 1) {
+            w.use();
+          }
+          for (int l = 0; l < kWarpSize; ++l) {
+            if (!(fmask >> l & 1u)) continue;
+            const int g = geom.lane_group(l);
+            auto& a = acc[std::size_t(l) * std::size_t(geom.chunks) +
+                          std::size_t(c)];
+            for (int j = 0; j < geom.vec; ++j) {
+              a[std::size_t(j)] += zs[g * geom.layout_stride] * hv[l][j];
+            }
+          }
+          w.alu(geom.vec);
+        }
+      }
+      std::vector<int> remaining;
+      for (int g = 0; g < G; ++g) {
+        if (cur[std::size_t(g)] >= 0) remaining.push_back(g);
+      }
+      if (!remaining.empty()) flush(remaining);
+    };
+    stats.aggregate_pass = gpusim::launch(dev, lc, body);
+  }
+  return stats;
+}
+
+}  // namespace gnnone

@@ -1,0 +1,348 @@
+// GNNOne SpMM: two-stage data load + symbiotic thread scheduler with running
+// thread-local reduction and atomic write-back (paper §4.1-§4.3).
+#include <algorithm>
+#include <cmath>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "kernels/detail/thread_group.h"
+#include "kernels/detail/vec_load.h"
+#include "graph/convert.h"
+#include "kernels/gnnone.h"
+
+namespace gnnone {
+
+namespace {
+
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+
+int normalized_cache_size(const GnnOneConfig& cfg) {
+  int c = std::max(cfg.cache_size, kWarpSize);
+  return (c + kWarpSize - 1) / kWarpSize * kWarpSize;
+}
+
+}  // namespace
+
+// Stage-1 row-id source: COO reads the row array directly (4 extra bytes
+// per NZE); the CSR variant locates each warp's starting row by binary
+// search on the offsets metadata and walks boundaries while staging — the
+// trade-off the paper analyzes in §5.4.5.
+gpusim::KernelStats gnnone_spmm_impl(const gpusim::DeviceSpec& dev,
+                                     const Coo& coo,
+                                     std::span<const eid_t> csr_offsets,
+                                     std::span<const float> edge_val,
+                                     std::span<const float> x, int f,
+                                     std::span<float> y,
+                                     const GnnOneConfig& cfg) {
+  const bool from_csr = !csr_offsets.empty();
+  assert(edge_val.size() == std::size_t(coo.nnz()));
+  assert(x.size() == std::size_t(coo.num_cols) * std::size_t(f));
+  assert(y.size() == std::size_t(coo.num_rows) * std::size_t(f));
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+
+  const eid_t nnz = coo.nnz();
+  const int cache = normalized_cache_size(cfg);
+  const auto geom = detail::make_group_geom(f, cfg.vec_width);
+  const bool load_only = cfg.mode == KernelMode::kLoadOnly;
+
+  gpusim::LaunchConfig lc;
+  const std::int64_t warps = (nnz + cache - 1) / cache;
+  lc.warps_per_cta = cfg.warps_per_cta;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  lc.shared_bytes_per_cta =
+      cfg.stage1_caching
+          ? std::size_t(lc.warps_per_cta) * std::size_t(cache) *
+                (2 * sizeof(vid_t) + sizeof(float))
+          : 0;
+  // Running reduction keeps register pressure flat: ids, loop state, and
+  // vec*chunks accumulators (ptxas-level estimate for the CUDA original).
+  lc.regs_per_thread = 32 + geom.vec * geom.chunks;
+
+  const vid_t* row_ids = coo.row.data();
+  const vid_t* col_ids = coo.col.data();
+
+  const int search_probes =
+      from_csr
+          ? int(std::ceil(std::log2(double(std::max<vid_t>(coo.num_rows, 2)))))
+          : 0;
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const std::int64_t base = w.global_warp_id() * cache;
+    if (base >= nnz) return;
+    const int count = int(std::min<std::int64_t>(cache, nnz - base));
+
+    if (from_csr) {
+      // Binary search for the warp's starting row: serial dependent probes
+      // of the offsets metadata.
+      for (int p = 0; p < search_probes; ++p) {
+        LaneArray<std::int64_t> pi{};
+        pi[0] = (base + p) % (coo.num_rows + 1);
+        (void)w.ld_global_l2(csr_offsets.data(), pi, Mask{1});
+        if (p % 2 == 1) w.use();  // upper levels are L1-resident
+      }
+      w.use();
+    }
+
+    // ------------------------------ Stage 1 ------------------------------
+    std::span<vid_t> sh_row, sh_col;
+    std::span<float> sh_val;
+    if (cfg.stage1_caching) {
+      sh_row = w.shared().alloc<vid_t>(std::size_t(cache));
+      sh_col = w.shared().alloc<vid_t>(std::size_t(cache));
+      sh_val = w.shared().alloc<float>(std::size_t(cache));
+      for (int c = 0; c < count; c += kWarpSize) {
+        const int k = std::min(kWarpSize, count - c);
+        const Mask mask = gpusim::lanes_below(k);
+        LaneArray<std::int64_t> idx{};
+        LaneArray<int> sidx{};
+        for (int l = 0; l < k; ++l) {
+          idx[l] = base + c + l;
+          sidx[l] = c + l;
+        }
+        if (from_csr) {
+          // Row ids are not stored: derive them by walking the offsets
+          // metadata (one L2 probe per staging chunk after the initial
+          // binary search below) and stage the derived ids.
+          LaneArray<vid_t> rows{};
+          for (int l = 0; l < k; ++l) rows[l] = row_ids[base + c + l];
+          LaneArray<std::int64_t> oi{};
+          oi[0] = rows[0];
+          (void)w.ld_global_l2(csr_offsets.data(), oi, Mask{1});
+          w.use();  // the derived ids depend on the boundary value
+          (void)w.shfl_broadcast(rows, 0);  // spread the boundary to lanes
+          w.sh_write(sh_row, sidx, rows, mask);
+        } else {
+          w.sh_write(sh_row, sidx, w.ld_global(row_ids, idx, mask), mask);
+        }
+        w.sh_write(sh_col, sidx, w.ld_global(col_ids, idx, mask), mask);
+        w.sh_write(sh_val, sidx, w.ld_global(edge_val.data(), idx, mask),
+                   mask);
+      }
+      w.sync();  // the memory barrier before Stage 2 reads the cache
+    }
+
+    // ------------------------------ Stage 2 ------------------------------
+    const int G = geom.n_groups;
+    const int per = (count + G - 1) / G;  // NZEs per thread-group
+    const bool consecutive = cfg.policy == SchedulePolicy::kConsecutive;
+
+    // Per-lane running accumulators and per-group current row.
+    std::vector<std::array<float, 4>> acc(
+        std::size_t(kWarpSize) * std::size_t(geom.chunks),
+        std::array<float, 4>{});
+    std::vector<vid_t> cur(std::size_t(G), -1);
+
+    auto feat_off = [&](int l, int c) {
+      return (c * geom.group_threads + geom.lane_in_group(l)) * geom.vec;
+    };
+
+    // Writes group g's accumulated row sum to y with atomics, then clears.
+    auto flush_group = [&](const std::vector<int>& gs) {
+      if (load_only) return;
+      for (int c = 0; c < geom.chunks; ++c) {
+        for (int j = 0; j < geom.vec; ++j) {
+          LaneArray<std::int64_t> idx{};
+          LaneArray<float> val{};
+          Mask mask = 0;
+          for (int g : gs) {
+            for (int t = 0; t < geom.group_threads; ++t) {
+              const int l = g * geom.layout_stride + t;
+              const int off = feat_off(l, c);
+              if (off >= f) continue;
+              idx[l] = std::int64_t(cur[std::size_t(g)]) * f + off + j;
+              val[l] = acc[std::size_t(l) * std::size_t(geom.chunks) +
+                           std::size_t(c)][std::size_t(j)];
+              mask |= Mask{1} << l;
+            }
+          }
+          if (mask != 0) w.atomic_add(y.data(), idx, val, mask);
+        }
+      }
+      for (int g : gs) {
+        for (int t = 0; t < geom.group_threads; ++t) {
+          const int l = g * geom.layout_stride + t;
+          for (int c = 0; c < geom.chunks; ++c) {
+            acc[std::size_t(l) * std::size_t(geom.chunks) + std::size_t(c)] =
+                {};
+          }
+        }
+      }
+    };
+
+    const int U = std::max(1, cfg.unroll);
+    std::vector<vid_t> t_row(std::size_t(U) * std::size_t(G));
+    std::vector<vid_t> t_col(std::size_t(U) * std::size_t(G));
+    std::vector<float> t_val(std::size_t(U) * std::size_t(G));
+    std::vector<bool> t_ok(std::size_t(U) * std::size_t(G));
+    std::vector<detail::VecLanes> fbuf(std::size_t(U) *
+                                       std::size_t(geom.chunks));
+    std::vector<std::int64_t> prev_line(
+        std::size_t(kWarpSize) * std::size_t(geom.chunks), -1);
+
+    for (int tb = 0; tb < per; tb += U) {
+      const int bl = std::min(U, per - tb);
+
+      // ---- load phase: NZE ids then this block's vertex features --------
+      for (int t = 0; t < bl; ++t) {
+        LaneArray<std::int64_t> gidx{};
+        LaneArray<int> sidx{};
+        Mask mask = 0;
+        for (int g = 0; g < G; ++g) {
+          const int pos =
+              consecutive ? g * per + (tb + t) : (tb + t) * G + g;
+          const bool ok = pos < count;
+          t_ok[std::size_t(t) * std::size_t(G) + std::size_t(g)] = ok;
+          if (!ok) continue;
+          for (int q = 0; q < geom.group_threads; ++q) {
+            const int l = g * geom.layout_stride + q;
+            gidx[l] = base + pos;
+            sidx[l] = pos;
+            mask |= Mask{1} << l;
+          }
+        }
+        if (mask == 0) continue;
+        LaneArray<vid_t> rows{}, cols{};
+        LaneArray<float> vals{};
+        if (cfg.stage1_caching) {
+          rows = w.sh_read(std::span<const vid_t>(sh_row), sidx, mask);
+          cols = w.sh_read(std::span<const vid_t>(sh_col), sidx, mask);
+          vals = w.sh_read(std::span<const float>(sh_val), sidx, mask);
+        } else {
+          rows = w.ld_global(row_ids, gidx, mask);
+          cols = w.ld_global(col_ids, gidx, mask);
+          vals = w.ld_global(edge_val.data(), gidx, mask);
+          w.use();  // feature addresses depend on these ids
+        }
+        for (int g = 0; g < G; ++g) {
+          if (!t_ok[std::size_t(t) * std::size_t(G) + std::size_t(g)]) continue;
+          const int l = g * geom.layout_stride;
+          t_row[std::size_t(t) * std::size_t(G) + std::size_t(g)] = rows[l];
+          t_col[std::size_t(t) * std::size_t(G) + std::size_t(g)] = cols[l];
+          t_val[std::size_t(t) * std::size_t(G) + std::size_t(g)] = vals[l];
+        }
+        // Vertex-feature vector loads for this iteration (stay in the load
+        // window; the whole block's loads overlap). A lane whose target 128B
+        // line matches its previous iteration's line hits L1 — the data
+        // locality the Consecutive policy wins (§5.4.3, Fig. 10): a group's
+        // consecutive NZEs are usually the same row, whose sorted column ids
+        // land on nearby feature lines.
+        for (int c = 0; c < geom.chunks; ++c) {
+          LaneArray<std::int64_t> fidx{};
+          Mask fmask = 0, hit = 0;
+          for (int l = 0; l < kWarpSize; ++l) {
+            if (!geom.lane_active(l)) continue;
+            const int g = geom.lane_group(l);
+            if (!t_ok[std::size_t(t) * std::size_t(G) + std::size_t(g)]) {
+              continue;
+            }
+            const int off = feat_off(l, c);
+            if (off >= f) continue;
+            fidx[l] =
+                std::int64_t(
+                    t_col[std::size_t(t) * std::size_t(G) + std::size_t(g)]) *
+                    f +
+                off;
+            fmask |= Mask{1} << l;
+            const std::int64_t line = fidx[l] * std::int64_t(sizeof(float)) /
+                                      gpusim::kTransactionBytes;
+            auto& prev = prev_line[std::size_t(l) * std::size_t(geom.chunks) +
+                                   std::size_t(c)];
+            if (line == prev) hit |= Mask{1} << l;
+            prev = line;
+          }
+          auto& fb =
+              fbuf[std::size_t(t) * std::size_t(geom.chunks) + std::size_t(c)];
+          if ((fmask & ~hit) != 0) {
+            fb = detail::load_vec(w, x.data(), fidx, fmask & ~hit, geom.vec);
+          }
+          if ((fmask & hit) != 0) {
+            // L1-resident lanes: cheap load, functional copy.
+            (void)w.ld_global_l2(x.data(), fidx, fmask & hit);
+            for (int l = 0; l < kWarpSize; ++l) {
+              if (!((fmask & hit) >> l & 1u)) continue;
+              for (int j = 0; j < geom.vec; ++j) {
+                fb[l][j] = x[std::size_t(fidx[l]) + std::size_t(j)];
+              }
+            }
+          }
+        }
+      }
+      w.use();  // block boundary: consume all outstanding feature loads
+
+      if (load_only) continue;
+
+      // ---- compute phase: row-split flushes + running FMA reduction -----
+      for (int t = 0; t < bl; ++t) {
+        std::vector<int> flushing;
+        for (int g = 0; g < G; ++g) {
+          if (!t_ok[std::size_t(t) * std::size_t(G) + std::size_t(g)]) continue;
+          const vid_t r =
+              t_row[std::size_t(t) * std::size_t(G) + std::size_t(g)];
+          if (cur[std::size_t(g)] != r) {
+            if (cur[std::size_t(g)] >= 0) flushing.push_back(g);
+          }
+        }
+        if (!flushing.empty()) flush_group(flushing);
+        for (int g = 0; g < G; ++g) {
+          if (!t_ok[std::size_t(t) * std::size_t(G) + std::size_t(g)]) continue;
+          cur[std::size_t(g)] =
+              t_row[std::size_t(t) * std::size_t(G) + std::size_t(g)];
+        }
+        for (int c = 0; c < geom.chunks; ++c) {
+          const auto& fv =
+              fbuf[std::size_t(t) * std::size_t(geom.chunks) + std::size_t(c)];
+          for (int l = 0; l < kWarpSize; ++l) {
+            if (!geom.lane_active(l)) continue;
+            const int g = geom.lane_group(l);
+            if (!t_ok[std::size_t(t) * std::size_t(G) + std::size_t(g)]) {
+              continue;
+            }
+            if (feat_off(l, c) >= f) continue;
+            const float ev =
+                t_val[std::size_t(t) * std::size_t(G) + std::size_t(g)];
+            auto& a = acc[std::size_t(l) * std::size_t(geom.chunks) +
+                          std::size_t(c)];
+            for (int j = 0; j < geom.vec; ++j) a[std::size_t(j)] += ev * fv[l][j];
+          }
+        }
+        w.alu(geom.chunks * geom.vec);
+      }
+    }
+
+    // Final flush of every group still holding a row sum.
+    std::vector<int> remaining;
+    for (int g = 0; g < G; ++g) {
+      if (cur[std::size_t(g)] >= 0) remaining.push_back(g);
+    }
+    if (!remaining.empty()) flush_group(remaining);
+  };
+
+  return gpusim::launch(dev, lc, body);
+}
+
+gpusim::KernelStats gnnone_spmm(const gpusim::DeviceSpec& dev, const Coo& coo,
+                                std::span<const float> edge_val,
+                                std::span<const float> x, int f,
+                                std::span<float> y, const GnnOneConfig& cfg) {
+  return gnnone_spmm_impl(dev, coo, {}, edge_val, x, f, y, cfg);
+}
+
+gpusim::KernelStats gnnone_spmm_csr(const gpusim::DeviceSpec& dev,
+                                    const Csr& csr,
+                                    std::span<const float> edge_val,
+                                    std::span<const float> x, int f,
+                                    std::span<float> y,
+                                    const GnnOneConfig& cfg) {
+  // Functional row ids derived host-side (the device derives them from the
+  // offsets walk, whose cost the impl charges).
+  const Coo coo = csr_to_coo(csr);
+  return gnnone_spmm_impl(dev, coo, csr.offsets, edge_val, x, f, y, cfg);
+}
+
+}  // namespace gnnone

@@ -1,0 +1,125 @@
+// GNNOne COO SpMV (paper §4.4, Fig. 12): nonzero-split over the COO format.
+// Stage-1 caching is dropped (feature length is 1); each thread reduces N
+// consecutive NZEs thread-locally — the Merrill-style trade — but row ids
+// come directly from COO (4 extra bytes per NZE) instead of merge-path
+// metadata search.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "gpusim/launch.h"
+#include "kernels/gnnone.h"
+
+namespace gnnone {
+
+namespace {
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::Mask;
+}  // namespace
+
+gpusim::KernelStats gnnone_spmv(const gpusim::DeviceSpec& dev, const Coo& coo,
+                                std::span<const float> edge_val,
+                                std::span<const float> x, std::span<float> y,
+                                int nzes_per_thread) {
+  assert(edge_val.size() == std::size_t(coo.nnz()));
+  assert(x.size() == std::size_t(coo.num_cols));
+  assert(y.size() == std::size_t(coo.num_rows));
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+
+  const eid_t nnz = coo.nnz();
+  const int N = std::max(1, nzes_per_thread);
+  const std::int64_t per_warp = std::int64_t(kWarpSize) * N;
+
+  gpusim::LaunchConfig lc;
+  const std::int64_t warps = (nnz + per_warp - 1) / per_warp;
+  lc.warps_per_cta = 4;
+  lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
+  lc.regs_per_thread = 30;
+
+  const vid_t* row_ids = coo.row.data();
+  const vid_t* col_ids = coo.col.data();
+
+  auto body = [&](gpusim::WarpCtx& w) {
+    const std::int64_t base = w.global_warp_id() * per_warp;
+    if (base >= nnz) return;
+
+    // Lane l owns NZEs [base + l*N, base + (l+1)*N).
+    std::array<LaneArray<vid_t>, 8> rows{}, cols{};
+    std::array<LaneArray<float>, 8> vals{}, xs{};
+    assert(N <= 8);
+
+    auto lane_mask_at = [&](int i) {
+      Mask m = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (base + std::int64_t(l) * N + i < nnz) m |= Mask{1} << l;
+      }
+      return m;
+    };
+
+    // Phase 1: the thread's N NZEs (row, col, val) — independent loads, one
+    // window.
+    for (int i = 0; i < N; ++i) {
+      const Mask m = lane_mask_at(i);
+      if (m == 0) break;
+      LaneArray<std::int64_t> idx{};
+      for (int l = 0; l < kWarpSize; ++l) idx[l] = base + std::int64_t(l) * N + i;
+      rows[std::size_t(i)] = w.ld_global(row_ids, idx, m);
+      cols[std::size_t(i)] = w.ld_global(col_ids, idx, m);
+      vals[std::size_t(i)] = w.ld_global(edge_val.data(), idx, m);
+    }
+    w.use();
+
+    // Phase 2: gather x[col] — addresses depend on phase 1.
+    for (int i = 0; i < N; ++i) {
+      const Mask m = lane_mask_at(i);
+      if (m == 0) break;
+      LaneArray<std::int64_t> idx{};
+      for (int l = 0; l < kWarpSize; ++l) idx[l] = cols[std::size_t(i)][l];
+      xs[std::size_t(i)] = w.ld_global(x.data(), idx, m);
+    }
+    w.use();
+
+    // Phase 3: thread-local running reduction with atomic row-split flushes.
+    LaneArray<float> acc{};
+    LaneArray<vid_t> cur{};
+    cur.fill(-1);
+    for (int i = 0; i < N; ++i) {
+      const Mask m = lane_mask_at(i);
+      if (m == 0) break;
+      LaneArray<std::int64_t> fidx{};
+      LaneArray<float> fval{};
+      Mask fmask = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!(m >> l & 1u)) continue;
+        const vid_t r = rows[std::size_t(i)][l];
+        if (cur[l] != r && cur[l] >= 0) {
+          fidx[l] = cur[l];
+          fval[l] = acc[l];
+          fmask |= Mask{1} << l;
+          acc[l] = 0.0f;
+        }
+        cur[l] = r;
+        acc[l] += vals[std::size_t(i)][l] * xs[std::size_t(i)][l];
+      }
+      w.alu(1);
+      if (fmask != 0) w.atomic_add(y.data(), fidx, fval, fmask);
+    }
+    // Final flush.
+    LaneArray<std::int64_t> fidx{};
+    LaneArray<float> fval{};
+    Mask fmask = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (cur[l] >= 0) {
+        fidx[l] = cur[l];
+        fval[l] = acc[l];
+        fmask |= Mask{1} << l;
+      }
+    }
+    if (fmask != 0) w.atomic_add(y.data(), fidx, fval, fmask);
+  };
+
+  return gpusim::launch(dev, lc, body);
+}
+
+}  // namespace gnnone

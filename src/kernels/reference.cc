@@ -1,0 +1,97 @@
+#include "kernels/reference.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace gnnone::ref {
+
+void spmm(const Coo& coo, std::span<const float> edge_val,
+          std::span<const float> x, int f, std::span<float> y) {
+  assert(edge_val.size() == std::size_t(coo.nnz()));
+  assert(x.size() == std::size_t(coo.num_cols) * std::size_t(f));
+  assert(y.size() == std::size_t(coo.num_rows) * std::size_t(f));
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+  for (std::size_t e = 0; e < coo.row.size(); ++e) {
+    const auto r = std::size_t(coo.row[e]);
+    const auto c = std::size_t(coo.col[e]);
+    const float v = edge_val[e];
+    for (int j = 0; j < f; ++j) {
+      y[r * std::size_t(f) + std::size_t(j)] +=
+          v * x[c * std::size_t(f) + std::size_t(j)];
+    }
+  }
+}
+
+void sddmm(const Coo& coo, std::span<const float> x, std::span<const float> y,
+           int f, std::span<float> w) {
+  assert(x.size() == std::size_t(coo.num_rows) * std::size_t(f));
+  assert(y.size() == std::size_t(coo.num_cols) * std::size_t(f));
+  assert(w.size() == std::size_t(coo.nnz()));
+  for (std::size_t e = 0; e < coo.row.size(); ++e) {
+    const auto r = std::size_t(coo.row[e]);
+    const auto c = std::size_t(coo.col[e]);
+    float dot = 0.0f;
+    for (int j = 0; j < f; ++j) {
+      dot += x[r * std::size_t(f) + std::size_t(j)] *
+             y[c * std::size_t(f) + std::size_t(j)];
+    }
+    w[e] = dot;
+  }
+}
+
+void spmv(const Coo& coo, std::span<const float> edge_val,
+          std::span<const float> x, std::span<float> y) {
+  assert(edge_val.size() == std::size_t(coo.nnz()));
+  assert(x.size() == std::size_t(coo.num_cols));
+  assert(y.size() == std::size_t(coo.num_rows));
+  std::memset(y.data(), 0, y.size() * sizeof(float));
+  for (std::size_t e = 0; e < coo.row.size(); ++e) {
+    y[std::size_t(coo.row[e])] += edge_val[e] * x[std::size_t(coo.col[e])];
+  }
+}
+
+std::vector<float> dense_spmm(const Coo& coo, std::span<const float> edge_val,
+                              std::span<const float> x, int f) {
+  // Materialize A densely, then multiply. Only for tiny test matrices.
+  const auto n = std::size_t(coo.num_rows);
+  const auto m = std::size_t(coo.num_cols);
+  std::vector<float> a(n * m, 0.0f);
+  for (std::size_t e = 0; e < coo.row.size(); ++e) {
+    a[std::size_t(coo.row[e]) * m + std::size_t(coo.col[e])] = edge_val[e];
+  }
+  std::vector<float> out(n * std::size_t(f), 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < m; ++k) {
+      const float av = a[i * m + k];
+      if (av == 0.0f) continue;
+      for (std::size_t j = 0; j < std::size_t(f); ++j) {
+        out[i * std::size_t(f) + j] += av * x[k * std::size_t(f) + j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> dense_sddmm(const Coo& coo, std::span<const float> x,
+                               std::span<const float> y, int f) {
+  // Materialize the full X * Y^T product, then sample it at the NZEs —
+  // deliberately a different computation order than ref::sddmm.
+  const auto n = std::size_t(coo.num_rows);
+  const auto m = std::size_t(coo.num_cols);
+  std::vector<float> p(n * m, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < std::size_t(f); ++j) {
+      const float xv = x[i * std::size_t(f) + j];
+      for (std::size_t k = 0; k < m; ++k) {
+        p[i * m + k] += xv * y[k * std::size_t(f) + j];
+      }
+    }
+  }
+  std::vector<float> out(coo.row.size(), 0.0f);
+  for (std::size_t e = 0; e < coo.row.size(); ++e) {
+    out[e] = p[std::size_t(coo.row[e]) * m + std::size_t(coo.col[e])];
+  }
+  return out;
+}
+
+}  // namespace gnnone::ref

@@ -1,0 +1,34 @@
+// CPU golden implementations of the sparse kernels. Every simulated GPU
+// kernel — GNNOne and all baselines — is verified against these in the test
+// suite.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/coo.h"
+#include "graph/csr.h"
+
+namespace gnnone::ref {
+
+/// SpMM: y[r, :] += sum over NZE (r, c) of edge_val[e] * x[c, :].
+/// x is num_cols*f, y is num_rows*f (overwritten).
+void spmm(const Coo& coo, std::span<const float> edge_val,
+          std::span<const float> x, int f, std::span<float> y);
+
+/// SDDMM: w[e] = dot(x[row[e], :], y[col[e], :]).
+void sddmm(const Coo& coo, std::span<const float> x, std::span<const float> y,
+           int f, std::span<float> w);
+
+/// SpMV: y[r] += sum over NZE (r, c) of edge_val[e] * x[c].
+void spmv(const Coo& coo, std::span<const float> edge_val,
+          std::span<const float> x, std::span<float> y);
+
+/// Dense cross-checks used to validate the reference kernels themselves:
+/// SpMM == (dense A) * X and SDDMM == mask(A) ⊙ (X * Y^T).
+std::vector<float> dense_spmm(const Coo& coo, std::span<const float> edge_val,
+                              std::span<const float> x, int f);
+std::vector<float> dense_sddmm(const Coo& coo, std::span<const float> x,
+                               std::span<const float> y, int f);
+
+}  // namespace gnnone::ref

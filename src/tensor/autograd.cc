@@ -1,0 +1,49 @@
+#include "tensor/autograd.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gnnone {
+
+VarPtr make_var(Tensor v, bool requires_grad, const std::string& name) {
+  auto var = std::make_shared<Variable>(std::move(v), requires_grad);
+  var->name = name;
+  return var;
+}
+
+VarPtr make_op(Tensor v, std::vector<VarPtr> parents,
+               std::function<void()> backward_fn) {
+  bool req = false;
+  for (const auto& p : parents) req = req || p->requires_grad;
+  auto var = std::make_shared<Variable>(std::move(v), req);
+  var->parents = std::move(parents);
+  var->backward_fn = std::move(backward_fn);
+  return var;
+}
+
+namespace {
+
+void topo_sort(const VarPtr& root, std::vector<VarPtr>& order,
+               std::unordered_set<Variable*>& seen) {
+  if (!seen.insert(root.get()).second) return;
+  for (const auto& p : root->parents) topo_sort(p, order, seen);
+  order.push_back(root);
+}
+
+}  // namespace
+
+void backward(const VarPtr& root, bool seeded) {
+  if (!seeded) {
+    for (std::size_t i = 0; i < std::size_t(root->grad.numel()); ++i) {
+      root->grad[i] = 1.0f;
+    }
+  }
+  std::vector<VarPtr> order;
+  std::unordered_set<Variable*> seen;
+  topo_sort(root, order, seen);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn && (*it)->requires_grad) (*it)->backward_fn();
+  }
+}
+
+}  // namespace gnnone

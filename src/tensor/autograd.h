@@ -1,0 +1,47 @@
+// Reverse-mode autograd over Tensor.
+//
+// Variables form a DAG; backward() runs a reverse topological sweep. Dense
+// ops (ops.h) and the GNN layers' custom sparse nodes (gnn/layers.h) both
+// build on this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gnnone {
+
+struct Variable;
+using VarPtr = std::shared_ptr<Variable>;
+
+struct Variable {
+  Tensor value;
+  Tensor grad;  // same shape as value, lazily zero-initialized
+  bool requires_grad = false;
+  std::vector<VarPtr> parents;
+  /// Propagates this->grad into parents' grads.
+  std::function<void()> backward_fn;
+  std::string name;  // for debugging / parameter registration
+
+  explicit Variable(Tensor v, bool req = false)
+      : value(std::move(v)), requires_grad(req) {
+    grad = Tensor(value.rows(), value.cols());
+  }
+};
+
+/// Creates a leaf variable.
+VarPtr make_var(Tensor v, bool requires_grad = false,
+                const std::string& name = "");
+
+/// Creates an interior node whose gradient flows to `parents`.
+VarPtr make_op(Tensor v, std::vector<VarPtr> parents,
+               std::function<void()> backward_fn);
+
+/// Seeds `root->grad` with ones (or keeps a preset seed when `seeded`) and
+/// back-propagates through the DAG.
+void backward(const VarPtr& root, bool seeded = false);
+
+}  // namespace gnnone

@@ -1,0 +1,44 @@
+// Roofline cost model for dense ops (linear layers, activations, softmax…).
+//
+// Both training backends use PyTorch for these in the paper, so a shared
+// first-order model is sufficient: time = launch overhead + max(compute
+// bound, memory bound).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "gpusim/device.h"
+
+namespace gnnone {
+
+/// FMA throughput of the whole device, FLOPs per cycle (A100 FP32:
+/// 64 FMA/SM/cycle * 2 * 108 SMs ~= 13800; rounded).
+inline constexpr double kDeviceFlopsPerCycle = 13824.0;
+
+/// Modeled cycles for a dense op touching `bytes` of memory and doing
+/// `flops` floating point operations.
+inline std::uint64_t dense_op_cycles(const gpusim::DeviceSpec& dev,
+                                     double flops, double bytes,
+                                     std::uint64_t launch_overhead = 2000) {
+  const double compute = flops / kDeviceFlopsPerCycle;
+  const double memory = bytes / dev.dram_bytes_per_cycle;
+  return launch_overhead + std::uint64_t(std::max(compute, memory));
+}
+
+/// Convenience for an n x k by k x m matmul.
+inline std::uint64_t matmul_cycles(const gpusim::DeviceSpec& dev,
+                                   std::int64_t n, std::int64_t k,
+                                   std::int64_t m) {
+  const double flops = 2.0 * double(n) * double(k) * double(m);
+  const double bytes = 4.0 * (double(n) * k + double(k) * m + double(n) * m);
+  return dense_op_cycles(dev, flops, bytes);
+}
+
+/// Elementwise op over `numel` floats (relu, dropout, add, ...).
+inline std::uint64_t elementwise_cycles(const gpusim::DeviceSpec& dev,
+                                        std::int64_t numel) {
+  return dense_op_cycles(dev, double(numel), 8.0 * double(numel));
+}
+
+}  // namespace gnnone

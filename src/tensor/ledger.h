@@ -1,0 +1,52 @@
+// CycleLedger: accumulates the modeled GPU time of a training run.
+//
+// Sparse kernels contribute their simulated cycles (gpusim); dense ops
+// contribute a roofline estimate (dense_cost.h). Both backends in the
+// training comparison share the dense model — matching the paper's setup
+// where GNNOne and DGL both delegate dense ops to PyTorch (§5.3.2) — so
+// end-to-end speedups are driven by the sparse kernels and launch counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnnone {
+
+class CycleLedger {
+ public:
+  void add(const std::string& tag, std::uint64_t cycles) {
+    total_ += cycles;
+    for (auto& [t, c] : by_tag_) {
+      if (t == tag) {
+        c += cycles;
+        return;
+      }
+    }
+    by_tag_.emplace_back(tag, cycles);
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  std::uint64_t by_tag(const std::string& tag) const {
+    for (const auto& [t, c] : by_tag_) {
+      if (t == tag) return c;
+    }
+    return 0;
+  }
+
+  const std::vector<std::pair<std::string, std::uint64_t>>& entries() const {
+    return by_tag_;
+  }
+
+  void reset() {
+    total_ = 0;
+    by_tag_.clear();
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> by_tag_;
+};
+
+}  // namespace gnnone

@@ -1,0 +1,298 @@
+#include "tensor/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "gen/rng.h"
+#include "tensor/dense_cost.h"
+
+namespace gnnone {
+
+VarPtr vmatmul(const OpContext& ctx, const VarPtr& a, const VarPtr& b) {
+  assert(a->value.cols() == b->value.rows());
+  ctx.charge("dense", matmul_cycles(*ctx.dev, a->value.rows(),
+                                    a->value.cols(), b->value.cols()));
+  Tensor out = matmul(a->value, b->value);
+  auto node = make_op(std::move(out), {a, b}, nullptr);
+  Variable* n = node.get();
+  Variable* av = a.get();
+  Variable* bv = b.get();
+  node->backward_fn = [ctx, n, av, bv]() {
+    if (av->requires_grad) {
+      ctx.charge("dense", matmul_cycles(*ctx.dev, n->grad.rows(),
+                                        n->grad.cols(), bv->value.rows()));
+      const Tensor da = matmul_bt(n->grad, bv->value);
+      for (std::size_t i = 0; i < std::size_t(da.numel()); ++i) {
+        av->grad[i] += da[i];
+      }
+    }
+    if (bv->requires_grad) {
+      ctx.charge("dense", matmul_cycles(*ctx.dev, av->value.cols(),
+                                        av->value.rows(), n->grad.cols()));
+      const Tensor db = matmul_at(av->value, n->grad);
+      for (std::size_t i = 0; i < std::size_t(db.numel()); ++i) {
+        bv->grad[i] += db[i];
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr vbias(const OpContext& ctx, const VarPtr& a, const VarPtr& bias) {
+  assert(bias->value.rows() == 1 && bias->value.cols() == a->value.cols());
+  ctx.charge("dense", elementwise_cycles(*ctx.dev, a->value.numel()));
+  Tensor out = a->value;
+  for (std::int64_t r = 0; r < out.rows(); ++r) {
+    for (std::int64_t c = 0; c < out.cols(); ++c) {
+      out.at(r, c) += bias->value.at(0, c);
+    }
+  }
+  auto node = make_op(std::move(out), {a, bias}, nullptr);
+  Variable* n = node.get();
+  Variable* av = a.get();
+  Variable* bv = bias.get();
+  node->backward_fn = [ctx, n, av, bv]() {
+    ctx.charge("dense", elementwise_cycles(*ctx.dev, n->grad.numel()));
+    if (av->requires_grad) {
+      for (std::size_t i = 0; i < std::size_t(n->grad.numel()); ++i) {
+        av->grad[i] += n->grad[i];
+      }
+    }
+    if (bv->requires_grad) {
+      for (std::int64_t r = 0; r < n->grad.rows(); ++r) {
+        for (std::int64_t c = 0; c < n->grad.cols(); ++c) {
+          bv->grad.at(0, c) += n->grad.at(r, c);
+        }
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr vadd(const OpContext& ctx, const VarPtr& a, const VarPtr& b) {
+  assert(a->value.same_shape(b->value));
+  ctx.charge("dense", elementwise_cycles(*ctx.dev, a->value.numel()));
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < std::size_t(out.numel()); ++i) {
+    out[i] += b->value[i];
+  }
+  auto node = make_op(std::move(out), {a, b}, nullptr);
+  Variable* n = node.get();
+  Variable* av = a.get();
+  Variable* bv = b.get();
+  node->backward_fn = [ctx, n, av, bv]() {
+    ctx.charge("dense", elementwise_cycles(*ctx.dev, n->grad.numel()));
+    for (std::size_t i = 0; i < std::size_t(n->grad.numel()); ++i) {
+      if (av->requires_grad) av->grad[i] += n->grad[i];
+      if (bv->requires_grad) bv->grad[i] += n->grad[i];
+    }
+  };
+  return node;
+}
+
+VarPtr vscale(const OpContext& ctx, const VarPtr& a, float s) {
+  ctx.charge("dense", elementwise_cycles(*ctx.dev, a->value.numel()));
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < std::size_t(out.numel()); ++i) out[i] *= s;
+  auto node = make_op(std::move(out), {a}, nullptr);
+  Variable* n = node.get();
+  Variable* av = a.get();
+  node->backward_fn = [ctx, n, av, s]() {
+    ctx.charge("dense", elementwise_cycles(*ctx.dev, n->grad.numel()));
+    if (!av->requires_grad) return;
+    for (std::size_t i = 0; i < std::size_t(n->grad.numel()); ++i) {
+      av->grad[i] += s * n->grad[i];
+    }
+  };
+  return node;
+}
+
+namespace {
+
+VarPtr unary_activation(const OpContext& ctx, const VarPtr& a, float neg_slope) {
+  ctx.charge("dense", elementwise_cycles(*ctx.dev, a->value.numel()));
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < std::size_t(out.numel()); ++i) {
+    if (out[i] < 0.0f) out[i] *= neg_slope;
+  }
+  auto node = make_op(std::move(out), {a}, nullptr);
+  Variable* n = node.get();
+  Variable* av = a.get();
+  node->backward_fn = [ctx, n, av, neg_slope]() {
+    ctx.charge("dense", elementwise_cycles(*ctx.dev, n->grad.numel()));
+    if (!av->requires_grad) return;
+    for (std::size_t i = 0; i < std::size_t(n->grad.numel()); ++i) {
+      av->grad[i] += n->grad[i] * (av->value[i] >= 0.0f ? 1.0f : neg_slope);
+    }
+  };
+  return node;
+}
+
+}  // namespace
+
+VarPtr vrelu(const OpContext& ctx, const VarPtr& a) {
+  return unary_activation(ctx, a, 0.0f);
+}
+
+VarPtr vleaky_relu(const OpContext& ctx, const VarPtr& a, float slope) {
+  return unary_activation(ctx, a, slope);
+}
+
+VarPtr vdropout(const OpContext& ctx, const VarPtr& a, float p,
+                std::uint64_t seed) {
+  if (!ctx.training || p <= 0.0f) return a;
+  ctx.charge("dense", elementwise_cycles(*ctx.dev, a->value.numel()));
+  auto mask = std::make_shared<std::vector<float>>(std::size_t(a->value.numel()));
+  Rng rng(seed);
+  const float scale = 1.0f / (1.0f - p);
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < mask->size(); ++i) {
+    (*mask)[i] = rng.uniform_real() < p ? 0.0f : scale;
+    out[i] *= (*mask)[i];
+  }
+  auto node = make_op(std::move(out), {a}, nullptr);
+  Variable* n = node.get();
+  Variable* av = a.get();
+  node->backward_fn = [ctx, n, av, mask]() {
+    ctx.charge("dense", elementwise_cycles(*ctx.dev, n->grad.numel()));
+    if (!av->requires_grad) return;
+    for (std::size_t i = 0; i < mask->size(); ++i) {
+      av->grad[i] += n->grad[i] * (*mask)[i];
+    }
+  };
+  return node;
+}
+
+VarPtr vlog_softmax(const OpContext& ctx, const VarPtr& a) {
+  ctx.charge("dense", elementwise_cycles(*ctx.dev, 3 * a->value.numel()));
+  Tensor out = a->value;
+  for (std::int64_t r = 0; r < out.rows(); ++r) {
+    float mx = out.at(r, 0);
+    for (std::int64_t c = 1; c < out.cols(); ++c) {
+      mx = std::max(mx, out.at(r, c));
+    }
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < out.cols(); ++c) {
+      sum += std::exp(out.at(r, c) - mx);
+    }
+    const float lse = mx + std::log(sum);
+    for (std::int64_t c = 0; c < out.cols(); ++c) out.at(r, c) -= lse;
+  }
+  auto node = make_op(std::move(out), {a}, nullptr);
+  Variable* n = node.get();
+  Variable* av = a.get();
+  node->backward_fn = [ctx, n, av]() {
+    ctx.charge("dense", elementwise_cycles(*ctx.dev, 3 * n->grad.numel()));
+    if (!av->requires_grad) return;
+    for (std::int64_t r = 0; r < n->grad.rows(); ++r) {
+      float gsum = 0.0f;
+      for (std::int64_t c = 0; c < n->grad.cols(); ++c) {
+        gsum += n->grad.at(r, c);
+      }
+      for (std::int64_t c = 0; c < n->grad.cols(); ++c) {
+        av->grad.at(r, c) +=
+            n->grad.at(r, c) - std::exp(n->value.at(r, c)) * gsum;
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr vcolnorm(const OpContext& ctx, const VarPtr& a, float eps) {
+  ctx.charge("dense", elementwise_cycles(*ctx.dev, 4 * a->value.numel()));
+  const std::int64_t n = a->value.rows(), m = a->value.cols();
+  auto mu = std::make_shared<std::vector<float>>(std::size_t(m), 0.0f);
+  auto inv_sigma = std::make_shared<std::vector<float>>(std::size_t(m), 0.0f);
+  for (std::int64_t j = 0; j < m; ++j) {
+    double s = 0;
+    for (std::int64_t i = 0; i < n; ++i) s += a->value.at(i, j);
+    (*mu)[std::size_t(j)] = float(s / double(n));
+    double v = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double d = a->value.at(i, j) - (*mu)[std::size_t(j)];
+      v += d * d;
+    }
+    (*inv_sigma)[std::size_t(j)] = 1.0f / std::sqrt(float(v / double(n)) + eps);
+  }
+  Tensor out(n, m);
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      out.at(i, j) =
+          (a->value.at(i, j) - (*mu)[std::size_t(j)]) * (*inv_sigma)[std::size_t(j)];
+    }
+  }
+  auto node = make_op(std::move(out), {a}, nullptr);
+  Variable* nn = node.get();
+  Variable* av = a.get();
+  node->backward_fn = [ctx, nn, av, inv_sigma]() {
+    ctx.charge("dense", elementwise_cycles(*ctx.dev, 4 * nn->grad.numel()));
+    if (!av->requires_grad) return;
+    const std::int64_t n = nn->grad.rows(), m = nn->grad.cols();
+    for (std::int64_t j = 0; j < m; ++j) {
+      double g_mean = 0, gy_mean = 0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        g_mean += nn->grad.at(i, j);
+        gy_mean += double(nn->grad.at(i, j)) * double(nn->value.at(i, j));
+      }
+      g_mean /= double(n);
+      gy_mean /= double(n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        av->grad.at(i, j) +=
+            (*inv_sigma)[std::size_t(j)] *
+            float(double(nn->grad.at(i, j)) - g_mean -
+                  double(nn->value.at(i, j)) * gy_mean);
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr vnll_loss(const OpContext& ctx, const VarPtr& logp,
+                 const std::vector<int>& labels) {
+  assert(labels.size() == std::size_t(logp->value.rows()));
+  ctx.charge("dense", elementwise_cycles(*ctx.dev, logp->value.rows()));
+  std::int64_t n_labeled = 0;
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < logp->value.rows(); ++r) {
+    const int y = labels[std::size_t(r)];
+    if (y < 0) continue;
+    loss -= double(logp->value.at(r, y));
+    ++n_labeled;
+  }
+  if (n_labeled == 0) n_labeled = 1;
+  Tensor out(1, 1);
+  out.at(0, 0) = float(loss / double(n_labeled));
+  auto node = make_op(std::move(out), {logp}, nullptr);
+  Variable* n = node.get();
+  Variable* lv = logp.get();
+  const float inv = 1.0f / float(n_labeled);
+  node->backward_fn = [ctx, n, lv, labels, inv]() {
+    ctx.charge("dense", elementwise_cycles(*ctx.dev, lv->grad.numel()));
+    if (!lv->requires_grad) return;
+    const float g = n->grad.at(0, 0);
+    for (std::int64_t r = 0; r < lv->grad.rows(); ++r) {
+      const int y = labels[std::size_t(r)];
+      if (y < 0) continue;
+      lv->grad.at(r, y) -= g * inv;
+    }
+  };
+  return node;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  assert(labels.size() == std::size_t(logits.rows()));
+  std::int64_t correct = 0, total = 0;
+  for (std::int64_t r = 0; r < logits.rows(); ++r) {
+    const int y = labels[std::size_t(r)];
+    if (y < 0) continue;
+    std::int64_t arg = 0;
+    for (std::int64_t c = 1; c < logits.cols(); ++c) {
+      if (logits.at(r, c) > logits.at(r, arg)) arg = c;
+    }
+    ++total;
+    if (arg == y) ++correct;
+  }
+  return total == 0 ? 0.0 : double(correct) / double(total);
+}
+
+}  // namespace gnnone

@@ -1,0 +1,60 @@
+// Autograd dense ops. Every op charges its forward cost to the context's
+// ledger immediately and its backward cost when the gradient flows.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+#include "tensor/autograd.h"
+#include "tensor/ledger.h"
+
+namespace gnnone {
+
+/// Execution context for ops: the simulated device for cost accounting, a
+/// ledger to charge, and the training flag (dropout).
+struct OpContext {
+  const gpusim::DeviceSpec* dev = nullptr;
+  CycleLedger* ledger = nullptr;
+  bool training = true;
+
+  void charge(const char* tag, std::uint64_t cycles) const {
+    if (ledger != nullptr) ledger->add(tag, cycles);
+  }
+};
+
+/// c = a * b (n x k by k x m).
+VarPtr vmatmul(const OpContext& ctx, const VarPtr& a, const VarPtr& b);
+
+/// Adds a 1 x m bias row-wise.
+VarPtr vbias(const OpContext& ctx, const VarPtr& a, const VarPtr& bias);
+
+/// Elementwise sum of same-shape tensors.
+VarPtr vadd(const OpContext& ctx, const VarPtr& a, const VarPtr& b);
+
+/// a scaled by a compile-time-constant scalar (e.g. GIN's 1 + eps).
+VarPtr vscale(const OpContext& ctx, const VarPtr& a, float s);
+
+VarPtr vrelu(const OpContext& ctx, const VarPtr& a);
+VarPtr vleaky_relu(const OpContext& ctx, const VarPtr& a, float slope = 0.2f);
+
+/// Inverted dropout; identity when !ctx.training. Deterministic per seed.
+VarPtr vdropout(const OpContext& ctx, const VarPtr& a, float p,
+                std::uint64_t seed);
+
+/// Row-wise log-softmax.
+VarPtr vlog_softmax(const OpContext& ctx, const VarPtr& a);
+
+/// Per-column standardization (zero mean, unit variance) — the
+/// BatchNorm-without-affine step GIN training needs to keep its unnormalized
+/// sum aggregation stable across layers.
+VarPtr vcolnorm(const OpContext& ctx, const VarPtr& a, float eps = 1e-5f);
+
+/// Mean negative log-likelihood over rows with label >= 0 (masked rows are
+/// skipped, mirroring semi-supervised GNN training splits).
+VarPtr vnll_loss(const OpContext& ctx, const VarPtr& logp,
+                 const std::vector<int>& labels);
+
+/// argmax accuracy over rows with label >= 0.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace gnnone

@@ -1,0 +1,54 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace gnnone {
+
+Adam::Adam(std::vector<VarPtr> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, float(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, float(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = *params_[i];
+    for (std::size_t j = 0; j < std::size_t(p.value.numel()); ++j) {
+      float g = p.grad[j] + weight_decay_ * p.value[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const float mh = m_[i][j] / bc1;
+      const float vh = v_[i][j] / bc2;
+      p.value[j] -= lr_ * mh / (std::sqrt(vh) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (const auto& p : params_) p->grad.zero();
+}
+
+void Sgd::step() {
+  for (const auto& p : params_) {
+    for (std::size_t j = 0; j < std::size_t(p->value.numel()); ++j) {
+      p->value[j] -= lr_ * p->grad[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (const auto& p : params_) p->grad.zero();
+}
+
+}  // namespace gnnone

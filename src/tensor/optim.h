@@ -1,0 +1,43 @@
+// Optimizers over autograd parameters.
+#pragma once
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace gnnone {
+
+class Adam {
+ public:
+  explicit Adam(std::vector<VarPtr> params, float lr = 0.01f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+                float weight_decay = 0.0f);
+
+  /// Applies one update from the accumulated gradients.
+  void step();
+
+  /// Clears all parameter gradients.
+  void zero_grad();
+
+  const std::vector<VarPtr>& params() const { return params_; }
+
+ private:
+  std::vector<VarPtr> params_;
+  std::vector<Tensor> m_, v_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int t_ = 0;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(std::vector<VarPtr> params, float lr = 0.1f)
+      : params_(std::move(params)), lr_(lr) {}
+  void step();
+  void zero_grad();
+
+ private:
+  std::vector<VarPtr> params_;
+  float lr_;
+};
+
+}  // namespace gnnone

@@ -1,0 +1,51 @@
+#include "tensor/tensor.h"
+
+namespace gnnone {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  Tensor c(a.rows(), b.cols());
+  const std::int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a.at(i, p);
+      if (av == 0.0f) continue;
+      for (std::int64_t j = 0; j < m; ++j) {
+        c.at(i, j) += av * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.cols());
+  Tensor c(a.rows(), b.rows());
+  const std::int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      float s = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) s += a.at(i, p) * b.at(j, p);
+      c.at(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows());
+  Tensor c(a.cols(), b.cols());
+  const std::int64_t n = a.cols(), k = a.rows(), m = b.cols();
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float av = a.at(p, i);
+      if (av == 0.0f) continue;
+      for (std::int64_t j = 0; j < m; ++j) {
+        c.at(i, j) += av * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace gnnone

@@ -1,0 +1,70 @@
+// Minimal dense 2D tensor used by the GNN training stack. Row-major float;
+// a (n x 1) tensor doubles as a vector and an (|E| x k) tensor holds
+// edge-level features (paper Fig. 1 terminology).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gnnone {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::int64_t rows, std::int64_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols),
+        data_(std::size_t(rows) * std::size_t(cols), fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Tensor from(std::int64_t rows, std::int64_t cols,
+                     std::vector<float> data) {
+    assert(data.size() == std::size_t(rows) * std::size_t(cols));
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.data_ = std::move(data);
+    return t;
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t numel() const { return rows_ * cols_; }
+  bool same_shape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  float& at(std::int64_t r, std::int64_t c) {
+    return data_[std::size_t(r * cols_ + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[std::size_t(r * cols_ + c)];
+  }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  std::size_t bytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// --- raw (non-autograd) kernels used by ops and tests ---------------------
+
+/// c = a * b  (a: n x k, b: k x m).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// c = a * b^T (a: n x k, b: m x k).
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+/// c = a^T * b (a: k x n, b: k x m).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+}  // namespace gnnone

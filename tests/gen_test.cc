@@ -1,0 +1,185 @@
+// Unit and property tests for workload generators and the dataset suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gen/datasets.h"
+#include "gen/grid.h"
+#include "gen/random.h"
+#include "gen/rmat.h"
+#include "gen/rng.h"
+#include "graph/convert.h"
+
+namespace gnnone {
+namespace {
+
+double degree_cv(const Coo& coo) {
+  const auto len = row_lengths(coo);
+  double mean = 0;
+  for (vid_t d : len) mean += d;
+  mean /= double(len.size());
+  double var = 0;
+  for (vid_t d : len) var += (d - mean) * (d - mean);
+  var /= double(len.size());
+  return std::sqrt(var) / mean;
+}
+
+bool is_symmetric(const Coo& coo) {
+  std::vector<std::pair<vid_t, vid_t>> entries;
+  entries.reserve(coo.row.size());
+  for (std::size_t i = 0; i < coo.row.size(); ++i) {
+    entries.emplace_back(coo.row[i], coo.col[i]);
+  }
+  for (const auto& [r, c] : entries) {
+    if (!std::binary_search(entries.begin(), entries.end(),
+                            std::make_pair(c, r))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Rng, DeterministicAndRoughlyUniform) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng r(7);
+  double mean = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean += r.uniform_real();
+  mean /= n;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(3);
+  double mean = 0, var = 0;
+  const int n = 20000;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = r.normal();
+  for (double x : xs) mean += x;
+  mean /= n;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rmat, DeterministicSkewedAndSymmetric) {
+  RmatParams p;
+  p.scale = 10;
+  const Coo a = rmat_graph(p);
+  const Coo b = rmat_graph(p);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.col, b.col);
+  validate(a);
+  EXPECT_TRUE(is_symmetric(a));
+  EXPECT_GT(degree_cv(a), 1.0);  // Kronecker graphs are heavily skewed
+}
+
+TEST(ErdosRenyi, NearUniformDegrees) {
+  const Coo g = erdos_renyi(4096, 4096 * 8, 5);
+  validate(g);
+  EXPECT_TRUE(is_symmetric(g));
+  EXPECT_LT(degree_cv(g), 0.5);
+}
+
+TEST(PowerLaw, HeavyTail) {
+  PowerLawParams p;
+  p.n = 8192;
+  p.avg_degree = 12;
+  p.exponent = 2.0;
+  const Coo g = power_law(p);
+  validate(g);
+  EXPECT_TRUE(is_symmetric(g));
+  EXPECT_GT(degree_cv(g), 1.5);
+  // Hubs reach the realistic cap region (~3% of n), far above the mean.
+  const auto len = row_lengths(g);
+  EXPECT_GT(*std::max_element(len.begin(), len.end()), 15 * 12);
+}
+
+TEST(Grid, UniformDegreeFour) {
+  const Coo g = grid_graph(32);
+  validate(g);
+  EXPECT_EQ(g.num_rows, 1024);
+  const auto len = row_lengths(g);
+  // Interior vertices have degree 4; borders 2-3.
+  EXPECT_EQ(len[std::size_t(17 * 32 + 17)], 4);
+  EXPECT_EQ(len[0], 2);
+  EXPECT_LT(degree_cv(g), 0.2);
+}
+
+TEST(PlantedPartition, LabelsMatchCommunitiesAndEdgesMostlyIntra) {
+  const auto pp = planted_partition(3000, 6, 10.0, 0.8, 9);
+  validate(pp.graph);
+  ASSERT_EQ(pp.labels.size(), 3000u);
+  eid_t intra = 0;
+  for (std::size_t i = 0; i < pp.graph.row.size(); ++i) {
+    if (pp.labels[std::size_t(pp.graph.row[i])] ==
+        pp.labels[std::size_t(pp.graph.col[i])]) {
+      ++intra;
+    }
+  }
+  EXPECT_GT(double(intra) / double(pp.graph.nnz()), 0.6);
+}
+
+TEST(Datasets, SuiteGeneratesWithTableProperties) {
+  for (const auto& id : {"G0", "G5", "G10", "G14"}) {
+    const Dataset d = make_dataset(id);
+    validate(d.coo);
+    EXPECT_GT(d.coo.nnz(), 0);
+    EXPECT_GT(d.paper_edges, d.coo.nnz());  // everything is scaled down
+    if (d.labeled) {
+      EXPECT_EQ(d.labels.size(), std::size_t(d.coo.num_rows));
+      for (int l : d.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, d.num_classes);
+      }
+    }
+  }
+}
+
+TEST(Datasets, UnknownIdThrows) {
+  EXPECT_THROW(make_dataset("G99"), std::invalid_argument);
+}
+
+TEST(Datasets, SkewOrdering) {
+  // The road-network stand-in must be far more uniform than the social ones.
+  const Dataset road = make_dataset("G5");
+  const Dataset talk = make_dataset("G4");
+  EXPECT_LT(degree_cv(road.coo), 0.3);
+  EXPECT_GT(degree_cv(talk.coo), 1.5);
+}
+
+TEST(Datasets, FeaturesCarryLabelSignal) {
+  const Dataset d = make_dataset("G0");
+  const auto x = make_features(d.coo.num_rows, 64, d.labels, 1);
+  ASSERT_EQ(x.size(), std::size_t(d.coo.num_rows) * 64);
+  // Mean feature vector of class 0 differs from class 1 on class-0's block.
+  std::vector<double> m0(64, 0), m1(64, 0);
+  int n0 = 0, n1 = 0;
+  for (vid_t v = 0; v < d.coo.num_rows; ++v) {
+    auto* m = d.labels[std::size_t(v)] == 0 ? &m0 :
+              d.labels[std::size_t(v)] == 1 ? &m1 : nullptr;
+    if (m == nullptr) continue;
+    (d.labels[std::size_t(v)] == 0 ? n0 : n1)++;
+    for (int j = 0; j < 64; ++j) (*m)[std::size_t(j)] += x[std::size_t(v) * 64 + std::size_t(j)];
+  }
+  double max_gap = 0;
+  for (int j = 0; j < 64; ++j) {
+    max_gap = std::max(max_gap, std::abs(m0[std::size_t(j)] / n0 - m1[std::size_t(j)] / n1));
+  }
+  EXPECT_GT(max_gap, 0.5);
+}
+
+TEST(Datasets, KernelSuiteScalesAreTractable) {
+  for (const auto& id : kernel_suite_ids()) {
+    const Dataset d = make_dataset(id);
+    EXPECT_LE(d.coo.nnz(), 600000) << id;
+    EXPECT_GE(d.coo.nnz(), 5000) << id;
+  }
+}
+
+}  // namespace
+}  // namespace gnnone

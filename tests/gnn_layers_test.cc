@@ -1,0 +1,112 @@
+// Layer-level unit tests: GCN normalization math, GIN's injective-sum
+// semantics, GAT attention on hand-checkable graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/layers.h"
+#include "graph/convert.h"
+
+namespace gnnone {
+namespace {
+
+OpContext plain_ctx() {
+  OpContext ctx;
+  ctx.dev = &gpusim::default_device();
+  ctx.training = false;
+  return ctx;
+}
+
+/// Path graph 0-1-2 (symmetrized).
+Coo path3() { return coo_from_edges(3, 3, symmetrize({{0, 1}, {1, 2}})); }
+
+TEST(GcnLayer, SymmetricNormalizationOnPathGraph) {
+  // Degrees: 1, 2, 1. Identity weights expose the aggregation itself:
+  // out[0] = x[1]/sqrt(1*2), out[1] = x[0]/sqrt(2) + x[2]/sqrt(2).
+  const Coo coo = path3();
+  SparseEngine engine(Backend::kGnnOne, coo, gpusim::default_device());
+  auto ctx = plain_ctx();
+
+  GcnConv conv(engine, 1, 1, /*seed=*/7);
+  // Overwrite the Glorot weight/bias with identity/zero for a closed form.
+  conv.params()[0]->value.at(0, 0) = 1.0f;
+  conv.params()[1]->value.at(0, 0) = 0.0f;
+
+  Tensor x(3, 1);
+  x.at(0, 0) = 1.0f;
+  x.at(1, 0) = 10.0f;
+  x.at(2, 0) = 100.0f;
+  const VarPtr out = conv.forward(ctx, engine, make_var(x));
+  const float s2 = 1.0f / std::sqrt(2.0f);
+  EXPECT_NEAR(out->value.at(0, 0), 10.0f * s2, 1e-4f);
+  EXPECT_NEAR(out->value.at(1, 0), 1.0f * s2 + 100.0f * s2, 1e-4f);
+  EXPECT_NEAR(out->value.at(2, 0), 10.0f * s2, 1e-4f);
+}
+
+TEST(GinLayer, SumAggregationPlusSelf) {
+  // With identity MLP weights and eps = 0.5 the layer computes
+  // relu((1.5 * x + sum_neighbors) * I + 0) * I — check pre-norm output.
+  const Coo coo = path3();
+  SparseEngine engine(Backend::kGnnOne, coo, gpusim::default_device());
+  auto ctx = plain_ctx();
+
+  GinConv conv(1, 1, /*seed=*/9, /*eps=*/0.5f, /*normalize=*/false);
+  conv.params()[0]->value.at(0, 0) = 1.0f;  // w1
+  conv.params()[1]->value.at(0, 0) = 0.0f;  // b1
+  conv.params()[2]->value.at(0, 0) = 1.0f;  // w2
+  conv.params()[3]->value.at(0, 0) = 0.0f;  // b2
+
+  Tensor x(3, 1);
+  x.at(0, 0) = 2.0f;
+  x.at(1, 0) = 4.0f;
+  x.at(2, 0) = 8.0f;
+  const VarPtr out = conv.forward(ctx, engine, make_var(x));
+  EXPECT_NEAR(out->value.at(0, 0), 1.5f * 2 + 4, 1e-4f);
+  EXPECT_NEAR(out->value.at(1, 0), 1.5f * 4 + 2 + 8, 1e-4f);
+  EXPECT_NEAR(out->value.at(2, 0), 1.5f * 8 + 4, 1e-4f);
+}
+
+TEST(GatLayer, UniformScoresGiveMeanAggregation) {
+  // With equal attention logits, softmax weights are uniform over incoming
+  // edges, so GAT reduces to mean aggregation of h = x * W.
+  const Coo coo = coo_from_edges(3, 3, {{0, 1}, {0, 2}});  // vertex 0 <- 1, 2
+  SparseEngine engine(Backend::kGnnOne, coo, gpusim::default_device());
+  auto ctx = plain_ctx();
+
+  GatConv conv(1, 1, /*seed=*/11);
+  conv.params()[0]->value.at(0, 0) = 1.0f;  // W = I
+  conv.params()[1]->value.at(0, 0) = 0.0f;  // attn_src = 0 -> equal scores
+  conv.params()[2]->value.at(0, 0) = 0.0f;  // attn_dst = 0
+  conv.params()[3]->value.at(0, 0) = 0.0f;  // bias
+
+  Tensor x(3, 1);
+  x.at(0, 0) = -5.0f;
+  x.at(1, 0) = 2.0f;
+  x.at(2, 0) = 6.0f;
+  const VarPtr out = conv.forward(ctx, engine, make_var(x));
+  EXPECT_NEAR(out->value.at(0, 0), (2.0f + 6.0f) / 2.0f, 1e-4f);
+  // Vertices with no incoming edges aggregate nothing.
+  EXPECT_NEAR(out->value.at(1, 0), 0.0f, 1e-4f);
+}
+
+TEST(Layers, ParamCountsMatchArchitecture) {
+  const Coo coo = path3();
+  SparseEngine engine(Backend::kGnnOne, coo, gpusim::default_device());
+  EXPECT_EQ(GcnConv(engine, 8, 4, 1).params().size(), 2u);  // W, b
+  EXPECT_EQ(GinConv(8, 4, 1).params().size(), 4u);          // 2-layer MLP
+  EXPECT_EQ(GatConv(8, 4, 1).params().size(), 4u);  // W, a_src, a_dst, b
+}
+
+TEST(Layers, GlorotIsDeterministicAndBounded) {
+  const VarPtr a = glorot(16, 8, 42, "w");
+  const VarPtr b = glorot(16, 8, 42, "w");
+  const float limit = std::sqrt(6.0f / 24.0f);
+  for (std::size_t i = 0; i < std::size_t(a->value.numel()); ++i) {
+    EXPECT_EQ(a->value[i], b->value[i]);
+    EXPECT_LE(std::abs(a->value[i]), limit);
+  }
+  EXPECT_TRUE(a->requires_grad);
+}
+
+}  // namespace
+}  // namespace gnnone

@@ -1,0 +1,283 @@
+// Tests for the GNN stack: sparse autograd ops (gradient checks through the
+// simulated kernels), backend equivalence (the Fig. 5 property), layer
+// math, training integration, and the paper-scale OOM/support matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "gen/rng.h"
+#include "gnn/backends.h"
+#include "gnn/models.h"
+#include "gnn/train.h"
+#include "tensor/optim.h"
+
+namespace gnnone {
+namespace {
+
+OpContext ctx_of(CycleLedger* ledger) {
+  OpContext ctx;
+  ctx.dev = &gpusim::default_device();
+  ctx.ledger = ledger;
+  ctx.training = true;
+  return ctx;
+}
+
+Coo small_graph() {
+  PowerLawParams p;
+  p.n = 64;
+  p.avg_degree = 5;
+  p.seed = 13;
+  return power_law(p);
+}
+
+Tensor random_tensor(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < std::size_t(t.numel()); ++i) {
+    t[i] = float(rng.normal());
+  }
+  return t;
+}
+
+float scalar_sum(const Tensor& t) {
+  float s = 0.0f;
+  for (std::size_t i = 0; i < std::size_t(t.numel()); ++i) s += t[i];
+  return s;
+}
+
+class SparseOpsGrad : public testing::TestWithParam<Backend> {};
+
+TEST_P(SparseOpsGrad, SpmmGradcheck) {
+  const Coo coo = small_graph();
+  SparseEngine engine(GetParam(), coo, gpusim::default_device());
+  auto ctx = ctx_of(nullptr);
+  const int f = 4;
+  auto x = make_var(random_tensor(coo.num_rows, f, 1), true, "x");
+  auto w = make_var(random_tensor(coo.nnz(), 1, 2), true, "w");
+
+  auto run = [&]() {
+    return scalar_sum(engine.spmm(ctx, w, x)->value);
+  };
+  const VarPtr out = engine.spmm(ctx, w, x);
+  // Seed output grad with ones and backprop.
+  for (std::size_t i = 0; i < std::size_t(out->grad.numel()); ++i) {
+    out->grad[i] = 1.0f;
+  }
+  out->backward_fn();
+
+  const float eps = 1e-2f;
+  Rng pick(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Check a sample of x entries and w entries.
+    const auto xi = std::size_t(pick.uniform(std::uint64_t(x->value.numel())));
+    float orig = x->value[xi];
+    x->value[xi] = orig + eps;
+    const float up = run();
+    x->value[xi] = orig - eps;
+    const float dn = run();
+    x->value[xi] = orig;
+    EXPECT_NEAR(x->grad[xi], (up - dn) / (2 * eps), 5e-2f);
+
+    const auto wi = std::size_t(pick.uniform(std::uint64_t(w->value.numel())));
+    orig = w->value[wi];
+    w->value[wi] = orig + eps;
+    const float up2 = run();
+    w->value[wi] = orig - eps;
+    const float dn2 = run();
+    w->value[wi] = orig;
+    EXPECT_NEAR(w->grad[wi], (up2 - dn2) / (2 * eps), 5e-2f);
+  }
+}
+
+TEST_P(SparseOpsGrad, SddmmGradcheck) {
+  const Coo coo = small_graph();
+  SparseEngine engine(GetParam(), coo, gpusim::default_device());
+  auto ctx = ctx_of(nullptr);
+  const int f = 4;
+  auto x = make_var(random_tensor(coo.num_rows, f, 4), true, "x");
+  auto y = make_var(random_tensor(coo.num_rows, f, 5), true, "y");
+
+  auto run = [&]() { return scalar_sum(engine.sddmm(ctx, x, y)->value); };
+  const VarPtr out = engine.sddmm(ctx, x, y);
+  for (std::size_t i = 0; i < std::size_t(out->grad.numel()); ++i) {
+    out->grad[i] = 1.0f;
+  }
+  out->backward_fn();
+
+  const float eps = 1e-2f;
+  Rng pick(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (auto* v : {x.get(), y.get()}) {
+      const auto i = std::size_t(pick.uniform(std::uint64_t(v->value.numel())));
+      const float orig = v->value[i];
+      v->value[i] = orig + eps;
+      const float up = run();
+      v->value[i] = orig - eps;
+      const float dn = run();
+      v->value[i] = orig;
+      EXPECT_NEAR(v->grad[i], (up - dn) / (2 * eps), 5e-2f);
+    }
+  }
+}
+
+TEST_P(SparseOpsGrad, EdgeSoftmaxSumsToOnePerRow) {
+  const Coo coo = small_graph();
+  SparseEngine engine(GetParam(), coo, gpusim::default_device());
+  auto ctx = ctx_of(nullptr);
+  auto s = make_var(random_tensor(coo.nnz(), 1, 7), true, "s");
+  const VarPtr alpha = engine.edge_softmax(ctx, s);
+  std::vector<double> row_sum(std::size_t(coo.num_rows), 0.0);
+  for (std::size_t e = 0; e < std::size_t(coo.nnz()); ++e) {
+    row_sum[std::size_t(coo.row[e])] += double(alpha->value[e]);
+  }
+  for (vid_t r = 0; r < coo.num_rows; ++r) {
+    bool has_edges = false;
+    for (std::size_t e = 0; e < std::size_t(coo.nnz()); ++e) {
+      if (coo.row[e] == r) has_edges = true;
+    }
+    if (has_edges) EXPECT_NEAR(row_sum[std::size_t(r)], 1.0, 1e-4);
+  }
+}
+
+TEST_P(SparseOpsGrad, UAddVMatchesDirectComputation) {
+  const Coo coo = small_graph();
+  SparseEngine engine(GetParam(), coo, gpusim::default_device());
+  auto ctx = ctx_of(nullptr);
+  auto src = make_var(random_tensor(coo.num_rows, 1, 8), true, "src");
+  auto dst = make_var(random_tensor(coo.num_rows, 1, 9), true, "dst");
+  const VarPtr e = engine.u_add_v(ctx, src, dst);
+  for (std::size_t i = 0; i < std::size_t(coo.nnz()); ++i) {
+    const float want = src->value[std::size_t(coo.col[i])] +
+                       dst->value[std::size_t(coo.row[i])];
+    EXPECT_NEAR(e->value[i], want, 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SparseOpsGrad,
+                         testing::Values(Backend::kGnnOne, Backend::kDgl,
+                                         Backend::kDgnn),
+                         [](const auto& info) {
+                           return backend_name(info.param);
+                         });
+
+TEST(BackendEquivalence, IdenticalForwardAcrossBackends) {
+  // The Fig. 5 property: all backends compute the same math.
+  const Dataset d = make_dataset("G0");
+  const int in_dim = 32;
+  const auto x_data = make_features(d.coo.num_rows, in_dim, d.labels, 3);
+  for (const std::string kind : {"gcn", "gin", "gat"}) {
+    Tensor out_gnnone, out_dgl;
+    for (Backend b : {Backend::kGnnOne, Backend::kDgl}) {
+      SparseEngine engine(b, d.coo, gpusim::default_device());
+      const ModelConfig cfg =
+          kind == "gcn" ? paper_gcn_config(in_dim, d.num_classes)
+          : kind == "gin" ? paper_gin_config(in_dim, d.num_classes)
+                          : paper_gat_config(in_dim, d.num_classes);
+      auto model = kind == "gcn" ? make_gcn(engine, cfg)
+                   : kind == "gin" ? make_gin(cfg)
+                                   : make_gat(cfg);
+      auto ctx = ctx_of(nullptr);
+      ctx.training = false;
+      const VarPtr x = make_var(
+          Tensor::from(d.coo.num_rows, in_dim, x_data), false);
+      const VarPtr out = model->forward(ctx, engine, x, 1);
+      (b == Backend::kGnnOne ? out_gnnone : out_dgl) = out->value;
+    }
+    ASSERT_EQ(out_gnnone.numel(), out_dgl.numel()) << kind;
+    for (std::size_t i = 0; i < std::size_t(out_gnnone.numel()); ++i) {
+      ASSERT_NEAR(out_gnnone[i], out_dgl[i], 1e-3f) << kind << " at " << i;
+    }
+  }
+}
+
+TEST(Training, GcnLearnsPlantedPartition) {
+  const Dataset d = make_dataset("G0");
+  TrainOptions opts;
+  opts.measured_epochs = 60;
+  opts.epochs = 60;
+  opts.feature_dim_override = 32;
+  opts.lr = 0.02f;
+  const auto res = train_model(Backend::kGnnOne, d, "gcn",
+                               gpusim::default_device(), opts);
+  ASSERT_TRUE(res.ran);
+  EXPECT_GT(res.final_accuracy, 0.75) << "GCN failed to learn communities";
+  EXPECT_GT(res.cycles_per_epoch, 0u);
+}
+
+TEST(Training, BackendsReachSameAccuracy) {
+  const Dataset d = make_dataset("G1");
+  TrainOptions opts;
+  opts.measured_epochs = 30;
+  opts.epochs = 30;
+  opts.feature_dim_override = 16;
+  const auto a = train_model(Backend::kGnnOne, d, "gat",
+                             gpusim::default_device(), opts);
+  const auto b = train_model(Backend::kDgl, d, "gat",
+                             gpusim::default_device(), opts);
+  ASSERT_TRUE(a.ran);
+  ASSERT_TRUE(b.ran);
+  EXPECT_NEAR(a.final_accuracy, b.final_accuracy, 0.02);
+  // And GNNOne spends fewer cycles per epoch (the Fig. 6 headline).
+  EXPECT_LT(a.cycles_per_epoch, b.cycles_per_epoch);
+}
+
+TEST(Training, SupportMatrixMatchesPaper) {
+  const Dataset kron = make_dataset("G10");
+  EXPECT_FALSE(SparseEngine::supports(Backend::kDgnn, kron));
+  EXPECT_TRUE(SparseEngine::supports(Backend::kGnnOne, kron));
+  EXPECT_TRUE(SparseEngine::supports(Backend::kDgl, kron));
+}
+
+TEST(Training, PaperScaleOomMatrix) {
+  const auto& dev = gpusim::default_device();
+  // Fig. 7: GNNOne trains GCN on uk-2002 (G17); DGL goes OOM. Both OOM on
+  // kmer_P1a (G16) and uk-2005 (G18).
+  const Dataset g17 = make_dataset("G17");
+  EXPECT_LE(paper_scale_footprint(Backend::kGnnOne, g17, "gcn"),
+            dev.device_memory_bytes);
+  EXPECT_GT(paper_scale_footprint(Backend::kDgl, g17, "gcn"),
+            dev.device_memory_bytes);
+  for (const char* id : {"G16", "G18"}) {
+    const Dataset d = make_dataset(id);
+    EXPECT_GT(paper_scale_footprint(Backend::kGnnOne, d, "gcn"),
+              dev.device_memory_bytes)
+        << id;
+    EXPECT_GT(paper_scale_footprint(Backend::kDgl, d, "gcn"),
+              dev.device_memory_bytes)
+        << id;
+  }
+  // The rest of the training suite fits on both.
+  for (const char* id : {"G9", "G11", "G12", "G13", "G14", "G15"}) {
+    const Dataset d = make_dataset(id);
+    EXPECT_LE(paper_scale_footprint(Backend::kDgl, d, "gcn"),
+              dev.device_memory_bytes)
+        << id;
+  }
+}
+
+TEST(Training, OomReportedWithoutRunning) {
+  const Dataset g18 = make_dataset("G18");
+  const auto res = train_model(Backend::kGnnOne, g18, "gcn",
+                               gpusim::default_device());
+  EXPECT_FALSE(res.ran);
+  EXPECT_EQ(res.fail_reason, "OOM");
+}
+
+TEST(Training, DgnnFusionRebatesLaunches) {
+  const Dataset d = make_dataset("G1");
+  TrainOptions opts;
+  opts.measured_epochs = 1;
+  opts.epochs = 1;
+  opts.feature_dim_override = 16;
+  opts.eval_accuracy = false;
+  const auto dgnn = train_model(Backend::kDgnn, d, "gat",
+                                gpusim::default_device(), opts);
+  ASSERT_TRUE(dgnn.ran);
+  EXPECT_GT(dgnn.sddmm_cycles, 0u);
+  EXPECT_GT(dgnn.spmm_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace gnnone

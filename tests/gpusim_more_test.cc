@@ -1,0 +1,282 @@
+// Additional simulator coverage: vector memory ops, atomics variants,
+// L2-path loads, occupancy sweeps, launch edge cases, accounting invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+#include "gpusim/memory.h"
+#include "gpusim/report.h"
+#include "gpusim/warp.h"
+
+namespace gpusim {
+namespace {
+
+WarpStats run_warp(const std::function<void(WarpCtx&)>& fn,
+                   std::size_t shared_bytes = 4096) {
+  LaunchConfig lc;
+  lc.num_ctas = 1;
+  lc.warps_per_cta = 1;
+  lc.shared_bytes_per_cta = shared_bytes;
+  return launch(default_device(), lc, fn).totals;
+}
+
+TEST(VecOps, Vec2LoadFunctionalAndCost) {
+  std::vector<float> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = float(i);
+  const auto s = run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    for (int l = 0; l < kWarpSize; ++l) idx[l] = l * 2;
+    const auto v = w.ld_global_vec<float, 2>(data.data(), idx);
+    for (int l = 0; l < kWarpSize; ++l) {
+      EXPECT_FLOAT_EQ(v[l][0], float(l * 2));
+      EXPECT_FLOAT_EQ(v[l][1], float(l * 2 + 1));
+    }
+  });
+  EXPECT_EQ(s.global_load_instrs, 1u);
+  EXPECT_EQ(s.bytes_loaded, 32u * 8u);
+  EXPECT_GE(s.load_transactions, 2u);  // 256 contiguous bytes
+  EXPECT_LE(s.load_transactions, 3u);
+}
+
+TEST(VecOps, Vec3LoadMatchesFloat3Semantics) {
+  std::vector<float> data(128);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = float(i) * 0.5f;
+  run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    for (int l = 0; l < kWarpSize; ++l) idx[l] = (l % 8) * 3;
+    const auto v = w.ld_global_vec<float, 3>(data.data(), idx,
+                                             lanes_below(8));
+    for (int l = 0; l < 8; ++l) {
+      EXPECT_FLOAT_EQ(v[l][2], float(l * 3 + 2) * 0.5f);
+    }
+  });
+}
+
+TEST(VecOps, VecStoreWritesAllComponents) {
+  std::vector<float> out(256, -1.0f);
+  run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    std::array<std::array<float, 4>, kWarpSize> v{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      idx[l] = l * 4;
+      for (int j = 0; j < 4; ++j) v[l][j] = float(l * 10 + j);
+    }
+    w.st_global_vec<float, 4>(out.data(), idx, v);
+  });
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[5], 11.0f);
+  EXPECT_FLOAT_EQ(out[127], 313.0f);
+}
+
+TEST(Atomics, AtomicMaxKeepsMaximum) {
+  std::vector<float> out(4, -100.0f);
+  const auto s = run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    LaneArray<float> v{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      idx[l] = l % 4;
+      v[l] = float(l);
+    }
+    w.atomic_max(out.data(), idx, v);
+  });
+  EXPECT_FLOAT_EQ(out[0], 28.0f);
+  EXPECT_FLOAT_EQ(out[3], 31.0f);
+  EXPECT_EQ(s.atomic_instrs, 1u);
+  EXPECT_EQ(s.atomic_serializations, 7u);  // 8 lanes per address
+}
+
+TEST(L2Loads, CheaperExposedLatencyThanDram) {
+  std::vector<std::int64_t> meta(1024, 7);
+  const auto dram = run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    (void)w.ld_global(meta.data(), idx, Mask{1});
+    w.use();
+  });
+  const auto l2 = run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    (void)w.ld_global_l2(meta.data(), idx, Mask{1});
+    w.use();
+  });
+  EXPECT_EQ(dram.stall_cycles,
+            std::uint64_t(default_device().global_load_latency));
+  EXPECT_EQ(l2.stall_cycles,
+            std::uint64_t(default_device().l2_load_latency));
+}
+
+TEST(L2Loads, OverlapWithDramTakesMax) {
+  std::vector<float> data(1024, 0.0f);
+  std::vector<std::int64_t> meta(1024, 1);
+  const auto s = run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    (void)w.ld_global(data.data(), idx);
+    (void)w.ld_global_l2(meta.data(), idx, Mask{1});
+    w.use();
+  });
+  EXPECT_EQ(s.stall_cycles,
+            std::uint64_t(default_device().global_load_latency));
+}
+
+TEST(L2Loads, DoNotConsumeDramBandwidth) {
+  std::vector<std::int64_t> meta(1024, 0);
+  const auto s = run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    (void)w.ld_global_l2(meta.data(), idx, Mask{1});
+  });
+  EXPECT_EQ(s.bytes_loaded, 0u);
+  EXPECT_GT(s.load_transactions, 0u);
+}
+
+struct OccCase {
+  int warps_per_cta;
+  int regs;
+  std::size_t smem;
+  int expect_ctas;
+};
+
+class OccupancySweep : public testing::TestWithParam<OccCase> {};
+
+TEST_P(OccupancySweep, MatchesClosedForm) {
+  const auto& p = GetParam();
+  LaunchConfig lc;
+  lc.warps_per_cta = p.warps_per_cta;
+  lc.regs_per_thread = p.regs;
+  lc.shared_bytes_per_cta = p.smem;
+  EXPECT_EQ(compute_occupancy(default_device(), lc).ctas_per_sm,
+            p.expect_ctas);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, OccupancySweep,
+    testing::Values(OccCase{4, 32, 0, 16},       // warp-slot bound (64/4)
+                    OccCase{4, 32, 16384, 10},   // smem bound (164K/16K)
+                    OccCase{4, 128, 0, 4},       // register bound
+                    OccCase{1, 32, 0, 32},       // CTA-slot bound
+                    OccCase{8, 255, 0, 1},       // heavy kernel: 1 CTA
+                    OccCase{16, 16, 0, 4},       // big CTAs: 64/16
+                    OccCase{2, 64, 8192, 16}));  // regs: 65536/(64*64)=16
+
+TEST(LaunchEdge, ZeroCtasIsJustOverhead) {
+  LaunchConfig lc;
+  lc.num_ctas = 0;
+  const auto ks = launch(default_device(), lc, [](WarpCtx&) {});
+  EXPECT_EQ(ks.cycles, lc.launch_overhead_cycles);
+  EXPECT_EQ(ks.totals.issue_cycles, 0u);
+}
+
+TEST(LaunchEdge, NegativeGridThrows) {
+  LaunchConfig lc;
+  lc.num_ctas = -1;
+  EXPECT_THROW(launch(default_device(), lc, [](WarpCtx&) {}),
+               std::invalid_argument);
+}
+
+TEST(LaunchEdge, OversizedSharedRequestThrows) {
+  LaunchConfig lc;
+  lc.num_ctas = 1;
+  lc.shared_bytes_per_cta = default_device().shared_mem_per_cta + 1;
+  EXPECT_THROW(launch(default_device(), lc, [](WarpCtx&) {}),
+               std::invalid_argument);
+}
+
+TEST(LaunchEdge, ManyMoreCtasThanSmsAggregates) {
+  std::vector<float> data(64, 0.0f);
+  LaunchConfig lc;
+  lc.num_ctas = 5000;
+  lc.warps_per_cta = 1;
+  const auto ks = launch(default_device(), lc, [&](WarpCtx& w) {
+    (void)w.ld_global(data.data(), LaneArray<std::int64_t>{});
+    w.use();
+  });
+  EXPECT_EQ(ks.num_warps, 5000u);
+  EXPECT_EQ(ks.totals.global_load_instrs, 5000u);
+  // Makespan must exceed a single wave but be far below serial execution.
+  EXPECT_GT(ks.cycles, lc.launch_overhead_cycles);
+  EXPECT_LT(ks.cycles, 5000u * 400u);
+}
+
+TEST(Accounting, LoadCyclesNeverExceedTotals) {
+  std::vector<float> data(1 << 14, 0.0f);
+  LaunchConfig lc;
+  lc.num_ctas = 32;
+  lc.warps_per_cta = 4;
+  const auto ks = launch(default_device(), lc, [&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      idx[l] = (w.global_warp_id() * 32 + l) % (1 << 14);
+    }
+    (void)w.ld_global(data.data(), idx);
+    w.alu(10);
+    w.sync();
+  });
+  EXPECT_LE(ks.totals.load_issue_cycles, ks.totals.issue_cycles);
+  EXPECT_LE(ks.totals.load_stall_cycles, ks.totals.stall_cycles);
+  EXPECT_GT(ks.data_load_fraction(), 0.0);
+  EXPECT_LT(ks.data_load_fraction(), 1.0);
+}
+
+TEST(Accounting, MaskUtilities) {
+  EXPECT_EQ(lanes_below(0), 0u);
+  EXPECT_EQ(lanes_below(1), 1u);
+  EXPECT_EQ(lanes_below(5), 0x1fu);
+  EXPECT_EQ(lanes_below(32), kFullMask);
+  EXPECT_EQ(lanes_below(40), kFullMask);
+}
+
+TEST(Accounting, SharedHighWaterTracksPeak) {
+  SharedMem sm(1024);
+  (void)sm.alloc<float>(100);
+  sm.reset();
+  (void)sm.alloc<float>(50);
+  EXPECT_GE(sm.high_water(), 400u);
+  EXPECT_LE(sm.high_water(), 1024u);
+}
+
+TEST(Report, DescribeContainsKeyFields) {
+  std::vector<float> data(4096, 0.0f);
+  LaunchConfig lc;
+  lc.num_ctas = 8;
+  lc.warps_per_cta = 4;
+  const auto ks = launch(default_device(), lc, [&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    for (int l = 0; l < kWarpSize; ++l) idx[l] = l;
+    (void)w.ld_global(data.data(), idx);
+    w.sync();
+  });
+  const std::string d = describe(ks, default_device());
+  EXPECT_NE(d.find("modeled time"), std::string::npos);
+  EXPECT_NE(d.find("global loads"), std::string::npos);
+  EXPECT_NE(d.find("data-load share"), std::string::npos);
+  const std::string row = csv_row(ks);
+  // Header and row have the same field count.
+  const auto commas = [](const std::string& x) {
+    return std::count(x.begin(), x.end(), ',');
+  };
+  EXPECT_EQ(commas(row), commas(csv_header()));
+}
+
+TEST(Shuffles, BroadcastReadsSourceLane) {
+  const auto s = run_warp([&](WarpCtx& w) {
+    LaneArray<float> v{};
+    for (int l = 0; l < kWarpSize; ++l) v[l] = float(l * l);
+    EXPECT_FLOAT_EQ(w.shfl_broadcast(v, 5), 25.0f);
+  });
+  EXPECT_EQ(s.shuffles, 1u);
+}
+
+TEST(Shuffles, SegmentedShflDownRespectsWidth) {
+  run_warp([&](WarpCtx& w) {
+    LaneArray<float> v{};
+    for (int l = 0; l < kWarpSize; ++l) v[l] = float(l);
+    const auto r = w.shfl_down(v, 2, 8);
+    EXPECT_FLOAT_EQ(r[0], 2.0f);
+    EXPECT_FLOAT_EQ(r[5], 7.0f);
+    EXPECT_FLOAT_EQ(r[6], 6.0f);   // source outside segment: keeps own
+    EXPECT_FLOAT_EQ(r[8], 10.0f);  // next segment
+  });
+}
+
+}  // namespace
+}  // namespace gpusim

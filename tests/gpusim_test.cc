@@ -1,0 +1,301 @@
+// Unit tests for the SIMT simulator: coalescing, ILP windows, barriers,
+// occupancy, scheduling, and device memory.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+#include "gpusim/memory.h"
+#include "gpusim/shared.h"
+#include "gpusim/warp.h"
+
+namespace gpusim {
+namespace {
+
+DeviceSpec spec() { return default_device(); }
+
+LaneArray<std::int64_t> iota_idx(std::int64_t start, std::int64_t stride = 1) {
+  LaneArray<std::int64_t> idx{};
+  for (int l = 0; l < kWarpSize; ++l) idx[l] = start + l * stride;
+  return idx;
+}
+
+/// Runs `fn` in a single-warp launch and returns that warp's stats.
+WarpStats run_warp(const std::function<void(WarpCtx&)>& fn,
+                   std::size_t shared_bytes = 4096) {
+  LaunchConfig lc;
+  lc.num_ctas = 1;
+  lc.warps_per_cta = 1;
+  lc.shared_bytes_per_cta = shared_bytes;
+  const KernelStats ks = launch(spec(), lc, fn);
+  return ks.totals;
+}
+
+TEST(Coalescing, ConsecutiveFloatsAreOneTransaction) {
+  std::vector<float> data(1024, 1.0f);
+  const auto s = run_warp([&](WarpCtx& w) {
+    const auto v = w.ld_global(data.data(), iota_idx(0));
+    EXPECT_FLOAT_EQ(v[0], 1.0f);
+  });
+  // 32 lanes x 4B = 128B, but the base pointer may straddle a segment edge.
+  EXPECT_GE(s.load_transactions, 1u);
+  EXPECT_LE(s.load_transactions, 2u);
+  EXPECT_EQ(s.bytes_loaded, 32u * 4u);
+}
+
+TEST(Coalescing, StridedAccessCostsManyTransactions) {
+  std::vector<float> data(32 * 64, 1.0f);
+  const auto s = run_warp([&](WarpCtx& w) {
+    (void)w.ld_global(data.data(), iota_idx(0, 64));  // 256B stride
+  });
+  EXPECT_EQ(s.load_transactions, 32u);
+}
+
+TEST(Coalescing, SameAddressIsOneTransaction) {
+  std::vector<float> data(4, 1.0f);
+  const auto s = run_warp([&](WarpCtx& w) {
+    (void)w.ld_global(data.data(), iota_idx(0, 0));
+  });
+  EXPECT_EQ(s.load_transactions, 1u);
+}
+
+TEST(Coalescing, Vec4LoadCoversFourSegments) {
+  std::vector<float> data(32 * 4 + 4, 1.0f);
+  const auto s = run_warp([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    for (int l = 0; l < kWarpSize; ++l) idx[l] = l * 4;
+    (void)w.ld_global_vec<float, 4>(data.data(), idx);
+  });
+  // 32 lanes x 16B = 512B contiguous.
+  EXPECT_GE(s.load_transactions, 4u);
+  EXPECT_LE(s.load_transactions, 5u);
+  EXPECT_EQ(s.global_load_instrs, 1u);
+}
+
+TEST(IlpWindow, BarrierExposesOneLatencyPerWindow) {
+  std::vector<float> data(4096, 0.0f);
+  // One load then barrier, repeated 4 times: 4 exposed latencies.
+  const auto a = run_warp([&](WarpCtx& w) {
+    for (int i = 0; i < 4; ++i) {
+      (void)w.ld_global(data.data(), iota_idx(i * 32));
+      w.sync();
+    }
+  });
+  // Four loads back-to-back then one barrier: 1 exposed latency.
+  const auto b = run_warp([&](WarpCtx& w) {
+    for (int i = 0; i < 4; ++i) {
+      (void)w.ld_global(data.data(), iota_idx(i * 32));
+    }
+    w.sync();
+  });
+  const auto lat = std::uint64_t(spec().global_load_latency);
+  EXPECT_EQ(a.stall_cycles, 4 * lat);
+  EXPECT_EQ(b.stall_cycles, lat);
+  EXPECT_EQ(a.issue_cycles - 3 * std::uint64_t(spec().barrier_cycles),
+            b.issue_cycles);
+}
+
+TEST(IlpWindow, ShufflesFlushTheWindow) {
+  std::vector<float> data(4096, 0.0f);
+  const auto s = run_warp([&](WarpCtx& w) {
+    LaneArray<float> v{};
+    (void)w.ld_global(data.data(), iota_idx(0));
+    (void)w.shfl_down(v, 1);
+    (void)w.shfl_down(v, 2);  // second shuffle flushes an empty window
+  });
+  EXPECT_EQ(s.stall_cycles, std::uint64_t(spec().global_load_latency));
+  EXPECT_EQ(s.shuffles, 2u);
+}
+
+TEST(IlpWindow, MshrCapSerializesHugeWindows) {
+  std::vector<float> data(1 << 16, 0.0f);
+  DeviceSpec d = spec();
+  const int cap = d.max_outstanding_loads;
+  const auto s = run_warp([&](WarpCtx& w) {
+    for (int i = 0; i < 2 * cap; ++i) {
+      (void)w.ld_global(data.data(), iota_idx(i * 32));
+    }
+    w.use();
+  });
+  EXPECT_EQ(s.stall_cycles, 2u * std::uint64_t(d.global_load_latency));
+}
+
+TEST(Atomics, ConflictSerialization) {
+  std::vector<float> out(64, 0.0f);
+  const auto distinct = run_warp([&](WarpCtx& w) {
+    LaneArray<float> v{};
+    v.fill(1.0f);
+    w.atomic_add(out.data(), iota_idx(0), v);
+  });
+  std::vector<float> out2(64, 0.0f);
+  const auto same = run_warp([&](WarpCtx& w) {
+    LaneArray<float> v{};
+    v.fill(1.0f);
+    w.atomic_add(out2.data(), iota_idx(0, 0), v);
+  });
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out2[0], 32.0f);
+  EXPECT_EQ(distinct.atomic_serializations, 0u);
+  EXPECT_EQ(same.atomic_serializations, 31u);
+  EXPECT_GT(same.issue_cycles, distinct.issue_cycles);
+}
+
+TEST(SharedMemory, FunctionalRoundTrip) {
+  const auto s = run_warp([&](WarpCtx& w) {
+    auto arr = w.shared().alloc<float>(64);
+    LaneArray<int> idx{};
+    LaneArray<float> v{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      idx[l] = l;
+      v[l] = float(l);
+    }
+    w.sh_write(std::span<float>(arr), idx, v);
+    w.sync();
+    const auto r = w.sh_read(std::span<const float>(arr), idx);
+    for (int l = 0; l < kWarpSize; ++l) EXPECT_FLOAT_EQ(r[l], float(l));
+  });
+  EXPECT_EQ(s.shared_ops, 2u);
+  EXPECT_EQ(s.barriers, 1u);
+}
+
+TEST(SharedMemory, OverflowThrows) {
+  SharedMem sm(128);
+  (void)sm.alloc<float>(16);
+  EXPECT_THROW((void)sm.alloc<float>(32), std::runtime_error);
+  sm.reset();
+  EXPECT_NO_THROW((void)sm.alloc<float>(32));
+}
+
+TEST(Occupancy, LimitedByRegisters) {
+  LaunchConfig lc;
+  lc.warps_per_cta = 8;  // 256 threads
+  lc.regs_per_thread = 64;
+  // 65536 regs / (64 * 256) = 4 CTAs.
+  EXPECT_EQ(compute_occupancy(spec(), lc).ctas_per_sm, 4);
+  lc.regs_per_thread = 128;
+  EXPECT_EQ(compute_occupancy(spec(), lc).ctas_per_sm, 2);
+}
+
+TEST(Occupancy, LimitedBySharedMemory) {
+  LaunchConfig lc;
+  lc.warps_per_cta = 2;
+  lc.regs_per_thread = 16;
+  lc.shared_bytes_per_cta = 32 * 1024;
+  // 164KB / 32KB = 5 CTAs.
+  EXPECT_EQ(compute_occupancy(spec(), lc).ctas_per_sm, 5);
+}
+
+TEST(Occupancy, LimitedByWarpSlots) {
+  LaunchConfig lc;
+  lc.warps_per_cta = 8;
+  lc.regs_per_thread = 16;
+  EXPECT_EQ(compute_occupancy(spec(), lc).ctas_per_sm, 8);  // 64/8
+  EXPECT_EQ(compute_occupancy(spec(), lc).warps_per_sm, 64);
+}
+
+TEST(Scheduling, ImbalancedWarpDominatesMakespan) {
+  std::vector<float> data(1 << 20, 0.0f);
+  // 256 CTAs of 1 warp; warp 0 does 1000 dependent loads, others do 1.
+  LaunchConfig lc;
+  lc.num_ctas = 256;
+  lc.warps_per_cta = 1;
+  lc.regs_per_thread = 32;
+  const auto run = [&](bool balanced) {
+    return launch(spec(), lc, [&](WarpCtx& w) {
+      const int loads =
+          balanced ? 8 : (w.global_warp_id() == 0 ? 1000 : 1);
+      for (int i = 0; i < loads; ++i) {
+        (void)w.ld_global(data.data(), iota_idx((i % 64) * 32));
+        w.use();  // dependent chain: every latency exposed
+      }
+    });
+  };
+  const auto imbalanced = run(false);
+  const auto balanced = run(true);
+  // Same-ish total work (~1255 vs 2048 loads) but the straggler's serial
+  // chain dominates: 1000 exposed latencies on one warp.
+  EXPECT_GT(imbalanced.cycles,
+            1000u * std::uint64_t(spec().global_load_latency));
+  EXPECT_LT(balanced.cycles, imbalanced.cycles);
+}
+
+TEST(Scheduling, OccupancyHidesLatency) {
+  std::vector<float> data(1 << 20, 0.0f);
+  LaunchConfig lean, fat;
+  lean.num_ctas = fat.num_ctas = 1024;
+  lean.warps_per_cta = fat.warps_per_cta = 4;
+  lean.regs_per_thread = 32;
+  fat.regs_per_thread = 255;  // occupancy collapse (nonzero-split pathology)
+  const auto body = [&](WarpCtx& w) {
+    for (int i = 0; i < 16; ++i) {
+      (void)w.ld_global(data.data(),
+                        iota_idx((w.global_warp_id() * 16 + i) % 512 * 32));
+      w.use();
+    }
+  };
+  const auto hi = launch(spec(), lean, body);
+  const auto lo = launch(spec(), fat, body);
+  EXPECT_GT(hi.resident_warps_per_sm, lo.resident_warps_per_sm);
+  EXPECT_LT(hi.cycles, lo.cycles);
+}
+
+TEST(Scheduling, DramBandwidthFloor) {
+  std::vector<float> data(1 << 22, 0.0f);
+  LaunchConfig lc;
+  lc.num_ctas = 4096;
+  lc.warps_per_cta = 4;
+  lc.regs_per_thread = 16;
+  const auto ks = launch(spec(), lc, [&](WarpCtx& w) {
+    // Each warp streams 4KB contiguously.
+    for (int i = 0; i < 32; ++i) {
+      (void)w.ld_global(
+          data.data(),
+          iota_idx((w.global_warp_id() * 32 + i) % (1 << 17) * 32));
+    }
+    w.use();
+  });
+  const double bytes = double(ks.totals.bytes_loaded);
+  EXPECT_GE(double(ks.cycles), bytes / spec().dram_bytes_per_cycle * 0.99);
+}
+
+TEST(DeviceMemory, OomThrowsAndTracksPeak) {
+  DeviceMemory mem(1000);
+  mem.allocate(600);
+  EXPECT_THROW(mem.allocate(500), DeviceOutOfMemory);
+  mem.allocate(300);
+  EXPECT_EQ(mem.in_use(), 900u);
+  mem.release(600);
+  EXPECT_EQ(mem.in_use(), 300u);
+  EXPECT_EQ(mem.peak(), 900u);
+}
+
+TEST(DeviceMemory, BufferRegistersAndReleases) {
+  DeviceMemory mem(1 << 20);
+  {
+    Buffer<float> b(1024, &mem);
+    EXPECT_EQ(mem.in_use(), 4096u);
+    Buffer<float> c = std::move(b);
+    EXPECT_EQ(mem.in_use(), 4096u);
+  }
+  EXPECT_EQ(mem.in_use(), 0u);
+}
+
+TEST(Launch, DeterministicCycles) {
+  std::vector<float> data(1 << 12, 0.0f);
+  LaunchConfig lc;
+  lc.num_ctas = 64;
+  lc.warps_per_cta = 4;
+  const auto body = [&](WarpCtx& w) {
+    (void)w.ld_global(data.data(), iota_idx(w.global_warp_id() % 64 * 32));
+    w.use();
+  };
+  const auto a = launch(spec(), lc, body);
+  const auto b = launch(spec(), lc, body);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.totals.bytes_loaded, b.totals.bytes_loaded);
+}
+
+}  // namespace
+}  // namespace gpusim

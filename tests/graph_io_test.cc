@@ -1,0 +1,136 @@
+// Tests for MatrixMarket / edge-list I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/rmat.h"
+#include "graph/convert.h"
+#include "graph/io.h"
+
+namespace gnnone {
+namespace {
+
+TEST(Mtx, ParsesGeneralPatternMatrix) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "4 4 3\n"
+      "1 2\n"
+      "3 1\n"
+      "4 4\n");
+  MtxOptions opts;
+  opts.symmetrize = false;
+  const Coo coo = read_mtx(in, opts);
+  EXPECT_EQ(coo.num_rows, 4);
+  EXPECT_EQ(coo.nnz(), 3);
+  EXPECT_EQ(coo.row, (std::vector<vid_t>{0, 2, 3}));
+  EXPECT_EQ(coo.col, (std::vector<vid_t>{1, 0, 3}));
+}
+
+TEST(Mtx, SymmetricQualifierMirrorsEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 0.5\n"
+      "3 3 1.0\n");
+  MtxOptions opts;
+  opts.symmetrize = false;
+  const Coo coo = read_mtx(in, opts);
+  EXPECT_EQ(coo.nnz(), 3);  // (1,0), (0,1), (2,2)
+}
+
+TEST(Mtx, SymmetrizeOptionDoublesEdges) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 1\n"
+      "1 2\n");
+  const Coo coo = read_mtx(in);  // default symmetrize = paper preprocessing
+  EXPECT_EQ(coo.nnz(), 2);
+}
+
+TEST(Mtx, DropSelfLoops) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 1\n"
+      "1 2\n");
+  MtxOptions opts;
+  opts.symmetrize = false;
+  opts.drop_self_loops = true;
+  EXPECT_EQ(read_mtx(in, opts).nnz(), 1);
+}
+
+TEST(Mtx, RejectsMalformedInput) {
+  {
+    std::istringstream in("not a matrix\n");
+    EXPECT_THROW(read_mtx(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 1\n"
+        "5 1\n");  // out of bounds
+    EXPECT_THROW(read_mtx(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix array real general\n"
+        "2 2\n");  // dense format unsupported
+    EXPECT_THROW(read_mtx(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "4 4 3\n"
+        "1 2\n");  // truncated
+    EXPECT_THROW(read_mtx(in), std::runtime_error);
+  }
+}
+
+TEST(Mtx, RoundTripPreservesTopology) {
+  RmatParams p;
+  p.scale = 8;
+  const Coo coo = rmat_graph(p);
+  std::stringstream buf;
+  write_mtx(buf, coo);
+  MtxOptions opts;
+  opts.symmetrize = false;  // already symmetric
+  const Coo back = read_mtx(buf, opts);
+  EXPECT_EQ(back.row, coo.row);
+  EXPECT_EQ(back.col, coo.col);
+}
+
+TEST(EdgeList, ParsesSnapStyle) {
+  std::istringstream in(
+      "# Directed graph\n"
+      "# src dst\n"
+      "0 3\n"
+      "3 1\n"
+      "2 2\n");
+  MtxOptions opts;
+  opts.symmetrize = false;
+  const Coo coo = read_edge_list(in, opts);
+  EXPECT_EQ(coo.num_rows, 4);
+  EXPECT_EQ(coo.nnz(), 3);
+  validate(coo);
+}
+
+TEST(EdgeList, EmptyInputGivesEmptyGraph) {
+  std::istringstream in("# nothing\n");
+  const Coo coo = read_edge_list(in);
+  EXPECT_EQ(coo.num_rows, 0);
+  EXPECT_EQ(coo.nnz(), 0);
+}
+
+TEST(EdgeList, RejectsNegativeIds) {
+  std::istringstream in("0 -3\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(Files, MissingFileThrows) {
+  EXPECT_THROW(read_mtx_file("/nonexistent/x.mtx"), std::runtime_error);
+  EXPECT_THROW(read_edge_list_file("/nonexistent/x.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gnnone

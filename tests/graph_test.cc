@@ -1,0 +1,178 @@
+// Unit tests for sparse formats and conversions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "gen/rmat.h"
+#include "graph/convert.h"
+#include "graph/merge_path.h"
+#include "graph/memory_footprint.h"
+#include "graph/neighbor_group.h"
+#include "graph/row_swizzle.h"
+
+namespace gnnone {
+namespace {
+
+Coo sample_coo() {
+  // 4x4:
+  //   row 0: cols 1, 3
+  //   row 1: (empty)
+  //   row 2: cols 0, 1, 2
+  //   row 3: col 3
+  return coo_from_edges(4, 4, {{0, 1}, {0, 3}, {2, 0}, {2, 1}, {2, 2}, {3, 3}});
+}
+
+TEST(Coo, BuildSortsAndDedups) {
+  const Coo coo = coo_from_edges(3, 3, {{2, 1}, {0, 2}, {2, 1}, {0, 0}});
+  EXPECT_EQ(coo.nnz(), 3);
+  EXPECT_TRUE(coo.is_csr_arranged());
+  EXPECT_EQ(coo.row, (std::vector<vid_t>{0, 0, 2}));
+  EXPECT_EQ(coo.col, (std::vector<vid_t>{0, 2, 1}));
+}
+
+TEST(Coo, RejectsOutOfRange) {
+  EXPECT_THROW(coo_from_edges(2, 2, {{0, 5}}), std::out_of_range);
+  EXPECT_THROW(coo_from_edges(2, 2, {{-1, 0}}), std::out_of_range);
+}
+
+TEST(Convert, CsrRoundTrip) {
+  const Coo coo = sample_coo();
+  const Csr csr = coo_to_csr(coo);
+  validate(csr);
+  EXPECT_EQ(csr.row_length(0), 2);
+  EXPECT_EQ(csr.row_length(1), 0);
+  EXPECT_EQ(csr.row_length(2), 3);
+  const Coo back = csr_to_coo(csr);
+  EXPECT_EQ(back.row, coo.row);
+  EXPECT_EQ(back.col, coo.col);
+}
+
+TEST(Convert, CsrRoundTripOnRmat) {
+  RmatParams p;
+  p.scale = 10;
+  const Coo coo = rmat_graph(p);
+  validate(coo);
+  const Coo back = csr_to_coo(coo_to_csr(coo));
+  EXPECT_EQ(back.row, coo.row);
+  EXPECT_EQ(back.col, coo.col);
+}
+
+TEST(Convert, TransposeIsInvolution) {
+  const Coo coo = sample_coo();
+  const auto [t, perm] = coo_transpose(coo);
+  validate(t);
+  EXPECT_EQ(t.nnz(), coo.nnz());
+  // Permutation maps transposed position -> original position.
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(t.row[i], coo.col[std::size_t(perm[i])]);
+    EXPECT_EQ(t.col[i], coo.row[std::size_t(perm[i])]);
+  }
+  const auto [tt, perm2] = coo_transpose(t);
+  EXPECT_EQ(tt.row, coo.row);
+  EXPECT_EQ(tt.col, coo.col);
+}
+
+TEST(Convert, SymmetrizeDoublesEdges) {
+  const EdgeList e = {{0, 1}, {2, 3}};
+  const auto s = symmetrize(e);
+  EXPECT_EQ(s.size(), 4u);
+  const Coo coo = coo_from_edges(4, 4, s);
+  // Every NZE (r, c) has its mirror (c, r).
+  std::set<std::pair<vid_t, vid_t>> entries;
+  for (std::size_t i = 0; i < coo.row.size(); ++i) {
+    entries.emplace(coo.row[i], coo.col[i]);
+  }
+  for (const auto& [r, c] : entries) {
+    EXPECT_TRUE(entries.count({c, r})) << r << "," << c;
+  }
+}
+
+TEST(Convert, RowLengthsSumToNnz) {
+  const Coo coo = sample_coo();
+  const auto len = row_lengths(coo);
+  EXPECT_EQ(std::accumulate(len.begin(), len.end(), eid_t{0}), coo.nnz());
+}
+
+TEST(NeighborGroups, CoverAllNzesExactlyOnce) {
+  RmatParams p;
+  p.scale = 9;
+  const Csr csr = coo_to_csr(rmat_graph(p));
+  for (int gs : {4, 32, 64}) {
+    const NeighborGroups ng = build_neighbor_groups(csr, gs);
+    std::vector<int> covered(std::size_t(csr.nnz()), 0);
+    for (std::size_t g = 0; g < ng.num_groups(); ++g) {
+      EXPECT_GE(ng.group_len[g], 1);
+      EXPECT_LE(ng.group_len[g], gs);
+      for (vid_t i = 0; i < ng.group_len[g]; ++i) {
+        covered[std::size_t(ng.group_start[g] + i)] += 1;
+      }
+      // Group lies inside its row.
+      EXPECT_GE(ng.group_start[g], csr.row_begin(ng.group_row[g]));
+      EXPECT_LE(ng.group_start[g] + ng.group_len[g],
+                csr.row_end(ng.group_row[g]));
+    }
+    for (int c : covered) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(NeighborGroups, RejectsBadGroupSize) {
+  const Csr csr = coo_to_csr(sample_coo());
+  EXPECT_THROW(build_neighbor_groups(csr, 0), std::invalid_argument);
+}
+
+TEST(MergePath, PartitionCoversMergeMatrix) {
+  RmatParams p;
+  p.scale = 9;
+  const Csr csr = coo_to_csr(rmat_graph(p));
+  const int parts = 37;
+  const auto coords = merge_path_partition(csr, parts);
+  ASSERT_EQ(coords.size(), std::size_t(parts) + 1);
+  EXPECT_EQ(coords.front().row, 0);
+  EXPECT_EQ(coords.front().nze, 0);
+  EXPECT_EQ(coords.back().row, csr.num_rows);
+  EXPECT_EQ(coords.back().nze, csr.nnz());
+  for (std::size_t i = 1; i < coords.size(); ++i) {
+    EXPECT_GE(coords[i].row, coords[i - 1].row);
+    EXPECT_GE(coords[i].nze, coords[i - 1].nze);
+  }
+  // Every coordinate lies on the merge path: nze within the row's range.
+  for (const auto& c : coords) {
+    if (c.row < csr.num_rows) {
+      EXPECT_GE(c.nze, 0);
+      EXPECT_LE(c.nze, csr.nnz());
+      if (c.row > 0) EXPECT_GE(c.nze, csr.offsets[std::size_t(c.row) - 1]);
+      EXPECT_LE(c.nze, csr.offsets[std::size_t(c.row)]);
+    }
+  }
+}
+
+TEST(RowSwizzle, SortsByDecreasingLength) {
+  const Csr csr = coo_to_csr(sample_coo());
+  const RowSwizzle rs = build_row_swizzle(csr);
+  ASSERT_EQ(rs.order.size(), 4u);
+  for (std::size_t i = 1; i < rs.order.size(); ++i) {
+    EXPECT_GE(csr.row_length(rs.order[i - 1]), csr.row_length(rs.order[i]));
+  }
+  EXPECT_EQ(rs.order[0], 2);  // longest row
+}
+
+TEST(Footprint, DualFormatCostsMoreThanCooOnly) {
+  const eid_t nnz = 1000000;
+  const vid_t rows = 100000;
+  EXPECT_GT(dgl_dual_format_bytes(nnz, rows), coo_only_bytes(nnz, rows) / 2);
+  // DGL's CSR+COO is strictly larger than a single COO (per direction).
+  EXPECT_GT(dgl_dual_format_bytes(nnz, rows), coo_only_bytes(nnz, rows));
+}
+
+TEST(Validate, CatchesCorruption) {
+  Csr csr = coo_to_csr(sample_coo());
+  csr.offsets[2] = 100;
+  EXPECT_THROW(validate(csr), std::invalid_argument);
+  Coo coo = sample_coo();
+  coo.col[0] = 99;
+  EXPECT_THROW(validate(coo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnnone

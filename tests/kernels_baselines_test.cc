@@ -1,0 +1,225 @@
+// Correctness of every baseline kernel against the CPU reference, plus the
+// qualitative cost-model properties the paper's comparisons rest on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/grid.h"
+#include "gen/random.h"
+#include "gen/rmat.h"
+#include "gen/rng.h"
+#include "gpusim/device.h"
+#include "graph/convert.h"
+#include "kernels/baselines.h"
+#include "kernels/gnnone.h"
+#include "kernels/reference.h"
+
+namespace gnnone {
+namespace {
+
+using namespace baselines;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = float(rng.normal());
+  return v;
+}
+
+struct Fixture {
+  Coo coo;
+  Csr csr;
+  NeighborGroups ng;
+  RowSwizzle swizzle;
+  std::vector<float> ev, x, yfeat;
+
+  explicit Fixture(const Coo& g, int f) : coo(g) {
+    csr = coo_to_csr(coo);
+    ng = build_neighbor_groups(csr);
+    swizzle = build_row_swizzle(csr);
+    ev = random_vec(std::size_t(coo.nnz()), 1);
+    x = random_vec(std::size_t(coo.num_cols) * std::size_t(f), 2);
+    yfeat = random_vec(std::size_t(coo.num_rows) * std::size_t(f), 3);
+  }
+};
+
+Coo family_graph(const std::string& fam) {
+  if (fam == "rmat") {
+    RmatParams p;
+    p.scale = 8;
+    p.edge_factor = 8;
+    return rmat_graph(p);
+  }
+  if (fam == "grid") return grid_graph(18);
+  PowerLawParams p;
+  p.n = 300;
+  p.avg_degree = 9;
+  p.seed = 3;
+  return power_law(p);
+}
+
+void expect_close(std::span<const float> got, std::span<const float> want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-3f + 1e-4f * std::abs(want[i]))
+        << "at " << i;
+  }
+}
+
+struct Case {
+  std::string family;
+  int f;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  return info.param.family + "_f" + std::to_string(info.param.f);
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const std::string& fam : {"rmat", "grid", "powerlaw"}) {
+    for (int f : {1, 6, 16, 32, 64, 96}) cases.push_back({fam, f});
+  }
+  return cases;
+}
+
+class BaselineSpmm : public testing::TestWithParam<Case> {};
+
+TEST_P(BaselineSpmm, AllMatchReference) {
+  const auto& [fam, f] = GetParam();
+  Fixture fx(family_graph(fam), f);
+  std::vector<float> want(std::size_t(fx.coo.num_rows) * std::size_t(f));
+  ref::spmm(fx.coo, fx.ev, fx.x, f, want);
+  const auto& dev = gpusim::default_device();
+
+  std::vector<float> got(want.size());
+  gespmm_spmm(dev, fx.csr, fx.ev, fx.x, f, got);
+  expect_close(got, want);
+  cusparse_spmm(dev, fx.csr, fx.ev, fx.x, f, got);
+  expect_close(got, want);
+  featgraph_spmm(dev, fx.csr, fx.ev, fx.x, f, got);
+  expect_close(got, want);
+  sputnik_spmm(dev, fx.csr, fx.swizzle, fx.ev, fx.x, f, got);
+  expect_close(got, want);
+  gnnadvisor_spmm(dev, fx.csr, fx.ng, fx.ev, fx.x, f, got);
+  expect_close(got, want);
+  huang_spmm(dev, fx.csr, fx.ng, fx.ev, fx.x, f, got);
+  expect_close(got, want);
+  nonzero_split_spmm(dev, fx.coo, fx.ev, fx.x, f, got);
+  expect_close(got, want);
+}
+
+class BaselineSddmm : public testing::TestWithParam<Case> {};
+
+TEST_P(BaselineSddmm, AllMatchReference) {
+  const auto& [fam, f] = GetParam();
+  Fixture fx(family_graph(fam), f);
+  std::vector<float> want(std::size_t(fx.coo.nnz()));
+  ref::sddmm(fx.coo, fx.x, fx.yfeat, f, want);
+  const auto& dev = gpusim::default_device();
+
+  std::vector<float> got(want.size());
+  dgl_sddmm(dev, fx.coo, fx.x, fx.yfeat, f, got);
+  expect_close(got, want);
+  dgsparse_sddmm(dev, fx.csr, fx.x, fx.yfeat, f, got);
+  expect_close(got, want);
+  featgraph_sddmm(dev, fx.csr, fx.x, fx.yfeat, f, got);
+  expect_close(got, want);
+  sputnik_sddmm(dev, fx.csr, fx.x, fx.yfeat, f, got);
+  expect_close(got, want);
+  cusparse_sddmm(dev, fx.csr, fx.x, fx.yfeat, f, got);
+  expect_close(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BaselineSpmm, testing::ValuesIn(make_cases()),
+                         case_name);
+INSTANTIATE_TEST_SUITE_P(Sweep, BaselineSddmm, testing::ValuesIn(make_cases()),
+                         case_name);
+
+TEST(MergeSpmv, MatchesReference) {
+  for (const std::string& fam : {"rmat", "grid", "powerlaw"}) {
+    Fixture fx(family_graph(fam), 1);
+    std::vector<float> want(std::size_t(fx.coo.num_rows));
+    ref::spmv(fx.coo, fx.ev, fx.x, want);
+    for (int ipt : {1, 4, 7}) {
+      std::vector<float> got(want.size());
+      merge_spmv(gpusim::default_device(), fx.csr, fx.ev, fx.x, got, ipt);
+      expect_close(got, want);
+    }
+  }
+}
+
+TEST(SupportLimits, MatchPaperThresholds) {
+  // Sputnik and cuSPARSE SDDMM error out around 2M vertices (paper §5.1).
+  EXPECT_TRUE(sputnik_sddmm_supports(400727));     // Amazon ran
+  EXPECT_TRUE(sputnik_sddmm_supports(1069127));    // hollywood09 ran
+  EXPECT_FALSE(sputnik_sddmm_supports(2394385));   // wiki-Talk did not
+  EXPECT_FALSE(sputnik_sddmm_supports(2449029));   // ogb-product did not
+  EXPECT_TRUE(cusparse_sddmm_supports(1971279));
+  EXPECT_FALSE(cusparse_sddmm_supports(2601977));
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model shape properties (the paper's qualitative claims)
+// ---------------------------------------------------------------------------
+
+Coo skewed_graph() {
+  PowerLawParams p;
+  p.n = 8192;
+  p.avg_degree = 16;
+  p.exponent = 2.0;
+  p.seed = 17;
+  return power_law(p);
+}
+
+TEST(CostShape, GnnOneSpmmBeatsVertexParallelOnSkewedGraphs) {
+  const int f = 32;
+  Fixture fx(skewed_graph(), f);
+  std::vector<float> out(std::size_t(fx.coo.num_rows) * std::size_t(f));
+  const auto& dev = gpusim::default_device();
+  const auto ours = gnnone_spmm(dev, fx.coo, fx.ev, fx.x, f, out);
+  const auto ge = gespmm_spmm(dev, fx.csr, fx.ev, fx.x, f, out);
+  const auto fg = featgraph_spmm(dev, fx.csr, fx.ev, fx.x, f, out);
+  EXPECT_LT(ours.cycles, ge.cycles);
+  EXPECT_LT(ours.cycles, fg.cycles);
+}
+
+TEST(CostShape, GnnOneSddmmBeatsAllBaselinesAtF32) {
+  const int f = 32;
+  Fixture fx(skewed_graph(), f);
+  std::vector<float> out(std::size_t(fx.coo.nnz()));
+  const auto& dev = gpusim::default_device();
+  const auto ours = gnnone_sddmm(dev, fx.coo, fx.x, fx.yfeat, f, out);
+  EXPECT_LT(ours.cycles, dgl_sddmm(dev, fx.coo, fx.x, fx.yfeat, f, out).cycles);
+  EXPECT_LT(ours.cycles,
+            dgsparse_sddmm(dev, fx.csr, fx.x, fx.yfeat, f, out).cycles);
+  EXPECT_LT(ours.cycles,
+            featgraph_sddmm(dev, fx.csr, fx.x, fx.yfeat, f, out).cycles);
+  EXPECT_LT(ours.cycles,
+            cusparse_sddmm(dev, fx.csr, fx.x, fx.yfeat, f, out).cycles);
+}
+
+TEST(CostShape, NonzeroSplitCollapsesOccupancyAtLargeF) {
+  const int f = 64;
+  Fixture fx(skewed_graph(), f);
+  std::vector<float> out(std::size_t(fx.coo.num_rows) * std::size_t(f));
+  const auto& dev = gpusim::default_device();
+  const auto nzs = nonzero_split_spmm(dev, fx.coo, fx.ev, fx.x, f, out);
+  const auto ours = gnnone_spmm(dev, fx.coo, fx.ev, fx.x, f, out);
+  EXPECT_LT(nzs.resident_warps_per_sm, ours.resident_warps_per_sm);
+  EXPECT_LT(ours.cycles, nzs.cycles);
+}
+
+TEST(CostShape, CusparseSddmmIsFarSlower) {
+  const int f = 32;
+  Fixture fx(skewed_graph(), f);
+  std::vector<float> out(std::size_t(fx.coo.nnz()));
+  const auto& dev = gpusim::default_device();
+  const auto ours = gnnone_sddmm(dev, fx.coo, fx.x, fx.yfeat, f, out);
+  const auto cu = cusparse_sddmm(dev, fx.csr, fx.x, fx.yfeat, f, out);
+  EXPECT_GT(double(cu.cycles) / double(ours.cycles), 8.0);
+}
+
+}  // namespace
+}  // namespace gnnone

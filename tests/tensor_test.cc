@@ -1,0 +1,274 @@
+// Unit tests for the dense tensor library, autograd (finite-difference
+// gradient checks on every op), and the optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "gen/rng.h"
+#include "gpusim/device.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace gnnone {
+namespace {
+
+OpContext ctx_no_ledger() {
+  OpContext ctx;
+  ctx.dev = &gpusim::default_device();
+  ctx.training = true;
+  return ctx;
+}
+
+Tensor random_tensor(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < std::size_t(t.numel()); ++i) {
+    t[i] = float(rng.normal());
+  }
+  return t;
+}
+
+TEST(Tensor, MatmulAgainstHand) {
+  Tensor a = Tensor::from(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from(3, 2, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(Tensor, TransposedMatmulsAgree) {
+  const Tensor a = random_tensor(4, 5, 1);
+  const Tensor b = random_tensor(5, 3, 2);
+  const Tensor ab = matmul(a, b);
+  // matmul_bt(a, b^T as rows) == a*b
+  Tensor bt(3, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Tensor ab2 = matmul_bt(a, bt);
+  for (std::size_t i = 0; i < std::size_t(ab.numel()); ++i) {
+    EXPECT_NEAR(ab[i], ab2[i], 1e-4f);
+  }
+  // matmul_at(a^T as rows, b) == a*b
+  Tensor at(5, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Tensor ab3 = matmul_at(at, b);
+  for (std::size_t i = 0; i < std::size_t(ab.numel()); ++i) {
+    EXPECT_NEAR(ab[i], ab3[i], 1e-4f);
+  }
+}
+
+/// Finite-difference gradient check of a scalar-valued graph builder.
+void gradcheck(const std::function<VarPtr(const std::vector<VarPtr>&)>& fn,
+               std::vector<VarPtr> inputs, float eps = 1e-2f,
+               float tol = 2e-2f) {
+  const VarPtr out = fn(inputs);
+  ASSERT_EQ(out->value.numel(), 1);
+  backward(out);
+  for (const auto& in : inputs) {
+    for (std::size_t i = 0; i < std::size_t(in->value.numel()); ++i) {
+      const float orig = in->value[i];
+      in->value[i] = orig + eps;
+      const float up = fn(inputs)->value[0];
+      in->value[i] = orig - eps;
+      const float dn = fn(inputs)->value[0];
+      in->value[i] = orig;
+      const float fd = (up - dn) / (2 * eps);
+      EXPECT_NEAR(in->grad[i], fd, tol + 0.05f * std::abs(fd))
+          << "input " << in->name << " element " << i;
+    }
+  }
+}
+
+/// Sums a variable into a scalar (test reduction head).
+VarPtr reduce_sum(const OpContext& ctx, const VarPtr& v) {
+  auto ones = make_var(Tensor(v->value.cols(), 1, 1.0f));
+  auto col = vmatmul(ctx, v, ones);          // rows x 1
+  auto ones2 = make_var(Tensor(1, v->value.rows(), 1.0f));
+  return vmatmul(ctx, ones2, col);           // 1 x 1
+}
+
+TEST(Autograd, MatmulGradcheck) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(3, 4, 1), true, "a");
+  auto b = make_var(random_tensor(4, 2, 2), true, "b");
+  gradcheck(
+      [&](const std::vector<VarPtr>& in) {
+        return reduce_sum(ctx, vmatmul(ctx, in[0], in[1]));
+      },
+      {a, b});
+}
+
+TEST(Autograd, BiasAndAddGradcheck) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(3, 4, 3), true, "a");
+  auto b = make_var(random_tensor(1, 4, 4), true, "bias");
+  auto c = make_var(random_tensor(3, 4, 5), true, "c");
+  gradcheck(
+      [&](const std::vector<VarPtr>& in) {
+        return reduce_sum(ctx,
+                          vadd(ctx, vbias(ctx, in[0], in[1]), in[2]));
+      },
+      {a, b, c});
+}
+
+TEST(Autograd, ActivationsGradcheck) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(4, 3, 6), true, "a");
+  gradcheck(
+      [&](const std::vector<VarPtr>& in) {
+        return reduce_sum(ctx, vleaky_relu(ctx, in[0], 0.2f));
+      },
+      {a});
+  auto b = make_var(random_tensor(4, 3, 7), true, "b");
+  gradcheck(
+      [&](const std::vector<VarPtr>& in) {
+        return reduce_sum(ctx, vrelu(ctx, in[0]));
+      },
+      {b});
+}
+
+TEST(Autograd, ScaleGradcheck) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(2, 5, 8), true, "a");
+  gradcheck(
+      [&](const std::vector<VarPtr>& in) {
+        return reduce_sum(ctx, vscale(ctx, in[0], 1.5f));
+      },
+      {a});
+}
+
+TEST(Autograd, ColnormGradcheck) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(6, 3, 13), true, "a");
+  // The plain sum of a standardized column is ~0 with ~0 gradient, so weight
+  // the output elementwise (relu keeps roughly half the entries) to make the
+  // check non-vacuous.
+  gradcheck(
+      [&](const std::vector<VarPtr>& in) {
+        return reduce_sum(ctx, vrelu(ctx, vcolnorm(ctx, in[0])));
+      },
+      {a}, 1e-2f, 5e-2f);
+}
+
+TEST(Autograd, ColnormStandardizes) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(64, 4, 15), true, "a");
+  const VarPtr out = vcolnorm(ctx, a);
+  for (std::int64_t j = 0; j < 4; ++j) {
+    double mu = 0, var = 0;
+    for (std::int64_t i = 0; i < 64; ++i) mu += out->value.at(i, j);
+    mu /= 64;
+    for (std::int64_t i = 0; i < 64; ++i) {
+      var += (out->value.at(i, j) - mu) * (out->value.at(i, j) - mu);
+    }
+    var /= 64;
+    EXPECT_NEAR(mu, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Autograd, LogSoftmaxNllGradcheck) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(5, 4, 9), true, "a");
+  const std::vector<int> labels = {0, 2, -1, 3, 1};
+  gradcheck(
+      [&](const std::vector<VarPtr>& in) {
+        return vnll_loss(ctx, vlog_softmax(ctx, in[0]), labels);
+      },
+      {a});
+}
+
+TEST(Autograd, DropoutIsMaskedIdentityInGradient) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(8, 8, 10), true, "a");
+  const VarPtr out = vdropout(ctx, a, 0.5f, 42);
+  const VarPtr s = reduce_sum(ctx, out);
+  backward(s);
+  // Gradient equals the mask scale where kept, 0 where dropped.
+  int kept = 0, dropped = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (out->value[i] == 0.0f && a->value[i] != 0.0f) {
+      EXPECT_FLOAT_EQ(a->grad[i], 0.0f);
+      ++dropped;
+    } else if (a->value[i] != 0.0f) {
+      EXPECT_NEAR(a->grad[i], 2.0f, 1e-5f);
+      ++kept;
+    }
+  }
+  EXPECT_GT(kept, 10);
+  EXPECT_GT(dropped, 10);
+}
+
+TEST(Autograd, EvalModeDisablesDropout) {
+  auto ctx = ctx_no_ledger();
+  ctx.training = false;
+  auto a = make_var(random_tensor(4, 4, 11), true, "a");
+  const VarPtr out = vdropout(ctx, a, 0.9f, 1);
+  EXPECT_EQ(out.get(), a.get());
+}
+
+TEST(Autograd, AccuracyComputation) {
+  Tensor logits = Tensor::from(3, 2, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {-1, 1, -1}), 1.0);
+}
+
+TEST(Autograd, GradAccumulatesAcrossUses) {
+  auto ctx = ctx_no_ledger();
+  auto a = make_var(random_tensor(2, 2, 12), true, "a");
+  const VarPtr s = reduce_sum(ctx, vadd(ctx, a, a));
+  backward(s);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(a->grad[i], 2.0f, 1e-5f);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic) {
+  // minimize ||x - t||^2 via autograd-free manual grads.
+  auto x = make_var(Tensor(1, 4), true, "x");
+  const float target[4] = {1.0f, -2.0f, 3.0f, 0.5f};
+  Adam opt({x}, 0.1f);
+  for (int it = 0; it < 300; ++it) {
+    opt.zero_grad();
+    for (int i = 0; i < 4; ++i) {
+      x->grad[std::size_t(i)] = 2.0f * (x->value[std::size_t(i)] - target[i]);
+    }
+    opt.step();
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x->value[std::size_t(i)], target[i], 1e-2f);
+  }
+}
+
+TEST(Optim, SgdStepsDownhill) {
+  auto x = make_var(Tensor(1, 1), true, "x");
+  x->value[0] = 4.0f;
+  Sgd opt({x}, 0.25f);
+  for (int it = 0; it < 60; ++it) {
+    opt.zero_grad();
+    x->grad[0] = 2.0f * x->value[0];
+    opt.step();
+  }
+  EXPECT_NEAR(x->value[0], 0.0f, 1e-3f);
+}
+
+TEST(Ledger, ChargesAccumulateByTag) {
+  CycleLedger ledger;
+  OpContext ctx;
+  ctx.dev = &gpusim::default_device();
+  ctx.ledger = &ledger;
+  auto a = make_var(random_tensor(8, 8, 1), true);
+  auto b = make_var(random_tensor(8, 8, 2), true);
+  (void)vmatmul(ctx, a, b);
+  EXPECT_GT(ledger.by_tag("dense"), 0u);
+  EXPECT_EQ(ledger.by_tag("spmm"), 0u);
+  EXPECT_EQ(ledger.total(), ledger.by_tag("dense"));
+}
+
+}  // namespace
+}  // namespace gnnone

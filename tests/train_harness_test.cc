@@ -1,0 +1,121 @@
+// Tests for the training harness itself: options handling, unlabeled
+// datasets, ledger composition, and determinism.
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gnn/train.h"
+
+namespace gnnone {
+namespace {
+
+const gpusim::DeviceSpec& dev() { return gpusim::default_device(); }
+
+TEST(TrainHarness, UnlabeledDatasetsTrainOnGeneratedLabels) {
+  // Performance-suite graphs have no labels; the harness generates them
+  // (GNNBench's approach, §5.3) so timing runs work.
+  const Dataset d = make_dataset("G11");
+  ASSERT_FALSE(d.labeled);
+  TrainOptions opts;
+  opts.measured_epochs = 1;
+  opts.epochs = 1;
+  opts.feature_dim_override = 8;
+  opts.eval_accuracy = false;
+  const auto r = train_model(Backend::kGnnOne, d, "gcn", dev(), opts);
+  ASSERT_TRUE(r.ran);
+  EXPECT_GT(r.cycles_per_epoch, 0u);
+  EXPECT_EQ(r.accuracy_curve.size(), 0u);
+}
+
+TEST(TrainHarness, TotalCyclesScalesWithEpochHorizon) {
+  const Dataset d = make_dataset("G1");
+  TrainOptions opts;
+  opts.measured_epochs = 1;
+  opts.feature_dim_override = 8;
+  opts.eval_accuracy = false;
+  opts.epochs = 10;
+  const auto a = train_model(Backend::kGnnOne, d, "gcn", dev(), opts);
+  opts.epochs = 200;
+  const auto b = train_model(Backend::kGnnOne, d, "gcn", dev(), opts);
+  EXPECT_EQ(a.cycles_per_epoch, b.cycles_per_epoch);
+  EXPECT_EQ(b.total_cycles, a.cycles_per_epoch * 200u);
+}
+
+TEST(TrainHarness, DeterministicAcrossRuns) {
+  const Dataset d = make_dataset("G0");
+  TrainOptions opts;
+  opts.measured_epochs = 5;
+  opts.epochs = 5;
+  opts.feature_dim_override = 16;
+  const auto a = train_model(Backend::kGnnOne, d, "gcn", dev(), opts);
+  const auto b = train_model(Backend::kGnnOne, d, "gcn", dev(), opts);
+  EXPECT_EQ(a.cycles_per_epoch, b.cycles_per_epoch);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  ASSERT_EQ(a.accuracy_curve.size(), b.accuracy_curve.size());
+  for (std::size_t i = 0; i < a.accuracy_curve.size(); ++i) {
+    EXPECT_EQ(a.accuracy_curve[i], b.accuracy_curve[i]);
+  }
+}
+
+TEST(TrainHarness, LedgerSplitsSumToTotal) {
+  const Dataset d = make_dataset("G1");
+  TrainOptions opts;
+  opts.measured_epochs = 1;
+  opts.epochs = 1;
+  opts.feature_dim_override = 16;
+  opts.eval_accuracy = false;
+  const auto r = train_model(Backend::kGnnOne, d, "gat", dev(), opts);
+  ASSERT_TRUE(r.ran);
+  EXPECT_GT(r.spmm_cycles, 0u);
+  EXPECT_GT(r.sddmm_cycles, 0u);
+  EXPECT_GT(r.dense_cycles, 0u);
+  EXPECT_EQ(r.spmm_cycles + r.sddmm_cycles + r.dense_cycles,
+            r.cycles_per_epoch);
+}
+
+TEST(TrainHarness, UnknownModelThrows) {
+  const Dataset d = make_dataset("G0");
+  EXPECT_THROW(train_model(Backend::kGnnOne, d, "transformer", dev()),
+               std::invalid_argument);
+}
+
+TEST(TrainHarness, UnsupportedBackendReportsWithoutRunning) {
+  const Dataset kron = make_dataset("G10");
+  const auto r = train_model(Backend::kDgnn, kron, "gat", dev());
+  EXPECT_FALSE(r.ran);
+  EXPECT_EQ(r.fail_reason, "unsupported");
+  EXPECT_EQ(r.cycles_per_epoch, 0u);
+}
+
+TEST(TrainHarness, GatCostsMoreThanGcnPerEpoch) {
+  // GAT adds SDDMM + edge softmax + more layers: must cost more.
+  const Dataset d = make_dataset("G1");
+  TrainOptions opts;
+  opts.measured_epochs = 1;
+  opts.epochs = 1;
+  opts.feature_dim_override = 16;
+  opts.eval_accuracy = false;
+  const auto gcn = train_model(Backend::kGnnOne, d, "gcn", dev(), opts);
+  const auto gat = train_model(Backend::kGnnOne, d, "gat", dev(), opts);
+  EXPECT_GT(gat.cycles_per_epoch, gcn.cycles_per_epoch);
+  EXPECT_EQ(gcn.sddmm_cycles, 0u);  // GCN's backward needs no SDDMM (§2):
+                                    // its edge weights are static
+}
+
+TEST(TrainHarness, FootprintGrowsWithModelDepthAndEdges) {
+  const Dataset small = make_dataset("G9");
+  const Dataset big = make_dataset("G15");  // more paper-scale edges
+  EXPECT_GT(paper_scale_footprint(Backend::kDgl, big, "gcn"),
+            paper_scale_footprint(Backend::kDgl, small, "gcn"));
+  EXPECT_GT(paper_scale_footprint(Backend::kGnnOne, small, "gat"),
+            paper_scale_footprint(Backend::kGnnOne, small, "gcn"));
+  // DGL always needs more device memory than GNNOne on the same job.
+  for (const char* id : {"G9", "G14", "G17"}) {
+    const Dataset d = make_dataset(id);
+    EXPECT_GT(paper_scale_footprint(Backend::kDgl, d, "gcn"),
+              paper_scale_footprint(Backend::kGnnOne, d, "gcn"))
+        << id;
+  }
+}
+
+}  // namespace
+}  // namespace gnnone
