@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sddmm.dir/bench_fig3_sddmm.cc.o"
+  "CMakeFiles/bench_fig3_sddmm.dir/bench_fig3_sddmm.cc.o.d"
+  "bench_fig3_sddmm"
+  "bench_fig3_sddmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sddmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_spmm.dir/bench_fig4_spmm.cc.o"
+  "CMakeFiles/bench_fig4_spmm.dir/bench_fig4_spmm.cc.o.d"
+  "bench_fig4_spmm"
+  "bench_fig4_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gcn_gin.dir/bench_fig7_gcn_gin.cc.o"
+  "CMakeFiles/bench_fig7_gcn_gin.dir/bench_fig7_gcn_gin.cc.o.d"
+  "bench_fig7_gcn_gin"
+  "bench_fig7_gcn_gin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gcn_gin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpusim_micro.dir/bench_gpusim_micro.cc.o"
+  "CMakeFiles/bench_gpusim_micro.dir/bench_gpusim_micro.cc.o.d"
+  "bench_gpusim_micro"
+  "bench_gpusim_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpusim_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_inference.dir/fused_inference.cpp.o"
+  "CMakeFiles/fused_inference.dir/fused_inference.cpp.o.d"
+  "fused_inference"
+  "fused_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

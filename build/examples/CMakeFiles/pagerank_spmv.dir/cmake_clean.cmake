@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_spmv.dir/pagerank_spmv.cpp.o"
+  "CMakeFiles/pagerank_spmv.dir/pagerank_spmv.cpp.o.d"
+  "pagerank_spmv"
+  "pagerank_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

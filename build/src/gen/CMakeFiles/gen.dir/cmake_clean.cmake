@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen.dir/datasets.cc.o"
+  "CMakeFiles/gen.dir/datasets.cc.o.d"
+  "CMakeFiles/gen.dir/grid.cc.o"
+  "CMakeFiles/gen.dir/grid.cc.o.d"
+  "CMakeFiles/gen.dir/random.cc.o"
+  "CMakeFiles/gen.dir/random.cc.o.d"
+  "CMakeFiles/gen.dir/rmat.cc.o"
+  "CMakeFiles/gen.dir/rmat.cc.o.d"
+  "libgen.a"
+  "libgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/backends.cc" "src/gnn/CMakeFiles/gnn.dir/backends.cc.o" "gcc" "src/gnn/CMakeFiles/gnn.dir/backends.cc.o.d"
+  "/root/repo/src/gnn/layers.cc" "src/gnn/CMakeFiles/gnn.dir/layers.cc.o" "gcc" "src/gnn/CMakeFiles/gnn.dir/layers.cc.o.d"
+  "/root/repo/src/gnn/models.cc" "src/gnn/CMakeFiles/gnn.dir/models.cc.o" "gcc" "src/gnn/CMakeFiles/gnn.dir/models.cc.o.d"
+  "/root/repo/src/gnn/train.cc" "src/gnn/CMakeFiles/gnn.dir/train.cc.o" "gcc" "src/gnn/CMakeFiles/gnn.dir/train.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

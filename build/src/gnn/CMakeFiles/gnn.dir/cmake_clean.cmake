@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn.dir/backends.cc.o"
+  "CMakeFiles/gnn.dir/backends.cc.o.d"
+  "CMakeFiles/gnn.dir/layers.cc.o"
+  "CMakeFiles/gnn.dir/layers.cc.o.d"
+  "CMakeFiles/gnn.dir/models.cc.o"
+  "CMakeFiles/gnn.dir/models.cc.o.d"
+  "CMakeFiles/gnn.dir/train.cc.o"
+  "CMakeFiles/gnn.dir/train.cc.o.d"
+  "libgnn.a"
+  "libgnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

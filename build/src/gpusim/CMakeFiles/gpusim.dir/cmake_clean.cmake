@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim.dir/launch.cc.o"
+  "CMakeFiles/gpusim.dir/launch.cc.o.d"
+  "CMakeFiles/gpusim.dir/report.cc.o"
+  "CMakeFiles/gpusim.dir/report.cc.o.d"
+  "CMakeFiles/gpusim.dir/warp.cc.o"
+  "CMakeFiles/gpusim.dir/warp.cc.o.d"
+  "libgpusim.a"
+  "libgpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/convert.cc" "src/graph/CMakeFiles/graph.dir/convert.cc.o" "gcc" "src/graph/CMakeFiles/graph.dir/convert.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/merge_path.cc" "src/graph/CMakeFiles/graph.dir/merge_path.cc.o" "gcc" "src/graph/CMakeFiles/graph.dir/merge_path.cc.o.d"
+  "/root/repo/src/graph/neighbor_group.cc" "src/graph/CMakeFiles/graph.dir/neighbor_group.cc.o" "gcc" "src/graph/CMakeFiles/graph.dir/neighbor_group.cc.o.d"
+  "/root/repo/src/graph/row_swizzle.cc" "src/graph/CMakeFiles/graph.dir/row_swizzle.cc.o" "gcc" "src/graph/CMakeFiles/graph.dir/row_swizzle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

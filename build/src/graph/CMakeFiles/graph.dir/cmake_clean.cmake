@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph.dir/convert.cc.o"
+  "CMakeFiles/graph.dir/convert.cc.o.d"
+  "CMakeFiles/graph.dir/io.cc.o"
+  "CMakeFiles/graph.dir/io.cc.o.d"
+  "CMakeFiles/graph.dir/merge_path.cc.o"
+  "CMakeFiles/graph.dir/merge_path.cc.o.d"
+  "CMakeFiles/graph.dir/neighbor_group.cc.o"
+  "CMakeFiles/graph.dir/neighbor_group.cc.o.d"
+  "CMakeFiles/graph.dir/row_swizzle.cc.o"
+  "CMakeFiles/graph.dir/row_swizzle.cc.o.d"
+  "libgraph.a"
+  "libgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

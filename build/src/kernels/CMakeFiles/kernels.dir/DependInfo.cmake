@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/baselines/cusparse_sddmm.cc" "src/kernels/CMakeFiles/kernels.dir/baselines/cusparse_sddmm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/baselines/cusparse_sddmm.cc.o.d"
+  "/root/repo/src/kernels/baselines/dgl_sddmm.cc" "src/kernels/CMakeFiles/kernels.dir/baselines/dgl_sddmm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/baselines/dgl_sddmm.cc.o.d"
+  "/root/repo/src/kernels/baselines/merge_spmv.cc" "src/kernels/CMakeFiles/kernels.dir/baselines/merge_spmv.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/baselines/merge_spmv.cc.o.d"
+  "/root/repo/src/kernels/baselines/neighbor_group_spmm.cc" "src/kernels/CMakeFiles/kernels.dir/baselines/neighbor_group_spmm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/baselines/neighbor_group_spmm.cc.o.d"
+  "/root/repo/src/kernels/baselines/nonzero_split_spmm.cc" "src/kernels/CMakeFiles/kernels.dir/baselines/nonzero_split_spmm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/baselines/nonzero_split_spmm.cc.o.d"
+  "/root/repo/src/kernels/baselines/vertex_parallel_sddmm.cc" "src/kernels/CMakeFiles/kernels.dir/baselines/vertex_parallel_sddmm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/baselines/vertex_parallel_sddmm.cc.o.d"
+  "/root/repo/src/kernels/baselines/vertex_parallel_spmm.cc" "src/kernels/CMakeFiles/kernels.dir/baselines/vertex_parallel_spmm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/baselines/vertex_parallel_spmm.cc.o.d"
+  "/root/repo/src/kernels/gnnone_fused.cc" "src/kernels/CMakeFiles/kernels.dir/gnnone_fused.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/gnnone_fused.cc.o.d"
+  "/root/repo/src/kernels/gnnone_sddmm.cc" "src/kernels/CMakeFiles/kernels.dir/gnnone_sddmm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/gnnone_sddmm.cc.o.d"
+  "/root/repo/src/kernels/gnnone_spmm.cc" "src/kernels/CMakeFiles/kernels.dir/gnnone_spmm.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/gnnone_spmm.cc.o.d"
+  "/root/repo/src/kernels/gnnone_spmv.cc" "src/kernels/CMakeFiles/kernels.dir/gnnone_spmv.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/gnnone_spmv.cc.o.d"
+  "/root/repo/src/kernels/reference.cc" "src/kernels/CMakeFiles/kernels.dir/reference.cc.o" "gcc" "src/kernels/CMakeFiles/kernels.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels.dir/baselines/cusparse_sddmm.cc.o"
+  "CMakeFiles/kernels.dir/baselines/cusparse_sddmm.cc.o.d"
+  "CMakeFiles/kernels.dir/baselines/dgl_sddmm.cc.o"
+  "CMakeFiles/kernels.dir/baselines/dgl_sddmm.cc.o.d"
+  "CMakeFiles/kernels.dir/baselines/merge_spmv.cc.o"
+  "CMakeFiles/kernels.dir/baselines/merge_spmv.cc.o.d"
+  "CMakeFiles/kernels.dir/baselines/neighbor_group_spmm.cc.o"
+  "CMakeFiles/kernels.dir/baselines/neighbor_group_spmm.cc.o.d"
+  "CMakeFiles/kernels.dir/baselines/nonzero_split_spmm.cc.o"
+  "CMakeFiles/kernels.dir/baselines/nonzero_split_spmm.cc.o.d"
+  "CMakeFiles/kernels.dir/baselines/vertex_parallel_sddmm.cc.o"
+  "CMakeFiles/kernels.dir/baselines/vertex_parallel_sddmm.cc.o.d"
+  "CMakeFiles/kernels.dir/baselines/vertex_parallel_spmm.cc.o"
+  "CMakeFiles/kernels.dir/baselines/vertex_parallel_spmm.cc.o.d"
+  "CMakeFiles/kernels.dir/gnnone_fused.cc.o"
+  "CMakeFiles/kernels.dir/gnnone_fused.cc.o.d"
+  "CMakeFiles/kernels.dir/gnnone_sddmm.cc.o"
+  "CMakeFiles/kernels.dir/gnnone_sddmm.cc.o.d"
+  "CMakeFiles/kernels.dir/gnnone_spmm.cc.o"
+  "CMakeFiles/kernels.dir/gnnone_spmm.cc.o.d"
+  "CMakeFiles/kernels.dir/gnnone_spmv.cc.o"
+  "CMakeFiles/kernels.dir/gnnone_spmv.cc.o.d"
+  "CMakeFiles/kernels.dir/reference.cc.o"
+  "CMakeFiles/kernels.dir/reference.cc.o.d"
+  "libkernels.a"
+  "libkernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor.dir/autograd.cc.o"
+  "CMakeFiles/tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/tensor.dir/ops.cc.o"
+  "CMakeFiles/tensor.dir/ops.cc.o.d"
+  "CMakeFiles/tensor.dir/optim.cc.o"
+  "CMakeFiles/tensor.dir/optim.cc.o.d"
+  "CMakeFiles/tensor.dir/tensor.cc.o"
+  "CMakeFiles/tensor.dir/tensor.cc.o.d"
+  "libtensor.a"
+  "libtensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gnn_fused_test.cc" "tests/CMakeFiles/gnn_fused_test.dir/gnn_fused_test.cc.o" "gcc" "tests/CMakeFiles/gnn_fused_test.dir/gnn_fused_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

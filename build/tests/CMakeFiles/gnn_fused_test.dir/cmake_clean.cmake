@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_fused_test.dir/gnn_fused_test.cc.o"
+  "CMakeFiles/gnn_fused_test.dir/gnn_fused_test.cc.o.d"
+  "gnn_fused_test"
+  "gnn_fused_test.pdb"
+  "gnn_fused_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_fused_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_more_test.dir/gpusim_more_test.cc.o"
+  "CMakeFiles/gpusim_more_test.dir/gpusim_more_test.cc.o.d"
+  "gpusim_more_test"
+  "gpusim_more_test.pdb"
+  "gpusim_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

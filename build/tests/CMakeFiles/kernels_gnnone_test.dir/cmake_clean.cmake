@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_gnnone_test.dir/kernels_gnnone_test.cc.o"
+  "CMakeFiles/kernels_gnnone_test.dir/kernels_gnnone_test.cc.o.d"
+  "kernels_gnnone_test"
+  "kernels_gnnone_test.pdb"
+  "kernels_gnnone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_gnnone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_gnnone_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_fused_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_more_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn_fused_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/train_harness_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn_layers_test[1]_include.cmake")
