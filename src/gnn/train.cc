@@ -1,5 +1,7 @@
 #include "gnn/train.h"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "gen/rng.h"
@@ -96,81 +98,120 @@ TrainResult train_model(Backend backend, const Dataset& ds,
     return res;
   }
   res.paper_footprint_bytes = paper_scale_footprint(backend, ds, model_kind);
-  {
-    gpusim::DeviceMemory mem(dev.device_memory_bytes);
-    try {
-      mem.allocate(res.paper_footprint_bytes);
-    } catch (const gpusim::DeviceOutOfMemory&) {
-      res.fail_reason = "OOM";
-      return res;
+
+  // All device-side footprint is charged to one tracker so that an injected
+  // fault at ANY site unwinds through the DeviceAllocation RAII guards and
+  // leaves in_use() exactly where it started (the fault-injection tests
+  // assert this).
+  gpusim::DeviceMemory local_mem(dev.device_memory_bytes);
+  gpusim::DeviceMemory& mem =
+      opts.device_memory != nullptr ? *opts.device_memory : local_mem;
+
+  try {
+    // Site 1: paper-scale admission check — would the full-scale run fit?
+    // Transient: the working set below is at the scaled stand-in size.
+    {
+      gpusim::DeviceAllocation admission(mem, res.paper_footprint_bytes);
     }
-  }
 
-  const int in_dim = opts.feature_dim_override > 0 ? opts.feature_dim_override
-                                                   : ds.input_feat_len;
-  const ModelConfig cfg = config_for(model_kind, in_dim, ds.num_classes);
+    const int in_dim = opts.feature_dim_override > 0
+                           ? opts.feature_dim_override
+                           : ds.input_feat_len;
+    const ModelConfig cfg = config_for(model_kind, in_dim, ds.num_classes);
 
-  SparseEngine engine(backend, ds.coo, dev);
-  auto model = build(model_kind, engine, cfg);
+    SparseEngine engine(backend, ds.coo, dev);
+    // Site 2: graph topology in the backend's storage format(s).
+    gpusim::DeviceAllocation topo_alloc(mem, engine.graph_bytes());
 
-  CycleLedger ledger;
-  OpContext ctx;
-  ctx.dev = &dev;
-  ctx.ledger = &ledger;
-  ctx.training = true;
+    auto model = build(model_kind, engine, cfg);
 
-  // Features and train/test split. Unlabeled datasets get generated labels
-  // and features (the GNNBench approach the paper adopts, §5.3): usable for
-  // time measurement, not accuracy.
-  std::vector<int> labels = ds.labels;
-  if (labels.empty()) {
-    labels.resize(std::size_t(ds.coo.num_rows));
-    Rng lr(opts.seed);
-    for (auto& l : labels) l = int(lr.uniform(std::uint64_t(ds.num_classes)));
-  }
-  const auto x_data =
-      make_features(ds.coo.num_rows, in_dim, ds.labeled ? ds.labels
-                                                        : std::vector<int>{},
-                    opts.seed);
-  const VarPtr x = make_var(
-      Tensor::from(ds.coo.num_rows, in_dim, x_data), /*requires_grad=*/false);
+    CycleLedger ledger;
+    OpContext ctx;
+    ctx.dev = &dev;
+    ctx.ledger = &ledger;
+    ctx.training = true;
 
-  // Deterministic split: even vertices train, odd vertices test.
-  std::vector<int> train_labels(labels.size(), -1), test_labels(labels.size(), -1);
-  Rng split_rng(opts.seed + 7);
-  for (std::size_t v = 0; v < labels.size(); ++v) {
-    if (split_rng.uniform_real() < opts.train_fraction) {
-      train_labels[v] = labels[v];
-    } else {
-      test_labels[v] = labels[v];
+    // Features and train/test split. Unlabeled datasets get generated labels
+    // and features (the GNNBench approach the paper adopts, §5.3): usable
+    // for time measurement, not accuracy.
+    std::vector<int> labels = ds.labels;
+    if (labels.empty()) {
+      labels.resize(std::size_t(ds.coo.num_rows));
+      Rng lr(opts.seed);
+      for (auto& l : labels) {
+        l = int(lr.uniform(std::uint64_t(ds.num_classes)));
+      }
     }
-  }
+    const auto x_data =
+        make_features(ds.coo.num_rows, in_dim,
+                      ds.labeled ? ds.labels : std::vector<int>{}, opts.seed);
+    const VarPtr x = make_var(Tensor::from(ds.coo.num_rows, in_dim, x_data),
+                              /*requires_grad=*/false);
+    // Site 3: input feature matrix.
+    gpusim::DeviceAllocation feat_alloc(mem, x->value.bytes());
 
-  Adam opt(model->params(), opts.lr);
-  std::uint64_t first_epoch_cycles = 0;
-  for (int epoch = 0; epoch < opts.measured_epochs; ++epoch) {
-    const std::uint64_t before = ledger.total();
-    opt.zero_grad();
-    const VarPtr logp =
-        model->forward(ctx, engine, x, opts.seed + std::uint64_t(epoch) * 131);
-    const VarPtr loss = vnll_loss(ctx, logp, train_labels);
-    backward(loss);
-    opt.step();
-    if (epoch == 0) first_epoch_cycles = ledger.total() - before;
-    if (opts.eval_accuracy) {
-      res.accuracy_curve.push_back(accuracy(logp->value, test_labels));
+    // Deterministic split: even vertices train, odd vertices test.
+    std::vector<int> train_labels(labels.size(), -1),
+        test_labels(labels.size(), -1);
+    Rng split_rng(opts.seed + 7);
+    for (std::size_t v = 0; v < labels.size(); ++v) {
+      if (split_rng.uniform_real() < opts.train_fraction) {
+        train_labels[v] = labels[v];
+      } else {
+        test_labels[v] = labels[v];
+      }
     }
+
+    // Site 4: model parameters and their gradients.
+    std::size_t param_bytes = 0;
+    for (const VarPtr& p : model->params()) {
+      param_bytes += p->value.bytes() + p->grad.bytes();
+    }
+    gpusim::DeviceAllocation param_alloc(mem, param_bytes);
+
+    Adam opt(model->params(), opts.lr);
+    // Site 5: optimizer state (Adam first/second moments mirror the params).
+    gpusim::DeviceAllocation opt_alloc(mem, param_bytes);
+
+    std::uint64_t first_epoch_cycles = 0;
+    for (int epoch = 0; epoch < opts.measured_epochs; ++epoch) {
+      const std::uint64_t before = ledger.total();
+      opt.zero_grad();
+      const VarPtr logp = model->forward(
+          ctx, engine, x, opts.seed + std::uint64_t(epoch) * 131);
+      const VarPtr loss = vnll_loss(ctx, logp, train_labels);
+      // Divergence guard: a non-finite loss means the run is unrecoverable;
+      // stop before backward() spreads NaNs through every gradient and
+      // report a structured failure. The poisoned epoch contributes nothing
+      // to the accuracy curve.
+      float loss_value = loss->value.numel() > 0 ? loss->value[0] : 0.0f;
+      if (epoch == opts.inject_nan_at_epoch) {
+        loss_value = std::numeric_limits<float>::quiet_NaN();
+      }
+      if (!std::isfinite(loss_value)) {
+        res.fail_reason = "diverged";
+        return res;
+      }
+      backward(loss);
+      opt.step();
+      if (epoch == 0) first_epoch_cycles = ledger.total() - before;
+      if (opts.eval_accuracy) {
+        res.accuracy_curve.push_back(accuracy(logp->value, test_labels));
+      }
+    }
+    res.ran = true;
+    if (!res.accuracy_curve.empty()) {
+      res.final_accuracy = res.accuracy_curve.back();
+    }
+    // Per-epoch cost is structurally identical across epochs; use the first.
+    res.cycles_per_epoch = first_epoch_cycles;
+    res.total_cycles = res.cycles_per_epoch * std::uint64_t(opts.epochs);
+    res.spmm_cycles = ledger.by_tag("spmm");
+    res.sddmm_cycles = ledger.by_tag("sddmm");
+    res.dense_cycles = ledger.by_tag("dense") + ledger.by_tag("edge_elem");
+  } catch (const gpusim::DeviceOutOfMemory&) {
+    res.fail_reason = "OOM";
   }
-  res.ran = true;
-  if (!res.accuracy_curve.empty()) {
-    res.final_accuracy = res.accuracy_curve.back();
-  }
-  // Per-epoch cost is structurally identical across epochs; use the first.
-  res.cycles_per_epoch = first_epoch_cycles;
-  res.total_cycles = res.cycles_per_epoch * std::uint64_t(opts.epochs);
-  res.spmm_cycles = ledger.by_tag("spmm");
-  res.sddmm_cycles = ledger.by_tag("sddmm");
-  res.dense_cycles = ledger.by_tag("dense") + ledger.by_tag("edge_elem");
   return res;
 }
 

@@ -16,6 +16,7 @@
 #include "gen/datasets.h"
 #include "gnn/backends.h"
 #include "gnn/models.h"
+#include "gpusim/memory.h"
 
 namespace gnnone {
 
@@ -29,11 +30,19 @@ struct TrainOptions {
   /// Overrides the dataset's input feature length (0 = use Table 1's F).
   int feature_dim_override = 0;
   bool eval_accuracy = true;
+  /// External device-memory tracker. Every allocation the harness makes is
+  /// charged against it, so injected faults (fail_at_allocation /
+  /// fail_above) drive the OOM error paths deterministically. Null = use a
+  /// private tracker sized to the device.
+  gpusim::DeviceMemory* device_memory = nullptr;
+  /// Fault injection: poisons the loss with NaN at this measured epoch
+  /// (-1 = never) to exercise the divergence guard.
+  int inject_nan_at_epoch = -1;
 };
 
 struct TrainResult {
   bool ran = false;
-  std::string fail_reason;        // "OOM", "unsupported", or empty
+  std::string fail_reason;  // "OOM", "unsupported", "diverged", or empty
   double final_accuracy = 0.0;
   std::vector<double> accuracy_curve;  // per measured epoch
   std::uint64_t cycles_per_epoch = 0;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "gpusim/sanitizer.h"
 #include "gpusim/shared.h"
 
 namespace gpusim {
@@ -55,13 +56,19 @@ KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
   ks.resident_ctas_per_sm = occ.ctas_per_sm;
   ks.resident_warps_per_sm = occ.warps_per_sm;
 
-  // Functional pass: run every warp, collect per-warp costs.
+  // Functional pass: run every warp, collect per-warp costs. When a
+  // Sanitizer is active (resolved once per launch) every access is checked.
   SharedMem shmem(cfg.shared_bytes_per_cta);
+  Sanitizer* const san = Sanitizer::active();
+  if (san != nullptr) {
+    san->begin_launch(cfg.label, shmem.data(), shmem.capacity());
+  }
   std::vector<WarpCost> costs(std::size_t(ks.num_warps));
   for (std::int64_t cta = 0; cta < cfg.num_ctas; ++cta) {
     shmem.reset();
+    if (san != nullptr) san->begin_cta(cta, cfg.warps_per_cta);
     for (int w = 0; w < cfg.warps_per_cta; ++w) {
-      WarpCtx ctx(spec, cta, w, cfg.warps_per_cta, shmem);
+      WarpCtx ctx(spec, cta, w, cfg.warps_per_cta, shmem, san);
       body(ctx);
       ctx.finish();
       const WarpStats& s = ctx.stats();
@@ -69,7 +76,9 @@ KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
       costs[std::size_t(cta) * std::size_t(cfg.warps_per_cta) + std::size_t(w)] =
           {s.issue_cycles, s.stall_cycles};
     }
+    if (san != nullptr) san->end_cta();
   }
+  if (san != nullptr) san->end_launch(ks.sanitizer);
 
   // Scheduling pass: round-robin CTA assignment, wave-based SM timing.
   std::uint64_t makespan = 0;

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "gpusim/device.h"
 #include "gpusim/stats.h"
@@ -23,6 +24,9 @@ struct LaunchConfig {
   std::size_t shared_bytes_per_cta = 0;
   int regs_per_thread = 32;
   std::uint64_t launch_overhead_cycles = 2000;  // ~1.5 us at 1.4 GHz
+  /// Kernel name for diagnostics (simsan violation reports). Optional; an
+  /// empty label reports as "<unnamed>".
+  std::string label;
 };
 
 /// Achieved occupancy for a launch configuration on a device.

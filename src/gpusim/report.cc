@@ -45,6 +45,32 @@ std::string describe(const KernelStats& ks, const DeviceSpec& spec) {
              " cycles (data-load share %.0f%%)\n",
              ks.totals.issue_cycles, ks.totals.stall_cycles,
              100.0 * ks.data_load_fraction());
+  if (ks.sanitizer.total() > 0) {
+    out += fmt("simsan           : %" PRIu64 " violations (%" PRIu64
+               " global OOB, %" PRIu64 " shared OOB, %" PRIu64
+               " races, %" PRIu64 " barrier)\n",
+               ks.sanitizer.total(), ks.sanitizer.global_oob,
+               ks.sanitizer.shared_oob, ks.sanitizer.shared_races,
+               ks.sanitizer.barrier_divergence);
+  }
+  return out;
+}
+
+std::string describe(const SanitizerReport& report) {
+  if (report.clean()) return "simsan: clean\n";
+  std::string out = fmt("simsan: %" PRIu64 " violations\n", report.total());
+  constexpr ViolationKind kKinds[] = {
+      ViolationKind::kGlobalOob, ViolationKind::kSharedOob,
+      ViolationKind::kSharedRace, ViolationKind::kBarrierDivergence,
+      ViolationKind::kDoubleRelease};
+  for (ViolationKind k : kKinds) {
+    if (report.count(k) > 0) {
+      out += fmt("  %-22s : %" PRIu64 "\n", violation_name(k), report.count(k));
+    }
+  }
+  for (const SanitizerViolation& v : report.violations()) {
+    out += "  " + v.describe() + "\n";
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "gpusim/device.h"
+#include "gpusim/sanitizer.h"
 #include "gpusim/stats.h"
 
 namespace gpusim {
@@ -16,5 +17,10 @@ std::string describe(const KernelStats& ks, const DeviceSpec& spec);
 /// One-line CSV-ish record: cycles,warps,occupancy,tx,bytes,load_fraction.
 std::string csv_row(const KernelStats& ks);
 std::string csv_header();
+
+/// Multi-line summary of a simsan report: per-kind violation counts followed
+/// by every recorded violation's full description. "simsan: clean" when no
+/// violations were observed.
+std::string describe(const SanitizerReport& report);
 
 }  // namespace gpusim

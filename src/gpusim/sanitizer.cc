@@ -1,0 +1,263 @@
+#include "gpusim/sanitizer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace gpusim {
+
+namespace {
+
+Sanitizer* g_active = nullptr;
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+const char* violation_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kGlobalOob: return "global-out-of-bounds";
+    case ViolationKind::kSharedOob: return "shared-out-of-bounds";
+    case ViolationKind::kSharedRace: return "shared-memory-race";
+    case ViolationKind::kBarrierDivergence: return "barrier-divergence";
+    case ViolationKind::kDoubleRelease: return "double-release";
+  }
+  return "?";
+}
+
+std::string SanitizerViolation::describe() const {
+  return fmt("[%s] kernel '%s' cta %" PRId64 " warp %d lane %d: %s",
+             violation_name(kind), kernel.empty() ? "<unnamed>" : kernel.c_str(),
+             cta, warp, lane, detail.c_str());
+}
+
+std::uint64_t SanitizerReport::total() const {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < kKinds; ++i) t += counts_[i];
+  return t;
+}
+
+Sanitizer::Sanitizer(SanitizerOptions opts) : opts_(opts), prev_(g_active) {
+  g_active = this;
+}
+
+Sanitizer::~Sanitizer() { g_active = prev_; }
+
+Sanitizer* Sanitizer::active() { return g_active; }
+
+void Sanitizer::track(const void* base, std::size_t bytes, std::string name) {
+  if (base == nullptr || bytes == 0) return;
+  regions_.push_back(
+      {static_cast<const std::byte*>(base), bytes, std::move(name)});
+}
+
+void Sanitizer::untrack(const void* base) {
+  regions_.erase(std::remove_if(regions_.begin(), regions_.end(),
+                                [base](const Region& r) {
+                                  return r.begin == base;
+                                }),
+                 regions_.end());
+}
+
+void Sanitizer::record(ViolationKind kind, int warp, int lane,
+                       std::string detail) {
+  report_.counts_[std::size_t(kind)] += 1;
+  switch (kind) {
+    case ViolationKind::kGlobalOob: launch_counters_.global_oob += 1; break;
+    case ViolationKind::kSharedOob: launch_counters_.shared_oob += 1; break;
+    case ViolationKind::kSharedRace: launch_counters_.shared_races += 1; break;
+    case ViolationKind::kBarrierDivergence:
+      launch_counters_.barrier_divergence += 1;
+      break;
+    case ViolationKind::kDoubleRelease: break;  // not a launch event
+  }
+  if (report_.violations_.size() < opts_.max_recorded) {
+    report_.violations_.push_back(
+        {kind, kernel_, cur_cta_, warp, lane, detail});
+  }
+  if (opts_.fatal) {
+    throw SanitizerError(
+        SanitizerViolation{kind, kernel_, cur_cta_, warp, lane, detail}
+            .describe());
+  }
+}
+
+const Sanitizer::Region* Sanitizer::find_region(const std::byte* base) const {
+  for (const Region& r : regions_) {
+    if (base >= r.begin && base < r.begin + r.bytes) return &r;
+  }
+  return nullptr;
+}
+
+void Sanitizer::begin_launch(const std::string& kernel,
+                             const std::byte* shmem_base,
+                             std::size_t shmem_capacity) {
+  kernel_ = kernel;
+  sh_base_ = shmem_base;
+  sh_capacity_ = shmem_capacity;
+  shadow_.assign((shmem_capacity + 3) / 4, ShadowWord{});
+  launch_counters_ = {};
+  cur_cta_ = -1;
+}
+
+void Sanitizer::end_launch(SanitizerCounters& out) {
+  out.add(launch_counters_);
+  cur_cta_ = -1;
+  sh_base_ = nullptr;
+  sh_capacity_ = 0;
+}
+
+void Sanitizer::begin_cta(std::int64_t cta, int warps_per_cta) {
+  cur_cta_ = cta;
+  std::fill(shadow_.begin(), shadow_.end(), ShadowWord{});
+  barrier_phase_.assign(std::size_t(warps_per_cta), 0);
+}
+
+void Sanitizer::end_cta() {
+  for (std::size_t w = 1; w < barrier_phase_.size(); ++w) {
+    if (barrier_phase_[w] != barrier_phase_[0]) {
+      record(ViolationKind::kBarrierDivergence, int(w), -1,
+             fmt("warps of the CTA exit with unequal CTA-barrier counts "
+                 "(warp 0: %d, warp %zu: %d) — a deadlock on hardware",
+                 barrier_phase_[0], w, barrier_phase_[w]));
+      break;  // one report per CTA is enough
+    }
+  }
+}
+
+std::uint32_t Sanitizer::check_global(const void* base, std::size_t elem_bytes,
+                                      int vec_width,
+                                      const std::int64_t* index,
+                                      std::uint32_t mask, bool is_write,
+                                      int warp) {
+  const auto* b = static_cast<const std::byte*>(base);
+  const Region* r = find_region(b);
+  if (r == nullptr) return mask;  // untracked memory: unchecked
+  const std::int64_t base_off = b - r->begin;
+  const std::int64_t size = std::int64_t(r->bytes);
+  const std::int64_t width = std::int64_t(elem_bytes) * vec_width;
+  std::uint32_t ok = mask;
+  for (int l = 0; l < 32; ++l) {
+    if (!(mask >> l & 1u)) continue;
+    const std::int64_t off = base_off + index[l] * std::int64_t(elem_bytes);
+    if (off < 0 || off + width > size) {
+      ok &= ~(std::uint32_t(1) << l);
+      record(ViolationKind::kGlobalOob, warp, l,
+             fmt("%s of %" PRId64 " B at byte offset %" PRId64
+                 " of region '%s' (%zu B): index %" PRId64 " out of range",
+                 is_write ? "write" : "read", width, off, r->name.c_str(),
+                 r->bytes, index[l]));
+    }
+  }
+  return ok;
+}
+
+void Sanitizer::race_track_word(std::size_t word, bool is_write, int warp,
+                                int lane) {
+  if (word >= shadow_.size()) return;
+  ShadowWord& s = shadow_[word];
+  const std::int32_t phase =
+      std::size_t(warp) < barrier_phase_.size() ? barrier_phase_[warp] : 0;
+  if (is_write) {
+    if (s.writer_warp >= 0 && s.writer_warp != warp &&
+        s.writer_phase == phase) {
+      record(ViolationKind::kSharedRace, warp, lane,
+             fmt("write-write race on shared word %zu (byte %zu) with warp %d"
+                 " — no CTA barrier since its write",
+                 word, word * 4, s.writer_warp));
+    } else if (s.reader_warp >= 0 && s.reader_warp != warp &&
+               s.reader_phase == phase) {
+      record(ViolationKind::kSharedRace, warp, lane,
+             fmt("read-write race on shared word %zu (byte %zu) with warp %d"
+                 " — no CTA barrier since its read",
+                 word, word * 4, s.reader_warp));
+    }
+    s.writer_warp = warp;
+    s.writer_phase = phase;
+  } else {
+    if (s.writer_warp >= 0 && s.writer_warp != warp &&
+        s.writer_phase == phase) {
+      record(ViolationKind::kSharedRace, warp, lane,
+             fmt("write-read race on shared word %zu (byte %zu) with warp %d"
+                 " — no CTA barrier since its write",
+                 word, word * 4, s.writer_warp));
+    }
+    s.reader_warp = warp;
+    s.reader_phase = phase;
+  }
+}
+
+std::uint32_t Sanitizer::check_shared(const void* elem0, std::size_t num_elems,
+                                      std::size_t elem_bytes,
+                                      const int* index, std::uint32_t mask,
+                                      bool is_write, int warp) {
+  const auto* b = static_cast<const std::byte*>(elem0);
+  const bool in_arena = sh_base_ != nullptr && b >= sh_base_ &&
+                        b < sh_base_ + sh_capacity_;
+  std::uint32_t ok = mask;
+  for (int l = 0; l < 32; ++l) {
+    if (!(mask >> l & 1u)) continue;
+    if (index[l] < 0 || std::size_t(index[l]) >= num_elems) {
+      ok &= ~(std::uint32_t(1) << l);
+      record(ViolationKind::kSharedOob, warp, l,
+             fmt("shared %s at index %d of a %zu-element span",
+                 is_write ? "write" : "read", index[l], num_elems));
+      continue;
+    }
+    if (in_arena) {
+      const std::size_t off =
+          std::size_t(b - sh_base_) + std::size_t(index[l]) * elem_bytes;
+      for (std::size_t w = off / 4; w <= (off + elem_bytes - 1) / 4; ++w) {
+        race_track_word(w, is_write, warp, l);
+      }
+    }
+  }
+  return ok;
+}
+
+bool Sanitizer::check_shared_scalar(const void* elem0, std::size_t num_elems,
+                                    std::size_t elem_bytes, int index,
+                                    int warp) {
+  const int idx[1] = {index};
+  return check_shared(elem0, num_elems, elem_bytes, idx, 1u, /*is_write=*/false,
+                      warp) != 0;
+}
+
+void Sanitizer::on_warp_barrier(std::uint32_t active_mask, int warp) {
+  if (active_mask != 0xffffffffu) {
+    record(ViolationKind::kBarrierDivergence, warp, -1,
+           fmt("warp barrier issued under partial active mask 0x%08x",
+               active_mask));
+  }
+}
+
+void Sanitizer::on_cta_barrier(std::uint32_t active_mask, int warp) {
+  if (active_mask != 0xffffffffu) {
+    record(ViolationKind::kBarrierDivergence, warp, -1,
+           fmt("CTA barrier issued under partial active mask 0x%08x",
+               active_mask));
+  }
+  if (std::size_t(warp) < barrier_phase_.size()) {
+    barrier_phase_[std::size_t(warp)] += 1;
+  }
+}
+
+void Sanitizer::on_release_underflow(std::size_t requested,
+                                     std::size_t in_use) {
+  const std::string detail =
+      fmt("DeviceMemory::release(%zu B) exceeds the %zu B in use — "
+          "double release or mismatched accounting",
+          requested, in_use);
+  record(ViolationKind::kDoubleRelease, -1, -1, detail);
+  throw SanitizerError(detail);
+}
+
+}  // namespace gpusim

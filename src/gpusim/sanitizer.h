@@ -1,0 +1,190 @@
+// simsan: an opt-in kernel sanitizer for the SIMT simulator.
+//
+// The simulator executes every lane-level access in-process, which makes it
+// the natural place to *validate* kernels, not just run them. When a
+// Sanitizer is active (RAII scope, see below), every launch is checked for:
+//
+//  * Shared-memory races — per-word last-writer/last-reader epoch tracking
+//    over the CTA's shared arena. Warps of a CTA execute sequentially in the
+//    simulator, so two accesses by different warps conflict exactly when no
+//    CTA barrier separates them: each warp's "phase" is its count of
+//    cta_sync() calls, and same-phase accesses to the same word (with at
+//    least one write) are unordered on real hardware.
+//  * Out-of-bounds global accesses — a registry of tracked regions
+//    (Buffer<T> registers automatically; raw spans via track()); every
+//    ld/st/atomic whose base lies in a tracked region must stay inside it.
+//    Violating lanes are reported *and masked out* of the functional access
+//    so a buggy kernel cannot corrupt host memory while under test.
+//  * Out-of-bounds shared accesses — span-relative index checks on every
+//    sh_read/sh_write.
+//  * Barrier divergence — a barrier issued under a partial active mask, or
+//    unequal cta_sync() counts across the warps of a CTA at kernel exit
+//    (a deadlock on real hardware).
+//
+// The checks are opt-in: with no active Sanitizer the hot loop performs a
+// single predictable null-pointer test per warp-wide operation (1/32 of a
+// branch per lane-access) and the modeled cycle counts are bit-identical to
+// the unchecked build. Diagnostics accumulate in a SanitizerReport and the
+// per-launch deltas surface as KernelStats::sanitizer counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/stats.h"
+
+namespace gpusim {
+
+enum class ViolationKind {
+  kGlobalOob,
+  kSharedOob,
+  kSharedRace,
+  kBarrierDivergence,
+  kDoubleRelease,
+};
+
+const char* violation_name(ViolationKind k);
+
+/// One recorded violation with full SIMT coordinates.
+struct SanitizerViolation {
+  ViolationKind kind;
+  std::string kernel;       // LaunchConfig::label of the offending launch
+  std::int64_t cta = -1;
+  int warp = -1;
+  int lane = -1;
+  std::string detail;       // human-readable specifics (address, sizes, ...)
+
+  std::string describe() const;
+};
+
+/// Thrown on violation when SanitizerOptions::fatal is set, and on
+/// DeviceMemory release underflow under an active sanitizer.
+class SanitizerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SanitizerOptions {
+  /// Cap on individually recorded violations (counters keep counting past
+  /// it, so a flood of repeats cannot exhaust memory).
+  std::size_t max_recorded = 64;
+  /// Throw SanitizerError on the first violation instead of accumulating.
+  bool fatal = false;
+};
+
+/// Accumulated diagnostics across every launch observed by one Sanitizer.
+class SanitizerReport {
+ public:
+  bool clean() const { return total() == 0; }
+  std::uint64_t total() const;
+  std::uint64_t count(ViolationKind k) const {
+    return counts_[std::size_t(k)];
+  }
+  const std::vector<SanitizerViolation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  friend class Sanitizer;
+  static constexpr std::size_t kKinds = 5;
+  std::uint64_t counts_[kKinds] = {};
+  std::vector<SanitizerViolation> violations_;
+};
+
+/// The checking layer. Construction pushes this sanitizer as the active one
+/// (simulator-wide; the simulator is single-threaded by design), destruction
+/// pops it — scope a Sanitizer around the launches you want checked:
+///
+///   gpusim::Sanitizer san;
+///   san.track(x.data(), x.size() * sizeof(float), "x");
+///   run_kernel(...);
+///   ASSERT_TRUE(san.report().clean()) << gpusim::describe(san.report());
+class Sanitizer {
+ public:
+  explicit Sanitizer(SanitizerOptions opts = {});
+  ~Sanitizer();
+  Sanitizer(const Sanitizer&) = delete;
+  Sanitizer& operator=(const Sanitizer&) = delete;
+
+  /// The innermost live Sanitizer, or nullptr when checking is off.
+  static Sanitizer* active();
+
+  /// Registers a global-memory region for out-of-bounds checking. Buffer<T>
+  /// calls this automatically; tests register raw vectors/spans directly.
+  void track(const void* base, std::size_t bytes, std::string name);
+  /// Removes a region previously registered with track(); no-op when absent.
+  void untrack(const void* base);
+
+  const SanitizerReport& report() const { return report_; }
+
+  // -------------------------------------------------------------------
+  // Simulator hooks (called by launch.cc / WarpCtx / DeviceMemory; not a
+  // user API).
+  // -------------------------------------------------------------------
+
+  void begin_launch(const std::string& kernel, const std::byte* shmem_base,
+                    std::size_t shmem_capacity);
+  void end_launch(SanitizerCounters& out);
+  void begin_cta(std::int64_t cta, int warps_per_cta);
+  void end_cta();
+
+  /// Bounds-checks one warp-wide global access of `vec_width` elements of
+  /// `elem_bytes` per lane. Returns `mask` with violating lanes cleared.
+  std::uint32_t check_global(const void* base, std::size_t elem_bytes,
+                             int vec_width, const std::int64_t* index,
+                             std::uint32_t mask, bool is_write, int warp);
+
+  /// Bounds-checks + race-tracks one warp-wide shared access against the
+  /// span [elem0, elem0 + num_elems). Returns `mask` minus violating lanes.
+  std::uint32_t check_shared(const void* elem0, std::size_t num_elems,
+                             std::size_t elem_bytes, const int* index,
+                             std::uint32_t mask, bool is_write, int warp);
+
+  /// Scalar variant (sh_read_scalar). Returns false when out of bounds.
+  bool check_shared_scalar(const void* elem0, std::size_t num_elems,
+                           std::size_t elem_bytes, int index, int warp);
+
+  void on_warp_barrier(std::uint32_t active_mask, int warp);
+  void on_cta_barrier(std::uint32_t active_mask, int warp);
+
+  /// DeviceMemory::release() accounting underflow (double release).
+  /// Records the violation, then throws SanitizerError.
+  void on_release_underflow(std::size_t requested, std::size_t in_use);
+
+ private:
+  struct Region {
+    const std::byte* begin;
+    std::size_t bytes;
+    std::string name;
+  };
+  /// Per-4-byte-word shadow state of the shared arena.
+  struct ShadowWord {
+    std::int32_t writer_warp = -1;
+    std::int32_t writer_phase = -1;
+    std::int32_t reader_warp = -1;
+    std::int32_t reader_phase = -1;
+  };
+
+  void record(ViolationKind kind, int warp, int lane, std::string detail);
+  const Region* find_region(const std::byte* base) const;
+  void race_track_word(std::size_t word, bool is_write, int warp, int lane);
+
+  SanitizerOptions opts_;
+  SanitizerReport report_;
+  SanitizerCounters launch_counters_;
+  std::vector<Region> regions_;
+
+  std::string kernel_;
+  const std::byte* sh_base_ = nullptr;
+  std::size_t sh_capacity_ = 0;
+  std::vector<ShadowWord> shadow_;
+  std::vector<std::int32_t> barrier_phase_;  // per warp of the current CTA
+  std::int64_t cur_cta_ = -1;
+
+  Sanitizer* prev_;
+};
+
+}  // namespace gpusim

@@ -44,6 +44,10 @@ class SharedMem {
   std::size_t capacity() const { return storage_.size(); }
   std::size_t high_water() const { return high_water_; }
 
+  /// Arena base, used by the sanitizer to map span addresses to byte
+  /// offsets for its per-word race-shadow state.
+  const std::byte* data() const { return storage_.data(); }
+
  private:
   std::vector<std::byte> storage_;
   std::size_t top_;

@@ -53,6 +53,26 @@ struct WarpStats {
   }
 };
 
+/// Violation counters filled in by the simsan checking layer (sanitizer.h)
+/// when a launch runs under an active Sanitizer; all zero otherwise.
+struct SanitizerCounters {
+  std::uint64_t global_oob = 0;         // out-of-bounds global accesses
+  std::uint64_t shared_oob = 0;         // out-of-bounds shared accesses
+  std::uint64_t shared_races = 0;       // cross-warp shared-memory conflicts
+  std::uint64_t barrier_divergence = 0; // partial-mask / unbalanced barriers
+
+  std::uint64_t total() const {
+    return global_oob + shared_oob + shared_races + barrier_divergence;
+  }
+
+  void add(const SanitizerCounters& o) {
+    global_oob += o.global_oob;
+    shared_oob += o.shared_oob;
+    shared_races += o.shared_races;
+    barrier_divergence += o.barrier_divergence;
+  }
+};
+
 /// Result of one simulated kernel launch.
 struct KernelStats {
   std::uint64_t cycles = 0;        // modeled execution time (makespan)
@@ -62,6 +82,7 @@ struct KernelStats {
   std::uint64_t num_warps = 0;
   std::uint64_t num_ctas = 0;
   bool dram_bandwidth_bound = false;
+  SanitizerCounters sanitizer;     // simsan violations observed in this launch
 
   /// Fraction of modeled time spent moving data; >0.5 means load-dominated.
   double data_load_fraction() const {

@@ -22,6 +22,7 @@
 #include <span>
 
 #include "gpusim/device.h"
+#include "gpusim/sanitizer.h"
 #include "gpusim/shared.h"
 #include "gpusim/stats.h"
 
@@ -50,9 +51,10 @@ int count_transactions(const LaneArray<std::uint64_t>& addr, Mask mask);
 class WarpCtx {
  public:
   WarpCtx(const DeviceSpec& spec, std::int64_t cta_id, int warp_in_cta,
-          int warps_per_cta, SharedMem& shmem)
+          int warps_per_cta, SharedMem& shmem, Sanitizer* san = nullptr)
       : spec_(&spec),
         shmem_(&shmem),
+        san_(san),
         cta_id_(cta_id),
         warp_in_cta_(warp_in_cta),
         warps_per_cta_(warps_per_cta) {}
@@ -75,6 +77,10 @@ class WarpCtx {
   template <typename T>
   LaneArray<T> ld_global(const T* base, const LaneArray<std::int64_t>& index,
                          Mask mask = kFullMask) {
+    if (san_ != nullptr) {
+      mask = san_->check_global(base, sizeof(T), 1, index.data(), mask,
+                                /*is_write=*/false, warp_in_cta_);
+    }
     LaneArray<T> out{};
     LaneArray<std::uint64_t> addr{};
     for (int l = 0; l < kWarpSize; ++l) {
@@ -92,6 +98,10 @@ class WarpCtx {
   template <typename T>
   LaneArray<T> ld_global_l2(const T* base, const LaneArray<std::int64_t>& index,
                             Mask mask = kFullMask) {
+    if (san_ != nullptr) {
+      mask = san_->check_global(base, sizeof(T), 1, index.data(), mask,
+                                /*is_write=*/false, warp_in_cta_);
+    }
     LaneArray<T> out{};
     LaneArray<std::uint64_t> addr{};
     for (int l = 0; l < kWarpSize; ++l) {
@@ -119,6 +129,10 @@ class WarpCtx {
       const T* base, const LaneArray<std::int64_t>& index,
       Mask mask = kFullMask) {
     static_assert(W >= 1 && W <= 4);
+    if (san_ != nullptr) {
+      mask = san_->check_global(base, sizeof(T), W, index.data(), mask,
+                                /*is_write=*/false, warp_in_cta_);
+    }
     std::array<std::array<T, W>, kWarpSize> out{};
     LaneArray<std::uint64_t> addr{};
     for (int l = 0; l < kWarpSize; ++l) {
@@ -141,6 +155,10 @@ class WarpCtx {
   template <typename T>
   void st_global(T* base, const LaneArray<std::int64_t>& index,
                  const LaneArray<T>& value, Mask mask = kFullMask) {
+    if (san_ != nullptr) {
+      mask = san_->check_global(base, sizeof(T), 1, index.data(), mask,
+                                /*is_write=*/true, warp_in_cta_);
+    }
     LaneArray<std::uint64_t> addr{};
     for (int l = 0; l < kWarpSize; ++l) {
       if (!(mask >> l & 1u)) continue;
@@ -156,6 +174,10 @@ class WarpCtx {
                      const std::array<std::array<T, W>, kWarpSize>& value,
                      Mask mask = kFullMask) {
     static_assert(W >= 1 && W <= 4);
+    if (san_ != nullptr) {
+      mask = san_->check_global(base, sizeof(T), W, index.data(), mask,
+                                /*is_write=*/true, warp_in_cta_);
+    }
     LaneArray<std::uint64_t> addr{};
     for (int l = 0; l < kWarpSize; ++l) {
       if (!(mask >> l & 1u)) continue;
@@ -173,6 +195,10 @@ class WarpCtx {
   /// Warp-wide global atomic add. Lanes hitting the same address serialize.
   void atomic_add(float* base, const LaneArray<std::int64_t>& index,
                   const LaneArray<float>& value, Mask mask = kFullMask) {
+    if (san_ != nullptr) {
+      mask = san_->check_global(base, sizeof(float), 1, index.data(), mask,
+                                /*is_write=*/true, warp_in_cta_);
+    }
     int max_mult = 0;
     for (int l = 0; l < kWarpSize; ++l) {
       if (!(mask >> l & 1u)) continue;
@@ -197,6 +223,10 @@ class WarpCtx {
   /// Warp-wide global atomic max (same cost model as atomic_add).
   void atomic_max(float* base, const LaneArray<std::int64_t>& index,
                   const LaneArray<float>& value, Mask mask = kFullMask) {
+    if (san_ != nullptr) {
+      mask = san_->check_global(base, sizeof(float), 1, index.data(), mask,
+                                /*is_write=*/true, warp_in_cta_);
+    }
     int max_mult = 0;
     for (int l = 0; l < kWarpSize; ++l) {
       if (!(mask >> l & 1u)) continue;
@@ -226,6 +256,10 @@ class WarpCtx {
   template <typename T>
   LaneArray<T> sh_read(std::span<const T> arr, const LaneArray<int>& idx,
                        Mask mask = kFullMask) {
+    if (san_ != nullptr) {
+      mask = san_->check_shared(arr.data(), arr.size(), sizeof(T), idx.data(),
+                                mask, /*is_write=*/false, warp_in_cta_);
+    }
     LaneArray<T> out{};
     for (int l = 0; l < kWarpSize; ++l) {
       if (mask >> l & 1u) out[l] = arr[std::size_t(idx[l])];
@@ -238,6 +272,10 @@ class WarpCtx {
   template <typename T>
   void sh_write(std::span<T> arr, const LaneArray<int>& idx,
                 const LaneArray<T>& value, Mask mask = kFullMask) {
+    if (san_ != nullptr) {
+      mask = san_->check_shared(arr.data(), arr.size(), sizeof(T), idx.data(),
+                                mask, /*is_write=*/true, warp_in_cta_);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (mask >> l & 1u) arr[std::size_t(idx[l])] = value[l];
     }
@@ -250,6 +288,11 @@ class WarpCtx {
   T sh_read_scalar(std::span<const T> arr, int idx) {
     stats_.issue_cycles += spec_->shared_access_cycles;
     stats_.shared_ops += 1;
+    if (san_ != nullptr &&
+        !san_->check_shared_scalar(arr.data(), arr.size(), sizeof(T), idx,
+                                   warp_in_cta_)) {
+      return T{};
+    }
     return arr[std::size_t(idx)];
   }
 
@@ -285,14 +328,16 @@ class WarpCtx {
 
   /// Warp-level barrier (__syncwarp): the memory barrier the paper's §3.2
   /// analyzes. Flushes the outstanding-load window and costs fixed cycles.
-  void sync() {
+  void sync(Mask active = kFullMask) {
+    if (san_ != nullptr) san_->on_warp_barrier(active, warp_in_cta_);
     flush_window();
     stats_.issue_cycles += spec_->barrier_cycles;
     stats_.barriers += 1;
   }
 
   /// CTA-level barrier (__syncthreads); costlier than a warp barrier.
-  void cta_sync() {
+  void cta_sync(Mask active = kFullMask) {
+    if (san_ != nullptr) san_->on_cta_barrier(active, warp_in_cta_);
     flush_window();
     stats_.issue_cycles += std::uint64_t(spec_->barrier_cycles) * 4;
     stats_.barriers += 1;
@@ -369,6 +414,7 @@ class WarpCtx {
 
   const DeviceSpec* spec_;
   SharedMem* shmem_;
+  Sanitizer* san_ = nullptr;
   std::int64_t cta_id_;
   int warp_in_cta_;
   int warps_per_cta_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -49,15 +50,27 @@ Coo read_mtx(std::istream& in, const MtxOptions& opts) {
     symmetric = qualifier == "symmetric";
   }
   // Comments, then the size line.
+  bool have_size_line = false;
   while (std::getline(in, line)) {
     ++lineno;
-    if (!line.empty() && line[0] != '%') break;
+    if (!line.empty() && line[0] != '%') {
+      have_size_line = true;
+      break;
+    }
+  }
+  if (!have_size_line) {
+    throw parse_error("unexpected end of file before the size line", lineno);
   }
   std::int64_t rows = 0, cols = 0, nnz = 0;
   {
     std::istringstream ss(line);
     if (!(ss >> rows >> cols >> nnz) || rows <= 0 || cols <= 0 || nnz < 0) {
       throw parse_error("bad size line", lineno);
+    }
+    if (rows > std::numeric_limits<vid_t>::max() ||
+        cols > std::numeric_limits<vid_t>::max()) {
+      throw parse_error("matrix dimensions overflow 32-bit vertex ids",
+                        lineno);
     }
   }
   EdgeList edges;
@@ -116,6 +129,12 @@ Coo read_edge_list(std::istream& in, const MtxOptions& opts) {
     }
     if (s < 0 || d < 0) {
       throw std::runtime_error("negative vertex id at line " +
+                               std::to_string(lineno));
+    }
+    // max() itself is rejected too: vertex count max_id + 1 must still fit.
+    if (s >= std::numeric_limits<vid_t>::max() ||
+        d >= std::numeric_limits<vid_t>::max()) {
+      throw std::runtime_error("vertex id overflows 32-bit ids at line " +
                                std::to_string(lineno));
     }
     edges.emplace_back(vid_t(s), vid_t(d));

@@ -28,6 +28,7 @@ gpusim::KernelStats cusparse_sddmm(const gpusim::DeviceSpec& dev,
 
   // One warp per row; each lane serially owns every 32nd NZE of the row.
   gpusim::LaunchConfig lc;
+  lc.label = "cusparse_sddmm";
   lc.warps_per_cta = 4;
   const std::int64_t warps = csr.num_rows;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;

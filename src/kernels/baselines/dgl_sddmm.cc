@@ -31,6 +31,7 @@ gpusim::KernelStats dgl_sddmm(const gpusim::DeviceSpec& dev, const Coo& coo,
 
   const eid_t nnz = coo.nnz();
   gpusim::LaunchConfig lc;
+  lc.label = "dgl_sddmm";
   lc.warps_per_cta = 4;
   const std::int64_t warps = (nnz + kEdgesPerWarp - 1) / kEdgesPerWarp;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;

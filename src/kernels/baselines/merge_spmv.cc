@@ -36,6 +36,7 @@ gpusim::KernelStats merge_spmv(const gpusim::DeviceSpec& dev, const Csr& csr,
   const std::int64_t warps = (total + per_warp - 1) / per_warp;
 
   gpusim::LaunchConfig lc;
+  lc.label = "merge_spmv";
   lc.warps_per_cta = 4;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
   lc.regs_per_thread = 34;

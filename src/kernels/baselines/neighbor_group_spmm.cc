@@ -48,6 +48,7 @@ gpusim::KernelStats ng_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
   const auto groups = std::int64_t(ng.num_groups());
 
   gpusim::LaunchConfig lc;
+  lc.label = "neighbor_group_spmm";
   lc.warps_per_cta = 4;
   const std::int64_t warps = groups * fblocks;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
@@ -110,11 +111,26 @@ gpusim::KernelStats ng_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
       // real kernels it comes from a register shuffle — modeled by the ids
       // already being warp-resident after the coalesced load above.
       for (int t = 0; t < n; ++t) {
+        // Vector loads only for lanes with a full vector's worth of
+        // features; a tail lane whose remaining features do not fill a
+        // vector falls back to scalar loads (a full-width load there would
+        // read past the end of x — the CUDA original guards the same way).
         LaneArray<std::int64_t> fi{};
+        Mask full = 0;
         for (int l = 0; l < nlanes; ++l) {
           fi[l] = std::int64_t(cols[e0 + t]) * f + fo + l * vec;
+          if (lane_feats(l) == vec) full |= Mask{1} << l;
         }
-        bx[std::size_t(t)] = detail::load_vec(w, x.data(), fi, fmask, vec);
+        bx[std::size_t(t)] = detail::load_vec(w, x.data(), fi, fmask & full, vec);
+        for (int l = 0; l < nlanes; ++l) {
+          if (!(fmask >> l & 1u) || lane_feats(l) == vec) continue;
+          for (int j = 0; j < lane_feats(l); ++j) {
+            LaneArray<std::int64_t> si{};
+            si[l] = fi[l] + j;
+            bx[std::size_t(t)][l][std::size_t(j)] =
+                w.ld_global(x.data(), si, Mask{1} << l)[l];
+          }
+        }
       }
       w.use();
       for (int t = 0; t < n; ++t) {

@@ -32,6 +32,7 @@ gpusim::KernelStats nonzero_split_spmm(const gpusim::DeviceSpec& dev,
 
   const eid_t nnz = coo.nnz();
   gpusim::LaunchConfig lc;
+  lc.label = "nonzero_split_spmm";
   lc.warps_per_cta = 4;
   const std::int64_t warps = (nnz + kWarpSize - 1) / kWarpSize;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;

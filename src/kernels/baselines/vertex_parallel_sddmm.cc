@@ -52,6 +52,7 @@ gpusim::KernelStats vp_sddmm(const gpusim::DeviceSpec& dev, const Csr& csr,
 
   const int wpr = std::max(1, tune.warps_per_row);
   gpusim::LaunchConfig lc;
+  lc.label = "vertex_parallel_sddmm";
   lc.warps_per_cta = 4;
   const std::int64_t warps = std::int64_t(csr.num_rows) * fblocks * wpr;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;

@@ -48,6 +48,7 @@ gpusim::KernelStats vp_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
 
   const int wpr = std::max(1, tune.warps_per_row);
   gpusim::LaunchConfig lc;
+  lc.label = "vertex_parallel_spmm";
   lc.warps_per_cta = 4;
   const std::int64_t warps = std::int64_t(csr.num_rows) * fblocks * wpr;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
@@ -98,6 +99,29 @@ gpusim::KernelStats vp_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
     std::vector<float> bval(static_cast<std::size_t>(U));
     std::vector<detail::VecLanes> bx(static_cast<std::size_t>(U));
 
+    // Feature gather for one column. Lanes with a full vector's worth of
+    // features use the vector load; a tail lane whose remaining features do
+    // not fill a vector falls back to scalar loads (a full-width load there
+    // would read past the end of x — the CUDA original guards the same way).
+    auto load_x = [&](vid_t col) {
+      LaneArray<std::int64_t> fi{};
+      Mask full = 0;
+      for (int l = 0; l < nlanes; ++l) {
+        fi[l] = fidx_of(l, col);
+        if (lane_feats(l) == vec) full |= Mask{1} << l;
+      }
+      detail::VecLanes v = detail::load_vec(w, x.data(), fi, fmask & full, vec);
+      for (int l = 0; l < nlanes; ++l) {
+        if (!(fmask >> l & 1u) || lane_feats(l) == vec) continue;
+        for (int j = 0; j < lane_feats(l); ++j) {
+          LaneArray<std::int64_t> si{};
+          si[l] = fidx_of(l, col) + j;
+          v[l][std::size_t(j)] = w.ld_global(x.data(), si, Mask{1} << l)[l];
+        }
+      }
+      return v;
+    };
+
     auto consume_block = [&](int n) {
       w.use();
       for (int t = 0; t < n; ++t) {
@@ -136,11 +160,7 @@ gpusim::KernelStats vp_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
                 w.sh_read(std::span<const vid_t>(sh_col), si, fmask)[0];
             bval[std::size_t(t)] =
                 w.sh_read(std::span<const float>(sh_val), si, fmask)[0];
-            LaneArray<std::int64_t> fi{};
-            for (int l = 0; l < nlanes; ++l) {
-              fi[l] = fidx_of(l, bcol[std::size_t(t)]);
-            }
-            bx[std::size_t(t)] = detail::load_vec(w, x.data(), fi, fmask, vec);
+            bx[std::size_t(t)] = load_x(bcol[std::size_t(t)]);
           }
           consume_block(n);
         }
@@ -157,11 +177,7 @@ gpusim::KernelStats vp_spmm(const gpusim::DeviceSpec& dev, const Csr& csr,
         }
         w.use();  // feature addresses depend on the ids
         for (int t = 0; t < n; ++t) {
-          LaneArray<std::int64_t> fi{};
-          for (int l = 0; l < nlanes; ++l) {
-            fi[l] = fidx_of(l, bcol[std::size_t(t)]);
-          }
-          bx[std::size_t(t)] = detail::load_vec(w, x.data(), fi, fmask, vec);
+          bx[std::size_t(t)] = load_x(bcol[std::size_t(t)]);
         }
         consume_block(n);
       }

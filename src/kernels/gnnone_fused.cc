@@ -37,6 +37,7 @@ gpusim::KernelStats scalar_pass(const gpusim::DeviceSpec& dev, const Coo& coo,
   const eid_t nnz = coo.nnz();
   const int cache = normalized_cache_size(cfg);
   gpusim::LaunchConfig lc;
+  lc.label = "gnnone_fused_scalar_pass";
   const std::int64_t warps = (nnz + cache - 1) / cache;
   lc.warps_per_cta = cfg.warps_per_cta;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;
@@ -143,6 +144,7 @@ FusedAttentionStats gnnone_fused_attention(
     const int cache = normalized_cache_size(cfg);
     const auto geom = detail::make_group_geom(f, cfg.vec_width);
     gpusim::LaunchConfig lc;
+    lc.label = "gnnone_fused_softmax_spmm";
     const std::int64_t warps = (nnz + cache - 1) / cache;
     lc.warps_per_cta = cfg.warps_per_cta;
     lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;

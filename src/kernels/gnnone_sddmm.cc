@@ -42,6 +42,7 @@ gpusim::KernelStats gnnone_sddmm(const gpusim::DeviceSpec& dev, const Coo& coo,
   const int rounds = detail::reduction_rounds(geom.group_threads);
 
   gpusim::LaunchConfig lc;
+  lc.label = "gnnone_sddmm";
   const std::int64_t warps = (nnz + cache - 1) / cache;
   lc.warps_per_cta = cfg.warps_per_cta;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;

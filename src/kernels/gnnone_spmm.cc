@@ -52,6 +52,7 @@ gpusim::KernelStats gnnone_spmm_impl(const gpusim::DeviceSpec& dev,
   const bool load_only = cfg.mode == KernelMode::kLoadOnly;
 
   gpusim::LaunchConfig lc;
+  lc.label = "gnnone_spmm";
   const std::int64_t warps = (nnz + cache - 1) / cache;
   lc.warps_per_cta = cfg.warps_per_cta;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;

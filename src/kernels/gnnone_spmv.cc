@@ -32,6 +32,7 @@ gpusim::KernelStats gnnone_spmv(const gpusim::DeviceSpec& dev, const Coo& coo,
   const std::int64_t per_warp = std::int64_t(kWarpSize) * N;
 
   gpusim::LaunchConfig lc;
+  lc.label = "gnnone_spmv";
   const std::int64_t warps = (nnz + per_warp - 1) / per_warp;
   lc.warps_per_cta = 4;
   lc.num_ctas = (warps + lc.warps_per_cta - 1) / lc.warps_per_cta;

@@ -87,6 +87,94 @@ TEST(Mtx, RejectsMalformedInput) {
   }
 }
 
+/// Runs `fn`, which must throw std::runtime_error, and returns the message.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::runtime_error";
+  return "";
+}
+
+TEST(Mtx, ErrorsCarryLineNumbers) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% comment\n"
+        "3 3 2\n"
+        "1 2\n"
+        "9 9\n");  // out of bounds at line 5
+    read_mtx(in);
+  });
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of bounds"), std::string::npos) << msg;
+}
+
+TEST(Mtx, EmptyInputReportsLineZero) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in("");
+    read_mtx(in);
+  });
+  EXPECT_NE(msg.find("empty input"), std::string::npos) << msg;
+}
+
+TEST(Mtx, EofBeforeSizeLineIsReported) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% only comments follow\n"
+        "% and then the file ends\n");
+    read_mtx(in);
+  });
+  EXPECT_NE(msg.find("before the size line"), std::string::npos) << msg;
+}
+
+TEST(Mtx, TruncatedEntriesReportEof) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "4 4 3\n"
+        "1 2\n"
+        "2 3\n");  // promised 3 entries, delivered 2
+    read_mtx(in);
+  });
+  EXPECT_NE(msg.find("unexpected end of file"), std::string::npos) << msg;
+}
+
+TEST(Mtx, CorruptEntryReportsItsLine) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "4 4 2\n"
+        "1 2\n"
+        "one two\n");
+    read_mtx(in);
+  });
+  EXPECT_NE(msg.find("bad entry"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+}
+
+TEST(Mtx, RejectsDimensionsOverflowing32BitIds) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "8589934592 8589934592 1\n"  // 2^33 vertices
+        "1 1\n");
+    read_mtx(in);
+  });
+  EXPECT_NE(msg.find("overflow"), std::string::npos) << msg;
+}
+
+TEST(Mtx, RejectsNegativeNnz) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "4 4 -1\n");
+  EXPECT_THROW(read_mtx(in), std::runtime_error);
+}
+
 TEST(Mtx, RoundTripPreservesTopology) {
   RmatParams p;
   p.scale = 8;
@@ -125,6 +213,42 @@ TEST(EdgeList, EmptyInputGivesEmptyGraph) {
 TEST(EdgeList, RejectsNegativeIds) {
   std::istringstream in("0 -3\n");
   EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeList, NegativeIdErrorCarriesLineNumber) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in(
+        "# header\n"
+        "0 1\n"
+        "2 -7\n");
+    read_edge_list(in);
+  });
+  EXPECT_NE(msg.find("negative vertex id"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(EdgeList, RejectsIdsOverflowing32Bit) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in("0 4294967296\n");  // 2^32
+    read_edge_list(in);
+  });
+  EXPECT_NE(msg.find("overflow"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+}
+
+TEST(EdgeList, RejectsMaxIntIdBecauseCountWouldOverflow) {
+  std::istringstream in("0 2147483647\n");  // max_id + 1 would wrap
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeList, CorruptLineReportsItsNumber) {
+  const std::string msg = thrown_message([] {
+    std::istringstream in(
+        "1 2\n"
+        "garbage\n");
+    read_edge_list(in);
+  });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
 }
 
 TEST(Files, MissingFileThrows) {
