@@ -4,18 +4,19 @@
 // The SpMM analog of Fig. 12's SpMV comparison.
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Ablation: GNNOne SpMM on COO vs CSR input (format trade-off, §5.4.5)",
-      "extends paper §5.4.5 / Fig. 12 to SpMM");
+GNNONE_BENCH(ablation_format, 240,
+             "Ablation: GNNOne SpMM on COO vs CSR input (format trade-off, "
+             "§5.4.5)",
+             "extends paper §5.4.5 / Fig. 12 to SpMM") {
   gnnone::Context ctx;
 
+  double adv_f1 = 0.0, adv_f32 = 0.0;
   for (int dim : {1, 6, 32}) {
     std::printf("\n-- feature length %d --\n", dim);
     std::printf("%-22s %11s %11s | %8s | %s\n", "dataset", "COO(ms)",
                 "CSR(ms)", "COO adv", "BW-bound?");
     std::vector<double> advantages;
-    for (const auto& id : {"G4", "G5", "G10", "G13", "G14"}) {
+    for (const auto& id : h.reduce({"G4", "G5", "G10", "G13", "G14"})) {
       const bench::KernelWorkload wl(id);
       const auto& coo = wl.ds.coo;
       const auto x = wl.features(dim, 101);
@@ -23,6 +24,8 @@ int main() {
       const auto from_coo = ctx.spmm(coo, wl.edge_val, x, dim, y);
       const auto from_csr = gnnone::gnnone_spmm_csr(ctx.device(), wl.csr,
                                                     wl.edge_val, x, dim, y);
+      h.add(id, "gnnone-coo", dim, from_coo);
+      h.add(id, "gnnone-csr", dim, from_csr);
       const double adv = double(from_csr.cycles) / double(from_coo.cycles);
       advantages.push_back(adv);
       std::printf("%-22s %11.3f %11.3f | %8.2f | %s\n",
@@ -31,8 +34,10 @@ int main() {
                   gnnone::cycles_to_ms(from_csr.cycles), adv,
                   from_coo.dram_bandwidth_bound ? "yes" : "no");
     }
-    std::printf("average COO advantage at f=%d: %.2fx\n", dim,
-                bench::geomean(advantages));
+    const double avg = bench::geomean(advantages);
+    std::printf("average COO advantage at f=%d: %.2fx\n", dim, avg);
+    if (dim == 1) adv_f1 = avg;
+    if (dim == 32) adv_f32 = avg;
   }
   std::printf(
       "\nFinding: at small feature lengths (the SpMV regime of Fig. 12) the "
@@ -41,5 +46,14 @@ int main() {
       "bound (f>=32), the two formats converge to parity\n(CSR's ~3%% byte "
       "saving offsets the probe cost) — a regime the paper does not "
       "measure.\n");
+
+  // §5.4.5: COO wins the SpMV regime; the formats converge when
+  // bandwidth-bound.
+  h.metric("coo_advantage_f1", adv_f1);
+  h.metric("coo_advantage_f32", adv_f32);
+  bench::expect_ge(h, "format.coo_wins_small_f", adv_f1, 1.0,
+                   "COO advantage at f=1");
+  bench::expect_band(h, "format.parity_when_bw_bound", adv_f32, 0.9, 1.2,
+                     "COO advantage at f=32");
   return 0;
 }

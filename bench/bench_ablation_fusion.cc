@@ -4,10 +4,11 @@
 // dgNN on end-to-end GAT training.
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Ablation: GNNOne + fused GAT attention (paper future work, §5.3.2)",
-      "extension beyond the paper; paper predicts fusion adds speedup");
+GNNONE_BENCH(ablation_fusion, 200,
+             "Ablation: GNNOne + fused GAT attention (paper future work, "
+             "§5.3.2)",
+             "extension beyond the paper; paper predicts fusion adds "
+             "speedup") {
   const auto& dev = gpusim::default_device();
 
   gnnone::TrainOptions opts;
@@ -19,7 +20,7 @@ int main() {
   std::printf("%-22s %12s %12s %12s %12s | %9s\n", "dataset", "GnnOne(ms)",
               "+fusion(ms)", "DGL(ms)", "dgNN(ms)", "fusion x");
   std::vector<double> gains;
-  for (const auto& id : {"G9", "G11", "G12", "G14", "G15"}) {
+  for (const auto& id : h.reduce({"G9", "G11", "G12", "G14", "G15"})) {
     const gnnone::Dataset d = gnnone::make_dataset(id);
     const auto base =
         gnnone::train_model(gnnone::Backend::kGnnOne, d, "gat", dev, opts);
@@ -29,6 +30,10 @@ int main() {
         gnnone::train_model(gnnone::Backend::kDgl, d, "gat", dev, opts);
     const auto dgnn =
         gnnone::train_model(gnnone::Backend::kDgnn, d, "gat", dev, opts);
+    h.add_cycles(id, "gnnone", 64, base.total_cycles, "gat");
+    h.add_cycles(id, "gnnone-fused", 64, fused.total_cycles, "gat");
+    h.add_cycles(id, "dgl", 64, dgl.total_cycles, "gat");
+    if (dgnn.ran) h.add_cycles(id, "dgnn", 64, dgnn.total_cycles, "gat");
     const double gain = double(base.total_cycles) / double(fused.total_cycles);
     gains.push_back(gain);
     std::printf("%-22s %12.1f %12.1f %12.1f %12.1f | %9.2f\n",
@@ -39,6 +44,7 @@ int main() {
                 dgnn.ran ? gnnone::cycles_to_ms(dgnn.total_cycles) : -1.0,
                 gain);
   }
+  const double avg = bench::geomean(gains);
   std::printf(
       "\naverage fusion gain over unfused GNNOne: %.2fx end-to-end training.\n"
       "Only the forward pass is fused (backward reuses individual kernels), "
@@ -46,6 +52,12 @@ int main() {
       "the forward/inference-only gain\nis larger (examples/fused_inference). "
       "A fused backward — the remaining future work —\nwould move the "
       "training number toward the inference one.\n",
-      bench::geomean(gains));
+      avg);
+
+  // Extension claim (DESIGN.md E-series): forward-only fusion must never
+  // slow training down end-to-end.
+  h.metric("avg_fusion_gain_training", avg);
+  bench::expect_ge(h, "fusion.never_slower_end_to_end", avg, 0.97,
+                   "geomean fused/unfused training gain");
   return 0;
 }

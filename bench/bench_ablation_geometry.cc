@@ -4,16 +4,16 @@
 // the full design surface DESIGN.md calls out.
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Ablation: thread-group vector width and pipelining depth",
-      "extends paper §4.2/§4.4 (float4 vs float2 vs scalar; ILP window)");
+GNNONE_BENCH(ablation_geometry, 220,
+             "Ablation: thread-group vector width and pipelining depth",
+             "extends paper §4.2/§4.4 (float4 vs float2 vs scalar; ILP "
+             "window)") {
   gnnone::Context ctx;
 
   std::printf("SDDMM, f=32 — time normalized to vec=4 (the paper's choice):\n");
   std::printf("%-22s | %8s %8s %8s\n", "dataset", "vec=1", "vec=2", "vec=4");
   std::vector<double> v1s, v2s;
-  for (const auto& id : {"G4", "G7", "G10", "G13", "G14"}) {
+  for (const auto& id : h.reduce({"G4", "G7", "G10", "G13", "G14"})) {
     const bench::KernelWorkload wl(id);
     const auto& coo = wl.ds.coo;
     const auto x = wl.features(32, 95);
@@ -24,7 +24,9 @@ int main() {
     for (int vec : {1, 2, 4}) {
       gnnone::GnnOneConfig cfg;
       cfg.vec_width = vec;
-      t[i++] = double(ctx.sddmm(coo, x, y, 32, w, cfg).cycles);
+      const auto ks = ctx.sddmm(coo, x, y, 32, w, cfg);
+      h.add(id, "sddmm", 32, ks, "vec=" + std::to_string(vec));
+      t[i++] = double(ks.cycles);
     }
     v1s.push_back(t[0] / t[2]);
     v2s.push_back(t[1] / t[2]);
@@ -32,13 +34,15 @@ int main() {
                 (wl.ds.id + "/" + wl.ds.name).c_str(), t[0] / t[2],
                 t[1] / t[2], 1.0);
   }
+  const double g_v1 = bench::geomean(v1s);
+  const double g_v2 = bench::geomean(v2s);
   std::printf("averages: vec=1 %.2fx slower, vec=2 %.2fx slower than float4\n",
-              bench::geomean(v1s), bench::geomean(v2s));
+              g_v1, g_v2);
 
   std::printf("\nSpMM, f=32 — Stage-2 pipelining depth (unroll):\n");
   std::printf("%-22s | %8s %8s %8s %8s\n", "dataset", "U=1", "U=2", "U=4",
               "U=8");
-  for (const auto& id : {"G4", "G10", "G14"}) {
+  for (const auto& id : h.reduce({"G4", "G10", "G14"})) {
     const bench::KernelWorkload wl(id);
     const auto& coo = wl.ds.coo;
     const auto x = wl.features(32, 97);
@@ -48,7 +52,9 @@ int main() {
     for (int u : {1, 2, 4, 8}) {
       gnnone::GnnOneConfig cfg;
       cfg.unroll = u;
-      const double t = double(ctx.spmm(coo, wl.edge_val, x, 32, y, cfg).cycles);
+      const auto ks = ctx.spmm(coo, wl.edge_val, x, 32, y, cfg);
+      h.add(id, "spmm", 32, ks, "unroll=" + std::to_string(u));
+      const double t = double(ks.cycles);
       if (u == 4) base = t;
       std::printf(" %8.0f", t / 1000.0);
     }
@@ -57,5 +63,13 @@ int main() {
   std::printf("\nDeeper pipelining amortizes the exposed DRAM latency per "
               "block; returns diminish once\nthe wave becomes issue-bound — "
               "the same mechanism as the paper's CACHE_SIZE story.\n");
+
+  // §4.2.1's choice: float4 thread-groups are the right default.
+  h.metric("vec1_slowdown_vs_vec4", g_v1);
+  h.metric("vec2_slowdown_vs_vec4", g_v2);
+  bench::expect_ge(h, "geometry.vec4_beats_vec1", g_v1, 1.0,
+                   "vec=1 / vec=4 time ratio");
+  bench::expect_ge(h, "geometry.vec4_beats_vec2", g_v2, 1.0,
+                   "vec=2 / vec=4 time ratio");
   return 0;
 }

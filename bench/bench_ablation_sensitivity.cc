@@ -8,6 +8,7 @@
 namespace {
 
 struct Outcome {
+  std::uint64_t ours_cycles;
   double vs_ge, vs_huang, vs_dgl_sddmm, vs_nzsplit;
 };
 
@@ -29,7 +30,8 @@ Outcome run(const gpusim::DeviceSpec& dev, const bench::KernelWorkload& wl,
                                                         x, dim, y);
   const auto ours_sd = ctx.sddmm(coo, x, y2, dim, w);
   const auto dgl = gnnone::baselines::dgl_sddmm(dev, coo, x, y2, dim, w);
-  return {double(ge.cycles) / double(ours.cycles),
+  return {ours.cycles,
+          double(ge.cycles) / double(ours.cycles),
           double(hu.cycles) / double(ours.cycles),
           double(dgl.cycles) / double(ours_sd.cycles),
           double(nz.cycles) / double(ours.cycles)};
@@ -37,10 +39,9 @@ Outcome run(const gpusim::DeviceSpec& dev, const bench::KernelWorkload& wl,
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Ablation: cost-model sensitivity of the headline conclusions",
-      "reproduction-methodology check, not a paper figure");
+GNNONE_BENCH(ablation_sensitivity, 210,
+             "Ablation: cost-model sensitivity of the headline conclusions",
+             "reproduction-methodology check, not a paper figure") {
   const bench::KernelWorkload wl("G4");  // skewed social-graph stand-in
   const int dim = 32;
 
@@ -80,20 +81,34 @@ int main() {
     d.num_sms = 40;
     variants.push_back({"40 SMs (V100-ish)", d});
   }
+  {
+    // Slow-clock variant: cycle counts barely move, but reported wall time
+    // must scale with the variant's own clock, not the A100 default — the
+    // E2 consistency check behind DeviceSpec::sm_clock_ghz.
+    auto d = gpusim::default_device();
+    d.sm_clock_ghz = 0.705;
+    variants.push_back({"SM clock /2", d});
+  }
 
-  std::printf("%-22s | %9s %9s %11s %10s\n", "model variant", "vs GE",
-              "vs Huang", "vs DGL-SDDMM", "vs nzsplit");
+  std::printf("%-22s | %11s %9s %9s %11s %10s\n", "model variant",
+              "GnnOne(ms)", "vs GE", "vs Huang", "vs DGL-SDDMM", "vs nzsplit");
   bool stable = true;
   for (const auto& v : variants) {
     const Outcome o = run(v.dev, wl, dim);
     const bool ok = o.vs_ge > 1.0 && o.vs_dgl_sddmm > 1.0 && o.vs_nzsplit > 1.0;
     stable = stable && ok;
-    std::printf("%-22s | %9.2f %9.2f %11.2f %10.2f %s\n", v.name, o.vs_ge,
+    h.add_cycles("G4", "gnnone", dim, o.ours_cycles, v.name);
+    h.metric(std::string(v.name) + ".vs_ge", o.vs_ge);
+    // Wall time at the *variant's* clock (cycles_to_ms spec overload).
+    std::printf("%-22s | %11.3f %9.2f %9.2f %11.2f %10.2f %s\n", v.name,
+                gnnone::cycles_to_ms(o.ours_cycles, v.dev), o.vs_ge,
                 o.vs_huang, o.vs_dgl_sddmm, o.vs_nzsplit, ok ? "" : "  <-- !");
   }
   std::printf("\n%s: GNNOne beats GE-SpMM, DGL SDDMM and nonzero-split under "
               "every model variant;\nHuang remains the closest competitor — "
               "the paper's orderings are not calibration artifacts.\n",
               stable ? "STABLE" : "UNSTABLE");
-  return stable ? 0 : 1;
+  h.expect("sensitivity.orderings_stable", stable,
+           "GNNOne > GE/DGL-SDDMM/nzsplit under every cost-model variant");
+  return 0;
 }

@@ -3,30 +3,46 @@
 // reduction vs per-thread consecutive NZEs + thread-local reduction) are
 // special cases of the GNNOne design; N (NZEs per thread) is the knob that
 // interpolates between them.
+#include <map>
+
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Ablation: SpMV NZEs-per-thread (nonzero-split granularity, §4.4)",
-      "extends paper Fig. 12 / §4.4 trade-off discussion");
+GNNONE_BENCH(ablation_spmv_split, 230,
+             "Ablation: SpMV NZEs-per-thread (nonzero-split granularity, "
+             "§4.4)",
+             "extends paper Fig. 12 / §4.4 trade-off discussion") {
   gnnone::Context ctx;
 
   std::printf("%-22s | %8s %8s %8s %8s  (kilocycles, lower is better)\n",
               "dataset", "N=1", "N=2", "N=4", "N=8");
-  for (const auto& id : gnnone::kernel_suite_ids()) {
+  std::vector<double> default_vs_best;
+  for (const auto& id : h.kernel_suite()) {
     const bench::KernelWorkload wl(id);
     const auto& coo = wl.ds.coo;
     const auto x = wl.features(1, 99);
     std::vector<float> y(std::size_t(coo.num_rows));
     std::printf("%-22s |", (wl.ds.id + "/" + wl.ds.name).c_str());
+    std::map<int, double> t;
     for (int n : {1, 2, 4, 8}) {
       const auto ks = ctx.spmv(coo, wl.edge_val, x, y, n);
+      h.add(id, "spmv", 1, ks, "n=" + std::to_string(n));
+      t[n] = double(ks.cycles);
       std::printf(" %8.1f", double(ks.cycles) / 1000.0);
     }
     std::printf("\n");
+    double best = t[1];
+    for (const auto& [n, cycles] : t) best = std::min(best, cycles);
+    default_vs_best.push_back(t[4] / best);
   }
   std::printf("\nN=1 is the Dalton-style fully coalesced fetch (no "
               "thread-local reduction);\nlarger N trades NZE-fetch "
               "coalescing for thread-local reduction, Merrill-style.\n");
+
+  // §4.4: the default granularity (N=4, what Fig. 12 runs) must sit near
+  // the per-dataset optimum across the whole interpolation range.
+  const double g = bench::geomean(default_vs_best);
+  h.metric("default_n4_over_best", g);
+  bench::expect_band(h, "spmv_split.default_n4_competitive", g, 1.0, 1.25,
+                     "N=4 time / best-N time (geomean)");
   return 0;
 }

@@ -4,17 +4,17 @@
 // crashed on Kron-21 in the paper; we run it and annotate.
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Fig. 12: GNNOne COO SpMV vs Merge-SpMV",
-      "paper Fig. 12; comparable or better everywhere, 1.74x/2.09x on "
-      "Reddit/OGB stand-ins; Merge-SpMV crashed on K21");
+GNNONE_BENCH(fig12_spmv, 120,
+             "Fig. 12: GNNOne COO SpMV vs Merge-SpMV",
+             "paper Fig. 12; comparable or better everywhere, 1.74x/2.09x on "
+             "Reddit/OGB stand-ins; Merge-SpMV crashed on K21") {
   gnnone::Context ctx;
 
   std::printf("%-22s %12s %12s | %9s\n", "dataset", "GNNOne(ms)",
               "Merge(ms)", "speedup");
   std::vector<double> speedups;
-  for (const auto& id : gnnone::kernel_suite_ids()) {
+  bool merge_crash_on_kron = false;
+  for (const auto& id : h.kernel_suite()) {
     const bench::KernelWorkload wl(id);
     const auto& coo = wl.ds.coo;
     const auto x = wl.features(1, 81);
@@ -22,9 +22,12 @@ int main() {
     std::vector<float> y2(std::size_t(coo.num_rows));
 
     const auto ours = ctx.spmv(coo, wl.edge_val, x, y1);
+    h.add(id, "gnnone", 1, ours);
     if (wl.ds.family == gnnone::GraphFamily::kKronecker) {
       // Reproduces the paper's reported support matrix: the reference
       // Merge-SpMV crashed on Kron-21, so it is not plotted.
+      h.add_status(id, "merge", 1, "crash");
+      merge_crash_on_kron = true;
       std::printf("%-22s %12.3f %12s | %9s\n",
                   (wl.ds.id + "/" + wl.ds.name).c_str(),
                   gnnone::cycles_to_ms(ours.cycles), "crash*", "-");
@@ -32,6 +35,7 @@ int main() {
     }
     const auto merge = gnnone::baselines::merge_spmv(ctx.device(), wl.csr,
                                                      wl.edge_val, x, y2);
+    h.add(id, "merge", 1, merge);
     const double s = double(merge.cycles) / double(ours.cycles);
     speedups.push_back(s);
     std::printf("%-22s %12.3f %12.3f | %9.2f\n",
@@ -39,9 +43,20 @@ int main() {
                 gnnone::cycles_to_ms(ours.cycles),
                 gnnone::cycles_to_ms(merge.cycles), s);
   }
+  const double avg = bench::geomean(speedups);
   std::printf("\naverage: %.2fx (paper: comparable-or-better on every "
               "dataset)\n*Merge-SpMV's crash on the Kron-21 class is the "
               "paper's reported outcome, not simulated.\n",
-              bench::geomean(speedups));
+              avg);
+
+  // --- paper-shape expectations (DESIGN.md §3, Fig. 12 row) ----------------
+  h.metric("avg_speedup_over_merge", avg);
+  bench::expect_ge(h, "fig12.comparable_or_better",
+                   bench::speedup_min(h, "merge", "gnnone"), 0.95,
+                   "min speedup over Merge-SpMV");
+  bench::expect_band(h, "fig12.avg_band", avg, 1.0, 2.5,
+                     "avg speedup over Merge-SpMV");
+  h.expect("fig12.merge_crash_on_kron21", merge_crash_on_kron,
+           "Merge-SpMV must be marked crash on the Kron-21 stand-in");
   return 0;
 }

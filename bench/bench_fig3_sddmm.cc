@@ -2,33 +2,32 @@
 // and DGL for feature lengths {6, 16, 32, 64} across the dataset suite.
 // "n/s" marks baselines that error out at the paper's dataset scale
 // (Sputnik/cuSPARSE beyond ~2M vertices, §5.1).
+#include <map>
 #include <vector>
 
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Fig. 3: SDDMM speedup of GNNOne over prior works",
-      "paper Fig. 3; paper averages: 6.54x dgSparse-class, 4.17x DGL, "
-      "6.38x dgSparse, 1-2 orders over cuSPARSE/Sputnik");
+GNNONE_BENCH(fig3_sddmm, 30,
+             "Fig. 3: SDDMM speedup of GNNOne over prior works",
+             "paper Fig. 3; paper averages: 6.54x dgSparse-class, 4.17x DGL, "
+             "6.38x dgSparse, 1-2 orders over cuSPARSE/Sputnik") {
   gnnone::Context ctx;
   const auto& dev = ctx.device();
+  const auto dims = h.dims();
 
   struct Avg {
     std::vector<double> dgsparse, cusparse, sputnik, featgraph, dgl;
   };
-  std::vector<std::pair<int, Avg>> byjdim;
-  for (int dim : bench::paper_dims()) byjdim.emplace_back(dim, Avg{});
+  std::map<int, Avg> by_dim;
 
-  for (const auto& id : gnnone::kernel_suite_ids()) {
+  for (const auto& id : h.kernel_suite()) {
     const bench::KernelWorkload wl(id);
     const auto& coo = wl.ds.coo;
     std::printf("\n%s (%s)  V=%d E=%lld\n", wl.ds.id.c_str(),
                 wl.ds.name.c_str(), coo.num_rows, (long long)coo.nnz());
     std::printf("  %-4s %10s | %9s %9s %9s %9s %9s\n", "dim", "GNNOne(ms)",
                 "dgSparse", "cuSPARSE", "Sputnik", "FeatGraph", "DGL");
-    for (std::size_t di = 0; di < bench::paper_dims().size(); ++di) {
-      const int dim = bench::paper_dims()[di];
+    for (int dim : dims) {
       const auto x = wl.features(dim, 21);
       const auto y = wl.features(dim, 22);
       std::vector<float> w(std::size_t(coo.nnz()));
@@ -39,8 +38,12 @@ int main() {
       const auto fg =
           gnnone::baselines::featgraph_sddmm(dev, wl.csr, x, y, dim, w);
       const auto dgl = gnnone::baselines::dgl_sddmm(dev, coo, x, y, dim, w);
+      h.add(id, "gnnone", dim, ours);
+      h.add(id, "dgsparse", dim, dgsp);
+      h.add(id, "featgraph", dim, fg);
+      h.add(id, "dgl", dim, dgl);
 
-      auto& avg = byjdim[di].second;
+      auto& avg = by_dim[dim];
       const double base = double(ours.cycles);
       avg.dgsparse.push_back(double(dgsp.cycles) / base);
       avg.featgraph.push_back(double(fg.cycles) / base);
@@ -50,14 +53,20 @@ int main() {
       if (gnnone::baselines::cusparse_sddmm_supports(wl.ds.paper_vertices)) {
         const auto r =
             gnnone::baselines::cusparse_sddmm(dev, wl.csr, x, y, dim, w);
+        h.add(id, "cusparse", dim, r);
         avg.cusparse.push_back(double(r.cycles) / base);
         std::snprintf(cu, sizeof cu, "%.2f", double(r.cycles) / base);
+      } else {
+        h.add_status(id, "cusparse", dim, "n/s");
       }
       if (gnnone::baselines::sputnik_sddmm_supports(wl.ds.paper_vertices)) {
         const auto r =
             gnnone::baselines::sputnik_sddmm(dev, wl.csr, x, y, dim, w);
+        h.add(id, "sputnik", dim, r);
         avg.sputnik.push_back(double(r.cycles) / base);
         std::snprintf(sp, sizeof sp, "%.2f", double(r.cycles) / base);
+      } else {
+        h.add_status(id, "sputnik", dim, "n/s");
       }
       std::printf("  %-4d %10.3f | %9.2f %9s %9s %9.2f %9.2f\n", dim,
                   gnnone::cycles_to_ms(ours.cycles),
@@ -76,24 +85,65 @@ int main() {
                            {32, 3.00, 5.53, 4.07},
                            {64, 0, 0, 0}};
   std::vector<double> all;
-  for (std::size_t di = 0; di < byjdim.size(); ++di) {
-    const auto& [dim, avg] = byjdim[di];
+  for (int dim : dims) {
+    const Avg& avg = by_dim[dim];
     std::printf("  %-4d %9.2f %9.2f %9.2f %9.2f %9.2f", dim,
                 bench::geomean(avg.dgsparse), bench::geomean(avg.cusparse),
                 bench::geomean(avg.sputnik), bench::geomean(avg.featgraph),
                 bench::geomean(avg.dgl));
-    if (refs[di].fg > 0) {
-      std::printf("   (paper: FeatGraph %.2f, DGL %.2f, dgSparse %.2f)",
-                  refs[di].fg, refs[di].dgl, refs[di].dgsp);
+    for (const PaperRef& r : refs) {
+      if (r.dim == dim && r.fg > 0) {
+        std::printf("   (paper: FeatGraph %.2f, DGL %.2f, dgSparse %.2f)",
+                    r.fg, r.dgl, r.dgsp);
+      }
     }
     std::printf("\n");
     for (double v : avg.dgsparse) all.push_back(v);
     for (double v : avg.featgraph) all.push_back(v);
     for (double v : avg.dgl) all.push_back(v);
   }
+  const double overall = bench::geomean(all);
   std::printf("\nOverall average over dgSparse/FeatGraph/DGL: %.2fx "
               "(paper reports 6.02x across feature lengths excluding "
               "Sputnik/cuSPARSE)\n",
-              bench::geomean(all));
+              overall);
+
+  // --- paper-shape expectations (DESIGN.md §3, Fig. 3 row) -----------------
+  h.metric("avg_speedup_dgsparse_fg_dgl", overall, 6.02);
+  h.metric("geomean_cusparse", bench::geomean(by_dim[32].cusparse));
+  h.metric("geomean_sputnik", bench::geomean(by_dim[32].sputnik));
+  // GNNOne fastest everywhere: no baseline row ever beats it.
+  double worst = 1e30;
+  for (const char* k :
+       {"dgsparse", "cusparse", "sputnik", "featgraph", "dgl"}) {
+    const double m = bench::speedup_min(h, k, "gnnone");
+    if (m > 0) worst = std::min(worst, m);
+  }
+  bench::expect_ge(h, "fig3.gnnone_fastest_everywhere", worst, 1.0,
+                   "min speedup over any baseline");
+  // About an order of magnitude over cuSPARSE/Sputnik (paper: 1-2 orders;
+  // our scaled stand-ins under-reproduce the quadratic-|V| overheads, see
+  // EXPERIMENTS.md).
+  bench::expect_ge(h, "fig3.cusparse_order_worse",
+                   bench::speedup_geomean(h, "cusparse", "gnnone"), 4.0,
+                   "geomean over cuSPARSE");
+  bench::expect_ge(h, "fig3.sputnik_order_worse",
+                   bench::speedup_geomean(h, "sputnik", "gnnone"), 8.0,
+                   "geomean over Sputnik");
+  // Support matrix: cuSPARSE/Sputnik absent above ~2M paper vertices (G4 is
+  // in both the full and ci suites).
+  const bench::Row* cu_g4 = bench::find_row(h, "G4", "cusparse");
+  const bench::Row* sp_g4 = bench::find_row(h, "G4", "sputnik");
+  h.expect("fig3.support_matrix_2m_vertices",
+           cu_g4 && cu_g4->status == "n/s" && sp_g4 && sp_g4->status == "n/s",
+           "cuSPARSE/Sputnik must be n/s on G4 (2.39M paper vertices)");
+  // Bigger gaps at small feature lengths: FeatGraph's idle-lane penalty
+  // shrinks from f=6 to f=32 (the paper's crossover argument).
+  bench::expect_ge(h, "fig3.featgraph_gap_shrinks_with_dim",
+                   bench::geomean(by_dim[6].featgraph) -
+                       bench::geomean(by_dim[32].featgraph),
+                   0.0, "FeatGraph geomean(f=6) - geomean(f=32)");
+  bench::expect_band(h, "fig3.overall_avg_band", overall, 3.0, 30.0,
+                     "avg over dgSparse/FeatGraph/DGL");
   return 0;
 }

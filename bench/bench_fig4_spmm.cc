@@ -1,33 +1,31 @@
 // Fig. 4: SpMM — GNNOne speedup over GE-SpMM, cuSPARSE, Huang et al.,
 // FeatGraph and GNNAdvisor for feature lengths {6, 16, 32, 64}.
+#include <map>
 #include <vector>
 
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Fig. 4: SpMM speedup of GNNOne over prior works",
-      "paper Fig. 4; paper averages at f=32: GE-SpMM 3.84x, cuSPARSE 2.65x, "
-      "GNNAdvisor 2.90x, Huang 1.34x; overall 6.25x");
+GNNONE_BENCH(fig4_spmm, 40,
+             "Fig. 4: SpMM speedup of GNNOne over prior works",
+             "paper Fig. 4; paper averages at f=32: GE-SpMM 3.84x, cuSPARSE "
+             "2.65x, GNNAdvisor 2.90x, Huang 1.34x; overall 6.25x") {
   gnnone::Context ctx;
   const auto& dev = ctx.device();
+  const auto dims = h.dims();
 
   struct Avg {
     std::vector<double> ge, cu, advisor, huang, fg;
-    std::vector<double> min_ge;
   };
-  std::vector<std::pair<int, Avg>> byjdim;
-  for (int dim : bench::paper_dims()) byjdim.emplace_back(dim, Avg{});
+  std::map<int, Avg> by_dim;
 
-  for (const auto& id : gnnone::kernel_suite_ids()) {
+  for (const auto& id : h.kernel_suite()) {
     const bench::KernelWorkload wl(id);
     const auto& coo = wl.ds.coo;
     std::printf("\n%s (%s)  V=%d E=%lld\n", wl.ds.id.c_str(),
                 wl.ds.name.c_str(), coo.num_rows, (long long)coo.nnz());
     std::printf("  %-4s %10s | %9s %9s %9s %9s %9s\n", "dim", "GNNOne(ms)",
                 "GE-SpMM", "cuSPARSE", "Advisor", "Huang", "FeatGraph");
-    for (std::size_t di = 0; di < bench::paper_dims().size(); ++di) {
-      const int dim = bench::paper_dims()[di];
+    for (int dim : dims) {
       const auto x = wl.features(dim, 31);
       std::vector<float> y(std::size_t(coo.num_rows) * std::size_t(dim));
 
@@ -42,8 +40,14 @@ int main() {
                                                     wl.edge_val, x, dim, y);
       const auto fg = gnnone::baselines::featgraph_spmm(dev, wl.csr,
                                                         wl.edge_val, x, dim, y);
+      h.add(id, "gnnone", dim, ours);
+      h.add(id, "gespmm", dim, ge);
+      h.add(id, "cusparse", dim, cu);
+      h.add(id, "gnnadvisor", dim, adv);
+      h.add(id, "huang", dim, hu);
+      h.add(id, "featgraph", dim, fg);
       const double base = double(ours.cycles);
-      auto& avg = byjdim[di].second;
+      auto& avg = by_dim[dim];
       avg.ge.push_back(double(ge.cycles) / base);
       avg.cu.push_back(double(cu.cycles) / base);
       avg.advisor.push_back(double(adv.cycles) / base);
@@ -66,15 +70,17 @@ int main() {
                            {32, 3.84, 2.65, 2.90, 1.34},
                            {64, 0, 0, 0, 0}};
   std::vector<double> all;
-  for (std::size_t di = 0; di < byjdim.size(); ++di) {
-    const auto& [dim, avg] = byjdim[di];
+  for (int dim : dims) {
+    const Avg& avg = by_dim[dim];
     std::printf("  %-4d %9.2f %9.2f %9.2f %9.2f %9.2f", dim,
                 bench::geomean(avg.ge), bench::geomean(avg.cu),
                 bench::geomean(avg.advisor), bench::geomean(avg.huang),
                 bench::geomean(avg.fg));
-    if (refs[di].ge > 0) {
-      std::printf("   (paper: GE %.2f, cu %.2f, Adv %.2f, Huang %.2f)",
-                  refs[di].ge, refs[di].cu, refs[di].adv, refs[di].hu);
+    for (const PaperRef& r : refs) {
+      if (r.dim == dim && r.ge > 0) {
+        std::printf("   (paper: GE %.2f, cu %.2f, Adv %.2f, Huang %.2f)",
+                    r.ge, r.cu, r.adv, r.hu);
+      }
     }
     std::printf("\n");
     for (double v : avg.ge) all.push_back(v);
@@ -85,11 +91,37 @@ int main() {
   }
   // The paper highlights the f=32 minimum over GE-SpMM (1.06x): GNNOne is
   // never slower than the vanilla vertex-parallel kernel.
-  double min_ge32 = 1e9;
-  for (double v : byjdim[2].second.ge) min_ge32 = std::min(min_ge32, v);
-  std::printf("\nOverall average: %.2fx (paper: 6.25x)\n",
-              bench::geomean(all));
+  const double min_ge32 = bench::speedup_min(h, "gespmm", "gnnone", 32);
+  const double overall = bench::geomean(all);
+  std::printf("\nOverall average: %.2fx (paper: 6.25x)\n", overall);
   std::printf("Minimum speedup over GE-SpMM at f=32: %.2fx (paper: 1.06x)\n",
               min_ge32);
+
+  // --- paper-shape expectations (DESIGN.md §3, Fig. 4 row) -----------------
+  h.metric("avg_speedup_all_baselines", overall, 6.25);
+  h.metric("min_speedup_over_gespmm_f32", min_ge32, 1.06);
+  h.metric("geomean_huang_f32", bench::geomean(by_dim[32].huang), 1.34);
+  // Huang is the closest competitor at every feature length.
+  bool huang_closest = true;
+  for (int dim : dims) {
+    const Avg& avg = by_dim[dim];
+    const double hu = bench::geomean(avg.huang);
+    huang_closest = huang_closest && hu <= bench::geomean(avg.ge) &&
+                    hu <= bench::geomean(avg.cu) &&
+                    hu <= bench::geomean(avg.advisor) &&
+                    hu <= bench::geomean(avg.fg);
+  }
+  h.expect("fig4.huang_closest_competitor", huang_closest,
+           "Huang geomean <= every other baseline at every dim");
+  // Never loses to GE-SpMM at f=32 (parity on the dense Reddit stand-in is
+  // the measured minimum, hence >= 0.99 rather than > 1).
+  bench::expect_ge(h, "fig4.never_loses_to_gespmm_f32", min_ge32, 0.99,
+                   "min speedup over GE-SpMM at f=32");
+  // Gaps grow at small feature lengths (idle lanes + dropped caching).
+  bench::expect_ge(h, "fig4.gaps_grow_small_dims",
+                   bench::geomean(by_dim[6].ge) - bench::geomean(by_dim[32].ge),
+                   0.0, "GE-SpMM geomean(f=6) - geomean(f=32)");
+  bench::expect_band(h, "fig4.overall_avg_band", overall, 1.5, 15.0,
+                     "overall avg speedup");
   return 0;
 }

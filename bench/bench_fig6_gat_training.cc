@@ -3,11 +3,10 @@
 // the paper reports.
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Fig. 6: GAT training time, 200 epochs (5 layers, hidden 16)",
-      "paper Fig. 6; paper averages: 3.68x over DGL, 2.01x over dgNN; dgNN "
-      "errors on G10");
+GNNONE_BENCH(fig6_gat_training, 60,
+             "Fig. 6: GAT training time, 200 epochs (5 layers, hidden 16)",
+             "paper Fig. 6; paper averages: 3.68x over DGL, 2.01x over dgNN; "
+             "dgNN errors on G10") {
   const auto& dev = gpusim::default_device();
 
   gnnone::TrainOptions opts;
@@ -19,7 +18,9 @@ int main() {
   std::printf("%-22s %12s %12s %12s | %8s %8s\n", "dataset", "GNNOne(ms)",
               "DGL(ms)", "dgNN(ms)", "vs DGL", "vs dgNN");
   std::vector<double> vs_dgl, vs_dgnn;
-  for (const auto& id : {"G9", "G10", "G11", "G12", "G13", "G14", "G15"}) {
+  bool dgnn_errors_on_kron = false;
+  for (const auto& id :
+       h.reduce({"G9", "G10", "G11", "G12", "G13", "G14", "G15"})) {
     const gnnone::Dataset d = gnnone::make_dataset(id);
     const auto ours =
         gnnone::train_model(gnnone::Backend::kGnnOne, d, "gat", dev, opts);
@@ -27,13 +28,21 @@ int main() {
         gnnone::train_model(gnnone::Backend::kDgl, d, "gat", dev, opts);
     const auto dgnn =
         gnnone::train_model(gnnone::Backend::kDgnn, d, "gat", dev, opts);
+    h.add_cycles(id, "gnnone", 64, ours.total_cycles, "gat");
+    h.add_cycles(id, "dgl", 64, dgl.total_cycles, "gat");
     char dgnn_ms[24] = "error", dgnn_s[16] = "-";
     if (dgnn.ran) {
+      h.add_cycles(id, "dgnn", 64, dgnn.total_cycles, "gat");
       std::snprintf(dgnn_ms, sizeof dgnn_ms, "%12.1f",
                     gnnone::cycles_to_ms(dgnn.total_cycles));
       const double s = double(dgnn.total_cycles) / double(ours.total_cycles);
       std::snprintf(dgnn_s, sizeof dgnn_s, "%8.2f", s);
       vs_dgnn.push_back(s);
+    } else {
+      h.add_status(id, "dgnn", 64, "crash", "gat");
+      if (d.family == gnnone::GraphFamily::kKronecker) {
+        dgnn_errors_on_kron = true;
+      }
     }
     const double s_dgl = double(dgl.total_cycles) / double(ours.total_cycles);
     vs_dgl.push_back(s_dgl);
@@ -43,11 +52,23 @@ int main() {
                 gnnone::cycles_to_ms(dgl.total_cycles), dgnn_ms, s_dgl,
                 dgnn_s);
   }
+  const double avg_dgl = bench::geomean(vs_dgl);
+  const double avg_dgnn = bench::geomean(vs_dgnn);
   std::printf("\nAverage GNNOne speedup: %.2fx over DGL (paper 3.68x), "
               "%.2fx over dgNN (paper 2.01x)\n",
-              bench::geomean(vs_dgl), bench::geomean(vs_dgnn));
+              avg_dgl, avg_dgnn);
   std::printf("Note: dgNN uses fused kernels (one launch per attention "
               "block); GNNOne wins with\nunfused individual kernels, as in "
               "the paper (§5.3.2).\n");
+
+  // --- paper-shape expectations (DESIGN.md §3, Fig. 6 row) -----------------
+  h.metric("avg_speedup_vs_dgl", avg_dgl, 3.68);
+  h.metric("avg_speedup_vs_dgnn", avg_dgnn, 2.01);
+  bench::expect_ge(h, "fig6.speedup_over_dgl", avg_dgl, 1.5,
+                   "geomean speedup over DGL");
+  bench::expect_ge(h, "fig6.speedup_over_dgnn", avg_dgnn, 1.3,
+                   "geomean speedup over dgNN");
+  h.expect("fig6.dgnn_errors_on_kron21", dgnn_errors_on_kron,
+           "dgNN must fail on the Kron-21 stand-in (G10)");
   return 0;
 }

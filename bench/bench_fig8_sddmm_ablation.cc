@@ -5,11 +5,10 @@
 //   +Float4       the thread-group vector-load path (full GNNOne).
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Fig. 8: SDDMM optimization breakdown (f=32)",
-      "paper Fig. 8; paper averages: +reuse 2.78x, +float4 further 1.80x, "
-      "total 4.59x");
+GNNONE_BENCH(fig8_sddmm_ablation, 80,
+             "Fig. 8: SDDMM optimization breakdown (f=32)",
+             "paper Fig. 8; paper averages: +reuse 2.78x, +float4 further "
+             "1.80x, total 4.59x") {
   gnnone::Context ctx;
   const int dim = 32;
 
@@ -25,7 +24,7 @@ int main() {
   std::printf("%-22s %12s | %9s %9s %9s\n", "dataset", "baseline(ms)",
               "+reuse", "+float4", "total");
   std::vector<double> r_reuse, r_float4, r_total;
-  for (const auto& id : gnnone::kernel_suite_ids()) {
+  for (const auto& id : h.kernel_suite()) {
     const bench::KernelWorkload wl(id);
     const auto& coo = wl.ds.coo;
     const auto x = wl.features(dim, 41);
@@ -35,6 +34,9 @@ int main() {
     const auto b = ctx.sddmm(coo, x, y, dim, w, base);
     const auto r = ctx.sddmm(coo, x, y, dim, w, reuse);
     const auto f = ctx.sddmm(coo, x, y, dim, w, full);
+    h.add(id, "gnnone", dim, b, "baseline");
+    h.add(id, "gnnone", dim, r, "+reuse");
+    h.add(id, "gnnone", dim, f, "+float4");
     const double s_reuse = double(b.cycles) / double(r.cycles);
     const double s_float4 = double(r.cycles) / double(f.cycles);
     const double s_total = double(b.cycles) / double(f.cycles);
@@ -45,9 +47,22 @@ int main() {
                 (wl.ds.id + "/" + wl.ds.name).c_str(),
                 gnnone::cycles_to_ms(b.cycles), s_reuse, s_float4, s_total);
   }
+  const double g_reuse = bench::geomean(r_reuse);
+  const double g_float4 = bench::geomean(r_float4);
+  const double g_total = bench::geomean(r_total);
   std::printf("\naverages: +data-reuse %.2fx (paper 2.78x), +float4 %.2fx "
               "(paper 1.80x), total %.2fx (paper 4.59x)\n",
-              bench::geomean(r_reuse), bench::geomean(r_float4),
-              bench::geomean(r_total));
+              g_reuse, g_float4, g_total);
+
+  // --- paper-shape expectations (DESIGN.md §3, Fig. 8 row) -----------------
+  h.metric("avg_speedup_reuse", g_reuse, 2.78);
+  h.metric("avg_speedup_float4", g_float4, 1.80);
+  h.metric("avg_speedup_total", g_total, 4.59);
+  bench::expect_ge(h, "fig8.reuse_helps", g_reuse, 1.3,
+                   "geomean gain from data reuse");
+  bench::expect_ge(h, "fig8.float4_helps", g_float4, 1.3,
+                   "geomean gain from float4 groups");
+  bench::expect_band(h, "fig8.total_band", g_total, 2.5, 8.0,
+                     "total ablation gain (paper 4.59x)");
   return 0;
 }

@@ -3,10 +3,10 @@
 // shared-memory reads (§4.1.1).
 #include "common.h"
 
-int main() {
-  bench::print_header(
-      "Fig. 9: SpMM Stage-1 CACHE_SIZE, 128 vs 32 NZEs per warp (f=16)",
-      "paper Fig. 9; paper average: 1.31x for 128");
+GNNONE_BENCH(fig9_cache_size, 90,
+             "Fig. 9: SpMM Stage-1 CACHE_SIZE, 128 vs 32 NZEs per warp "
+             "(f=16)",
+             "paper Fig. 9; paper average: 1.31x for 128") {
   gnnone::Context ctx;
   const int dim = 16;
 
@@ -17,13 +17,15 @@ int main() {
   std::printf("%-22s %12s %12s | %9s\n", "dataset", "cache=32(ms)",
               "cache=128(ms)", "speedup");
   std::vector<double> speedups;
-  for (const auto& id : gnnone::kernel_suite_ids()) {
+  for (const auto& id : h.kernel_suite()) {
     const bench::KernelWorkload wl(id);
     const auto& coo = wl.ds.coo;
     const auto x = wl.features(dim, 51);
     std::vector<float> y(std::size_t(coo.num_rows) * std::size_t(dim));
     const auto a = ctx.spmm(coo, wl.edge_val, x, dim, y, c32);
     const auto b = ctx.spmm(coo, wl.edge_val, x, dim, y, c128);
+    h.add(id, "gnnone", dim, a, "cache=32");
+    h.add(id, "gnnone", dim, b, "cache=128");
     const double s = double(a.cycles) / double(b.cycles);
     speedups.push_back(s);
     std::printf("%-22s %12.3f %12.3f | %9.2f\n",
@@ -31,7 +33,14 @@ int main() {
                 gnnone::cycles_to_ms(a.cycles), gnnone::cycles_to_ms(b.cycles),
                 s);
   }
-  std::printf("\naverage: %.2fx for CACHE_SIZE=128 (paper: 1.31x)\n",
-              bench::geomean(speedups));
+  const double avg = bench::geomean(speedups);
+  std::printf("\naverage: %.2fx for CACHE_SIZE=128 (paper: 1.31x)\n", avg);
+
+  // DESIGN.md §3, Fig. 9 row: ≈1.3x on average. The roadNet stand-in (G5)
+  // inverts at our reduced scale (small-graph wave tail, EXPERIMENTS.md), so
+  // the claim is about the average, not every dataset.
+  h.metric("avg_speedup_cache128", avg, 1.31);
+  bench::expect_ge(h, "fig9.cache128_faster_on_average", avg, 1.05,
+                   "geomean speedup of cache=128 over cache=32");
   return 0;
 }

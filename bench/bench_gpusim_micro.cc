@@ -1,7 +1,60 @@
-// Micro-benchmarks (google-benchmark) of the simulator substrate itself:
-// host-side throughput of the functional SIMT execution. These are wall-
-// clock numbers about the *simulator*, not modeled GPU time — useful to
-// size experiments and catch performance regressions in gpusim.
+// Micro-benchmarks of the simulator substrate itself.
+//
+// Standalone (default): google-benchmark wall-clock numbers for host-side
+// throughput of the functional SIMT execution — useful to size experiments
+// and catch performance regressions in gpusim. Wall time is machine-
+// dependent, so this mode stays out of the machine-readable results.
+//
+// Under -DGNNONE_BENCH_RUNNER the same workloads run once each and register
+// their *modeled* cycles with the harness instead: deterministic, baseline-
+// gateable coverage of the simulator substrate in BENCH_RESULTS.json.
+#ifdef GNNONE_BENCH_RUNNER
+
+#include "common.h"
+#include "gen/rmat.h"
+
+GNNONE_BENCH(gpusim_micro, 300,
+             "Micro: modeled cycles of the simulator substrate workloads",
+             "not a paper figure; deterministic variant of the wall-clock "
+             "micro-benchmarks") {
+  gnnone::RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const gnnone::Coo g = gnnone::rmat_graph(p);
+  std::vector<float> ev(std::size_t(g.nnz()), 1.0f);
+  gnnone::Context ctx;
+
+  std::printf("RMAT scale=12 ef=8: V=%d E=%lld\n", g.num_rows,
+              (long long)g.nnz());
+  std::printf("%-8s %6s | %14s\n", "kernel", "f", "modeled cycles");
+  std::uint64_t prev_spmm = 0, prev_sddmm = 0;
+  bool monotonic = true;
+  for (int f : {16, 32, 64}) {
+    std::vector<float> x(std::size_t(g.num_rows) * std::size_t(f), 0.5f);
+    std::vector<float> y(x.size());
+    std::vector<float> w(std::size_t(g.nnz()));
+    const auto spmm = ctx.spmm(g, ev, x, f, y);
+    const auto sddmm = ctx.sddmm(g, x, x, f, w);
+    h.add("rmat12", "spmm", f, spmm);
+    h.add("rmat12", "sddmm", f, sddmm);
+    std::printf("%-8s %6d | %14llu\n", "spmm", f,
+                static_cast<unsigned long long>(spmm.cycles));
+    std::printf("%-8s %6d | %14llu\n", "sddmm", f,
+                static_cast<unsigned long long>(sddmm.cycles));
+    monotonic = monotonic && spmm.cycles > prev_spmm &&
+                sddmm.cycles > prev_sddmm;
+    prev_spmm = spmm.cycles;
+    prev_sddmm = sddmm.cycles;
+  }
+  // More features = more data moved = more modeled cycles; a substrate
+  // change that breaks this broke the cost model, not a kernel.
+  h.expect("micro.cycles_grow_with_f", monotonic,
+           "modeled cycles strictly increase with feature length");
+  return 0;
+}
+
+#else  // standalone: google-benchmark wall-clock mode
+
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -64,3 +117,5 @@ BENCHMARK(BM_CoalescingAnalysis);
 }  // namespace
 
 BENCHMARK_MAIN();
+
+#endif  // GNNONE_BENCH_RUNNER

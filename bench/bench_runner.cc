@@ -1,0 +1,356 @@
+// bench_runner — runs the registered figure benches (all bench_*.cc sources
+// compiled with -DGNNONE_BENCH_RUNNER) as one suite and emits the combined
+// machine-readable results:
+//
+//   BENCH_RESULTS.json   versioned document over all benches (harness.h)
+//   <bench>.csv          per-figure row dump with full counters
+//
+// and gates on them:
+//
+//   * any failed paper-shape expectation  -> exit 1
+//   * --baseline=FILE: modeled cycles drifting beyond --tolerance from the
+//     committed baseline (or rows appearing/disappearing) -> exit 4;
+//     refresh the file with --update-baseline after an intended change.
+//
+// The simulator is deterministic, so at equal scale every cycle count must
+// reproduce exactly; the tolerance only exists to let intentional small
+// model recalibrations land without regenerating the baseline in the same
+// commit.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expectations.h"
+#include "gpusim/report.h"
+#include "gpusim/trace.h"
+#include "harness.h"
+
+namespace {
+
+constexpr const char* kBaselineSchemaName = "gnnone-bench-baseline";
+constexpr int kBaselineSchemaVersion = 1;
+
+struct Options {
+  bench::Scale scale = bench::Scale::kFull;
+  std::string out_dir = ".";
+  std::string baseline_path;
+  double tolerance = 0.02;  // fractional cycle drift allowed vs baseline
+  bool update_baseline = false;
+  bool list = false;
+  std::string only;  // substring filter on bench names
+  std::string trace_path;
+  std::string emit_experiments;  // EXPERIMENTS.md path to rewrite
+};
+
+int usage(const char* argv0, int rc) {
+  std::fprintf(
+      rc ? stderr : stdout,
+      "usage: %s [flags]\n"
+      "  --scale=full|ci          suite scale (default full)\n"
+      "  --out=DIR|-              result directory, '-' disables (default .)\n"
+      "  --only=SUBSTR            run benches whose name contains SUBSTR\n"
+      "  --list                   list registered benches and exit\n"
+      "  --baseline=FILE          gate modeled cycles against FILE\n"
+      "  --tolerance=FRAC         allowed fractional drift (default 0.02)\n"
+      "  --update-baseline        rewrite FILE from this run instead\n"
+      "  --trace=PATH             chrome://tracing timeline of all launches\n"
+      "  --emit-experiments=FILE  regenerate EXPERIMENTS.md metrics block\n",
+      argv0);
+  return rc;
+}
+
+bool parse_args(int argc, char** argv, Options* o, int* rc) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      if (!bench::parse_scale(a + 8, &o->scale)) {
+        std::fprintf(stderr, "error: bad --scale '%s' (full|ci)\n", a + 8);
+        *rc = 2;
+        return false;
+      }
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      o->out_dir = a + 6;
+    } else if (std::strncmp(a, "--only=", 7) == 0) {
+      o->only = a + 7;
+    } else if (std::strcmp(a, "--list") == 0) {
+      o->list = true;
+    } else if (std::strncmp(a, "--baseline=", 11) == 0) {
+      o->baseline_path = a + 11;
+    } else if (std::strncmp(a, "--tolerance=", 12) == 0) {
+      o->tolerance = std::strtod(a + 12, nullptr);
+    } else if (std::strcmp(a, "--update-baseline") == 0) {
+      o->update_baseline = true;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      o->trace_path = a + 8;
+    } else if (std::strncmp(a, "--emit-experiments=", 19) == 0) {
+      o->emit_experiments = a + 19;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      *rc = usage(argv[0], 0);
+      return false;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a);
+      *rc = usage(argv[0], 2);
+      return false;
+    }
+  }
+  if (o->update_baseline && o->baseline_path.empty()) {
+    std::fprintf(stderr, "error: --update-baseline requires --baseline=\n");
+    *rc = 2;
+    return false;
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string row_key(const std::string& bench, const bench::Json& r) {
+  return bench + '|' + r["dataset"].as_string() + '|' +
+         r["kernel"].as_string() + '|' + std::to_string(r["dim"].as_int()) +
+         '|' + r["config"].as_string();
+}
+
+/// Flattens a results document into baseline rows ("ok" rows only — "n/s"/
+/// "oom"/"crash" rows carry no cycles to gate on).
+bench::Json baseline_from_results(const bench::Json& results) {
+  bench::Json doc = bench::Json::object();
+  doc.set("schema", kBaselineSchemaName);
+  doc.set("version", kBaselineSchemaVersion);
+  doc.set("scale", results["scale"]);
+  bench::Json rows = bench::Json::array();
+  for (const bench::Json& b : results["benches"].items()) {
+    for (const bench::Json& r : b["rows"].items()) {
+      if (r["status"].as_string() != "ok") continue;
+      bench::Json row = bench::Json::object();
+      row.set("bench", b["name"]);
+      row.set("dataset", r["dataset"]);
+      row.set("kernel", r["kernel"]);
+      row.set("dim", r["dim"]);
+      row.set("config", r["config"]);
+      row.set("cycles", r["cycles"]);
+      rows.push_back(std::move(row));
+    }
+  }
+  doc.set("rows", std::move(rows));
+  return doc;
+}
+
+/// Compares this run against the committed baseline. Returns the number of
+/// problems (drifted, missing, or unexpected-new rows), printing each.
+int diff_against_baseline(const bench::Json& results,
+                          const bench::Json& baseline, double tolerance) {
+  if (baseline["schema"].as_string() != kBaselineSchemaName ||
+      baseline["version"].as_int() != kBaselineSchemaVersion) {
+    std::fprintf(stderr, "baseline: unrecognized schema/version\n");
+    return 1;
+  }
+  if (baseline["scale"].as_string() !=
+      results["scale"].as_string()) {
+    std::fprintf(stderr, "baseline: scale mismatch (baseline '%s', run '%s')\n",
+                 baseline["scale"].as_string().c_str(),
+                 results["scale"].as_string().c_str());
+    return 1;
+  }
+
+  // Measured ok-rows by key.
+  std::vector<std::pair<std::string, std::uint64_t>> measured;
+  for (const bench::Json& b : results["benches"].items()) {
+    for (const bench::Json& r : b["rows"].items()) {
+      if (r["status"].as_string() != "ok") continue;
+      measured.emplace_back(row_key(b["name"].as_string(), r),
+                            r["cycles"].as_uint());
+    }
+  }
+  auto find_measured = [&](const std::string& key) -> const std::uint64_t* {
+    for (const auto& [k, v] : measured) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+
+  int problems = 0;
+  std::vector<std::string> baseline_keys;
+  for (const bench::Json& r : baseline["rows"].items()) {
+    const std::string key = row_key(r["bench"].as_string(), r);
+    baseline_keys.push_back(key);
+    const std::uint64_t* got = find_measured(key);
+    if (got == nullptr) {
+      std::printf("baseline: MISSING row %s\n", key.c_str());
+      ++problems;
+      continue;
+    }
+    const double want = double(r["cycles"].as_uint());
+    const double drift = want > 0 ? std::abs(double(*got) - want) / want : 0.0;
+    if (drift > tolerance) {
+      std::printf("baseline: DRIFT %s: %llu -> %llu (%.2f%% > %.2f%%)\n",
+                  key.c_str(),
+                  static_cast<unsigned long long>(r["cycles"].as_uint()),
+                  static_cast<unsigned long long>(*got), 100.0 * drift,
+                  100.0 * tolerance);
+      ++problems;
+    }
+  }
+  for (const auto& [key, cycles] : measured) {
+    bool known = false;
+    for (const auto& bk : baseline_keys) {
+      if (bk == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::printf("baseline: NEW row %s (not in baseline)\n", key.c_str());
+      ++problems;
+    }
+  }
+  if (problems > 0) {
+    std::printf(
+        "baseline: %d problem(s); if the change is intended, refresh with "
+        "--update-baseline\n",
+        problems);
+  } else {
+    std::printf("baseline: %zu rows match within %.2f%%\n",
+                baseline_keys.size(), 100.0 * tolerance);
+  }
+  return problems;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  int rc = 0;
+  if (!parse_args(argc, argv, &opt, &rc)) return rc;
+
+  const auto benches = bench::registered_benches();
+  if (opt.list) {
+    for (const auto& info : benches) {
+      std::printf("%-28s %s\n", info.name, info.title);
+    }
+    return 0;
+  }
+
+  std::vector<bench::Harness> harnesses;
+  harnesses.reserve(benches.size());
+  int hard_failures = 0;
+  int expectation_failures = 0;
+  {
+    gpusim::Trace trace;  // records every launch across all benches
+    for (const auto& info : benches) {
+      if (!opt.only.empty() &&
+          std::string(info.name).find(opt.only) == std::string::npos) {
+        continue;
+      }
+      harnesses.emplace_back(info.name, info.title, info.paper_ref, opt.scale);
+      bench::Harness& h = harnesses.back();
+      std::printf(
+          "\n================================================================\n"
+          "%s\nreproduces: %s\n"
+          "================================================================\n",
+          info.title, info.paper_ref);
+      const int bench_rc = info.fn(h);
+      if (bench_rc != 0) {
+        std::printf("bench %s: hard failure (rc=%d)\n", info.name, bench_rc);
+        ++hard_failures;
+      }
+      bench::print_expectations(h);
+      expectation_failures += h.failed_expectations();
+    }
+    if (!opt.trace_path.empty()) {
+      const std::string json =
+          gpusim::chrome_trace_json(trace, gpusim::default_device());
+      if (!write_file(opt.trace_path, json)) return 3;
+      std::printf("\ntrace: %zu kernel launches -> %s\n",
+                  trace.events().size(), opt.trace_path.c_str());
+    }
+  }
+  if (harnesses.empty()) {
+    std::fprintf(stderr, "error: no bench matches --only=%s\n",
+                 opt.only.c_str());
+    return 2;
+  }
+
+  std::vector<const bench::Harness*> ptrs;
+  for (const auto& h : harnesses) ptrs.push_back(&h);
+  const bench::Json results =
+      bench::results_doc(ptrs, opt.scale, gpusim::default_device());
+
+  if (opt.out_dir != "-") {
+    const std::string base = opt.out_dir.empty() ? "." : opt.out_dir;
+    if (!write_file(base + "/BENCH_RESULTS.json", results.dump() + "\n")) {
+      return 3;
+    }
+    for (const auto& h : harnesses) {
+      if (!write_file(base + "/" + h.name() + ".csv", h.to_csv())) return 3;
+    }
+    std::printf("\nresults: %s/BENCH_RESULTS.json + %zu per-bench CSVs\n",
+                base.c_str(), harnesses.size());
+  }
+
+  if (!opt.emit_experiments.empty()) {
+    const std::string body = bench::experiments_metrics_markdown(results);
+    if (!bench::rewrite_marker_block(opt.emit_experiments, body)) {
+      std::fprintf(stderr, "error: marker block not found in %s\n",
+                   opt.emit_experiments.c_str());
+      return 3;
+    }
+    std::printf("experiments: rewrote metrics block in %s\n",
+                opt.emit_experiments.c_str());
+  }
+
+  int baseline_problems = 0;
+  if (!opt.baseline_path.empty()) {
+    if (opt.update_baseline) {
+      const bench::Json doc = baseline_from_results(results);
+      if (!write_file(opt.baseline_path, doc.dump() + "\n")) return 3;
+      std::printf("baseline: wrote %zu rows to %s\n",
+                  doc["rows"].items().size(), opt.baseline_path.c_str());
+    } else {
+      std::ifstream in(opt.baseline_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot read baseline %s\n",
+                     opt.baseline_path.c_str());
+        return 3;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      try {
+        const bench::Json baseline = bench::Json::parse(ss.str());
+        std::printf("\n");
+        baseline_problems =
+            diff_against_baseline(results, baseline, opt.tolerance);
+      } catch (const bench::JsonError& e) {
+        std::fprintf(stderr, "error: baseline parse: %s\n", e.what());
+        return 3;
+      }
+    }
+  }
+
+  std::printf("\nsuite: %zu benches, %d hard failure(s), %d expectation "
+              "failure(s), %d baseline problem(s)\n",
+              harnesses.size(), hard_failures, expectation_failures,
+              baseline_problems);
+  if (hard_failures > 0) return 1;
+  if (expectation_failures > 0) return 1;
+  if (baseline_problems > 0) return 4;
+  return 0;
+}

@@ -21,24 +21,41 @@ double degree_cv(const gnnone::Coo& coo) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("Table 1: graph datasets (scaled stand-ins)",
-                      "paper Table 1 (19 graphs, SNAP/UF/OGB/Graph500)");
+GNNONE_BENCH(table1_datasets, 10,
+             "Table 1: graph datasets (scaled stand-ins)",
+             "paper Table 1 (19 graphs, SNAP/UF/OGB/Graph500)") {
   std::printf("%-5s %-17s %11s %13s %9s %11s %5s %3s %8s %7s\n", "id",
               "dataset", "V (ours)", "E (ours)", "deg", "skew(cv)", "F", "C",
               "V(paper)", "scale");
+  // The structural claim of the stand-in suite: skewed graph classes keep a
+  // heavy-tailed degree distribution, uniform classes keep a flat one.
+  bool skew_preserved = true;
+  std::string skew_bad;
   for (const char* id :
        {"G0", "G1", "G2", "G3", "G4", "G5", "G6", "G7", "G8", "G9", "G10",
         "G11", "G12", "G13", "G14", "G15", "G16", "G17", "G18"}) {
     const gnnone::Dataset d = gnnone::make_dataset(id);
     const double scale = double(d.paper_edges) / double(d.coo.nnz());
+    const double cv = degree_cv(d.coo);
     std::printf("%-5s %-17s %11d %13lld %9.1f %11.2f %5d %3d %8.2fM %6.0fx\n",
                 d.id.c_str(), d.name.c_str(), d.coo.num_rows,
                 (long long)d.coo.nnz(),
-                double(d.coo.nnz()) / double(d.coo.num_rows),
-                degree_cv(d.coo), d.input_feat_len, d.num_classes,
+                double(d.coo.nnz()) / double(d.coo.num_rows), cv,
+                d.input_feat_len, d.num_classes,
                 double(d.paper_vertices) / 1e6, scale);
+    h.metric(d.id + ".degree_cv", cv);
+    const bool skewed_family = d.family == gnnone::GraphFamily::kPowerLaw ||
+                               d.family == gnnone::GraphFamily::kKronecker;
+    const bool uniform_family = d.family == gnnone::GraphFamily::kGrid ||
+                                d.family == gnnone::GraphFamily::kUniform;
+    if ((skewed_family && cv < 1.0) || (uniform_family && cv > 0.75)) {
+      skew_preserved = false;
+      skew_bad += (skew_bad.empty() ? "" : ",") + d.id;
+    }
   }
+  h.expect("table1.degree_shape_preserved", skew_preserved,
+           skew_preserved ? "every stand-in matches its graph class"
+                          : "mismatched: " + skew_bad);
   std::printf("\nAll graphs symmetrized (edges doubled) as the paper's GNN "
               "frameworks expect.\n");
   std::printf("skew(cv) = coefficient of variation of vertex degree: ~0 for "

@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "core/gnnone.h"
+#include "expectations.h"
 #include "gen/datasets.h"
 #include "gen/rng.h"
 #include "graph/neighbor_group.h"
 #include "graph/row_swizzle.h"
+#include "harness.h"
 
 namespace bench {
 
@@ -60,12 +62,5 @@ struct KernelWorkload {
                            seed);
   }
 };
-
-inline void print_header(const char* title, const char* paper_ref) {
-  std::printf("\n================================================================\n");
-  std::printf("%s\n", title);
-  std::printf("reproduces: %s\n", paper_ref);
-  std::printf("================================================================\n");
-}
 
 }  // namespace bench

@@ -1,0 +1,156 @@
+#include "expectations.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bench {
+
+std::string detail(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(std::size_t(n) + 1);
+    std::vsnprintf(out.data(), out.size(), format, args);
+    out.resize(std::size_t(n));
+  }
+  va_end(args);
+  return out;
+}
+
+bool expect_ge(Harness& h, const std::string& id, double value, double min,
+               const std::string& what) {
+  return h.expect(id, value >= min,
+                  detail("%s = %.3f (want >= %.3f)", what.c_str(), value, min));
+}
+
+bool expect_band(Harness& h, const std::string& id, double value, double lo,
+                 double hi, const std::string& what) {
+  return h.expect(id, value >= lo && value <= hi,
+                  detail("%s = %.3f (want %.3f..%.3f)", what.c_str(), value,
+                         lo, hi));
+}
+
+const Row* find_row(const Harness& h, const std::string& dataset,
+                    const std::string& kernel, int dim,
+                    const std::string& config) {
+  for (const Row& r : h.rows()) {
+    if (!dataset.empty() && r.dataset != dataset) continue;
+    if (!kernel.empty() && r.kernel != kernel) continue;
+    if (dim >= 0 && r.dim != dim) continue;
+    if (config != "*" && r.config != config) continue;
+    return &r;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Collects baseline/our cycle ratios over every matching row pairing.
+std::vector<double> speedup_pairs(const Harness& h,
+                                  const std::string& baseline_kernel,
+                                  const std::string& our_kernel, int dim) {
+  std::vector<double> out;
+  for (const Row& b : h.rows()) {
+    if (b.kernel != baseline_kernel || b.status != "ok" || b.cycles == 0) {
+      continue;
+    }
+    if (dim >= 0 && b.dim != dim) continue;
+    for (const Row& o : h.rows()) {
+      if (o.kernel != our_kernel || o.status != "ok" || o.cycles == 0) {
+        continue;
+      }
+      if (o.dataset != b.dataset || o.dim != b.dim || o.config != b.config) {
+        continue;
+      }
+      out.push_back(double(b.cycles) / double(o.cycles));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double speedup_geomean(const Harness& h, const std::string& baseline_kernel,
+                       const std::string& our_kernel, int dim) {
+  const auto pairs = speedup_pairs(h, baseline_kernel, our_kernel, dim);
+  if (pairs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : pairs) s += std::log(x);
+  return std::exp(s / double(pairs.size()));
+}
+
+double speedup_min(const Harness& h, const std::string& baseline_kernel,
+                   const std::string& our_kernel, int dim) {
+  const auto pairs = speedup_pairs(h, baseline_kernel, our_kernel, dim);
+  if (pairs.empty()) return 0.0;
+  double m = pairs.front();
+  for (double x : pairs) m = std::min(m, x);
+  return m;
+}
+
+std::string experiments_metrics_markdown(const Json& results) {
+  std::string out;
+  out += "Scale: `" + results["scale"].as_string() +
+         "`. Expectations are the coded paper-shape claims of DESIGN.md §3 "
+         "(see bench/ sources); `paper` is blank where the paper gives no "
+         "scalar for the metric.\n\n";
+  out += "| Bench | Metric | Paper | Measured |\n|---|---|---|---|\n";
+  for (const Json& b : results["benches"].items()) {
+    const std::string name = b["name"].as_string();
+    for (const Json& m : b["metrics"].items()) {
+      char paper[32] = "";
+      if (m.contains("paper")) {
+        std::snprintf(paper, sizeof paper, "%.2f", m["paper"].as_double());
+      }
+      out += detail("| `%s` | %s | %s | %.2f |\n", name.c_str(),
+                    m["name"].as_string().c_str(), paper,
+                    m["value"].as_double());
+    }
+  }
+  out += "\nExpectation verdicts:\n\n";
+  out += "| Bench | Expectation | Verdict | Detail |\n|---|---|---|---|\n";
+  for (const Json& b : results["benches"].items()) {
+    const std::string name = b["name"].as_string();
+    for (const Json& e : b["expectations"].items()) {
+      out += detail("| `%s` | `%s` | %s | %s |\n", name.c_str(),
+                    e["id"].as_string().c_str(),
+                    e["ok"].as_bool() ? "ok" : "**FAIL**",
+                    e["detail"].as_string().c_str());
+    }
+  }
+  return out;
+}
+
+bool rewrite_marker_block(const std::string& path, const std::string& body) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  in.close();
+
+  const std::string begin = kExperimentsBeginMarker;
+  const std::string end = kExperimentsEndMarker;
+  const std::size_t b = text.find(begin);
+  if (b == std::string::npos) return false;
+  const std::size_t content_start = b + begin.size();
+  const std::size_t e = text.find(end, content_start);
+  if (e == std::string::npos) return false;
+
+  text = text.substr(0, content_start) + "\n" + body + text.substr(e);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.flush();
+  return bool(out);
+}
+
+}  // namespace bench

@@ -1,0 +1,60 @@
+// Paper-shape expectations: DESIGN.md §3's per-figure claims, encoded as
+// checks over harness rows so every bench binary (and bench_runner / CI)
+// fails loudly when a change breaks the shape of a result the paper reports.
+//
+// Bands are calibrated against the committed full-scale run documented in
+// EXPERIMENTS.md and are deliberately loose: they must hold at full AND ci
+// scale, and they assert *shape* (who wins, roughly by how much), not exact
+// cycle counts — exact cycles are the baseline gate's job (bench_runner
+// --baseline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace bench {
+
+/// printf-style formatting for expectation detail strings.
+std::string detail(const char* format, ...);
+
+/// value >= min.
+bool expect_ge(Harness& h, const std::string& id, double value, double min,
+               const std::string& what);
+/// lo <= value <= hi.
+bool expect_band(Harness& h, const std::string& id, double value, double lo,
+                 double hi, const std::string& what);
+
+/// First row matching the key (dim < 0 or empty strings act as wildcards);
+/// nullptr when absent.
+const Row* find_row(const Harness& h, const std::string& dataset,
+                    const std::string& kernel, int dim = -1,
+                    const std::string& config = "*");
+
+/// Geomean over datasets/configs of baseline_cycles / our_cycles for every
+/// (dataset, dim, config) where both kernels have an "ok" row. dim < 0
+/// pools all dims. Returns 0 when no pair matches.
+double speedup_geomean(const Harness& h, const std::string& baseline_kernel,
+                       const std::string& our_kernel, int dim = -1);
+
+/// Minimum per-pair speedup over the same pairing as speedup_geomean.
+double speedup_min(const Harness& h, const std::string& baseline_kernel,
+                   const std::string& our_kernel, int dim = -1);
+
+// --- EXPERIMENTS.md regeneration ------------------------------------------
+
+inline constexpr const char* kExperimentsBeginMarker =
+    "<!-- BEGIN GENERATED METRICS (bench_runner --emit-experiments) -->";
+inline constexpr const char* kExperimentsEndMarker =
+    "<!-- END GENERATED METRICS -->";
+
+/// Renders the measured-vs-paper metrics table (plus the expectation
+/// verdict column) from a results document (results_doc() schema).
+std::string experiments_metrics_markdown(const Json& results);
+
+/// Replaces the text between the markers in `path` with `body` (markers
+/// stay). Returns false if the file or the marker pair is missing.
+bool rewrite_marker_block(const std::string& path, const std::string& body);
+
+}  // namespace bench

@@ -31,6 +31,7 @@
 #include "gnn/models.h"
 #include "gnn/train.h"
 #include "gpusim/device.h"
+#include "gpusim/report.h"
 #include "gpusim/stats.h"
 #include "graph/convert.h"
 #include "kernels/baselines.h"
@@ -74,10 +75,18 @@ class Context {
   gpusim::DeviceSpec dev_;
 };
 
-/// Converts modeled cycles to milliseconds at the device clock (A100 boost
-/// ~1.41 GHz). Only meaningful for relative comparisons.
-inline double cycles_to_ms(std::uint64_t cycles, double ghz = 1.41) {
-  return double(cycles) / (ghz * 1e6);
+/// Converts modeled cycles to milliseconds at a device's SM clock. Only
+/// meaningful for relative comparisons. The one-argument form uses the
+/// default simulated device; pass the spec you launched on (e.g.
+/// `ctx.device()`) whenever it may differ — the E2 sensitivity ablation
+/// sweeps DeviceSpec, and times reported at the wrong clock are not
+/// comparable across variants.
+inline double cycles_to_ms(std::uint64_t cycles,
+                           const gpusim::DeviceSpec& spec) {
+  return gpusim::cycles_to_ms(cycles, spec);
+}
+inline double cycles_to_ms(std::uint64_t cycles) {
+  return gpusim::cycles_to_ms(cycles, gpusim::default_device());
 }
 
 }  // namespace gnnone

@@ -27,6 +27,7 @@ struct DeviceSpec {
   std::size_t device_memory_bytes = 40ull * 1024 * 1024 * 1024;
 
   // --- latency / throughput model ----------------------------------------
+  double sm_clock_ghz = 1.41;      // SM clock; converts cycles to wall time
   int global_load_latency = 400;   // DRAM round trip, cycles
   int l2_load_latency = 120;       // L2-resident load (hot metadata), cycles
   int tx_issue_cycles = 4;         // LSU occupancy per 128B transaction

@@ -6,6 +6,7 @@
 
 #include "gpusim/sanitizer.h"
 #include "gpusim/shared.h"
+#include "gpusim/trace.h"
 
 namespace gpusim {
 
@@ -51,6 +52,7 @@ KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
   const Occupancy occ = compute_occupancy(spec, cfg);
 
   KernelStats ks;
+  ks.label = cfg.label;
   ks.num_ctas = std::uint64_t(cfg.num_ctas);
   ks.num_warps = std::uint64_t(cfg.num_ctas) * std::uint64_t(cfg.warps_per_cta);
   ks.resident_ctas_per_sm = occ.ctas_per_sm;
@@ -126,6 +128,7 @@ KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
     ks.dram_bandwidth_bound = true;
   }
   ks.cycles = cycles;
+  if (Trace* tr = Trace::active()) tr->record(ks);
   return ks;
 }
 

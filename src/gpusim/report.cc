@@ -3,27 +3,71 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <vector>
 
 namespace gpusim {
 
 namespace {
 
 std::string fmt(const char* format, ...) {
-  char buf[256];
   va_list args;
   va_start(args, format);
-  std::vsnprintf(buf, sizeof buf, format, args);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(std::size_t(n) + 1);
+    std::vsnprintf(out.data(), out.size(), format, args);
+    out.resize(std::size_t(n));
+  }
   va_end(args);
-  return buf;
+  return out;
+}
+
+/// CSV field escaping: labels are caller-controlled free text, so quote any
+/// field containing a comma, quote or newline (RFC 4180).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Minimal JSON string escaping for trace labels.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += fmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
 
 std::string describe(const KernelStats& ks, const DeviceSpec& spec) {
   std::string out;
-  const double ms = double(ks.cycles) / 1.41e6;  // A100-class clock
-  out += fmt("modeled time     : %.3f ms (%" PRIu64 " cycles)%s\n", ms,
-             ks.cycles, ks.dram_bandwidth_bound ? "  [DRAM-BW bound]" : "");
+  if (!ks.label.empty()) out += fmt("kernel           : %s\n", ks.label.c_str());
+  out += fmt("modeled time     : %.3f ms (%" PRIu64 " cycles @ %.2f GHz)%s\n",
+             cycles_to_ms(ks.cycles, spec), ks.cycles, spec.sm_clock_ghz,
+             ks.dram_bandwidth_bound ? "  [DRAM-BW bound]" : "");
   out += fmt("grid             : %" PRIu64 " CTAs x %d warps resident/SM "
              "(%d CTAs/SM) on %d SMs\n",
              ks.num_ctas, ks.resident_warps_per_sm, ks.resident_ctas_per_sm,
@@ -42,9 +86,10 @@ std::string describe(const KernelStats& ks, const DeviceSpec& spec) {
              " serialized conflicts)\n",
              ks.totals.atomic_instrs, ks.totals.atomic_serializations);
   out += fmt("issue vs stall   : %" PRIu64 " vs %" PRIu64
-             " cycles (data-load share %.0f%%)\n",
+             " cycles (data-load share %.0f%%, stores+atomics %.0f%%)\n",
              ks.totals.issue_cycles, ks.totals.stall_cycles,
-             100.0 * ks.data_load_fraction());
+             100.0 * ks.data_load_fraction(),
+             100.0 * (ks.data_movement_fraction() - ks.data_load_fraction()));
   if (ks.sanitizer.total() > 0) {
     out += fmt("simsan           : %" PRIu64 " violations (%" PRIu64
                " global OOB, %" PRIu64 " shared OOB, %" PRIu64
@@ -75,14 +120,54 @@ std::string describe(const SanitizerReport& report) {
 }
 
 std::string csv_header() {
-  return "cycles,warps,warps_per_sm,load_tx,bytes_loaded,load_fraction";
+  return "label,dataset,cycles,warps,warps_per_sm,load_tx,bytes_loaded,"
+         "load_fraction";
 }
 
-std::string csv_row(const KernelStats& ks) {
-  return fmt("%" PRIu64 ",%" PRIu64 ",%d,%" PRIu64 ",%" PRIu64 ",%.3f",
+std::string csv_row(const KernelStats& ks, const std::string& dataset) {
+  return csv_field(ks.label) + "," + csv_field(dataset) + "," +
+         fmt("%" PRIu64 ",%" PRIu64 ",%d,%" PRIu64 ",%" PRIu64 ",%.3f",
              ks.cycles, ks.num_warps, ks.resident_warps_per_sm,
              ks.totals.load_transactions, ks.totals.bytes_loaded,
              ks.data_load_fraction());
+}
+
+std::string chrome_trace_json(const Trace& trace, const DeviceSpec& spec) {
+  // Trace Event Format timestamps are microseconds; keep sub-cycle precision
+  // by emitting fractional us.
+  const double us_per_cycle = 1.0 / (spec.sm_clock_ghz * 1e3);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& ev : trace.events()) {
+    const KernelStats& ks = ev.stats;
+    if (!first) out += ",\n";
+    first = false;
+    const std::string name =
+        ks.label.empty() ? std::string("<unnamed>") : ks.label;
+    out += fmt(
+        "{\"name\":\"%s\",\"cat\":\"kernel\",\"ph\":\"X\",\"pid\":0,"
+        "\"tid\":0,\"ts\":%.3f,\"dur\":%.3f,\"args\":{"
+        "\"cycles\":%" PRIu64 ",\"ctas\":%" PRIu64 ",\"warps\":%" PRIu64
+        ",\"ctas_per_sm\":%d,\"warps_per_sm\":%d,"
+        "\"dram_bw_bound\":%s,"
+        "\"load_instrs\":%" PRIu64 ",\"load_tx\":%" PRIu64
+        ",\"bytes_loaded\":%" PRIu64 ",\"bytes_stored\":%" PRIu64
+        ",\"shared_ops\":%" PRIu64 ",\"shuffles\":%" PRIu64
+        ",\"barriers\":%" PRIu64 ",\"atomics\":%" PRIu64
+        ",\"issue_cycles\":%" PRIu64 ",\"stall_cycles\":%" PRIu64
+        ",\"load_fraction\":%.3f}}",
+        json_escape(name).c_str(), double(ev.start_cycle) * us_per_cycle,
+        double(ks.cycles) * us_per_cycle, ks.cycles, ks.num_ctas, ks.num_warps,
+        ks.resident_ctas_per_sm, ks.resident_warps_per_sm,
+        ks.dram_bandwidth_bound ? "true" : "false",
+        ks.totals.global_load_instrs, ks.totals.load_transactions,
+        ks.totals.bytes_loaded, ks.totals.bytes_stored, ks.totals.shared_ops,
+        ks.totals.shuffles, ks.totals.barriers, ks.totals.atomic_instrs,
+        ks.totals.issue_cycles, ks.totals.stall_cycles,
+        ks.data_load_fraction());
+  }
+  out += "\n]}\n";
+  return out;
 }
 
 }  // namespace gpusim

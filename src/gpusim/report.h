@@ -1,4 +1,5 @@
-// Human-readable reporting of kernel statistics (profiler-style output).
+// Human-readable reporting of kernel statistics (profiler-style output) and
+// machine-readable exporters (CSV rows, chrome://tracing JSON).
 #pragma once
 
 #include <string>
@@ -6,21 +7,36 @@
 #include "gpusim/device.h"
 #include "gpusim/sanitizer.h"
 #include "gpusim/stats.h"
+#include "gpusim/trace.h"
 
 namespace gpusim {
+
+/// Converts modeled cycles to milliseconds at the spec's SM clock. Only
+/// meaningful for relative comparisons (DESIGN.md §6).
+inline double cycles_to_ms(std::uint64_t cycles, const DeviceSpec& spec) {
+  return double(cycles) / (spec.sm_clock_ghz * 1e6);
+}
 
 /// Multi-line summary of one kernel launch: modeled time, occupancy, memory
 /// traffic, and the issue/stall composition. Intended for tools and
 /// examples; format is stable enough to grep but not a machine interface.
 std::string describe(const KernelStats& ks, const DeviceSpec& spec);
 
-/// One-line CSV-ish record: cycles,warps,occupancy,tx,bytes,load_fraction.
-std::string csv_row(const KernelStats& ks);
+/// One-line CSV record joinable across runs: label (from
+/// LaunchConfig::label) and caller-supplied dataset id lead the row, then
+/// cycles,warps,warps_per_sm,load_tx,bytes_loaded,load_fraction.
+std::string csv_row(const KernelStats& ks, const std::string& dataset = "");
 std::string csv_header();
 
 /// Multi-line summary of a simsan report: per-kind violation counts followed
 /// by every recorded violation's full description. "simsan: clean" when no
 /// violations were observed.
 std::string describe(const SanitizerReport& report);
+
+/// Exports a recorded Trace as chrome://tracing "Trace Event Format" JSON
+/// (load chrome://tracing or https://ui.perfetto.dev and drop the file in).
+/// Each launch becomes one complete ("X") event with its counters attached
+/// as args; timestamps derive from modeled cycles at the spec's SM clock.
+std::string chrome_trace_json(const Trace& trace, const DeviceSpec& spec);
 
 }  // namespace gpusim

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace gpusim {
 
@@ -28,10 +29,14 @@ struct WarpStats {
   std::uint64_t atomic_serializations = 0;
   std::uint64_t alu_instrs = 0;
 
-  // Portion of issue/stall attributable to moving data (loads/stores and the
-  // latency they expose), used for the paper's data-load-vs-compute breakdown.
-  std::uint64_t load_issue_cycles = 0;
-  std::uint64_t load_stall_cycles = 0;
+  // Portion of issue/stall attributable to moving data, used for the paper's
+  // data-load-vs-compute breakdown (Fig. 11). Loads, stores and atomics are
+  // attributed separately so the *load* fraction the paper's §3.2 argument
+  // rests on is not inflated by write-back traffic.
+  std::uint64_t load_issue_cycles = 0;    // global/L2 load issue only
+  std::uint64_t load_stall_cycles = 0;    // exposed load latency
+  std::uint64_t store_issue_cycles = 0;   // global store issue
+  std::uint64_t atomic_issue_cycles = 0;  // global atomic issue (incl. serialization)
 
   void add(const WarpStats& o) {
     issue_cycles += o.issue_cycles;
@@ -50,6 +55,8 @@ struct WarpStats {
     alu_instrs += o.alu_instrs;
     load_issue_cycles += o.load_issue_cycles;
     load_stall_cycles += o.load_stall_cycles;
+    store_issue_cycles += o.store_issue_cycles;
+    atomic_issue_cycles += o.atomic_issue_cycles;
   }
 };
 
@@ -75,6 +82,7 @@ struct SanitizerCounters {
 
 /// Result of one simulated kernel launch.
 struct KernelStats {
+  std::string label;               // LaunchConfig::label of this launch
   std::uint64_t cycles = 0;        // modeled execution time (makespan)
   WarpStats totals;                // sum over all warps
   int resident_ctas_per_sm = 0;    // achieved occupancy (CTAs)
@@ -84,11 +92,23 @@ struct KernelStats {
   bool dram_bandwidth_bound = false;
   SanitizerCounters sanitizer;     // simsan violations observed in this launch
 
-  /// Fraction of modeled time spent moving data; >0.5 means load-dominated.
+  /// Fraction of modeled time spent *loading* data (load issue + exposed
+  /// load latency); >0.5 means load-dominated. Store and atomic write-back
+  /// issue is deliberately excluded — it is tracked separately below.
   double data_load_fraction() const {
     const auto work = totals.issue_cycles + totals.stall_cycles;
     if (work == 0) return 0.0;
     return double(totals.load_issue_cycles + totals.load_stall_cycles) /
+           double(work);
+  }
+
+  /// Fraction of modeled time spent moving data in either direction (loads,
+  /// stores and atomic write-back).
+  double data_movement_fraction() const {
+    const auto work = totals.issue_cycles + totals.stall_cycles;
+    if (work == 0) return 0.0;
+    return double(totals.load_issue_cycles + totals.load_stall_cycles +
+                  totals.store_issue_cycles + totals.atomic_issue_cycles) /
            double(work);
   }
 };

@@ -1,0 +1,28 @@
+#include "gpusim/trace.h"
+
+namespace gpusim {
+
+namespace {
+Trace* g_active = nullptr;
+}  // namespace
+
+Trace::Trace() : prev_(g_active) { g_active = this; }
+
+Trace::~Trace() { g_active = prev_; }
+
+Trace* Trace::active() { return g_active; }
+
+void Trace::record(const KernelStats& ks) {
+  TraceEvent ev;
+  ev.start_cycle = cursor_;
+  ev.stats = ks;
+  events_.push_back(std::move(ev));
+  cursor_ += ks.cycles;
+}
+
+void Trace::clear() {
+  events_.clear();
+  cursor_ = 0;
+}
+
+}  // namespace gpusim

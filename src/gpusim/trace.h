@@ -1,0 +1,66 @@
+// Per-launch trace collection for the SIMT simulator.
+//
+// A Trace is an opt-in RAII observer (same active-stack idiom as the
+// Sanitizer): while one is live, every gpusim::launch() appends a TraceEvent
+// carrying the launch label, grid/occupancy, modeled cycles and the full
+// counter block. Events are placed on a serialized modeled timeline (the
+// simulated device executes one kernel at a time), so a whole training
+// epoch's kernel sequence can be inspected, summed, or exported to the
+// chrome://tracing JSON format via gpusim::chrome_trace_json() (report.h).
+//
+//   gpusim::Trace trace;
+//   train_model(...);                        // any code that launches kernels
+//   write_file("epoch.trace.json",
+//              gpusim::chrome_trace_json(trace, device));
+//
+// Collection is opt-in by construction: with no active Trace, launch()
+// performs a single null-pointer test and modeled cycle counts are
+// bit-identical to an untraced run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/stats.h"
+
+namespace gpusim {
+
+/// One recorded kernel launch on the modeled timeline.
+struct TraceEvent {
+  std::uint64_t start_cycle = 0;  // timeline position (cumulative cycles)
+  KernelStats stats;              // label, grid, occupancy, cycles, counters
+};
+
+/// RAII collector of TraceEvents. Construction pushes this trace as the
+/// innermost active one; destruction pops it. Nested traces each record
+/// independently (the innermost is the recording target).
+class Trace {
+ public:
+  Trace();
+  ~Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// The innermost live Trace, or nullptr when collection is off.
+  static Trace* active();
+
+  /// Simulator hook: appends one launch at the current timeline cursor and
+  /// advances the cursor by its modeled cycles. Called by launch.cc.
+  void record(const KernelStats& ks);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Timeline cursor: total modeled cycles across all recorded launches.
+  std::uint64_t total_cycles() const { return cursor_; }
+
+  /// Drops all recorded events and resets the timeline cursor (e.g. to skip
+  /// warm-up launches without re-scoping the Trace).
+  void clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t cursor_ = 0;
+  Trace* prev_;
+};
+
+}  // namespace gpusim

@@ -213,7 +213,7 @@ class WarpCtx {
     const std::uint64_t c =
         std::uint64_t(spec_->atomic_issue_cycles) * std::uint64_t(max_mult);
     stats_.issue_cycles += c;
-    stats_.load_issue_cycles += c;
+    stats_.atomic_issue_cycles += c;
     stats_.atomic_instrs += 1;
     stats_.atomic_serializations += std::uint64_t(max_mult - 1);
     stats_.bytes_stored += bytes_of<float>(mask);
@@ -242,7 +242,7 @@ class WarpCtx {
     const std::uint64_t c =
         std::uint64_t(spec_->atomic_issue_cycles) * std::uint64_t(max_mult);
     stats_.issue_cycles += c;
-    stats_.load_issue_cycles += c;
+    stats_.atomic_issue_cycles += c;
     stats_.atomic_instrs += 1;
     stats_.atomic_serializations += std::uint64_t(max_mult - 1);
     stats_.bytes_stored += bytes_of<float>(mask);
@@ -384,7 +384,7 @@ class WarpCtx {
     const std::uint64_t c =
         std::uint64_t(spec_->tx_issue_cycles) * std::uint64_t(transactions);
     stats_.issue_cycles += c;
-    stats_.load_issue_cycles += c;
+    stats_.store_issue_cycles += c;
     stats_.global_store_instrs += 1;
     stats_.store_transactions += std::uint64_t(transactions);
     stats_.bytes_stored += bytes;

@@ -1,0 +1,369 @@
+// Golden-file and determinism tests for the bench observability pipeline:
+// the BENCH_RESULTS.json schema is versioned and byte-stable (goldens below
+// pin the exact serialization), two identical runs produce byte-identical
+// documents, and the expectations/markdown helpers behave as the bench
+// sources assume.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expectations.h"
+#include "gpusim/launch.h"
+#include "gpusim/warp.h"
+#include "harness.h"
+
+namespace bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(Json, ObjectKeysKeepInsertionOrder) {
+  Json o = Json::object();
+  o.set("zulu", 1);
+  o.set("alpha", 2);
+  o.set("mike", 3);
+  EXPECT_EQ(o.dump(), "{\n  \"zulu\": 1,\n  \"alpha\": 2,\n  \"mike\": 3\n}");
+  o.set("alpha", 9);  // overwrite keeps the original position
+  EXPECT_EQ(o.dump(), "{\n  \"zulu\": 1,\n  \"alpha\": 9,\n  \"mike\": 3\n}");
+}
+
+TEST(Json, DoublesPrintShortestRoundTrip) {
+  EXPECT_EQ(Json(1.41).dump(), "1.41");
+  EXPECT_EQ(Json(1024.0).dump(), "1024.0");  // stays a double on re-parse
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(1.0 / 3.0).dump(), "0.3333333333333333");
+}
+
+TEST(Json, IntVsDoubleSurvivesRoundTrip) {
+  const Json parsed = Json::parse("{\"a\": 1024, \"b\": 1024.0}");
+  EXPECT_EQ(parsed["a"].kind(), Json::Kind::kInt);
+  EXPECT_EQ(parsed["b"].kind(), Json::Kind::kDouble);
+  EXPECT_EQ(parsed["a"].as_uint(), 1024u);
+  EXPECT_DOUBLE_EQ(parsed["b"].as_double(), 1024.0);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string nasty = "quote\" back\\slash\nnew\ttab\rret\x01ctl";
+  Json o = Json::object();
+  o.set("s", nasty);
+  const std::string text = o.dump();
+  EXPECT_EQ(text.find('\n', text.find("\"s\"")),
+            text.size() - 2);  // no raw newline inside the string literal
+  EXPECT_EQ(Json::parse(text)["s"].as_string(), nasty);
+}
+
+TEST(Json, DumpParsesBackByteIdentical) {
+  Json doc = Json::object();
+  doc.set("name", "x");
+  doc.set("f", 2.5);
+  doc.set("n", std::int64_t(-7));
+  doc.set("flag", true);
+  doc.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  doc.set("arr", std::move(arr));
+  const std::string text = doc.dump();
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(Json, ParseErrorsThrowWithOffset) {
+  EXPECT_THROW(Json::parse("{\"a\": }"), JsonError);
+  EXPECT_THROW(Json::parse("[1, 2"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+}
+
+// ---------------------------------------------------------------------------
+// Harness + results_doc golden
+
+Harness demo_harness() {
+  Harness h("demo", "Demo bench", "none", Scale::kCi);
+  h.add_cycles("G1", "gnnone", 32, 1234, "cfg");
+  h.add_status("G2", "merge", 1, "crash");
+  h.metric("speedup", 1.5, 6.02);
+  h.expect("demo.ok", true, "detail");
+  return h;
+}
+
+// The schema golden: field names, nesting, ordering, number formatting and
+// the schema/version header are all load-bearing — bench/baseline.json, the
+// CI drift gate and --emit-experiments parse this format.
+constexpr const char* kGolden = R"json({
+  "schema": "gnnone-bench-results",
+  "version": 1,
+  "scale": "ci",
+  "device": {
+    "sm_clock_ghz": 1.41,
+    "num_sms": 108,
+    "max_warps_per_sm": 64,
+    "global_load_latency": 400,
+    "dram_bytes_per_cycle": 1024.0
+  },
+  "benches": [
+    {
+      "name": "demo",
+      "title": "Demo bench",
+      "paper_ref": "none",
+      "rows": [
+        {
+          "dataset": "G1",
+          "kernel": "gnnone",
+          "dim": 32,
+          "config": "cfg",
+          "status": "ok",
+          "cycles": 1234
+        },
+        {
+          "dataset": "G2",
+          "kernel": "merge",
+          "dim": 1,
+          "config": "",
+          "status": "crash",
+          "cycles": 0
+        }
+      ],
+      "metrics": [
+        {
+          "name": "speedup",
+          "value": 1.5,
+          "paper": 6.02
+        }
+      ],
+      "expectations": [
+        {
+          "id": "demo.ok",
+          "ok": true,
+          "detail": "detail"
+        }
+      ]
+    }
+  ]
+})json";
+
+TEST(ResultsDoc, MatchesSchemaGolden) {
+  const Harness h = demo_harness();
+  const Json doc =
+      results_doc({&h}, Scale::kCi, gpusim::default_device());
+  EXPECT_EQ(doc.dump(), kGolden);
+  // The header is versioned so downstream readers can reject drift.
+  EXPECT_EQ(doc["schema"].as_string(), kResultSchemaName);
+  EXPECT_EQ(doc["version"].as_int(), kResultSchemaVersion);
+}
+
+TEST(ResultsDoc, GoldenRoundTripsThroughParser) {
+  EXPECT_EQ(Json::parse(kGolden).dump(), kGolden);
+}
+
+TEST(ResultsDoc, TwoIdenticalRunsAreByteIdentical) {
+  // Satellite: determinism gate. Re-running the same bench must produce a
+  // byte-identical BENCH_RESULTS.json, including the full simulator counter
+  // block, or baseline diffing is meaningless.
+  auto run_once = [] {
+    std::vector<float> in(4096, 1.0f), out_v(4096, 0.0f);
+    gpusim::LaunchConfig lc;
+    lc.num_ctas = 8;
+    lc.warps_per_cta = 4;
+    lc.label = "determinism-probe";
+    const auto ks = gpusim::launch(
+        gpusim::default_device(), lc, [&](gpusim::WarpCtx& w) {
+          gpusim::LaneArray<std::int64_t> idx{};
+          for (int l = 0; l < gpusim::kWarpSize; ++l) {
+            idx[l] = (w.global_warp_id() * gpusim::kWarpSize + l) % 4096;
+          }
+          const auto v = w.ld_global(in.data(), idx);
+          w.st_global(out_v.data(), idx, v);
+          w.sync();
+        });
+    Harness h("determinism", "t", "r", Scale::kCi);
+    h.add("G1", "gnnone", 32, ks);
+    return results_doc({&h}, Scale::kCi, gpusim::default_device()).dump();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+  // And the counter block actually made it into the document.
+  const Json doc = Json::parse(first);
+  const Json& counters = doc["benches"].items()[0]["rows"].items()[0]["counters"];
+  EXPECT_TRUE(counters.is_object());
+  EXPECT_GT(counters["issue_cycles"].as_uint(), 0u);
+  EXPECT_GT(counters["store_issue_cycles"].as_uint(), 0u);
+  EXPECT_TRUE(counters.contains("atomic_issue_cycles"));
+  EXPECT_TRUE(counters.contains("data_movement_fraction"));
+}
+
+TEST(Harness, CsvHeaderAndRowsHaveSameFieldCount) {
+  Harness h = demo_harness();
+  const std::string csv = h.to_csv();
+  std::stringstream ss(csv);
+  std::string line;
+  std::getline(ss, line);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  const auto n = commas(line);
+  EXPECT_EQ(line.substr(0, 6), "bench,");
+  int rows = 0;
+  while (std::getline(ss, line)) {
+    EXPECT_EQ(commas(line), n) << line;
+    EXPECT_EQ(line.substr(0, 5), "demo,");
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(Harness, FailedExpectationsCount) {
+  Harness h("x", "t", "r", Scale::kFull);
+  EXPECT_TRUE(h.expect("a", true));
+  EXPECT_FALSE(h.expect("b", false, "nope"));
+  h.expect("c", false);
+  EXPECT_EQ(h.failed_expectations(), 2);
+}
+
+TEST(Harness, CiScaleReducesSuites) {
+  Harness ci("x", "t", "r", Scale::kCi);
+  Harness full("x", "t", "r", Scale::kFull);
+  // ci keeps only the allowlist intersection, in caller order.
+  EXPECT_EQ(ci.reduce({"G1", "G4", "G7", "G10"}),
+            (std::vector<std::string>{"G4", "G10"}));
+  // No overlap: keep the first id so the bench still emits rows.
+  EXPECT_EQ(ci.reduce({"G9", "G11"}), (std::vector<std::string>{"G9"}));
+  EXPECT_EQ(full.reduce({"G1", "G4", "G7"}),
+            (std::vector<std::string>{"G1", "G4", "G7"}));
+  EXPECT_EQ(ci.dims(), (std::vector<int>{6, 32}));
+  EXPECT_EQ(full.dims(), (std::vector<int>{6, 16, 32, 64}));
+  EXPECT_LT(ci.kernel_suite().size(), full.kernel_suite().size());
+}
+
+TEST(Registry, SortsByOrderThenName) {
+  const auto count_before = registered_benches().size();
+  const BenchInfo b{"bbb", 20, "t", "r", nullptr};
+  const BenchInfo a{"aaa", 20, "t", "r", nullptr};
+  const BenchInfo z{"zzz", 10, "t", "r", nullptr};
+  register_bench(b);
+  register_bench(a);
+  register_bench(z);
+  const auto all = registered_benches();
+  ASSERT_EQ(all.size(), count_before + 3);
+  std::vector<std::string> names;
+  for (const auto& info : all) names.emplace_back(info.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"zzz", "aaa", "bbb"}));
+}
+
+TEST(Scale, ParseAndName) {
+  Scale s = Scale::kFull;
+  EXPECT_TRUE(parse_scale("ci", &s));
+  EXPECT_EQ(s, Scale::kCi);
+  EXPECT_TRUE(parse_scale("full", &s));
+  EXPECT_EQ(s, Scale::kFull);
+  EXPECT_FALSE(parse_scale("medium", &s));
+  EXPECT_STREQ(scale_name(Scale::kCi), "ci");
+  EXPECT_STREQ(scale_name(Scale::kFull), "full");
+}
+
+// ---------------------------------------------------------------------------
+// expectations helpers
+
+Harness speedup_harness() {
+  Harness h("s", "t", "r", Scale::kFull);
+  h.add_cycles("G1", "base", 32, 2000);
+  h.add_cycles("G1", "ours", 32, 1000);  // 2.0x
+  h.add_cycles("G2", "base", 32, 1000);
+  h.add_cycles("G2", "ours", 32, 2000);  // 0.5x
+  h.add_cycles("G3", "base", 16, 3000);
+  h.add_cycles("G3", "ours", 16, 1000);  // 3.0x, different dim
+  h.add_status("G4", "base", 32, "oom");  // unpaired, ignored
+  h.add_cycles("G4", "ours", 32, 1000);
+  return h;
+}
+
+TEST(Expectations, SpeedupPairsMatchOnDatasetDimConfig) {
+  const Harness h = speedup_harness();
+  EXPECT_DOUBLE_EQ(speedup_geomean(h, "base", "ours", 32), 1.0);  // √(2·0.5)
+  EXPECT_DOUBLE_EQ(speedup_min(h, "base", "ours", 32), 0.5);
+  EXPECT_DOUBLE_EQ(speedup_min(h, "base", "ours", 16), 3.0);
+  // dim < 0 pools every dim.
+  EXPECT_NEAR(speedup_geomean(h, "base", "ours", -1), std::cbrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(speedup_geomean(h, "base", "missing", -1), 0.0);
+}
+
+TEST(Expectations, FindRowWildcards) {
+  const Harness h = speedup_harness();
+  const Row* r = find_row(h, "G3", "ours");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->dim, 16);
+  EXPECT_EQ(find_row(h, "G9", "ours"), nullptr);
+  const Row* any = find_row(h, "", "base", 32, "*");
+  ASSERT_NE(any, nullptr);
+  EXPECT_EQ(any->dataset, "G1");
+}
+
+TEST(Expectations, GeAndBandRecordVerdicts) {
+  Harness h("x", "t", "r", Scale::kFull);
+  EXPECT_TRUE(expect_ge(h, "a", 2.0, 1.5, "speedup"));
+  EXPECT_FALSE(expect_ge(h, "b", 1.0, 1.5, "speedup"));
+  EXPECT_TRUE(expect_band(h, "c", 1.0, 0.9, 1.1, "share"));
+  EXPECT_FALSE(expect_band(h, "d", 1.2, 0.9, 1.1, "share"));
+  ASSERT_EQ(h.expectations().size(), 4u);
+  EXPECT_EQ(h.expectations()[0].detail,
+            "speedup = 2.000 (want >= 1.500)");
+  EXPECT_EQ(h.expectations()[3].detail,
+            "share = 1.200 (want 0.900..1.100)");
+  EXPECT_EQ(h.failed_expectations(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// EXPERIMENTS.md regeneration
+
+TEST(Experiments, MarkdownTablesFromResultsDoc) {
+  Harness h = demo_harness();
+  h.expect("demo.bad", false, "broke");
+  const Json doc = results_doc({&h}, Scale::kCi, gpusim::default_device());
+  const std::string md = experiments_metrics_markdown(doc);
+  EXPECT_NE(md.find("| Bench | Metric | Paper | Measured |"),
+            std::string::npos);
+  EXPECT_NE(md.find("| `demo` | speedup | 6.02 | 1.50 |"), std::string::npos);
+  EXPECT_NE(md.find("| `demo` | `demo.ok` | ok | detail |"),
+            std::string::npos);
+  EXPECT_NE(md.find("| `demo` | `demo.bad` | **FAIL** | broke |"),
+            std::string::npos);
+}
+
+TEST(Experiments, RewriteMarkerBlockReplacesOnlyTheBlock) {
+  const std::string path = ::testing::TempDir() + "/exp_markers.md";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# Title\nkeep above\n\n" << kExperimentsBeginMarker
+        << "\nold content\n" << kExperimentsEndMarker << "\nkeep below\n";
+  }
+  ASSERT_TRUE(rewrite_marker_block(path, "new content\n"));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("keep above"), std::string::npos);
+  EXPECT_NE(text.find("keep below"), std::string::npos);
+  EXPECT_NE(text.find("new content"), std::string::npos);
+  EXPECT_EQ(text.find("old content"), std::string::npos);
+  // Markers survive, so the rewrite is idempotent.
+  ASSERT_TRUE(rewrite_marker_block(path, "third pass\n"));
+
+  // Missing marker pair or missing file → false, file untouched.
+  const std::string bare = ::testing::TempDir() + "/no_markers.md";
+  {
+    std::ofstream out(bare, std::ios::trunc);
+    out << "no markers here\n";
+  }
+  EXPECT_FALSE(rewrite_marker_block(bare, "x"));
+  EXPECT_FALSE(rewrite_marker_block(::testing::TempDir() + "/absent.md", "x"));
+}
+
+}  // namespace
+}  // namespace bench

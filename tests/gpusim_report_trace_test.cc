@@ -1,0 +1,233 @@
+// Cost-attribution and reporting regression tests:
+//  * stores and atomics are attributed to their own issue counters, never to
+//    load_issue_cycles (the Fig. 11 inflation bug);
+//  * describe() derives milliseconds from DeviceSpec::sm_clock_ghz instead
+//    of a hard-coded clock;
+//  * csv_row() carries label + dataset columns with RFC 4180 escaping;
+//  * fmt() no longer truncates long lines at 256 bytes;
+//  * the Trace observer records per-launch events and exports valid
+//    chrome://tracing JSON.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+#include "gpusim/report.h"
+#include "gpusim/trace.h"
+#include "gpusim/warp.h"
+
+namespace gpusim {
+namespace {
+
+KernelStats run_kernel(const std::function<void(WarpCtx&)>& fn,
+                       const std::string& label = "") {
+  LaunchConfig lc;
+  lc.num_ctas = 4;
+  lc.warps_per_cta = 2;
+  lc.label = label;
+  return launch(default_device(), lc, fn);
+}
+
+TEST(Attribution, StoresDoNotCountAsLoadIssue) {
+  std::vector<float> out(4096, 0.0f);
+  const auto ks = run_kernel([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    LaneArray<float> v{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      idx[l] = (w.global_warp_id() * kWarpSize + l) % 4096;
+      v[l] = 1.0f;
+    }
+    w.st_global(out.data(), idx, v);
+    w.sync();
+  });
+  // A store-only kernel must register zero load cost but nonzero store cost.
+  EXPECT_EQ(ks.totals.load_issue_cycles, 0u);
+  EXPECT_EQ(ks.totals.load_stall_cycles, 0u);
+  EXPECT_GT(ks.totals.store_issue_cycles, 0u);
+  EXPECT_EQ(ks.totals.atomic_issue_cycles, 0u);
+  EXPECT_DOUBLE_EQ(ks.data_load_fraction(), 0.0);
+  EXPECT_GT(ks.data_movement_fraction(), 0.0);
+}
+
+TEST(Attribution, AtomicsDoNotCountAsLoadIssue) {
+  std::vector<float> out(64, 0.0f);
+  const auto ks = run_kernel([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    LaneArray<float> v{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      idx[l] = l % 8;  // conflicts force serialization
+      v[l] = 2.0f;
+    }
+    w.atomic_add(out.data(), idx, v);
+    w.sync();
+  });
+  EXPECT_EQ(ks.totals.load_issue_cycles, 0u);
+  EXPECT_GT(ks.totals.atomic_issue_cycles, 0u);
+  EXPECT_EQ(ks.totals.store_issue_cycles, 0u);
+  EXPECT_DOUBLE_EQ(ks.data_load_fraction(), 0.0);
+}
+
+TEST(Attribution, MovementFractionCoversAllThreeKinds) {
+  std::vector<float> in(4096, 1.0f), out(4096, 0.0f), acc(64, 0.0f);
+  const auto ks = run_kernel([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      idx[l] = (w.global_warp_id() * kWarpSize + l) % 4096;
+    }
+    const auto v = w.ld_global(in.data(), idx);
+    w.st_global(out.data(), idx, v);
+    LaneArray<std::int64_t> aidx{};
+    for (int l = 0; l < kWarpSize; ++l) aidx[l] = l % 64;
+    w.atomic_add(acc.data(), aidx, v);
+    w.sync();
+  });
+  EXPECT_GT(ks.totals.load_issue_cycles, 0u);
+  EXPECT_GT(ks.totals.store_issue_cycles, 0u);
+  EXPECT_GT(ks.totals.atomic_issue_cycles, 0u);
+  // Movement strictly exceeds the load-only fraction when stores/atomics
+  // are present, and both stay within [0, 1].
+  EXPECT_GT(ks.data_movement_fraction(), ks.data_load_fraction());
+  EXPECT_GT(ks.data_load_fraction(), 0.0);
+  EXPECT_LE(ks.data_movement_fraction(), 1.0);
+}
+
+TEST(Report, DescribeUsesSpecClock) {
+  std::vector<float> in(4096, 1.0f);
+  const auto ks = run_kernel([&](WarpCtx& w) {
+    LaneArray<std::int64_t> idx{};
+    for (int l = 0; l < kWarpSize; ++l) idx[l] = l;
+    (void)w.ld_global(in.data(), idx);
+    w.sync();
+  });
+  DeviceSpec slow = default_device();
+  slow.sm_clock_ghz = 0.5;
+  // Halving the clock doubles the reported milliseconds for equal cycles.
+  EXPECT_DOUBLE_EQ(cycles_to_ms(ks.cycles, slow),
+                   2.0 * cycles_to_ms(ks.cycles, default_device()) *
+                       (default_device().sm_clock_ghz / 1.0));
+  EXPECT_DOUBLE_EQ(cycles_to_ms(1'410'000, default_device()), 1.0);
+  const std::string fast = describe(ks, default_device());
+  const std::string slow_d = describe(ks, slow);
+  EXPECT_NE(fast.find("@ 1.41 GHz"), std::string::npos);
+  EXPECT_NE(slow_d.find("@ 0.50 GHz"), std::string::npos);
+  EXPECT_NE(fast, slow_d);
+}
+
+TEST(Report, CsvRowCarriesLabelAndDataset) {
+  const auto ks = run_kernel(
+      [&](WarpCtx& w) {
+        w.alu(4);
+        w.sync();
+      },
+      "spmm,stage=2 \"full\"");
+  const std::string header = csv_header();
+  EXPECT_EQ(header.substr(0, 14), "label,dataset,");
+  const std::string row = csv_row(ks, "G4");
+  // The label contains a comma and a quote, so it must be RFC 4180 quoted.
+  EXPECT_NE(row.find("\"spmm,stage=2 \"\"full\"\"\""), std::string::npos);
+  EXPECT_NE(row.find(",G4,"), std::string::npos);
+  // Quoted commas aside, field counts line up between header and row.
+  std::string unquoted;
+  bool in_quotes = false;
+  for (char c : row) {
+    if (c == '"') in_quotes = !in_quotes;
+    if (!in_quotes) unquoted += c;
+  }
+  EXPECT_EQ(std::count(unquoted.begin(), unquoted.end(), ','),
+            std::count(header.begin(), header.end(), ','));
+}
+
+TEST(Report, LongLabelsAreNotTruncated) {
+  const std::string label(1000, 'x');
+  const auto ks = run_kernel(
+      [&](WarpCtx& w) {
+        w.alu(1);
+        w.sync();
+      },
+      label);
+  // Pre-fix, fmt() clipped every line at 256 bytes; the full label must now
+  // survive both describe() and csv_row().
+  EXPECT_NE(describe(ks, default_device()).find(label), std::string::npos);
+  EXPECT_NE(csv_row(ks).find(label), std::string::npos);
+}
+
+TEST(Trace, RecordsLaunchesInOrderWithCumulativeTimestamps) {
+  std::vector<float> in(4096, 1.0f);
+  Trace trace;
+  const auto a = run_kernel(
+      [&](WarpCtx& w) {
+        LaneArray<std::int64_t> idx{};
+        for (int l = 0; l < kWarpSize; ++l) idx[l] = l;
+        (void)w.ld_global(in.data(), idx);
+        w.sync();
+      },
+      "first");
+  const auto b = run_kernel(
+      [&](WarpCtx& w) {
+        w.alu(32);
+        w.sync();
+      },
+      "second");
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].stats.label, "first");
+  EXPECT_EQ(trace.events()[1].stats.label, "second");
+  EXPECT_EQ(trace.events()[0].start_cycle, 0u);
+  EXPECT_EQ(trace.events()[1].start_cycle, a.cycles);
+  EXPECT_EQ(trace.total_cycles(), a.cycles + b.cycles);
+}
+
+TEST(Trace, InactiveWhenNoObserverOrAfterScopeExit) {
+  {
+    Trace trace;
+    EXPECT_EQ(Trace::active(), &trace);
+  }
+  EXPECT_EQ(Trace::active(), nullptr);
+  // Launching without an active trace records nothing and does not crash.
+  const auto ks = run_kernel([&](WarpCtx& w) {
+    w.alu(1);
+    w.sync();
+  });
+  EXPECT_GT(ks.cycles, 0u);
+}
+
+TEST(Trace, NestedObserversRestoreOuter) {
+  Trace outer;
+  {
+    Trace inner;
+    EXPECT_EQ(Trace::active(), &inner);
+    run_kernel([&](WarpCtx& w) {
+      w.alu(1);
+      w.sync();
+    });
+    EXPECT_EQ(inner.events().size(), 1u);
+  }
+  EXPECT_EQ(Trace::active(), &outer);
+  EXPECT_TRUE(outer.events().empty());
+}
+
+TEST(Trace, ChromeTraceJsonIsWellFormed) {
+  Trace trace;
+  run_kernel(
+      [&](WarpCtx& w) {
+        w.alu(16);
+        w.sync();
+      },
+      "kernel \"quoted\"\nnewline");
+  const std::string json = chrome_trace_json(trace, default_device());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // The label's quote and newline must be escaped.
+  EXPECT_NE(json.find("kernel \\\"quoted\\\"\\nnewline"), std::string::npos);
+  EXPECT_EQ(json.find("newline\n\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness proxy, no raw newline
+  // inside strings was the real risk).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace gpusim
