@@ -1,0 +1,179 @@
+// Autotuning extension (docs/AUTOTUNING.md): cost-guided kernel/config
+// search vs every fixed default backend.
+//
+// For each (dataset, op, dim) point the tuner pretunes a cache in-process
+// (the same search gnnone_tune runs), then the tuned candidate and every
+// kernel family's default config are simulated on identical operands. The
+// encoded claims:
+//  * the tuned choice is never slower than the best fixed family default on
+//    ANY point (the search always fully evaluates the defaults, so this
+//    holds by construction — the expectation guards the machinery);
+//  * it beats the GNNOne default config by >= 10% on at least 3 points;
+//  * a warm Backend::kAuto engine dispatches exactly the cached decision.
+#include "common.h"
+#include "tune/tuner.h"
+
+namespace {
+
+using gnnone::tune::Candidate;
+using gnnone::tune::KernelFamily;
+using gnnone::tune::OpInputs;
+using gnnone::tune::TuneOp;
+using gnnone::tune::TuneReport;
+
+struct Point {
+  TuneOp op;
+  int dim;
+};
+
+/// Simulates one candidate on the bench operands and returns modeled cycles
+/// (values differ from the tuner's integer operands, cycles do not — the
+/// cost model is address-driven).
+std::uint64_t run_cycles(const gpusim::DeviceSpec& dev, const Candidate& cand,
+                         TuneOp op, const bench::KernelWorkload& wl,
+                         std::span<const float> x, std::span<const float> y,
+                         int f) {
+  const OpInputs in{&wl.ds.coo, &wl.csr, &wl.ng};
+  std::size_t out_size = 0;
+  switch (op) {
+    case TuneOp::kSpmm:
+      out_size = std::size_t(wl.ds.coo.num_rows) * std::size_t(f);
+      break;
+    case TuneOp::kSddmm:
+      out_size = std::size_t(wl.ds.coo.nnz());
+      break;
+    case TuneOp::kSpmv:
+      out_size = std::size_t(wl.ds.coo.num_rows);
+      break;
+  }
+  std::vector<float> out(out_size);
+  return gnnone::tune::run_candidate(dev, cand, op, in, wl.edge_val, x, y, f,
+                                     out)
+      .cycles;
+}
+
+}  // namespace
+
+GNNONE_BENCH(autotune, 250,
+             "Autotuning: cost-guided kernel/config search vs fixed defaults",
+             "extension (docs/AUTOTUNING.md); tuned dispatch <= best fixed "
+             "default everywhere, >= 10% over the GNNOne default on >= 3 "
+             "points") {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  gnnone::tune::TuningCache cache;
+
+  std::printf("%-6s %-6s %4s  %-44s %11s %11s | %7s\n", "graph", "op", "dim",
+              "tuned candidate", "tuned", "best-def", "vs-def");
+  int never_worse_violations = 0;
+  int big_wins = 0;  // points with >= 10% gain over the GNNOne default
+  int dispatch_mismatches = 0;
+  std::vector<double> vs_gnnone_default, vs_best_default;
+
+  for (const auto& id : h.kernel_suite()) {
+    const bench::KernelWorkload wl(id);
+    const gnnone::Coo& coo = wl.ds.coo;
+
+    std::vector<Point> points;
+    for (int f : h.dims()) points.push_back({TuneOp::kSpmm, f});
+    for (int f : h.dims()) points.push_back({TuneOp::kSddmm, f});
+    points.push_back({TuneOp::kSpmv, 1});
+
+    for (const Point& p : points) {
+      const int f = p.dim;
+      const char* opn = gnnone::tune::op_name(p.op);
+      std::vector<float> x, y;
+      switch (p.op) {
+        case TuneOp::kSpmm:
+          x = bench::random_features(
+              std::size_t(coo.num_cols) * std::size_t(f), 31);
+          break;
+        case TuneOp::kSddmm:
+          x = bench::random_features(
+              std::size_t(coo.num_rows) * std::size_t(f), 32);
+          y = bench::random_features(
+              std::size_t(coo.num_cols) * std::size_t(f), 33);
+          break;
+        case TuneOp::kSpmv:
+          x = bench::random_features(std::size_t(coo.num_cols), 34);
+          break;
+      }
+
+      // The search (identical to gnnone_tune's) + the tuned launch.
+      const TuneReport rep =
+          gnnone::tune::tune_into(cache, dev, coo, p.op, f);
+      const std::uint64_t tuned =
+          run_cycles(dev, rep.best.candidate, p.op, wl, x, y, f);
+      h.add_cycles(id, std::string("auto_") + opn, f, tuned,
+                   rep.best.candidate.name(p.op));
+
+      // Every family's no-tuner default on the same operands.
+      std::uint64_t best_default = 0, gnnone_default = 0;
+      for (KernelFamily fam : gnnone::tune::families(p.op)) {
+        const Candidate def = gnnone::tune::family_default(p.op, fam);
+        const std::uint64_t c = run_cycles(dev, def, p.op, wl, x, y, f);
+        h.add_cycles(id, std::string(gnnone::tune::family_name(fam)) + "_" +
+                             opn,
+                     f, c, "default");
+        if (best_default == 0 || c < best_default) best_default = c;
+        if (fam == KernelFamily::kGnnOne) gnnone_default = c;
+      }
+
+      if (tuned > best_default) ++never_worse_violations;
+      const double gain = double(gnnone_default) / double(tuned);
+      if (gain >= 1.10) ++big_wins;
+      vs_gnnone_default.push_back(gain);
+      vs_best_default.push_back(double(best_default) / double(tuned));
+
+      std::printf("%-6s %-6s %4d  %-44s %11llu %11llu | %6.2fx\n",
+                  id.c_str(), opn, f, rep.best.candidate.name(p.op).c_str(),
+                  static_cast<unsigned long long>(tuned),
+                  static_cast<unsigned long long>(best_default), gain);
+    }
+
+    // Warm-cache dispatch: a kAuto engine over this graph must pick exactly
+    // the cached decision for every tuned point.
+    gnnone::SparseEngine engine(gnnone::Backend::kAuto, coo, dev);
+    engine.set_tuning_cache(&cache);
+    for (const Point& p : points) {
+      if (p.op == TuneOp::kSpmv) continue;  // engines dispatch SpMM/SDDMM
+      gnnone::tune::TuneKey key;
+      key.signature = gnnone::tune::signature_of(coo);
+      key.op = p.op;
+      key.dim = p.dim;
+      key.device = gnnone::tune::device_key(dev);
+      const gnnone::tune::TuneDecision* d = cache.lookup(key);
+      if (d == nullptr ||
+          engine.auto_candidate(engine.coo(), p.op, p.dim).name(p.op) !=
+              d->candidate.name(p.op)) {
+        ++dispatch_mismatches;
+      }
+    }
+  }
+
+  const double geo_def = bench::geomean(vs_gnnone_default);
+  const double geo_best = bench::geomean(vs_best_default);
+  std::printf("\ngeomean vs GNNOne default: %.3fx   vs best fixed default: "
+              "%.3fx   >=10%% wins: %d\n",
+              geo_def, geo_best, big_wins);
+
+  h.metric("geomean_vs_gnnone_default", geo_def);
+  h.metric("geomean_vs_best_fixed_default", geo_best);
+  h.metric("ge10pct_win_points", double(big_wins));
+
+  h.expect("autotune.never_worse_than_best_default",
+           never_worse_violations == 0,
+           bench::detail("%d points where the tuned choice lost to a fixed "
+                         "family default",
+                         never_worse_violations));
+  h.expect("autotune.ge10pct_on_3_points", big_wins >= 3,
+           bench::detail("%d points with >= 10%% gain over the GNNOne "
+                         "default (need >= 3)",
+                         big_wins));
+  h.expect("autotune.warm_dispatch_matches_tuned", dispatch_mismatches == 0,
+           bench::detail("%d (graph, op, dim) points where Backend::kAuto "
+                         "did not dispatch the cached decision",
+                         dispatch_mismatches));
+  bench::expect_ge(h, "autotune.geomean_improvement", geo_def, 1.0,
+                   "geomean speedup over the GNNOne default config");
+  return 0;
+}

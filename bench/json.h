@@ -1,380 +1,15 @@
-// Minimal deterministic JSON for the bench observability pipeline.
-//
-// Design constraints (why not a third-party library):
-//  * no external dependencies may be added to the image;
-//  * serialization must be byte-deterministic across runs so that
-//    BENCH_RESULTS.json can be diffed and golden-tested (object keys keep
-//    insertion order, doubles print with the shortest round-trippable
-//    representation);
-//  * the parser only needs to read what the writer (and a human editing
-//    bench/baseline.json) produces: objects, arrays, strings, numbers,
-//    booleans, null.
+// bench JSON — aliases the shared deterministic JSON implementation
+// (src/util/json.h) into the bench namespace. The implementation used to
+// live here; it moved so that the autotuning cache (src/tune/) and the bench
+// pipeline serialize with one writer instead of two copies.
 #pragma once
 
-#include <cctype>
-#include <cinttypes>
-#include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <utility>
-#include <vector>
+#include "util/json.h"
 
 namespace bench {
 
-class Json;
-using JsonMembers = std::vector<std::pair<std::string, Json>>;
-
-/// Thrown by Json::parse on malformed input (with byte offset).
-class JsonError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// A JSON value. Objects preserve insertion order (deterministic output).
-class Json {
- public:
-  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
-
-  Json() : kind_(Kind::kNull) {}
-  Json(std::nullptr_t) : kind_(Kind::kNull) {}
-  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
-  Json(int v) : kind_(Kind::kInt), int_(v) {}
-  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
-  Json(std::uint64_t v) : kind_(Kind::kInt), int_(std::int64_t(v)) {}
-  Json(double v) : kind_(Kind::kDouble), double_(v) {}
-  Json(const char* s) : kind_(Kind::kString), string_(s) {}
-  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
-
-  static Json array() {
-    Json j;
-    j.kind_ = Kind::kArray;
-    return j;
-  }
-  static Json object() {
-    Json j;
-    j.kind_ = Kind::kObject;
-    return j;
-  }
-
-  Kind kind() const { return kind_; }
-  bool is_null() const { return kind_ == Kind::kNull; }
-  bool is_object() const { return kind_ == Kind::kObject; }
-  bool is_array() const { return kind_ == Kind::kArray; }
-  bool is_string() const { return kind_ == Kind::kString; }
-  bool is_number() const {
-    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
-  }
-
-  bool as_bool(bool fallback = false) const {
-    return kind_ == Kind::kBool ? bool_ : fallback;
-  }
-  std::int64_t as_int(std::int64_t fallback = 0) const {
-    if (kind_ == Kind::kInt) return int_;
-    if (kind_ == Kind::kDouble) return std::int64_t(double_);
-    return fallback;
-  }
-  std::uint64_t as_uint(std::uint64_t fallback = 0) const {
-    const std::int64_t v = as_int(std::int64_t(fallback));
-    return v < 0 ? fallback : std::uint64_t(v);
-  }
-  double as_double(double fallback = 0.0) const {
-    if (kind_ == Kind::kDouble) return double_;
-    if (kind_ == Kind::kInt) return double(int_);
-    return fallback;
-  }
-  const std::string& as_string() const { return string_; }
-
-  // --- array interface ---------------------------------------------------
-  void push_back(Json v) {
-    require(Kind::kArray);
-    array_.push_back(std::move(v));
-  }
-  const std::vector<Json>& items() const { return array_; }
-  std::size_t size() const {
-    return kind_ == Kind::kArray ? array_.size() : members_.size();
-  }
-
-  // --- object interface --------------------------------------------------
-  /// Sets (or overwrites) a member, preserving first-insertion order.
-  Json& set(const std::string& key, Json v) {
-    require(Kind::kObject);
-    for (auto& [k, existing] : members_) {
-      if (k == key) {
-        existing = std::move(v);
-        return existing;
-      }
-    }
-    members_.emplace_back(key, std::move(v));
-    return members_.back().second;
-  }
-  /// Member lookup; returns a shared null value when absent.
-  const Json& operator[](const std::string& key) const {
-    for (const auto& [k, v] : members_) {
-      if (k == key) return v;
-    }
-    static const Json null_value;
-    return null_value;
-  }
-  bool contains(const std::string& key) const {
-    for (const auto& [k, v] : members_) {
-      if (k == key) return true;
-    }
-    return false;
-  }
-  const JsonMembers& members() const { return members_; }
-
-  // --- serialization -----------------------------------------------------
-
-  /// Deterministic pretty-printed serialization (2-space indent).
-  std::string dump(int indent = 0) const {
-    std::string out;
-    write(out, indent);
-    return out;
-  }
-
-  static Json parse(const std::string& text) {
-    std::size_t pos = 0;
-    Json v = parse_value(text, pos);
-    skip_ws(text, pos);
-    if (pos != text.size()) {
-      throw JsonError("trailing characters at offset " + std::to_string(pos));
-    }
-    return v;
-  }
-
- private:
-  void require(Kind k) {
-    if (kind_ == Kind::kNull) kind_ = k;  // default-constructed: adopt
-    if (kind_ != k) throw JsonError("json kind mismatch");
-  }
-
-  static void write_string(std::string& out, const std::string& s) {
-    out += '"';
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    out += '"';
-  }
-
-  /// Shortest decimal representation that parses back to the same double —
-  /// deterministic and human-readable (no trailing %.17g noise).
-  static void write_double(std::string& out, double v) {
-    char buf[40];
-    for (int prec = 1; prec <= 17; ++prec) {
-      std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-      if (std::strtod(buf, nullptr) == v) break;
-    }
-    std::string s = buf;
-    // Ensure the value re-parses as a double, not an integer.
-    if (s.find_first_of(".eE") == std::string::npos) s += ".0";
-    out += s;
-  }
-
-  void write(std::string& out, int indent) const {
-    const std::string pad(std::size_t(indent) * 2, ' ');
-    const std::string pad_in(std::size_t(indent + 1) * 2, ' ');
-    switch (kind_) {
-      case Kind::kNull: out += "null"; break;
-      case Kind::kBool: out += bool_ ? "true" : "false"; break;
-      case Kind::kInt: {
-        char buf[24];
-        std::snprintf(buf, sizeof buf, "%" PRId64, int_);
-        out += buf;
-        break;
-      }
-      case Kind::kDouble: write_double(out, double_); break;
-      case Kind::kString: write_string(out, string_); break;
-      case Kind::kArray: {
-        if (array_.empty()) {
-          out += "[]";
-          break;
-        }
-        out += "[\n";
-        for (std::size_t i = 0; i < array_.size(); ++i) {
-          out += pad_in;
-          array_[i].write(out, indent + 1);
-          if (i + 1 < array_.size()) out += ',';
-          out += '\n';
-        }
-        out += pad + "]";
-        break;
-      }
-      case Kind::kObject: {
-        if (members_.empty()) {
-          out += "{}";
-          break;
-        }
-        out += "{\n";
-        for (std::size_t i = 0; i < members_.size(); ++i) {
-          out += pad_in;
-          write_string(out, members_[i].first);
-          out += ": ";
-          members_[i].second.write(out, indent + 1);
-          if (i + 1 < members_.size()) out += ',';
-          out += '\n';
-        }
-        out += pad + "}";
-        break;
-      }
-    }
-  }
-
-  // --- parser ------------------------------------------------------------
-
-  static void skip_ws(const std::string& t, std::size_t& pos) {
-    while (pos < t.size() && std::isspace(static_cast<unsigned char>(t[pos]))) {
-      ++pos;
-    }
-  }
-
-  [[noreturn]] static void fail(const char* what, std::size_t pos) {
-    throw JsonError(std::string(what) + " at offset " + std::to_string(pos));
-  }
-
-  static bool consume(const std::string& t, std::size_t& pos, char c) {
-    skip_ws(t, pos);
-    if (pos < t.size() && t[pos] == c) {
-      ++pos;
-      return true;
-    }
-    return false;
-  }
-
-  static std::string parse_string(const std::string& t, std::size_t& pos) {
-    if (!consume(t, pos, '"')) fail("expected string", pos);
-    std::string out;
-    while (pos < t.size() && t[pos] != '"') {
-      char c = t[pos++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos >= t.size()) fail("bad escape", pos);
-      const char esc = t[pos++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos + 4 > t.size()) fail("bad \\u escape", pos);
-          const unsigned long code =
-              std::strtoul(t.substr(pos, 4).c_str(), nullptr, 16);
-          pos += 4;
-          // Writer only emits \u00xx; decode the Latin-1 range, keep the
-          // escape verbatim for anything wider (not produced by us).
-          if (code < 0x80) {
-            out += char(code);
-          } else {
-            char buf[16];
-            std::snprintf(buf, sizeof buf, "\\u%04lx", code & 0xfffful);
-            out += buf;
-          }
-          break;
-        }
-        default: fail("unknown escape", pos);
-      }
-    }
-    if (pos >= t.size()) fail("unterminated string", pos);
-    ++pos;  // closing quote
-    return out;
-  }
-
-  static Json parse_value(const std::string& t, std::size_t& pos) {
-    skip_ws(t, pos);
-    if (pos >= t.size()) fail("unexpected end of input", pos);
-    const char c = t[pos];
-    if (c == '{') {
-      ++pos;
-      Json obj = Json::object();
-      skip_ws(t, pos);
-      if (consume(t, pos, '}')) return obj;
-      while (true) {
-        std::string key = parse_string(t, pos);
-        if (!consume(t, pos, ':')) fail("expected ':'", pos);
-        obj.set(key, parse_value(t, pos));
-        if (consume(t, pos, ',')) continue;
-        if (consume(t, pos, '}')) return obj;
-        fail("expected ',' or '}'", pos);
-      }
-    }
-    if (c == '[') {
-      ++pos;
-      Json arr = Json::array();
-      skip_ws(t, pos);
-      if (consume(t, pos, ']')) return arr;
-      while (true) {
-        arr.push_back(parse_value(t, pos));
-        if (consume(t, pos, ',')) continue;
-        if (consume(t, pos, ']')) return arr;
-        fail("expected ',' or ']'", pos);
-      }
-    }
-    if (c == '"') return Json(parse_string(t, pos));
-    if (t.compare(pos, 4, "true") == 0) {
-      pos += 4;
-      return Json(true);
-    }
-    if (t.compare(pos, 5, "false") == 0) {
-      pos += 5;
-      return Json(false);
-    }
-    if (t.compare(pos, 4, "null") == 0) {
-      pos += 4;
-      return Json();
-    }
-    // Number: integer when it has no fraction/exponent and fits int64.
-    const std::size_t start = pos;
-    if (c == '-' || c == '+') ++pos;
-    bool is_double = false;
-    while (pos < t.size() &&
-           (std::isdigit(static_cast<unsigned char>(t[pos])) ||
-            t[pos] == '.' || t[pos] == 'e' || t[pos] == 'E' || t[pos] == '-' ||
-            t[pos] == '+')) {
-      if (t[pos] == '.' || t[pos] == 'e' || t[pos] == 'E') is_double = true;
-      ++pos;
-    }
-    if (pos == start) fail("unexpected character", pos);
-    const std::string tok = t.substr(start, pos - start);
-    if (!is_double) {
-      errno = 0;
-      char* end = nullptr;
-      const long long v = std::strtoll(tok.c_str(), &end, 10);
-      if (errno == 0 && end != nullptr && *end == '\0') {
-        return Json(std::int64_t(v));
-      }
-    }
-    return Json(std::strtod(tok.c_str(), nullptr));
-  }
-
-  Kind kind_;
-  bool bool_ = false;
-  std::int64_t int_ = 0;
-  double double_ = 0.0;
-  std::string string_;
-  std::vector<Json> array_;
-  JsonMembers members_;
-};
+using Json = gnnone::util::Json;
+using JsonError = gnnone::util::JsonError;
+using JsonMembers = gnnone::util::JsonMembers;
 
 }  // namespace bench

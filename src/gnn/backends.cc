@@ -18,6 +18,7 @@ std::string backend_name(Backend b) {
     case Backend::kGnnOneFused: return "GnnOne+fusion";
     case Backend::kDgl: return "DGL";
     case Backend::kDgnn: return "dgNN";
+    case Backend::kAuto: return "Auto";
   }
   return "?";
 }
@@ -38,6 +39,54 @@ SparseEngine::SparseEngine(Backend backend, const Coo& coo,
     csr_ = coo_to_csr(coo_);
     csr_t_ = coo_to_csr(coo_t_);
   }
+  if (backend_ == Backend::kAuto) {
+    // The dispatcher may route any launch to any family, so every format a
+    // candidate could need stays resident; the lookup keys are precomputed.
+    ng_ = build_neighbor_groups(csr_);
+    ng_t_ = build_neighbor_groups(csr_t_);
+    sig_ = tune::signature_of(coo_);
+    sig_t_ = tune::signature_of(coo_t_);
+    device_key_ = tune::device_key(dev);
+  }
+}
+
+tune::Candidate SparseEngine::auto_candidate(const Coo& coo, tune::TuneOp op,
+                                             int f) const {
+  const bool forward = &coo == &coo_;
+  tune::TuneKey key;
+  key.signature = forward ? sig_ : sig_t_;
+  key.op = op;
+  key.dim = op == tune::TuneOp::kSpmv ? 1 : f;
+  key.device = device_key_;
+
+  // Lookup chain: exact pretuned hit, then this session's online decisions,
+  // then the nearest pretuned signature, then (optionally) tune right now,
+  // and finally the structural heuristic.
+  if (tuning_cache_ != nullptr) {
+    if (const tune::TuneDecision* d = tuning_cache_->lookup(key)) {
+      return d->candidate;
+    }
+  }
+  if (const tune::TuneDecision* d = session_.lookup(key)) {
+    return d->candidate;
+  }
+  if (tuning_cache_ != nullptr) {
+    if (const tune::TuneDecision* d = tuning_cache_->lookup_nearest(key)) {
+      return d->candidate;
+    }
+  }
+  if (online_tune_) {
+    return tune::tune_into(session_, *dev_, coo, op, key.dim, {})
+        .best.candidate;
+  }
+  // Cold-miss heuristic: near-uniform graphs don't need GNNOne's balancing,
+  // and the vertex-parallel row split wins back its staging overhead; every
+  // other structure gets the GNNOne default.
+  const tune::GraphSignature& sig = key.signature;
+  if (op == tune::TuneOp::kSpmm && sig.skew == tune::SkewBucket::kUniform) {
+    return tune::family_default(op, tune::KernelFamily::kVertexParallel);
+  }
+  return tune::family_default(op, tune::KernelFamily::kGnnOne);
 }
 
 std::size_t SparseEngine::graph_bytes() const {
@@ -53,6 +102,12 @@ std::size_t SparseEngine::graph_bytes() const {
              coo_.device_bytes() + coo_t_.device_bytes();
     case Backend::kDgnn:
       return csr_.device_bytes() + csr_t_.device_bytes();
+    case Backend::kAuto:
+      // The price of dispatch freedom: every format any candidate family
+      // could pick, both directions.
+      return coo_.device_bytes() + coo_t_.device_bytes() +
+             csr_.device_bytes() + csr_t_.device_bytes() +
+             ng_.device_bytes() + ng_t_.device_bytes();
   }
   return 0;
 }
@@ -86,7 +141,14 @@ Tensor SparseEngine::run_spmm(const OpContext& ctx, const Coo& coo,
   Tensor out(coo.num_rows, f);
   if (coo.nnz() == 0) return out;
   gpusim::KernelStats ks;
-  if (uses_coo_kernels(backend_)) {
+  if (backend_ == Backend::kAuto) {
+    const bool forward = &coo == &coo_;
+    const tune::OpInputs in{&coo, &csr, forward ? &ng_ : &ng_t_};
+    ks = tune::run_candidate(*dev_,
+                             auto_candidate(coo, tune::TuneOp::kSpmm, f),
+                             tune::TuneOp::kSpmm, in, ev, x.flat(), {}, f,
+                             out.flat());
+  } else if (uses_coo_kernels(backend_)) {
     ks = gnnone_spmm(*dev_, coo, ev, x.flat(), f, out.flat());
   } else {
     ks = baselines::cusparse_spmm(*dev_, csr, ev, x.flat(), f, out.flat());
@@ -114,6 +176,15 @@ Tensor SparseEngine::run_sddmm(const OpContext& ctx, const Tensor& x,
       ks = baselines::dgsparse_sddmm(*dev_, csr_, x.flat(), y.flat(), f,
                                      out.flat());
       break;
+    case Backend::kAuto: {
+      // SDDMM always runs on the forward graph (row = destination).
+      const tune::OpInputs in{&coo_, &csr_, &ng_};
+      ks = tune::run_candidate(*dev_,
+                               auto_candidate(coo_, tune::TuneOp::kSddmm, f),
+                               tune::TuneOp::kSddmm, in, {}, x.flat(),
+                               y.flat(), f, out.flat());
+      break;
+    }
   }
   charge(ctx, "sddmm", ks);
   return out;

@@ -7,6 +7,12 @@
 //  * kDgnn  — dgNN: fused vertex-parallel kernels (dgSparse SDDMM + CSR
 //    SpMM); fusion rebates kernel-launch overheads but inherits the
 //    vertex-parallel SDDMM's weaknesses. GAT only, as in the paper.
+//  * kAuto  — the autotuned dispatcher (docs/AUTOTUNING.md §5): every SpMM /
+//    SDDMM launch consults the tuning cache for this graph's signature and
+//    runs the tuned (kernel family, config) candidate. Warm cache hit →
+//    tuned launch; miss → nearest-signature fallback, then optional online
+//    tuning, then a structural heuristic. Keeps every storage format
+//    resident so any family can dispatch.
 //
 // All backends compute identical math (Fig. 5's accuracy equivalence); only
 // which simulated kernel runs — and therefore the cycle ledger and memory
@@ -23,7 +29,9 @@
 #include "gpusim/stats.h"
 #include "graph/coo.h"
 #include "graph/csr.h"
+#include "graph/neighbor_group.h"
 #include "tensor/ops.h"
+#include "tune/tuner.h"
 
 namespace gnnone {
 
@@ -32,6 +40,7 @@ enum class Backend {
   kGnnOneFused,  // extension: + fused GAT attention (the paper's future work)
   kDgl,
   kDgnn,
+  kAuto,         // extension: autotuned per-launch kernel/config dispatch
 };
 
 std::string backend_name(Backend b);
@@ -86,6 +95,20 @@ class SparseEngine {
   /// (reproduces the support matrix of Figs. 6/7: dgNN's error on Kron-21).
   static bool supports(Backend b, const Dataset& d);
 
+  /// kAuto: the pretuned cache the dispatcher consults (caller keeps
+  /// ownership; may be null). Ignored by the fixed backends.
+  void set_tuning_cache(const tune::TuningCache* cache) {
+    tuning_cache_ = cache;
+  }
+  /// kAuto: when a launch misses the cache entirely, tune it on the spot and
+  /// remember the decision for the rest of the session.
+  void set_online_tune(bool on) { online_tune_ = on; }
+
+  /// The candidate a kAuto launch of `op` on `coo` (the forward or transposed
+  /// graph) with feature length `f` would dispatch to. Exposed so tests and
+  /// benches can assert the dispatch matches the tuned decision.
+  tune::Candidate auto_candidate(const Coo& coo, tune::TuneOp op, int f) const;
+
  private:
   // Runs the backend's SpMM/SDDMM kernel, charging the ledger.
   Tensor run_spmm(const OpContext& ctx, const Coo& coo, const Csr& csr,
@@ -100,7 +123,13 @@ class SparseEngine {
   Coo coo_;            // forward graph, CSR-arranged COO
   Coo coo_t_;          // transpose (backward)
   std::vector<eid_t> perm_;    // transposed NZE -> forward NZE
-  Csr csr_, csr_t_;    // kept resident only by CSR-based backends
+  Csr csr_, csr_t_;    // kept resident only by CSR-based backends and kAuto
+  NeighborGroups ng_, ng_t_;       // kAuto only (neighbor-group family)
+  tune::GraphSignature sig_, sig_t_;  // kAuto only: precomputed lookup keys
+  std::string device_key_;            // kAuto only
+  const tune::TuningCache* tuning_cache_ = nullptr;
+  bool online_tune_ = false;
+  mutable tune::TuningCache session_;  // online-tuned decisions, kAuto only
   mutable bool fused_ = false;
   mutable bool fused_first_ = true;
 };

@@ -52,6 +52,11 @@ std::size_t paper_scale_footprint(Backend b, const Dataset& d,
     case Backend::kDgnn:
       topo = 2 * (E * 4.0 + V * 8.0);
       break;
+    case Backend::kAuto:
+      // COO + CSR + neighbor-group metadata (~E/8 for 32-wide groups), both
+      // directions: the dispatcher's format freedom is bought with memory.
+      topo = 2 * (E * 8.0 + E * 4.0 + V * 8.0 + E / 8.0);
+      break;
   }
 
   // Input features and retained activations (value + grad per layer, plus
@@ -120,6 +125,8 @@ TrainResult train_model(Backend backend, const Dataset& ds,
     const ModelConfig cfg = config_for(model_kind, in_dim, ds.num_classes);
 
     SparseEngine engine(backend, ds.coo, dev);
+    engine.set_tuning_cache(opts.tuning_cache);
+    engine.set_online_tune(opts.online_tune);
     // Site 2: graph topology in the backend's storage format(s).
     gpusim::DeviceAllocation topo_alloc(mem, engine.graph_bytes());
 

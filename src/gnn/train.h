@@ -38,6 +38,11 @@ struct TrainOptions {
   /// Fault injection: poisons the loss with NaN at this measured epoch
   /// (-1 = never) to exercise the divergence guard.
   int inject_nan_at_epoch = -1;
+  /// Backend::kAuto: pretuned cache the dispatcher consults (caller keeps
+  /// ownership; null = dispatch on heuristics / online tuning alone).
+  const tune::TuningCache* tuning_cache = nullptr;
+  /// Backend::kAuto: tune cache-missed launches on the spot.
+  bool online_tune = false;
 };
 
 struct TrainResult {

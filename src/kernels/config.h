@@ -2,6 +2,9 @@
 // paper's §5.4 is a sweep over one of these fields.
 #pragma once
 
+#include <stdexcept>
+#include <string>
+
 namespace gnnone {
 
 /// Stage-2 NZE assignment policy across thread-groups (paper §4.2.2).
@@ -44,6 +47,38 @@ struct GnnOneConfig {
   int warps_per_cta = 4;
 
   KernelMode mode = KernelMode::kFull;
+
+  /// Rejects knob combinations the kernels cannot honor. Called from every
+  /// kernel entry point, so an invalid config fails loudly instead of being
+  /// silently clamped — the autotuner's search-space generator relies on
+  /// "accepted" meaning "ran exactly as specified".
+  ///
+  /// Throws std::invalid_argument naming the offending knob:
+  ///  * cache_size: positive multiple of the warp size (32) — Stage 1 stages
+  ///    NZEs in whole warp-wide chunks;
+  ///  * vec_width: 1..4 — the float/float2/float3/float4 load paths;
+  ///  * unroll >= 1, warps_per_cta >= 1.
+  void Validate() const {
+    if (cache_size <= 0 || cache_size % 32 != 0) {
+      throw std::invalid_argument(
+          "GnnOneConfig: cache_size must be a positive multiple of 32, got " +
+          std::to_string(cache_size));
+    }
+    if (vec_width < 1 || vec_width > 4) {
+      throw std::invalid_argument(
+          "GnnOneConfig: vec_width must be in 1..4, got " +
+          std::to_string(vec_width));
+    }
+    if (unroll < 1) {
+      throw std::invalid_argument("GnnOneConfig: unroll must be >= 1, got " +
+                                  std::to_string(unroll));
+    }
+    if (warps_per_cta < 1) {
+      throw std::invalid_argument(
+          "GnnOneConfig: warps_per_cta must be >= 1, got " +
+          std::to_string(warps_per_cta));
+    }
+  }
 };
 
 }  // namespace gnnone

@@ -102,6 +102,7 @@ FusedAttentionStats gnnone_fused_attention(
     std::span<const float> s_src, std::span<const float> s_dst,
     std::span<const float> h, int f, float leaky_slope,
     std::span<float> alpha, std::span<float> out, const GnnOneConfig& cfg) {
+  cfg.Validate();
   assert(s_src.size() == std::size_t(coo.num_rows));
   assert(s_dst.size() == std::size_t(coo.num_rows));
   assert(h.size() == std::size_t(coo.num_cols) * std::size_t(f));

@@ -31,6 +31,7 @@ gpusim::KernelStats gnnone_sddmm(const gpusim::DeviceSpec& dev, const Coo& coo,
                                  std::span<const float> y, int f,
                                  std::span<float> w_out,
                                  const GnnOneConfig& cfg) {
+  cfg.Validate();
   assert(x.size() == std::size_t(coo.num_rows) * std::size_t(f));
   assert(y.size() == std::size_t(coo.num_cols) * std::size_t(f));
   assert(w_out.size() == std::size_t(coo.nnz()));

@@ -40,6 +40,7 @@ gpusim::KernelStats gnnone_spmm_impl(const gpusim::DeviceSpec& dev,
                                      std::span<const float> x, int f,
                                      std::span<float> y,
                                      const GnnOneConfig& cfg) {
+  cfg.Validate();
   const bool from_csr = !csr_offsets.empty();
   assert(edge_val.size() == std::size_t(coo.nnz()));
   assert(x.size() == std::size_t(coo.num_cols) * std::size_t(f));

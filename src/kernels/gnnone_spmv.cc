@@ -22,13 +22,21 @@ gpusim::KernelStats gnnone_spmv(const gpusim::DeviceSpec& dev, const Coo& coo,
                                 std::span<const float> edge_val,
                                 std::span<const float> x, std::span<float> y,
                                 int nzes_per_thread) {
+  // Same contract as GnnOneConfig::Validate(): reject the knob instead of
+  // clamping it, so the autotuner can trust accepted == ran-as-specified.
+  // The per-lane register files below hold at most 8 NZEs.
+  if (nzes_per_thread < 1 || nzes_per_thread > 8) {
+    throw std::invalid_argument(
+        "gnnone_spmv: nzes_per_thread must be in 1..8, got " +
+        std::to_string(nzes_per_thread));
+  }
   assert(edge_val.size() == std::size_t(coo.nnz()));
   assert(x.size() == std::size_t(coo.num_cols));
   assert(y.size() == std::size_t(coo.num_rows));
   std::memset(y.data(), 0, y.size() * sizeof(float));
 
   const eid_t nnz = coo.nnz();
-  const int N = std::max(1, nzes_per_thread);
+  const int N = nzes_per_thread;
   const std::int64_t per_warp = std::int64_t(kWarpSize) * N;
 
   gpusim::LaunchConfig lc;

@@ -1,0 +1,206 @@
+#include "tune/cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gnnone::tune {
+
+using util::Json;
+using util::JsonError;
+
+std::string device_key(const gpusim::DeviceSpec& dev) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "sms=%d,clk=%.3g,shmem=%zu,warps=%d",
+                dev.num_sms, dev.sm_clock_ghz, dev.shared_mem_per_sm,
+                dev.max_warps_per_sm);
+  return buf;
+}
+
+std::string TuneKey::str() const {
+  return std::string(op_name(op)) + "|" + std::to_string(dim) + "|" + device +
+         "|" + signature.key();
+}
+
+void TuningCache::put(const TuneKey& key, const TuneDecision& decision) {
+  const std::string k = key.str();
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), k,
+      [](const Entry& e, const std::string& s) { return e.key.str() < s; });
+  if (it != entries_.end() && it->key.str() == k) {
+    it->decision = decision;
+    return;
+  }
+  entries_.insert(it, Entry{key, decision});
+}
+
+const TuneDecision* TuningCache::lookup(const TuneKey& key) const {
+  const std::string k = key.str();
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), k,
+      [](const Entry& e, const std::string& s) { return e.key.str() < s; });
+  if (it != entries_.end() && it->key.str() == k) return &it->decision;
+  return nullptr;
+}
+
+const TuneDecision* TuningCache::lookup_nearest(const TuneKey& key,
+                                                double max_distance) const {
+  const TuneDecision* best = nullptr;
+  double best_d = max_distance;
+  for (const Entry& e : entries_) {
+    if (e.key.op != key.op || e.key.dim != key.dim ||
+        e.key.device != key.device) {
+      continue;
+    }
+    const double d = signature_distance(e.key.signature, key.signature);
+    if (best == nullptr ? d <= best_d : d < best_d) {
+      best = &e.decision;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+Json signature_json(const GraphSignature& s) {
+  Json j = Json::object();
+  j.set("rows", s.rows);
+  j.set("cols", s.cols);
+  j.set("nnz", s.nnz);
+  j.set("mean_degree", s.mean_degree);
+  j.set("max_degree", s.max_degree);
+  j.set("degree_cv", s.degree_cv);
+  j.set("skew", skew_bucket_name(s.skew));
+  return j;
+}
+
+GraphSignature signature_from_json(const Json& j) {
+  GraphSignature s;
+  s.rows = j["rows"].as_int();
+  s.cols = j["cols"].as_int();
+  s.nnz = j["nnz"].as_int();
+  s.mean_degree = j["mean_degree"].as_double();
+  s.max_degree = j["max_degree"].as_int();
+  s.degree_cv = j["degree_cv"].as_double();
+  if (!skew_bucket_from_name(j["skew"].as_string(), &s.skew)) {
+    throw JsonError("tuning cache: unknown skew bucket '" +
+                    j["skew"].as_string() + "'");
+  }
+  return s;
+}
+
+Json candidate_json(const Candidate& c) {
+  Json j = Json::object();
+  j.set("family", family_name(c.family));
+  j.set("cache_size", c.cfg.cache_size);
+  j.set("vec_width", c.cfg.vec_width);
+  j.set("policy", c.cfg.policy == SchedulePolicy::kConsecutive
+                      ? "consecutive"
+                      : "round_robin");
+  j.set("stage1_caching", c.cfg.stage1_caching);
+  j.set("row_reuse", c.cfg.row_reuse);
+  j.set("unroll", c.cfg.unroll);
+  j.set("warps_per_cta", c.cfg.warps_per_cta);
+  j.set("items", c.items);
+  return j;
+}
+
+Candidate candidate_from_json(const Json& j) {
+  Candidate c;
+  if (!family_from_name(j["family"].as_string(), &c.family)) {
+    throw JsonError("tuning cache: unknown kernel family '" +
+                    j["family"].as_string() + "'");
+  }
+  c.cfg.cache_size = int(j["cache_size"].as_int(128));
+  c.cfg.vec_width = int(j["vec_width"].as_int(4));
+  const std::string pol = j["policy"].as_string();
+  if (pol == "round_robin") {
+    c.cfg.policy = SchedulePolicy::kRoundRobin;
+  } else if (pol == "consecutive" || pol.empty()) {
+    c.cfg.policy = SchedulePolicy::kConsecutive;
+  } else {
+    throw JsonError("tuning cache: unknown schedule policy '" + pol + "'");
+  }
+  c.cfg.stage1_caching = j["stage1_caching"].as_bool(true);
+  c.cfg.row_reuse = j["row_reuse"].as_bool(true);
+  c.cfg.unroll = int(j["unroll"].as_int(4));
+  c.cfg.warps_per_cta = int(j["warps_per_cta"].as_int(4));
+  c.items = int(j["items"].as_int(4));
+  c.cfg.Validate();  // a hand-edited cache cannot smuggle invalid knobs in
+  return c;
+}
+
+}  // namespace
+
+Json TuningCache::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", kCacheSchemaName);
+  doc.set("version", kCacheSchemaVersion);
+  Json arr = Json::array();
+  for (const Entry& e : entries_) {  // entries_ is sorted by key
+    Json j = Json::object();
+    j.set("op", op_name(e.key.op));
+    j.set("dim", e.key.dim);
+    j.set("device", e.key.device);
+    j.set("signature", signature_json(e.key.signature));
+    j.set("decision", candidate_json(e.decision.candidate));
+    j.set("cycles", e.decision.cycles);
+    j.set("bit_checked", e.decision.bit_checked);
+    arr.push_back(std::move(j));
+  }
+  doc.set("entries", std::move(arr));
+  return doc;
+}
+
+TuningCache TuningCache::from_json(const Json& doc) {
+  if (doc["schema"].as_string() != kCacheSchemaName) {
+    throw JsonError("tuning cache: unrecognized schema '" +
+                    doc["schema"].as_string() + "'");
+  }
+  if (doc["version"].as_int() != kCacheSchemaVersion) {
+    throw JsonError("tuning cache: unsupported version " +
+                    std::to_string(doc["version"].as_int()));
+  }
+  TuningCache cache;
+  for (const Json& j : doc["entries"].items()) {
+    TuneKey key;
+    if (!op_from_name(j["op"].as_string(), &key.op)) {
+      throw JsonError("tuning cache: unknown op '" + j["op"].as_string() +
+                      "'");
+    }
+    key.dim = int(j["dim"].as_int());
+    key.device = j["device"].as_string();
+    key.signature = signature_from_json(j["signature"]);
+    TuneDecision d;
+    d.candidate = candidate_from_json(j["decision"]);
+    d.cycles = j["cycles"].as_uint();
+    d.bit_checked = j["bit_checked"].as_bool();
+    cache.put(key, d);
+  }
+  return cache;
+}
+
+bool TuningCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  out << to_json().dump() << "\n";
+  out.flush();
+  return bool(out);
+}
+
+std::optional<TuningCache> TuningCache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  try {
+    return from_json(Json::parse(ss.str()));
+  } catch (const JsonError&) {
+    return std::nullopt;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace gnnone::tune

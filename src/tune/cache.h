@@ -1,0 +1,92 @@
+// Persistent tuning cache (docs/AUTOTUNING.md §3).
+//
+// Maps (graph signature, op, feature dim, device) -> the tuned Candidate
+// plus its tuning-time modeled cycles. Serialized as versioned,
+// byte-deterministic JSON via the shared writer (util/json.h): entries are
+// kept sorted by key so that save -> load -> save round-trips to identical
+// bytes, which is what the CI determinism gate diffs.
+//
+// Lookup is exact first; lookup_nearest() falls back to the closest cached
+// signature (same op/dim/device) under signature_distance(), so a graph the
+// pretuning suite never saw still dispatches to a structurally informed
+// choice instead of the hard-coded default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "tune/search_space.h"
+#include "tune/signature.h"
+#include "util/json.h"
+
+namespace gnnone::tune {
+
+inline constexpr const char* kCacheSchemaName = "gnnone-tuning-cache";
+inline constexpr int kCacheSchemaVersion = 1;
+
+/// Canonical device discriminator of a DeviceSpec (the structural fields
+/// that change which kernel/knobs win).
+std::string device_key(const gpusim::DeviceSpec& dev);
+
+/// Full lookup key of one cache entry.
+struct TuneKey {
+  GraphSignature signature;
+  TuneOp op = TuneOp::kSpmm;
+  int dim = 0;          // feature length (1 for SpMV)
+  std::string device;   // device_key() of the tuning device
+
+  /// Canonical string, e.g. "spmm|32|sms=108,...|r4096,...". Sort/equality
+  /// key of the cache.
+  std::string str() const;
+};
+
+/// A tuned decision: the winning candidate and why it won.
+struct TuneDecision {
+  Candidate candidate;
+  std::uint64_t cycles = 0;  // modeled cycles measured while tuning
+  bool bit_checked = false;  // output matched the CPU reference bit-for-bit
+};
+
+class TuningCache {
+ public:
+  /// Inserts or overwrites the entry for `key`.
+  void put(const TuneKey& key, const TuneDecision& decision);
+
+  /// Exact-key lookup; nullptr on miss.
+  const TuneDecision* lookup(const TuneKey& key) const;
+
+  /// Nearest-signature fallback: the entry with the same (op, dim, device)
+  /// whose signature minimizes signature_distance(), provided the distance
+  /// is <= max_distance. Ties break on key order (deterministic). nullptr
+  /// when nothing qualifies.
+  const TuneDecision* lookup_nearest(const TuneKey& key,
+                                     double max_distance = 3.0) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  struct Entry {
+    TuneKey key;
+    TuneDecision decision;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Versioned, deterministic document (entries sorted by key string).
+  util::Json to_json() const;
+  /// Parses a document produced by to_json(); throws util::JsonError on a
+  /// schema/version mismatch or malformed entry.
+  static TuningCache from_json(const util::Json& doc);
+
+  /// File round-trip helpers. save() returns false on I/O failure; load()
+  /// returns nullopt when the file is missing, unreadable, or malformed.
+  bool save(const std::string& path) const;
+  static std::optional<TuningCache> load(const std::string& path);
+
+ private:
+  std::vector<Entry> entries_;  // kept sorted by key.str()
+};
+
+}  // namespace gnnone::tune

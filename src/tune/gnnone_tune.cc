@@ -1,0 +1,176 @@
+// gnnone_tune — pretunes the synthetic dataset suite and emits the
+// persistent tuning-cache artifact Backend::kAuto dispatches from
+// (docs/AUTOTUNING.md §4).
+//
+// The whole pipeline is deterministic (deterministic datasets, deterministic
+// simulator, deterministic search and serialization), so two runs with the
+// same flags must produce byte-identical cache files — CI diffs them.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "tune/tuner.h"
+
+namespace {
+
+using gnnone::tune::TuneOp;
+using gnnone::tune::TuneOptions;
+using gnnone::tune::TuneReport;
+using gnnone::tune::TuningCache;
+
+struct Options {
+  bool ci = false;
+  std::string out = "TUNE_CACHE.json";
+  std::vector<std::string> datasets;  // empty = scale default
+  std::vector<TuneOp> ops;            // empty = scale default
+  std::vector<int> dims;              // empty = scale default
+  TuneOptions tune;
+};
+
+int usage(const char* argv0, int rc) {
+  std::fprintf(
+      rc ? stderr : stdout,
+      "usage: %s [flags]\n"
+      "  --scale=full|ci        suite scale (default full)\n"
+      "  --out=FILE             cache artifact path (default TUNE_CACHE.json)\n"
+      "  --datasets=G3,G5,...   override the dataset list\n"
+      "  --ops=spmm,sddmm,spmv  override the op list\n"
+      "  --dims=6,32            override the feature-dim sweep (SpMM/SDDMM)\n"
+      "  --mode=auto|exhaustive|greedy  search regime (default auto)\n"
+      "  --seed=N               operand seed (default 99)\n",
+      argv0);
+  return rc;
+}
+
+std::vector<std::string> split(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options* o, int* rc) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      if (std::strcmp(a + 8, "ci") == 0) {
+        o->ci = true;
+      } else if (std::strcmp(a + 8, "full") == 0) {
+        o->ci = false;
+      } else {
+        std::fprintf(stderr, "error: bad --scale '%s' (full|ci)\n", a + 8);
+        *rc = 2;
+        return false;
+      }
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      o->out = a + 6;
+    } else if (std::strncmp(a, "--datasets=", 11) == 0) {
+      o->datasets = split(a + 11);
+    } else if (std::strncmp(a, "--ops=", 6) == 0) {
+      for (const std::string& name : split(a + 6)) {
+        TuneOp op;
+        if (!gnnone::tune::op_from_name(name, &op)) {
+          std::fprintf(stderr, "error: unknown op '%s'\n", name.c_str());
+          *rc = 2;
+          return false;
+        }
+        o->ops.push_back(op);
+      }
+    } else if (std::strncmp(a, "--dims=", 7) == 0) {
+      for (const std::string& d : split(a + 7)) {
+        o->dims.push_back(std::atoi(d.c_str()));
+      }
+    } else if (std::strncmp(a, "--mode=", 7) == 0) {
+      const char* m = a + 7;
+      if (std::strcmp(m, "auto") == 0) {
+        o->tune.mode = TuneOptions::Mode::kAuto;
+      } else if (std::strcmp(m, "exhaustive") == 0) {
+        o->tune.mode = TuneOptions::Mode::kExhaustive;
+      } else if (std::strcmp(m, "greedy") == 0) {
+        o->tune.mode = TuneOptions::Mode::kGreedy;
+      } else {
+        std::fprintf(stderr, "error: bad --mode '%s'\n", m);
+        *rc = 2;
+        return false;
+      }
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      o->tune.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      *rc = usage(argv[0], 0);
+      return false;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a);
+      *rc = usage(argv[0], 2);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  int rc = 0;
+  if (!parse_args(argc, argv, &opt, &rc)) return rc;
+
+  if (opt.datasets.empty()) {
+    // ci: one representative per graph class (mirrors the bench harness's
+    // ci kernel-suite reduction), sized for a CI smoke job.
+    opt.datasets = opt.ci ? std::vector<std::string>{"G3", "G5", "G10", "G14"}
+                          : gnnone::kernel_suite_ids();
+  }
+  if (opt.ops.empty()) {
+    opt.ops = {TuneOp::kSpmm, TuneOp::kSddmm, TuneOp::kSpmv};
+  }
+  if (opt.dims.empty()) {
+    opt.dims = opt.ci ? std::vector<int>{6, 32}
+                      : std::vector<int>{6, 16, 32, 64};
+  }
+
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  TuningCache cache;
+  int points = 0;
+  std::printf("%-5s %-6s %4s  %-44s %12s %12s %7s\n", "graph", "op", "dim",
+              "winner", "cycles", "default", "gain");
+  for (const std::string& id : opt.datasets) {
+    const gnnone::Dataset ds = gnnone::make_dataset(id);
+    for (TuneOp op : opt.ops) {
+      const std::vector<int> dims =
+          op == TuneOp::kSpmv ? std::vector<int>{1} : opt.dims;
+      for (int f : dims) {
+        const TuneReport rep =
+            gnnone::tune::tune_into(cache, dev, ds.coo, op, f, opt.tune);
+        ++points;
+        const double gain =
+            rep.best.cycles > 0
+                ? double(rep.default_cycles) / double(rep.best.cycles)
+                : 1.0;
+        std::printf("%-5s %-6s %4d  %-44s %12llu %12llu %6.2fx\n", id.c_str(),
+                    gnnone::tune::op_name(op), f,
+                    rep.best.candidate.name(op).c_str(),
+                    static_cast<unsigned long long>(rep.best.cycles),
+                    static_cast<unsigned long long>(rep.default_cycles),
+                    gain);
+      }
+    }
+  }
+
+  if (!cache.save(opt.out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.out.c_str());
+    return 3;
+  }
+  std::printf("\ntuned %d points -> %s (%zu cache entries)\n", points,
+              opt.out.c_str(), cache.size());
+  return 0;
+}

@@ -1,0 +1,285 @@
+#include "tune/search_space.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "kernels/baselines.h"
+#include "kernels/gnnone.h"
+
+namespace gnnone::tune {
+
+namespace {
+
+// Knob value sets of the grid. Chosen to cover every setting the paper's
+// §5.4 ablations sweep (Fig. 8: vec width + reuse toggles, Fig. 9: cache
+// size, Fig. 10: schedule policy) plus the pipelining depth.
+constexpr int kCacheSizes[] = {32, 64, 128, 256};
+constexpr int kVecWidths[] = {1, 2, 4};
+constexpr SchedulePolicy kPolicies[] = {SchedulePolicy::kConsecutive,
+                                        SchedulePolicy::kRoundRobin};
+constexpr bool kBools[] = {true, false};
+constexpr int kUnrolls[] = {1, 4};
+constexpr int kItems[] = {1, 2, 4, 8};
+
+bool is_gnnone_family(KernelFamily f) {
+  return f == KernelFamily::kGnnOne || f == KernelFamily::kGnnOneCsr;
+}
+
+/// Axis descriptors of the GNNOne families (SpMV has only the items axis).
+enum GnnOneAxis {
+  kAxisCache = 0,
+  kAxisVec,
+  kAxisPolicy,
+  kAxisStage1,
+  kAxisReuse,   // SDDMM only
+  kAxisUnroll,
+  kNumGnnOneAxes,
+};
+
+}  // namespace
+
+const char* op_name(TuneOp op) {
+  switch (op) {
+    case TuneOp::kSpmm: return "spmm";
+    case TuneOp::kSddmm: return "sddmm";
+    case TuneOp::kSpmv: return "spmv";
+  }
+  return "?";
+}
+
+bool op_from_name(const std::string& name, TuneOp* out) {
+  for (TuneOp op : {TuneOp::kSpmm, TuneOp::kSddmm, TuneOp::kSpmv}) {
+    if (name == op_name(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* family_name(KernelFamily f) {
+  switch (f) {
+    case KernelFamily::kGnnOne: return "gnnone";
+    case KernelFamily::kGnnOneCsr: return "gnnone_csr";
+    case KernelFamily::kNeighborGroup: return "neighbor_group";
+    case KernelFamily::kVertexParallel: return "vertex_parallel";
+    case KernelFamily::kEdgeParallel: return "edge_parallel";
+    case KernelFamily::kMergePath: return "merge_path";
+  }
+  return "?";
+}
+
+bool family_from_name(const std::string& name, KernelFamily* out) {
+  for (KernelFamily f :
+       {KernelFamily::kGnnOne, KernelFamily::kGnnOneCsr,
+        KernelFamily::kNeighborGroup, KernelFamily::kVertexParallel,
+        KernelFamily::kEdgeParallel, KernelFamily::kMergePath}) {
+    if (name == family_name(f)) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Candidate::name(TuneOp op) const {
+  char buf[128];
+  if (op == TuneOp::kSpmv) {
+    std::snprintf(buf, sizeof buf, "%s:items=%d", family_name(family), items);
+    return buf;
+  }
+  if (!is_gnnone_family(family)) return family_name(family);
+  std::snprintf(buf, sizeof buf,
+                "%s:cache=%d,vec=%d,pol=%s,s1=%d,reuse=%d,unroll=%d",
+                family_name(family), cfg.cache_size, cfg.vec_width,
+                cfg.policy == SchedulePolicy::kConsecutive ? "cons" : "rr",
+                cfg.stage1_caching ? 1 : 0, cfg.row_reuse ? 1 : 0, cfg.unroll);
+  return buf;
+}
+
+std::vector<KernelFamily> families(TuneOp op) {
+  switch (op) {
+    case TuneOp::kSpmm:
+      return {KernelFamily::kGnnOne, KernelFamily::kGnnOneCsr,
+              KernelFamily::kNeighborGroup, KernelFamily::kVertexParallel};
+    case TuneOp::kSddmm:
+      return {KernelFamily::kGnnOne, KernelFamily::kEdgeParallel,
+              KernelFamily::kVertexParallel};
+    case TuneOp::kSpmv:
+      return {KernelFamily::kGnnOne, KernelFamily::kMergePath};
+  }
+  return {};
+}
+
+Candidate family_default(TuneOp op, KernelFamily fam) {
+  Candidate c;
+  c.family = fam;
+  (void)op;  // defaults are op-independent: GnnOneConfig{} and items=4
+  return c;
+}
+
+std::vector<Candidate> family_grid(TuneOp op, KernelFamily fam) {
+  std::vector<Candidate> out;
+  if (op == TuneOp::kSpmv) {
+    for (int items : kItems) {
+      Candidate c;
+      c.family = fam;
+      c.items = items;
+      out.push_back(c);
+    }
+    return out;
+  }
+  if (!is_gnnone_family(fam)) {
+    out.push_back(family_default(op, fam));
+    return out;
+  }
+  const bool sddmm = op == TuneOp::kSddmm;
+  for (int cache : kCacheSizes) {
+    for (int vec : kVecWidths) {
+      for (SchedulePolicy pol : kPolicies) {
+        for (bool s1 : kBools) {
+          for (bool reuse : kBools) {
+            if (!sddmm && !reuse) continue;  // row_reuse is SDDMM-only
+            for (int unroll : kUnrolls) {
+              Candidate c;
+              c.family = fam;
+              c.cfg.cache_size = cache;
+              c.cfg.vec_width = vec;
+              c.cfg.policy = pol;
+              c.cfg.stage1_caching = s1;
+              c.cfg.row_reuse = reuse;
+              c.cfg.unroll = unroll;
+              c.cfg.Validate();
+              out.push_back(c);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int num_axes(TuneOp op, KernelFamily fam) {
+  if (op == TuneOp::kSpmv) return 1;  // items
+  if (!is_gnnone_family(fam)) return 0;
+  return kNumGnnOneAxes;
+}
+
+std::vector<Candidate> axis_variants(TuneOp op, KernelFamily fam,
+                                     const Candidate& base, int axis) {
+  std::vector<Candidate> out;
+  if (axis < 0 || axis >= num_axes(op, fam)) return out;
+  auto push = [&](auto&& mutate) {
+    Candidate c = base;
+    c.family = fam;
+    mutate(c);
+    out.push_back(c);
+  };
+  if (op == TuneOp::kSpmv) {
+    for (int items : kItems) push([&](Candidate& c) { c.items = items; });
+    return out;
+  }
+  switch (axis) {
+    case kAxisCache:
+      for (int v : kCacheSizes) push([&](Candidate& c) { c.cfg.cache_size = v; });
+      break;
+    case kAxisVec:
+      for (int v : kVecWidths) push([&](Candidate& c) { c.cfg.vec_width = v; });
+      break;
+    case kAxisPolicy:
+      for (SchedulePolicy v : kPolicies) {
+        push([&](Candidate& c) { c.cfg.policy = v; });
+      }
+      break;
+    case kAxisStage1:
+      for (bool v : kBools) push([&](Candidate& c) { c.cfg.stage1_caching = v; });
+      break;
+    case kAxisReuse:
+      if (op != TuneOp::kSddmm) {
+        out.push_back(base);  // degenerate axis outside SDDMM
+        break;
+      }
+      for (bool v : kBools) push([&](Candidate& c) { c.cfg.row_reuse = v; });
+      break;
+    case kAxisUnroll:
+      for (int v : kUnrolls) push([&](Candidate& c) { c.cfg.unroll = v; });
+      break;
+    default: break;
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_combination(const Candidate& cand, TuneOp op) {
+  throw std::invalid_argument(std::string("tune: family '") +
+                              family_name(cand.family) +
+                              "' is not eligible for op '" + op_name(op) +
+                              "'");
+}
+
+void require(const void* p, const char* what) {
+  if (p == nullptr) {
+    throw std::invalid_argument(std::string("tune: candidate requires ") +
+                                what + " input format");
+  }
+}
+
+}  // namespace
+
+gpusim::KernelStats run_candidate(const gpusim::DeviceSpec& dev,
+                                  const Candidate& cand, TuneOp op,
+                                  const OpInputs& in,
+                                  std::span<const float> edge_val,
+                                  std::span<const float> x,
+                                  std::span<const float> y_in, int f,
+                                  std::span<float> out) {
+  switch (op) {
+    case TuneOp::kSpmm:
+      switch (cand.family) {
+        case KernelFamily::kGnnOne:
+          require(in.coo, "COO");
+          return gnnone_spmm(dev, *in.coo, edge_val, x, f, out, cand.cfg);
+        case KernelFamily::kGnnOneCsr:
+          require(in.csr, "CSR");
+          return gnnone_spmm_csr(dev, *in.csr, edge_val, x, f, out, cand.cfg);
+        case KernelFamily::kNeighborGroup:
+          require(in.csr, "CSR");
+          require(in.ng, "neighbor-group");
+          return baselines::huang_spmm(dev, *in.csr, *in.ng, edge_val, x, f,
+                                       out);
+        case KernelFamily::kVertexParallel:
+          require(in.csr, "CSR");
+          return baselines::cusparse_spmm(dev, *in.csr, edge_val, x, f, out);
+        default: bad_combination(cand, op);
+      }
+    case TuneOp::kSddmm:
+      switch (cand.family) {
+        case KernelFamily::kGnnOne:
+          require(in.coo, "COO");
+          return gnnone_sddmm(dev, *in.coo, x, y_in, f, out, cand.cfg);
+        case KernelFamily::kEdgeParallel:
+          require(in.coo, "COO");
+          return baselines::dgl_sddmm(dev, *in.coo, x, y_in, f, out);
+        case KernelFamily::kVertexParallel:
+          require(in.csr, "CSR");
+          return baselines::dgsparse_sddmm(dev, *in.csr, x, y_in, f, out);
+        default: bad_combination(cand, op);
+      }
+    case TuneOp::kSpmv:
+      switch (cand.family) {
+        case KernelFamily::kGnnOne:
+          require(in.coo, "COO");
+          return gnnone_spmv(dev, *in.coo, edge_val, x, out, cand.items);
+        case KernelFamily::kMergePath:
+          require(in.csr, "CSR");
+          return baselines::merge_spmv(dev, *in.csr, edge_val, x, out,
+                                       cand.items);
+        default: bad_combination(cand, op);
+      }
+  }
+  bad_combination(cand, op);
+}
+
+}  // namespace gnnone::tune

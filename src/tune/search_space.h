@@ -1,0 +1,102 @@
+// The autotuner's search space: kernel family x GnnOneConfig knobs
+// (docs/AUTOTUNING.md §2).
+//
+// A Candidate pins everything the dispatcher needs to reproduce a tuned
+// launch: which kernel family runs and every knob that family honors. The
+// family axis spans the paper's own kernels (GNNOne two-stage COO, and its
+// CSR-derived-row-id variant of §5.4.5) and the strongest baseline designs
+// per op (neighbor-group, vertex-parallel, edge-parallel, merge-path), so
+// the tuner can select a baseline on the points where the §5.4 ablations
+// show GNNOne's defaults are not the winner.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/stats.h"
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/neighbor_group.h"
+#include "kernels/config.h"
+
+namespace gnnone::tune {
+
+/// The sparse op being tuned (the three kernels of the paper's §4).
+enum class TuneOp { kSpmm, kSddmm, kSpmv };
+
+const char* op_name(TuneOp op);
+bool op_from_name(const std::string& name, TuneOp* out);
+
+/// Kernel family a candidate dispatches to. Eligibility depends on the op
+/// (see families()).
+enum class KernelFamily {
+  kGnnOne,          // unified two-stage COO kernels (all ops)
+  kGnnOneCsr,       // GNNOne SpMM with CSR-derived row ids (SpMM only)
+  kNeighborGroup,   // Huang et al. neighbor-group SpMM (SpMM only)
+  kVertexParallel,  // cuSPARSE-like CSR SpMM / dgSparse SDDMM
+  kEdgeParallel,    // DGL COO edge-parallel SDDMM (SDDMM only)
+  kMergePath,       // Merge-SpMV (SpMV only)
+};
+
+const char* family_name(KernelFamily f);
+bool family_from_name(const std::string& name, KernelFamily* out);
+
+/// One point of the search space.
+struct Candidate {
+  KernelFamily family = KernelFamily::kGnnOne;
+  /// Honored by the GNNOne families; Validate()-clean by construction for
+  /// every candidate the generators below emit.
+  GnnOneConfig cfg;
+  /// SpMV only: NZEs per thread (GNNOne) / merge items per thread.
+  int items = 4;
+
+  /// Deterministic discriminator, e.g.
+  /// "gnnone:cache=128,vec=4,pol=cons,s1=1,reuse=1,unroll=4".
+  std::string name(TuneOp op) const;
+};
+
+/// Families eligible for `op`, in deterministic search order (GNNOne first).
+std::vector<KernelFamily> families(TuneOp op);
+
+/// The family's default-knob candidate — what a user running that backend
+/// without a tuner would get. Always part of the search, so a tuned
+/// decision can never lose to a fixed default.
+Candidate family_default(TuneOp op, KernelFamily fam);
+
+/// The family's full knob grid for `op` (exhaustive search). Every entry
+/// passes GnnOneConfig::Validate().
+std::vector<Candidate> family_grid(TuneOp op, KernelFamily fam);
+
+/// Coordinate-descent axes: number of independent knob axes of the family,
+/// and all variants of `base` along one axis (base included). Axes are
+/// ordered by expected impact (cache size, vec width, schedule, caching
+/// toggles, unroll).
+int num_axes(TuneOp op, KernelFamily fam);
+std::vector<Candidate> axis_variants(TuneOp op, KernelFamily fam,
+                                     const Candidate& base, int axis);
+
+/// Non-owning handles to the formats a candidate launch may need. `csr` is
+/// required by the CSR families, `ng` by kNeighborGroup; run_candidate
+/// throws std::invalid_argument when a required format is missing.
+struct OpInputs {
+  const Coo* coo = nullptr;
+  const Csr* csr = nullptr;
+  const NeighborGroups* ng = nullptr;
+};
+
+/// Executes one candidate on the simulator and returns its KernelStats
+/// (modeled cycles = the tuner's cost metric). Semantics per op:
+///   kSpmm:  out[rows*f] = A(edge_val) * x[cols*f]
+///   kSddmm: out[nnz]    = rowwise dot of x[rows*f] and y_in[cols*f]
+///   kSpmv:  out[rows]   = A(edge_val) * x[cols]          (f ignored)
+gpusim::KernelStats run_candidate(const gpusim::DeviceSpec& dev,
+                                  const Candidate& cand, TuneOp op,
+                                  const OpInputs& in,
+                                  std::span<const float> edge_val,
+                                  std::span<const float> x,
+                                  std::span<const float> y_in, int f,
+                                  std::span<float> out);
+
+}  // namespace gnnone::tune

@@ -1,0 +1,108 @@
+#include "tune/signature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace gnnone::tune {
+
+const char* skew_bucket_name(SkewBucket b) {
+  switch (b) {
+    case SkewBucket::kUniform: return "uniform";
+    case SkewBucket::kModerate: return "moderate";
+    case SkewBucket::kSkewed: return "skewed";
+    case SkewBucket::kHeavy: return "heavy";
+  }
+  return "?";
+}
+
+bool skew_bucket_from_name(const std::string& name, SkewBucket* out) {
+  for (SkewBucket b : {SkewBucket::kUniform, SkewBucket::kModerate,
+                       SkewBucket::kSkewed, SkewBucket::kHeavy}) {
+    if (name == skew_bucket_name(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+SkewBucket bucket_of(double cv) {
+  if (cv < 0.25) return SkewBucket::kUniform;
+  if (cv < 0.75) return SkewBucket::kModerate;
+  if (cv < 1.5) return SkewBucket::kSkewed;
+  return SkewBucket::kHeavy;
+}
+
+/// Fixed shortest-ish float formatting (%.4g) so key() is deterministic and
+/// byte-stable across runs/platforms for the value ranges signatures hold.
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string GraphSignature::key() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "r%lld,c%lld,e%lld,d%s,m%lld,cv%s,%s",
+                static_cast<long long>(rows), static_cast<long long>(cols),
+                static_cast<long long>(nnz), fmt_double(mean_degree).c_str(),
+                static_cast<long long>(max_degree),
+                fmt_double(degree_cv).c_str(), skew_bucket_name(skew));
+  return buf;
+}
+
+bool GraphSignature::operator==(const GraphSignature& o) const {
+  return rows == o.rows && cols == o.cols && nnz == o.nnz &&
+         max_degree == o.max_degree && skew == o.skew &&
+         fmt_double(mean_degree) == fmt_double(o.mean_degree) &&
+         fmt_double(degree_cv) == fmt_double(o.degree_cv);
+}
+
+GraphSignature signature_of(const Coo& coo) {
+  GraphSignature s;
+  s.rows = coo.num_rows;
+  s.cols = coo.num_cols;
+  s.nnz = coo.nnz();
+  if (s.rows <= 0) return s;
+
+  // Row degrees in one pass over the (row-sorted) NZE list.
+  std::vector<std::int64_t> deg(std::size_t(coo.num_rows), 0);
+  for (vid_t r : coo.row) ++deg[std::size_t(r)];
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::int64_t d : deg) {
+    s.max_degree = std::max(s.max_degree, d);
+    sum += double(d);
+    sum_sq += double(d) * double(d);
+  }
+  const double n = double(s.rows);
+  s.mean_degree = sum / n;
+  const double var = std::max(0.0, sum_sq / n - s.mean_degree * s.mean_degree);
+  s.degree_cv = s.mean_degree > 0.0 ? std::sqrt(var) / s.mean_degree : 0.0;
+  s.skew = bucket_of(s.degree_cv);
+  return s;
+}
+
+double signature_distance(const GraphSignature& a, const GraphSignature& b) {
+  auto log_gap = [](double x, double y) {
+    const double lx = std::log(std::max(x, 1.0));
+    const double ly = std::log(std::max(y, 1.0));
+    return std::abs(lx - ly);
+  };
+  double d = log_gap(double(a.nnz), double(b.nnz)) +
+             log_gap(double(a.rows), double(b.rows)) +
+             log_gap(a.mean_degree + 1.0, b.mean_degree + 1.0) +
+             log_gap(double(a.max_degree), double(b.max_degree)) * 0.5 +
+             std::abs(a.degree_cv - b.degree_cv);
+  if (a.skew != b.skew) d += 1.0;
+  return d;
+}
+
+}  // namespace gnnone::tune

@@ -1,0 +1,53 @@
+// Graph signatures for the autotuner (docs/AUTOTUNING.md §1).
+//
+// The paper's §5.4 ablations show that the winning kernel family and knob
+// setting shift with graph *structure* (degree skew, density) and feature
+// dimension, not with graph identity. A signature therefore fingerprints a
+// CSR-arranged COO by the structural features those ablations vary over:
+// shape, nnz, degree statistics and a coarse skew bucket. Tuning-cache
+// entries are keyed by the signature's canonical string; unseen graphs fall
+// back to the nearest cached signature under signature_distance().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/coo.h"
+
+namespace gnnone::tune {
+
+/// Coarse row-degree-distribution class, bucketed from the degree
+/// coefficient of variation. Mirrors the dataset families the experiment
+/// suite generates: road/k-mer grids are near-uniform, social/web power
+/// laws are skewed, Kronecker tails are heavy.
+enum class SkewBucket { kUniform, kModerate, kSkewed, kHeavy };
+
+const char* skew_bucket_name(SkewBucket b);
+/// Inverse of skew_bucket_name; false when the name is unknown.
+bool skew_bucket_from_name(const std::string& name, SkewBucket* out);
+
+struct GraphSignature {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nnz = 0;
+  double mean_degree = 0.0;   // nnz / rows
+  std::int64_t max_degree = 0;
+  double degree_cv = 0.0;     // stddev(row degree) / mean(row degree)
+  SkewBucket skew = SkewBucket::kUniform;
+
+  /// Canonical key string, e.g. "r4096,c4096,e65536,d16,m213,cv1.32,skewed".
+  /// Deterministic (fixed float formatting) — used as the cache key.
+  std::string key() const;
+
+  bool operator==(const GraphSignature& o) const;
+};
+
+/// Fingerprints a CSR-arranged COO. O(nnz).
+GraphSignature signature_of(const Coo& coo);
+
+/// Structural distance for nearest-signature fallback: log-space gaps of
+/// size/degree features plus a skew-bucket mismatch penalty. 0 for equal
+/// signatures; ~0.7 per 2x size difference.
+double signature_distance(const GraphSignature& a, const GraphSignature& b);
+
+}  // namespace gnnone::tune

@@ -1,0 +1,230 @@
+#include "tune/tuner.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/rng.h"
+#include "graph/convert.h"
+#include "kernels/reference.h"
+
+namespace gnnone::tune {
+
+namespace {
+
+/// One op's synthetic operands, aux formats and CPU-reference output —
+/// everything needed to simulate and bit-check candidates on a graph.
+struct Workload {
+  Coo coo;  // owned copy (probe workloads are truncated)
+  Csr csr;
+  NeighborGroups ng;
+  std::vector<float> edge_val;
+  std::vector<float> x;
+  std::vector<float> y_in;  // SDDMM second operand
+  std::vector<float> want;  // CPU reference output (empty for probes)
+  std::size_t out_size = 0;
+
+  OpInputs inputs() const { return OpInputs{&coo, &csr, &ng}; }
+};
+
+/// Tuning operands are small integer-valued floats. Integer sums of this
+/// magnitude are exact in float arithmetic and hence order-independent, so
+/// every candidate family — whatever its reduction order (warp trees,
+/// atomics, vectorized accumulators) — must match the CPU reference
+/// *bit-for-bit* or it is genuinely wrong. (Products are <= 16, row sums and
+/// dots stay far below 2^24, the float-exact integer range.) Modeled cycles
+/// depend on addresses, not values, so the choice does not distort the cost.
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = float(std::int64_t(rng.uniform(9)) - 4);
+  return v;
+}
+
+Workload make_workload(const Coo& graph, TuneOp op, int f, std::uint64_t seed,
+                       bool with_reference) {
+  Workload w;
+  w.coo = graph;
+  w.csr = coo_to_csr(w.coo);
+  w.ng = build_neighbor_groups(w.csr);
+  const auto nnz = std::size_t(w.coo.nnz());
+  const auto rows = std::size_t(w.coo.num_rows);
+  const auto cols = std::size_t(w.coo.num_cols);
+  w.edge_val = random_vec(nnz, seed + 1);
+  switch (op) {
+    case TuneOp::kSpmm:
+      w.x = random_vec(cols * std::size_t(f), seed + 2);
+      w.out_size = rows * std::size_t(f);
+      break;
+    case TuneOp::kSddmm:
+      w.x = random_vec(rows * std::size_t(f), seed + 2);
+      w.y_in = random_vec(cols * std::size_t(f), seed + 3);
+      w.out_size = nnz;
+      break;
+    case TuneOp::kSpmv:
+      w.x = random_vec(cols, seed + 2);
+      w.out_size = rows;
+      break;
+  }
+  if (with_reference) {
+    w.want.resize(w.out_size);
+    switch (op) {
+      case TuneOp::kSpmm:
+        ref::spmm(w.coo, w.edge_val, w.x, f, w.want);
+        break;
+      case TuneOp::kSddmm:
+        ref::sddmm(w.coo, w.x, w.y_in, f, w.want);
+        break;
+      case TuneOp::kSpmv:
+        ref::spmv(w.coo, w.edge_val, w.x, w.want);
+        break;
+    }
+  }
+  return w;
+}
+
+/// Truncated graph for probe simulation: the first `probe_nnz` NZEs. A
+/// prefix of a CSR-arranged NZE list is itself CSR-arranged, and keeping
+/// the vertex ranges intact preserves the feature-address patterns the
+/// cost difference between candidates comes from.
+Coo probe_graph(const Coo& graph, std::int64_t probe_nnz) {
+  Coo p;
+  p.num_rows = graph.num_rows;
+  p.num_cols = graph.num_cols;
+  const auto n = std::size_t(std::min<std::int64_t>(probe_nnz, graph.nnz()));
+  p.row.assign(graph.row.begin(), graph.row.begin() + std::ptrdiff_t(n));
+  p.col.assign(graph.col.begin(), graph.col.begin() + std::ptrdiff_t(n));
+  return p;
+}
+
+struct Evaluation {
+  std::uint64_t cycles = 0;
+  bool bit_checked = false;
+};
+
+Evaluation evaluate(const gpusim::DeviceSpec& dev, const Candidate& cand,
+                    TuneOp op, int f, const Workload& w) {
+  std::vector<float> out(w.out_size);
+  const gpusim::KernelStats ks = run_candidate(
+      dev, cand, op, w.inputs(), w.edge_val, w.x, w.y_in, f, out);
+  Evaluation e;
+  e.cycles = ks.cycles;
+  if (!w.want.empty()) {
+    e.bit_checked = out.size() == w.want.size() &&
+                    std::memcmp(out.data(), w.want.data(),
+                                out.size() * sizeof(float)) == 0;
+  }
+  return e;
+}
+
+}  // namespace
+
+TuneReport tune_op(const gpusim::DeviceSpec& dev, const Coo& coo, TuneOp op,
+                   int f, const TuneOptions& opts) {
+  if (!coo.is_csr_arranged()) {
+    throw std::invalid_argument("tune_op: graph must be CSR-arranged");
+  }
+  if (op == TuneOp::kSpmv) f = 1;
+
+  TuneReport rep;
+  rep.key.signature = signature_of(coo);
+  rep.key.op = op;
+  rep.key.dim = f;
+  rep.key.device = device_key(dev);
+
+  // Degenerate graph: nothing to measure; dispatch the GNNOne default.
+  if (coo.nnz() == 0) {
+    rep.best.candidate = family_default(op, KernelFamily::kGnnOne);
+    rep.best.bit_checked = true;
+    return rep;
+  }
+
+  rep.exhaustive = opts.mode == TuneOptions::Mode::kExhaustive ||
+                   (opts.mode == TuneOptions::Mode::kAuto &&
+                    coo.nnz() <= opts.exhaustive_nnz_limit);
+
+  const Workload full = make_workload(coo, op, f, opts.seed,
+                                      /*with_reference=*/true);
+
+  bool have_best = false;
+  auto consider_full = [&](const Candidate& cand) {
+    const Evaluation e = evaluate(dev, cand, op, f, full);
+    ++rep.evaluated_full;
+    if (!e.bit_checked) {
+      ++rep.rejected;  // ineligible: output not bit-identical to reference
+      return;
+    }
+    if (cand.family == KernelFamily::kGnnOne &&
+        cand.name(op) == family_default(op, KernelFamily::kGnnOne).name(op)) {
+      rep.default_cycles = e.cycles;
+    }
+    if (!have_best || e.cycles < rep.best.cycles) {
+      rep.best.candidate = cand;
+      rep.best.cycles = e.cycles;
+      rep.best.bit_checked = true;
+      have_best = true;
+    }
+  };
+
+  if (rep.exhaustive) {
+    for (KernelFamily fam : families(op)) {
+      for (const Candidate& cand : family_grid(op, fam)) consider_full(cand);
+    }
+  } else {
+    // Greedy regime: score knob settings on the probe workload (the cost
+    // model), then fully evaluate only each family's descent result plus
+    // its default.
+    const Workload probe =
+        make_workload(probe_graph(coo, opts.probe_nnz), op, f, opts.seed,
+                      /*with_reference=*/false);
+    auto probe_cost = [&](const Candidate& cand) {
+      ++rep.evaluated_probe;
+      return evaluate(dev, cand, op, f, probe).cycles;
+    };
+
+    for (KernelFamily fam : families(op)) {
+      Candidate cur = family_default(op, fam);
+      const int axes = num_axes(op, fam);
+      if (axes > 0) {
+        std::uint64_t cur_cost = probe_cost(cur);
+        for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+          bool improved = false;
+          for (int axis = 0; axis < axes; ++axis) {
+            for (const Candidate& cand : axis_variants(op, fam, cur, axis)) {
+              if (cand.name(op) == cur.name(op)) continue;
+              const std::uint64_t c = probe_cost(cand);
+              if (c < cur_cost) {  // strict: deterministic tie-breaking
+                cur = cand;
+                cur_cost = c;
+                improved = true;
+              }
+            }
+          }
+          if (!improved) break;
+        }
+      }
+      consider_full(family_default(op, fam));
+      if (cur.name(op) != family_default(op, fam).name(op)) {
+        consider_full(cur);
+      }
+    }
+  }
+
+  if (!have_best) {
+    // Every candidate failed the bit-check (cannot happen for the in-tree
+    // kernels, all of which are reference-exact; guards a future kernel
+    // regression from silently winning).
+    throw std::runtime_error("tune_op: no candidate matched the reference");
+  }
+  return rep;
+}
+
+TuneReport tune_into(TuningCache& cache, const gpusim::DeviceSpec& dev,
+                     const Coo& coo, TuneOp op, int f,
+                     const TuneOptions& opts) {
+  TuneReport rep = tune_op(dev, coo, op, f, opts);
+  cache.put(rep.key, rep.best);
+  return rep;
+}
+
+}  // namespace gnnone::tune

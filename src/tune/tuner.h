@@ -1,0 +1,73 @@
+// The autotuner's search engine (docs/AUTOTUNING.md §2).
+//
+// Cost metric: gpusim modeled cycles (KernelStats.cycles) — the same number
+// every bench figure reports. Two regimes:
+//
+//  * exhaustive grid — every candidate of every eligible family is simulated
+//    on the full workload and bit-checked against the CPU reference; used
+//    automatically below exhaustive_nnz_limit NZEs (and always available via
+//    Mode::kExhaustive).
+//  * greedy coordinate descent with cost-model pruning — per family, knobs
+//    are optimized one axis at a time against modeled cycles of a truncated
+//    probe workload (the first probe_nnz NZEs, simulated through the same
+//    gpusim pipeline); only each family's descent result and its default
+//    are then simulated on the full workload. The probe acts as the cost
+//    model: candidates it rejects are never fully simulated.
+//
+// Eligibility gate: a candidate may only win if its full-workload output is
+// bit-identical to the CPU reference (kernels/reference.h). Every family
+// default is always fully evaluated, so a tuned decision can never be worse
+// than the best fixed default backend on the tuned point.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+#include "tune/cache.h"
+#include "tune/search_space.h"
+#include "tune/signature.h"
+
+namespace gnnone::tune {
+
+struct TuneOptions {
+  enum class Mode { kAuto, kExhaustive, kGreedy };
+  Mode mode = Mode::kAuto;
+  /// kAuto threshold: graphs at or below this many NZEs get the exhaustive
+  /// grid, larger ones the greedy descent.
+  std::int64_t exhaustive_nnz_limit = 16384;
+  /// NZE count of the truncated probe workload the greedy descent scores
+  /// candidates on.
+  std::int64_t probe_nnz = 8192;
+  /// Coordinate-descent sweeps over the knob axes (stops early when a sweep
+  /// improves nothing).
+  int max_sweeps = 2;
+  /// Seed for the deterministic synthetic operands the tuner simulates on.
+  std::uint64_t seed = 99;
+};
+
+/// Outcome of tuning one (graph, op, dim) point.
+struct TuneReport {
+  TuneKey key;          // what was tuned (device filled from the DeviceSpec)
+  TuneDecision best;    // the winning candidate (bit_checked always true)
+  /// Full-workload modeled cycles of the GNNOne-family default config — the
+  /// "no autotuner" baseline a tuned decision is compared against.
+  std::uint64_t default_cycles = 0;
+  int evaluated_full = 0;   // full-workload simulations (each bit-checked)
+  int evaluated_probe = 0;  // probe simulations (cost-model pruning)
+  int rejected = 0;         // candidates dropped by the bit-check gate
+  bool exhaustive = false;  // which regime ran
+};
+
+/// Tunes one op on one graph. `f` is the feature length (ignored for SpMV,
+/// whose key dim is always 1). Deterministic: equal inputs and options give
+/// an identical report. Throws std::invalid_argument when the graph is not
+/// CSR-arranged.
+TuneReport tune_op(const gpusim::DeviceSpec& dev, const Coo& coo, TuneOp op,
+                   int f, const TuneOptions& opts = {});
+
+/// tune_op + TuningCache::put of the resulting decision.
+TuneReport tune_into(TuningCache& cache, const gpusim::DeviceSpec& dev,
+                     const Coo& coo, TuneOp op, int f,
+                     const TuneOptions& opts = {});
+
+}  // namespace gnnone::tune

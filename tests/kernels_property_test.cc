@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "gen/random.h"
@@ -247,7 +248,10 @@ TEST(KernelConfig, OutputInvariantAcrossAllConfigs) {
   }
 }
 
-TEST(KernelConfig, TinyAndHugeCacheSizesClampSafely) {
+TEST(KernelConfig, InvalidKnobsAreRejectedNotClamped) {
+  // Validate() contract: accepted == ran exactly as specified. A huge but
+  // warp-aligned cache still runs; misaligned or out-of-range knobs throw
+  // from every kernel entry point instead of being silently clamped.
   const Coo coo = test_graph(7);
   const int f = 8;
   const auto& dev = gpusim::default_device();
@@ -255,13 +259,47 @@ TEST(KernelConfig, TinyAndHugeCacheSizesClampSafely) {
   const auto x = random_vec(std::size_t(coo.num_cols) * f, 25);
   std::vector<float> want(std::size_t(coo.num_rows) * f);
   ref::spmm(coo, ev, x, f, want);
-  for (int cache : {1, 7, 33, 1024}) {
+
+  {
     GnnOneConfig cfg;
-    cfg.cache_size = cache;
+    cfg.cache_size = 1024;  // large but valid (multiple of 32)
     std::vector<float> y(want.size());
     gnnone_spmm(dev, coo, ev, x, f, y, cfg);
     expect_close(y, want);
   }
+  std::vector<float> y(want.size());
+  std::vector<float> w(std::size_t(coo.nnz()));
+  for (int cache : {0, 1, 7, 33, -32}) {
+    GnnOneConfig cfg;
+    cfg.cache_size = cache;
+    EXPECT_THROW(cfg.Validate(), std::invalid_argument) << cache;
+    EXPECT_THROW(gnnone_spmm(dev, coo, ev, x, f, y, cfg),
+                 std::invalid_argument)
+        << cache;
+    EXPECT_THROW(gnnone_sddmm(dev, coo, x, x, f, w, cfg),
+                 std::invalid_argument)
+        << cache;
+  }
+  for (int vec : {0, 5, -1}) {
+    GnnOneConfig cfg;
+    cfg.vec_width = vec;
+    EXPECT_THROW(gnnone_spmm(dev, coo, ev, x, f, y, cfg),
+                 std::invalid_argument)
+        << vec;
+  }
+  {
+    GnnOneConfig cfg;
+    cfg.unroll = 0;
+    EXPECT_THROW(gnnone_spmm(dev, coo, ev, x, f, y, cfg),
+                 std::invalid_argument);
+    cfg = GnnOneConfig{};
+    cfg.warps_per_cta = 0;
+    EXPECT_THROW(gnnone_spmm(dev, coo, ev, x, f, y, cfg),
+                 std::invalid_argument);
+  }
+  std::vector<float> x1(std::size_t(coo.num_cols)), y1(std::size_t(coo.num_rows));
+  EXPECT_THROW(gnnone_spmv(dev, coo, ev, x1, y1, 0), std::invalid_argument);
+  EXPECT_THROW(gnnone_spmv(dev, coo, ev, x1, y1, 9), std::invalid_argument);
 }
 
 TEST(KernelConfig, SelfLoopsAndDuplicateRowsHandled) {

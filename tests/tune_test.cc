@@ -1,0 +1,326 @@
+// Tests for the autotuning subsystem (src/tune): graph signatures, the
+// search space, the bit-check eligibility gate, cache serialization
+// round-trips, and the Backend::kAuto dispatcher.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/random.h"
+#include "gen/rmat.h"
+#include "gen/rng.h"
+#include "gnn/backends.h"
+#include "gpusim/device.h"
+#include "graph/convert.h"
+#include "kernels/reference.h"
+#include "tune/tuner.h"
+
+namespace gnnone {
+namespace tune {
+namespace {
+
+Coo skewed_graph(int scale = 9) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  return rmat_graph(p);
+}
+
+// Dense enough that the Poisson degree CV (~1/sqrt(mean degree)) lands in
+// the kUniform bucket.
+Coo uniform_graph(vid_t n = 600, eid_t m = 9000) {
+  return erdos_renyi(n, m, 7);
+}
+
+/// Integer-valued operands: sums of small integers are exact in float
+/// arithmetic and hence independent of accumulation order, which is what
+/// makes a bit-for-bit comparison against the CPU reference meaningful for
+/// every kernel family (the same scheme the tuner itself uses).
+std::vector<float> int_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = float(std::int64_t(rng.uniform(9)) - 4);
+  return v;
+}
+
+bool bits_equal(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// --- graph signatures -------------------------------------------------------
+
+TEST(TuneSignature, CapturesStructure) {
+  const Coo g = skewed_graph();
+  const GraphSignature sig = signature_of(g);
+  EXPECT_EQ(sig.rows, g.num_rows);
+  EXPECT_EQ(sig.cols, g.num_cols);
+  EXPECT_EQ(sig.nnz, g.nnz());
+  EXPECT_GT(sig.mean_degree, 0.0);
+  EXPECT_GE(double(sig.max_degree), sig.mean_degree);
+  // RMAT graphs are heavy-tailed; ER graphs are not.
+  EXPECT_GE(sig.degree_cv, signature_of(uniform_graph()).degree_cv);
+  EXPECT_EQ(signature_of(uniform_graph()).skew, SkewBucket::kUniform);
+}
+
+TEST(TuneSignature, KeyIsDeterministicAndDiscriminates) {
+  const Coo a = skewed_graph();
+  EXPECT_EQ(signature_of(a).key(), signature_of(a).key());
+  EXPECT_NE(signature_of(a).key(), signature_of(uniform_graph()).key());
+  EXPECT_TRUE(signature_of(a) == signature_of(a));
+}
+
+TEST(TuneSignature, DistanceIsZeroOnSelfAndGrowsWithGap) {
+  const GraphSignature a = signature_of(skewed_graph());
+  const GraphSignature b = signature_of(uniform_graph());
+  EXPECT_EQ(signature_distance(a, a), 0.0);
+  EXPECT_GT(signature_distance(a, b), 0.0);
+  // A mild perturbation must stay closer than a different graph class.
+  GraphSignature c = a;
+  c.nnz += c.nnz / 10;
+  EXPECT_LT(signature_distance(a, c), signature_distance(a, b));
+}
+
+// --- the bit-check property over the whole emittable space ------------------
+
+struct OpCase {
+  TuneOp op;
+  int f;
+};
+
+class TuneGrid : public testing::TestWithParam<OpCase> {};
+
+// Every config the tuner can ever emit (all families x their full grids)
+// must produce bit-identical output vs the CPU reference. This is the
+// eligibility invariant the search relies on.
+TEST_P(TuneGrid, EveryEmittableConfigIsBitIdenticalToReference) {
+  const TuneOp op = GetParam().op;
+  const int f = GetParam().f;
+  for (const Coo& g : {skewed_graph(8), uniform_graph()}) {
+    const Csr csr = coo_to_csr(g);
+    const NeighborGroups ng = build_neighbor_groups(csr);
+    const OpInputs in{&g, &csr, &ng};
+    const auto nnz = std::size_t(g.nnz());
+    const auto ev = int_vec(nnz, 11);
+    std::vector<float> x, y, want;
+    switch (op) {
+      case TuneOp::kSpmm:
+        x = int_vec(std::size_t(g.num_cols) * std::size_t(f), 12);
+        want.resize(std::size_t(g.num_rows) * std::size_t(f));
+        ref::spmm(g, ev, x, f, want);
+        break;
+      case TuneOp::kSddmm:
+        x = int_vec(std::size_t(g.num_rows) * std::size_t(f), 13);
+        y = int_vec(std::size_t(g.num_cols) * std::size_t(f), 14);
+        want.resize(nnz);
+        ref::sddmm(g, x, y, f, want);
+        break;
+      case TuneOp::kSpmv:
+        x = int_vec(std::size_t(g.num_cols), 15);
+        want.resize(std::size_t(g.num_rows));
+        ref::spmv(g, ev, x, want);
+        break;
+    }
+    int candidates = 0;
+    for (KernelFamily fam : families(op)) {
+      for (const Candidate& cand : family_grid(op, fam)) {
+        EXPECT_NO_THROW(cand.cfg.Validate()) << cand.name(op);
+        std::vector<float> out(want.size());
+        run_candidate(gpusim::default_device(), cand, op, in, ev, x, y, f,
+                      out);
+        EXPECT_TRUE(bits_equal(out, want)) << cand.name(op);
+        ++candidates;
+      }
+    }
+    EXPECT_GT(candidates, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, TuneGrid,
+                         testing::Values(OpCase{TuneOp::kSpmm, 6},
+                                         OpCase{TuneOp::kSddmm, 6},
+                                         OpCase{TuneOp::kSpmv, 1}));
+
+// --- the search engine ------------------------------------------------------
+
+TEST(Tuner, IsDeterministicAndNeverLosesToAnyFamilyDefault) {
+  const Coo g = skewed_graph();
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  for (TuneOp op : {TuneOp::kSpmm, TuneOp::kSddmm, TuneOp::kSpmv}) {
+    const TuneReport a = tune_op(dev, g, op, 6);
+    const TuneReport b = tune_op(dev, g, op, 6);
+    EXPECT_EQ(a.best.candidate.name(op), b.best.candidate.name(op));
+    EXPECT_EQ(a.best.cycles, b.best.cycles);
+    EXPECT_TRUE(a.best.bit_checked);
+    EXPECT_GT(a.default_cycles, 0u);
+    // The GNNOne default is always fully evaluated and eligible, so the
+    // winner can at worst tie it — same for every other family default.
+    EXPECT_LE(a.best.cycles, a.default_cycles);
+  }
+}
+
+TEST(Tuner, ExhaustiveAndGreedyAgreeOnEligibility) {
+  const Coo g = uniform_graph(300, 1500);
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  TuneOptions ex;
+  ex.mode = TuneOptions::Mode::kExhaustive;
+  TuneOptions gr;
+  gr.mode = TuneOptions::Mode::kGreedy;
+  const TuneReport a = tune_op(dev, g, TuneOp::kSpmm, 6, ex);
+  const TuneReport b = tune_op(dev, g, TuneOp::kSpmm, 6, gr);
+  EXPECT_TRUE(a.exhaustive);
+  EXPECT_FALSE(b.exhaustive);
+  // Exhaustive sees a superset of candidates: it can only do better.
+  EXPECT_LE(a.best.cycles, b.best.cycles);
+  EXPECT_GT(b.evaluated_probe, 0);
+  EXPECT_LT(b.evaluated_full, a.evaluated_full);
+}
+
+TEST(Tuner, RejectsNonCsrArrangedGraphs) {
+  Coo g;
+  g.num_rows = g.num_cols = 4;
+  g.row = {2, 0};  // out of order
+  g.col = {1, 1};
+  EXPECT_THROW(tune_op(gpusim::default_device(), g, TuneOp::kSpmm, 4),
+               std::invalid_argument);
+}
+
+// --- the persistent cache ---------------------------------------------------
+
+TEST(TuningCache, SaveLoadDispatchRoundTripsToSameDecisions) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  TuningCache cache;
+  std::vector<TuneReport> reps;
+  for (const Coo& g : {skewed_graph(8), uniform_graph()}) {
+    for (TuneOp op : {TuneOp::kSpmm, TuneOp::kSddmm}) {
+      reps.push_back(tune_into(cache, dev, g, op, 6));
+    }
+  }
+  EXPECT_EQ(cache.size(), reps.size());
+
+  const std::string path = testing::TempDir() + "/tune_cache_roundtrip.json";
+  ASSERT_TRUE(cache.save(path));
+  const auto loaded = TuningCache::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), cache.size());
+  for (const TuneReport& rep : reps) {
+    const TuneDecision* d = loaded->lookup(rep.key);
+    ASSERT_NE(d, nullptr) << rep.key.str();
+    EXPECT_EQ(d->candidate.name(rep.key.op),
+              rep.best.candidate.name(rep.key.op));
+    EXPECT_EQ(d->cycles, rep.best.cycles);
+    EXPECT_TRUE(d->bit_checked);
+  }
+  // Byte determinism: dumping the loaded cache reproduces the original
+  // document exactly.
+  EXPECT_EQ(cache.to_json().dump(2), loaded->to_json().dump(2));
+}
+
+TEST(TuningCache, NearestSignatureFallback) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  const Coo g = skewed_graph();
+  TuningCache cache;
+  const TuneReport rep = tune_into(cache, dev, g, TuneOp::kSpmm, 6);
+
+  // A structurally similar graph (same class, slightly different size)
+  // misses exactly but lands on the cached entry via the fallback.
+  TuneKey near = rep.key;
+  near.signature.nnz += near.signature.nnz / 20;
+  near.signature.rows += 32;
+  EXPECT_EQ(cache.lookup(near), nullptr);
+  const TuneDecision* d = cache.lookup_nearest(near);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->candidate.name(TuneOp::kSpmm),
+            rep.best.candidate.name(TuneOp::kSpmm));
+  // A different op or an impossibly tight distance budget must not match.
+  TuneKey other = near;
+  other.op = TuneOp::kSddmm;
+  EXPECT_EQ(cache.lookup_nearest(other), nullptr);
+  EXPECT_EQ(cache.lookup_nearest(near, /*max_distance=*/0.0), nullptr);
+}
+
+TEST(TuningCache, RejectsWrongSchemaAndMalformedEntries) {
+  TuningCache cache;
+  util::Json doc = cache.to_json();
+  doc.set("version", util::Json(kCacheSchemaVersion + 1));
+  EXPECT_THROW(TuningCache::from_json(doc), util::JsonError);
+
+  const std::string path = testing::TempDir() + "/tune_cache_bad.json";
+  EXPECT_FALSE(TuningCache::load(path + ".does_not_exist").has_value());
+}
+
+// --- the Backend::kAuto dispatcher ------------------------------------------
+
+TEST(AutoBackend, WarmCacheDispatchMatchesTunedDecision) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  const Coo g = skewed_graph();
+  TuningCache cache;
+  const TuneReport spmm_rep = tune_into(cache, dev, g, TuneOp::kSpmm, 6);
+  const TuneReport sddmm_rep = tune_into(cache, dev, g, TuneOp::kSddmm, 6);
+
+  SparseEngine engine(Backend::kAuto, g, dev);
+  engine.set_tuning_cache(&cache);
+  EXPECT_EQ(engine.auto_candidate(engine.coo(), TuneOp::kSpmm, 6)
+                .name(TuneOp::kSpmm),
+            spmm_rep.best.candidate.name(TuneOp::kSpmm));
+  EXPECT_EQ(engine.auto_candidate(engine.coo(), TuneOp::kSddmm, 6)
+                .name(TuneOp::kSddmm),
+            sddmm_rep.best.candidate.name(TuneOp::kSddmm));
+}
+
+TEST(AutoBackend, ComputesTheSameMathAsGnnOne) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  const Coo g = skewed_graph(8);
+  const int f = 6;
+  TuningCache cache;
+  tune_into(cache, dev, g, TuneOp::kSpmm, f);
+  tune_into(cache, dev, g, TuneOp::kSddmm, f);
+
+  CycleLedger ledger_a, ledger_b;
+  OpContext ctx_a{&dev, &ledger_a, false};
+  OpContext ctx_b{&dev, &ledger_b, false};
+  SparseEngine fixed(Backend::kGnnOne, g, dev);
+  SparseEngine tuned(Backend::kAuto, g, dev);
+  tuned.set_tuning_cache(&cache);
+
+  // Integer operands again: whatever kernels the dispatcher picks, the
+  // forward values must be bit-identical to the fixed backend's.
+  const auto xs = int_vec(std::size_t(g.num_cols) * std::size_t(f), 21);
+  const VarPtr xa = make_var(Tensor::from(g.num_cols, f, xs), false);
+  const VarPtr xb = make_var(Tensor::from(g.num_cols, f, xs), false);
+  const VarPtr ya = fixed.spmm(ctx_a, nullptr, xa);
+  const VarPtr yb = tuned.spmm(ctx_b, nullptr, xb);
+  EXPECT_TRUE(bits_equal(ya->value.flat(), yb->value.flat()));
+  EXPECT_GT(ledger_b.total(), 0u);
+  // Format freedom costs memory: kAuto keeps every format resident.
+  EXPECT_GT(tuned.graph_bytes(), fixed.graph_bytes());
+}
+
+TEST(AutoBackend, ColdMissHeuristicAndOnlineTune) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  const Coo uni = uniform_graph();
+  SparseEngine cold(Backend::kAuto, uni, dev);
+  // No cache at all: the structural heuristic picks vertex-parallel for the
+  // near-uniform graph's SpMM and the GNNOne default for SDDMM.
+  EXPECT_EQ(cold.auto_candidate(cold.coo(), TuneOp::kSpmm, 6).family,
+            KernelFamily::kVertexParallel);
+  EXPECT_EQ(cold.auto_candidate(cold.coo(), TuneOp::kSddmm, 6).family,
+            KernelFamily::kGnnOne);
+
+  // Online tuning replaces the heuristic with a real tuned decision and
+  // remembers it for the rest of the session.
+  SparseEngine online(Backend::kAuto, uni, dev);
+  online.set_online_tune(true);
+  const TuneReport want = tune_op(dev, uni, TuneOp::kSpmm, 6);
+  EXPECT_EQ(online.auto_candidate(online.coo(), TuneOp::kSpmm, 6)
+                .name(TuneOp::kSpmm),
+            want.best.candidate.name(TuneOp::kSpmm));
+  EXPECT_EQ(online.auto_candidate(online.coo(), TuneOp::kSpmm, 6)
+                .name(TuneOp::kSpmm),
+            want.best.candidate.name(TuneOp::kSpmm));
+}
+
+}  // namespace
+}  // namespace tune
+}  // namespace gnnone
