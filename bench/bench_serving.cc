@@ -1,0 +1,170 @@
+// Serving extension (docs/SERVING.md): request-batched GNN inference with
+// k-hop sampling and an FGNN-style degree-ordered static feature cache.
+//
+// For each dataset a fixed request trace is served under a sweep of the
+// cache fraction alpha; sampling and forward cycles are alpha-independent,
+// so the sweep isolates the feature-gather stage the cache accelerates. The
+// encoded claims:
+//  * alpha = 0 serves every feature over PCIe (zero hits) and alpha = 1
+//    serves everything from device memory (zero misses);
+//  * cached vertex sets are nested in alpha, so gather cycles fall
+//    monotonically as alpha grows — on every graph class;
+//  * on skewed graphs (power-law, Kronecker) sampled neighborhoods
+//    concentrate on high-degree vertices, so a small cache already serves
+//    most of the traffic: the hit rate at fixed alpha clearly exceeds the
+//    uniform road-grid's, where the hit rate roughly tracks alpha itself.
+#include <cstdio>
+
+#include "common.h"
+#include "gen/requests.h"
+#include "serve/server.h"
+
+namespace {
+
+struct ServeDataset {
+  const char* id;
+  bool skewed;  // power-law / Kronecker vs near-uniform degree distribution
+};
+
+std::string alpha_config(double alpha) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "alpha=%.2f", alpha);
+  return buf;
+}
+
+}  // namespace
+
+GNNONE_BENCH(serving, 260,
+             "Serving: sampled inference with a degree-ordered feature cache",
+             "extension (docs/SERVING.md); gather cycles monotone in alpha, "
+             "skewed graphs hit the static cache far above uniform ones") {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+
+  // Full scale: two skewed graph classes + the uniform control; ci keeps one
+  // of each (rows are an exact subset — same trace, same server, so a ci
+  // row's cycles equal the full run's).
+  std::vector<ServeDataset> suite = {{"G4", true},    // wiki-Talk, power-law
+                                     {"G10", true},   // Kron-21, Kronecker
+                                     {"G5", false}};  // roadNet-CA, grid
+  std::vector<double> alphas = {0.0, 0.05, 0.1, 0.25, 0.5, 1.0};
+  if (h.ci()) {
+    suite = {{"G4", true}, {"G5", false}};
+    alphas = {0.0, 0.1, 1.0};
+  }
+  const double kFixedAlpha = 0.1;  // the skew-gap comparison point
+
+  gnnone::ServeOptions opts;
+  opts.model_kind = "gcn";
+  opts.batch_size = 24;
+  opts.fanouts = {10, 5};
+  opts.feature_dim_override = 32;
+  opts.backend = gnnone::Backend::kAuto;
+  opts.seed = 9;
+
+  std::printf("%-5s %-10s %6s  %9s %9s %12s %12s\n", "graph", "class",
+              "alpha", "hit-rate", "hits", "gather-cyc", "total-cyc");
+
+  double skewed_min_rate = 1.0, uniform_max_rate = 0.0;
+  std::vector<double> skewed_cold_over_warm;
+
+  for (const ServeDataset& sd : suite) {
+    const gnnone::Dataset ds = gnnone::make_dataset(sd.id);
+
+    gnnone::RequestTraceOptions ro;
+    ro.num_requests = 96;
+    ro.min_seeds = 1;
+    ro.max_seeds = 3;
+    ro.hot_fraction = 0.0;  // uniform traffic: hits come from topology alone
+    ro.seed = 77;
+    const auto trace = gnnone::make_request_trace(ds.coo, ro);
+
+    std::uint64_t prev_gather = 0;
+    std::uint64_t first_gather = 0, last_gather = 0;
+    std::uint64_t base_sample = 0, base_forward = 0;
+    bool monotone = true, stages_stable = true;
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      const double alpha = alphas[i];
+      gnnone::ServeOptions o = opts;
+      o.cache_alpha = alpha;
+      const gnnone::InferenceServer server(ds, dev, o);
+      const gnnone::ServingReport rep = server.serve(trace);
+
+      const std::string cfg = alpha_config(alpha);
+      h.add_cycles(sd.id, "serve_gather", o.feature_dim_override,
+                   rep.gather_cycles, cfg);
+      h.add_cycles(sd.id, "serve_total", o.feature_dim_override,
+                   rep.total_cycles, cfg);
+      std::printf("%-5s %-10s %6.2f  %8.1f%% %9llu %12llu %12llu\n", sd.id,
+                  sd.skewed ? "skewed" : "uniform", alpha,
+                  100.0 * rep.cache_hit_rate(),
+                  (unsigned long long)rep.cache_hits,
+                  (unsigned long long)rep.gather_cycles,
+                  (unsigned long long)rep.total_cycles);
+
+      if (i == 0) {
+        base_sample = rep.sample_cycles;
+        base_forward = rep.forward_cycles;
+        h.add_cycles(sd.id, "serve_sample", o.feature_dim_override,
+                     rep.sample_cycles, "");
+        h.add_cycles(sd.id, "serve_forward", o.feature_dim_override,
+                     rep.forward_cycles, "");
+        first_gather = rep.gather_cycles;
+      } else {
+        monotone = monotone && rep.gather_cycles <= prev_gather;
+        stages_stable = stages_stable && rep.sample_cycles == base_sample &&
+                        rep.forward_cycles == base_forward;
+      }
+      prev_gather = rep.gather_cycles;
+      last_gather = rep.gather_cycles;
+
+      if (alpha == 0.0) {
+        h.expect("serving.alpha0_all_miss." + std::string(sd.id),
+                 rep.cache_hits == 0,
+                 "hits=" + std::to_string(rep.cache_hits));
+      }
+      if (alpha == 1.0) {
+        h.expect("serving.alpha1_all_hit." + std::string(sd.id),
+                 rep.cache_misses == 0,
+                 "misses=" + std::to_string(rep.cache_misses));
+      }
+      if (alpha == kFixedAlpha) {
+        if (sd.skewed) {
+          skewed_min_rate = std::min(skewed_min_rate, rep.cache_hit_rate());
+        } else {
+          uniform_max_rate = std::max(uniform_max_rate, rep.cache_hit_rate());
+        }
+        h.metric("hit_rate_alpha0.1_" + std::string(sd.id),
+                 rep.cache_hit_rate());
+      }
+    }
+
+    h.expect("serving.gather_monotone_in_alpha." + std::string(sd.id),
+             monotone, "gather cycles must not grow with alpha");
+    h.expect("serving.alpha_touches_only_gather." + std::string(sd.id),
+             stages_stable, "sample/forward cycles must be alpha-independent");
+    if (sd.skewed && last_gather > 0) {
+      skewed_cold_over_warm.push_back(double(first_gather) /
+                                      double(last_gather));
+    }
+  }
+
+  // The skew gap: every skewed graph's hit rate at alpha = 0.1 beats the
+  // uniform control's by a clear margin.
+  char detail[128];
+  std::snprintf(detail, sizeof detail,
+                "skewed min %.3f vs uniform max %.3f (margin 0.15)",
+                skewed_min_rate, uniform_max_rate);
+  h.expect("serving.skewed_hit_rate_gap",
+           skewed_min_rate >= uniform_max_rate + 0.15, detail);
+
+  const double cold_over_warm = bench::geomean(skewed_cold_over_warm);
+  h.metric("skewed_gather_cold_over_full_cache", cold_over_warm);
+  h.expect("serving.cache_pays_on_skewed", cold_over_warm > 2.0,
+           "alpha=0 gather must cost >2x the all-cached gather on skewed "
+           "graphs (PCIe vs DRAM bandwidth)");
+
+  std::printf("\nskewed hit-rate @ alpha=0.1 >= %.3f; uniform <= %.3f; "
+              "cold/warm gather = %.2fx\n",
+              skewed_min_rate, uniform_max_rate, cold_over_warm);
+  return 0;
+}

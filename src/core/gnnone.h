@@ -27,6 +27,7 @@
 
 #include <span>
 
+#include "gen/requests.h"
 #include "gnn/backends.h"
 #include "gnn/models.h"
 #include "gnn/train.h"
@@ -37,6 +38,8 @@
 #include "kernels/baselines.h"
 #include "kernels/config.h"
 #include "kernels/gnnone.h"
+#include "sample/sampler.h"
+#include "serve/server.h"
 
 namespace gnnone {
 

@@ -1,0 +1,64 @@
+#include "gen/requests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/rng.h"
+#include "graph/convert.h"
+
+namespace gnnone {
+
+std::vector<SeedRequest> make_request_trace(const Coo& graph,
+                                            const RequestTraceOptions& opts) {
+  const vid_t n = graph.num_rows;
+  if (n <= 0) {
+    throw std::invalid_argument("make_request_trace: empty graph");
+  }
+  if (opts.min_seeds < 1 || opts.max_seeds < opts.min_seeds) {
+    throw std::invalid_argument("make_request_trace: bad seed bounds");
+  }
+
+  // Hot set: the top hot_set_fraction of vertices by degree (ties by id, so
+  // the set is deterministic) — the same ordering the feature cache pins.
+  std::vector<vid_t> hot;
+  if (opts.hot_fraction > 0.0) {
+    const auto deg = row_lengths(graph);
+    std::vector<vid_t> order(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) order[std::size_t(v)] = v;
+    std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+      if (deg[std::size_t(a)] != deg[std::size_t(b)]) {
+        return deg[std::size_t(a)] > deg[std::size_t(b)];
+      }
+      return a < b;
+    });
+    const auto k = std::size_t(
+        std::clamp(std::llround(opts.hot_set_fraction * double(n)),
+                   1ll, (long long)(n)));
+    hot.assign(order.begin(), order.begin() + long(k));
+  }
+
+  Rng rng(opts.seed);
+  std::vector<SeedRequest> trace(std::size_t(opts.num_requests));
+  for (auto& req : trace) {
+    const int want =
+        opts.min_seeds +
+        int(rng.uniform(std::uint64_t(opts.max_seeds - opts.min_seeds + 1)));
+    req.seeds.reserve(std::size_t(want));
+    while (int(req.seeds.size()) < want) {
+      vid_t v;
+      if (!hot.empty() && rng.uniform_real() < opts.hot_fraction) {
+        v = hot[std::size_t(rng.uniform(hot.size()))];
+      } else {
+        v = vid_t(rng.uniform(std::uint64_t(n)));
+      }
+      if (std::find(req.seeds.begin(), req.seeds.end(), v) ==
+          req.seeds.end()) {
+        req.seeds.push_back(v);
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace gnnone

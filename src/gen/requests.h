@@ -1,0 +1,39 @@
+// Seed-request workload generator for the serving path.
+//
+// An inference request names the vertices a caller wants predictions for
+// (the gSuite / FGNN serving regime: "classify this user", "score these
+// items"). Traces are deterministic per seed; seeds are drawn uniformly
+// over the graph or, with hot_fraction > 0, skewed toward a top-degree hot
+// set — real serving traffic concentrates on popular entities, which is
+// exactly what a degree-ordered feature cache exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coo.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct RequestTraceOptions {
+  int num_requests = 256;
+  int min_seeds = 1;  // seeds per request, uniform in [min_seeds, max_seeds]
+  int max_seeds = 4;
+  /// Probability a seed is drawn from the hot set instead of uniformly.
+  double hot_fraction = 0.0;
+  /// Top-degree share of vertices forming the hot set (ties break by id).
+  double hot_set_fraction = 0.1;
+  std::uint64_t seed = 1;
+};
+
+struct SeedRequest {
+  std::vector<vid_t> seeds;  // may repeat across requests, unique within one
+};
+
+/// Generates a deterministic request trace over `graph`'s vertices. Throws
+/// std::invalid_argument on an empty graph or inconsistent seed bounds.
+std::vector<SeedRequest> make_request_trace(const Coo& graph,
+                                            const RequestTraceOptions& opts);
+
+}  // namespace gnnone

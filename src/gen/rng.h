@@ -22,8 +22,26 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform integer in [0, n).
-  std::uint64_t uniform(std::uint64_t n) { return next_u64() % n; }
+  /// Uniform integer in [0, n), exactly unbiased for every n (Lemire's
+  /// multiply-shift rejection). The obvious `next_u64() % n` skews low
+  /// values for non-power-of-two n — invisible on coin flips, but it biases
+  /// degree draws and reservoir replacement indices across billions of
+  /// samples, so the generators and the neighbor sampler depend on this
+  /// being exact. Returns 0 for n == 0.
+  std::uint64_t uniform(std::uint64_t n) {
+    std::uint64_t x = next_u64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;  // (2^64 - n) mod n
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<unsigned __int128>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform real in [0, 1).
   double uniform_real() {

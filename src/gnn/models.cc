@@ -1,5 +1,7 @@
 #include "gnn/models.h"
 
+#include <stdexcept>
+
 namespace gnnone {
 
 namespace {
@@ -166,6 +168,23 @@ ModelConfig paper_gat_config(std::int64_t in_dim, std::int64_t classes) {
   c.num_classes = classes;
   c.num_layers = 5;
   return c;
+}
+
+ModelConfig model_config_for(const std::string& kind, std::int64_t in_dim,
+                             std::int64_t classes) {
+  if (kind == "gcn") return paper_gcn_config(in_dim, classes);
+  if (kind == "gin") return paper_gin_config(in_dim, classes);
+  if (kind == "gat") return paper_gat_config(in_dim, classes);
+  throw std::invalid_argument("unknown model kind: " + kind);
+}
+
+std::unique_ptr<GnnModel> make_model(const std::string& kind,
+                                     const SparseEngine& engine,
+                                     const ModelConfig& cfg) {
+  if (kind == "gcn") return make_gcn(engine, cfg);
+  if (kind == "gin") return make_gin(cfg);
+  if (kind == "gat") return make_gat(cfg);
+  throw std::invalid_argument("unknown model kind: " + kind);
 }
 
 }  // namespace gnnone

@@ -38,4 +38,18 @@ ModelConfig paper_gcn_config(std::int64_t in_dim, std::int64_t classes);
 ModelConfig paper_gin_config(std::int64_t in_dim, std::int64_t classes);
 ModelConfig paper_gat_config(std::int64_t in_dim, std::int64_t classes);
 
+/// Paper configuration for a model kind in {"gcn", "gin", "gat"}; throws
+/// std::invalid_argument on anything else. Shared by the training harness
+/// and the inference server so both build identical models.
+ModelConfig model_config_for(const std::string& kind, std::int64_t in_dim,
+                             std::int64_t classes);
+
+/// Builds a model of `kind`. Weights are glorot-initialized from fixed
+/// per-layer seeds, so two calls with equal (kind, cfg) produce identical
+/// parameters — the serving path relies on this as its checkpoint stand-in
+/// when it rebuilds the model per minibatch subgraph.
+std::unique_ptr<GnnModel> make_model(const std::string& kind,
+                                     const SparseEngine& engine,
+                                     const ModelConfig& cfg);
+
 }  // namespace gnnone

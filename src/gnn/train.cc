@@ -9,32 +9,12 @@
 
 namespace gnnone {
 
-namespace {
-
-ModelConfig config_for(const std::string& kind, std::int64_t in_dim,
-                       std::int64_t classes) {
-  if (kind == "gcn") return paper_gcn_config(in_dim, classes);
-  if (kind == "gin") return paper_gin_config(in_dim, classes);
-  if (kind == "gat") return paper_gat_config(in_dim, classes);
-  throw std::invalid_argument("unknown model kind: " + kind);
-}
-
-std::unique_ptr<GnnModel> build(const std::string& kind,
-                                const SparseEngine& engine,
-                                const ModelConfig& cfg) {
-  if (kind == "gcn") return make_gcn(engine, cfg);
-  if (kind == "gin") return make_gin(cfg);
-  return make_gat(cfg);
-}
-
-}  // namespace
-
 std::size_t paper_scale_footprint(Backend b, const Dataset& d,
                                   const std::string& model_kind) {
   const auto V = double(d.paper_vertices);
   const auto E = double(d.paper_edges);
-  const ModelConfig cfg = config_for(model_kind, d.input_feat_len,
-                                     d.num_classes);
+  const ModelConfig cfg = model_config_for(model_kind, d.input_feat_len,
+                                           d.num_classes);
 
   // Graph topology. GNNOne keeps the standard COO with 4-byte ids (forward
   // + transpose). DGL holds COO plus CSR plus CSC with int64 ids — the
@@ -122,7 +102,8 @@ TrainResult train_model(Backend backend, const Dataset& ds,
     const int in_dim = opts.feature_dim_override > 0
                            ? opts.feature_dim_override
                            : ds.input_feat_len;
-    const ModelConfig cfg = config_for(model_kind, in_dim, ds.num_classes);
+    const ModelConfig cfg = model_config_for(model_kind, in_dim,
+                                             ds.num_classes);
 
     SparseEngine engine(backend, ds.coo, dev);
     engine.set_tuning_cache(opts.tuning_cache);
@@ -130,7 +111,7 @@ TrainResult train_model(Backend backend, const Dataset& ds,
     // Site 2: graph topology in the backend's storage format(s).
     gpusim::DeviceAllocation topo_alloc(mem, engine.graph_bytes());
 
-    auto model = build(model_kind, engine, cfg);
+    auto model = make_model(model_kind, engine, cfg);
 
     CycleLedger ledger;
     OpContext ctx;

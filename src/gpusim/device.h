@@ -41,6 +41,12 @@ struct DeviceSpec {
   // A100: ~1.5 TB/s at ~1.4 GHz  =>  ~1100 B/cycle; rounded down.
   double dram_bytes_per_cycle = 1024.0;
 
+  // Host interconnect bandwidth: bytes crossing PCIe per SM cycle. A100
+  // PCIe Gen4 x16: ~31.5 GB/s effective at 1.41 GHz => ~22 B/cycle. This is
+  // the ~46x device-vs-host gap that makes the serving path's feature-cache
+  // misses expensive (docs/SERVING.md).
+  double pcie_bytes_per_cycle = 22.0;
+
   // Maximum number of load instructions whose latency can overlap within a
   // single warp before the LSU queue itself serializes (MSHR-style cap).
   int max_outstanding_loads = 32;

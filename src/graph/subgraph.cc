@@ -1,0 +1,45 @@
+#include "graph/subgraph.h"
+
+#include <stdexcept>
+
+#include "graph/convert.h"
+
+namespace gnnone {
+
+InducedSubgraph extract_induced(const Coo& graph,
+                                std::span<const vid_t> vertices) {
+  InducedSubgraph sub;
+  std::vector<vid_t> local(std::size_t(graph.num_rows), vid_t(-1));
+  sub.vertices.reserve(vertices.size());
+  for (vid_t g : vertices) {
+    if (g < 0 || g >= graph.num_rows) {
+      throw std::invalid_argument("extract_induced: vertex id out of range");
+    }
+    if (local[std::size_t(g)] < 0) {
+      local[std::size_t(g)] = vid_t(sub.vertices.size());
+      sub.vertices.push_back(g);
+    }
+  }
+
+  // The full graph is row-sorted, but local ids permute rows arbitrarily, so
+  // collect and rebuild through the standard (sorting, deduplicating)
+  // builder rather than assuming order survives relabeling.
+  EdgeList edges;
+  for (std::size_t e = 0; e < std::size_t(graph.nnz()); ++e) {
+    const vid_t lr = local[std::size_t(graph.row[e])];
+    const vid_t lc = local[std::size_t(graph.col[e])];
+    if (lr >= 0 && lc >= 0) edges.emplace_back(lr, lc);
+  }
+  const auto n = vid_t(sub.vertices.size());
+  sub.coo = coo_from_edges(n, n, std::move(edges));
+  return sub;
+}
+
+Csr induced_csr(const Coo& graph, std::span<const vid_t> vertices,
+                std::vector<vid_t>* vertices_out) {
+  InducedSubgraph sub = extract_induced(graph, vertices);
+  if (vertices_out != nullptr) *vertices_out = std::move(sub.vertices);
+  return coo_to_csr(sub.coo);
+}
+
+}  // namespace gnnone

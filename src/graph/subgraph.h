@@ -1,0 +1,38 @@
+// Induced-subgraph extraction with compact relabeling.
+//
+// Given a vertex set of the full graph, keeps every NZE whose endpoints are
+// both in the set and relabels them with compact local ids. Local ids follow
+// the order vertices first appear in the input list (duplicates keep their
+// first slot), so callers control which rows come first — the serving path
+// puts its seed vertices at local ids 0..num_seeds.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct InducedSubgraph {
+  /// local id -> global id, in first-appearance order of the input list.
+  std::vector<vid_t> vertices;
+  /// Induced block in local ids, CSR-arranged. Square:
+  /// num_rows == num_cols == vertices.size().
+  Coo coo;
+};
+
+/// Extracts the subgraph induced by `vertices` (global ids; duplicates are
+/// collapsed). O(|V_g| + nnz_g). Throws std::invalid_argument on an
+/// out-of-range vertex id.
+InducedSubgraph extract_induced(const Coo& graph,
+                                std::span<const vid_t> vertices);
+
+/// Same extraction but returning the block as CSR (the format the serving
+/// path's per-batch kernels consume when a CSR family wins dispatch).
+Csr induced_csr(const Coo& graph, std::span<const vid_t> vertices,
+                std::vector<vid_t>* vertices_out = nullptr);
+
+}  // namespace gnnone

@@ -1,0 +1,95 @@
+#include "sample/sampler.h"
+
+#include <stdexcept>
+
+#include "gen/rng.h"
+#include "graph/convert.h"
+
+namespace gnnone {
+
+namespace {
+
+/// Per-(trace, hop, vertex) stream seed: sampling a vertex must not depend
+/// on frontier order, so each reservoir gets its own splitmix64 stream.
+std::uint64_t vertex_stream_seed(std::uint64_t seed, int hop, vid_t v) {
+  return seed ^ (std::uint64_t(hop) + 1) * 0x9e3779b97f4a7c15ull ^
+         std::uint64_t(std::uint32_t(v)) * 0xbf58476d1ce4e5b9ull;
+}
+
+}  // namespace
+
+SampledSubgraph sample_khop(const Csr& graph, std::span<const vid_t> seeds,
+                            const SampleOptions& opts) {
+  if (opts.fanouts.empty()) {
+    throw std::invalid_argument("sample_khop: fanouts must not be empty");
+  }
+
+  SampledSubgraph out;
+  std::vector<vid_t> local(std::size_t(graph.num_rows), vid_t(-1));
+  auto intern = [&](vid_t g) {
+    if (local[std::size_t(g)] < 0) {
+      local[std::size_t(g)] = vid_t(out.vertices.size());
+      out.vertices.push_back(g);
+    }
+    return local[std::size_t(g)];
+  };
+
+  out.hop_offsets.push_back(0);
+  for (vid_t s : seeds) {
+    if (s < 0 || s >= graph.num_rows) {
+      throw std::invalid_argument("sample_khop: seed vertex out of range");
+    }
+    intern(s);
+  }
+  out.hop_offsets.push_back(vid_t(out.vertices.size()));
+
+  EdgeList edges;
+  std::vector<vid_t> reservoir;
+  vid_t frontier_begin = 0;
+  for (std::size_t hop = 0; hop < opts.fanouts.size(); ++hop) {
+    const vid_t frontier_end = vid_t(out.vertices.size());
+    const int fanout = opts.fanouts[hop];
+    for (vid_t lv = frontier_begin; lv < frontier_end; ++lv) {
+      const vid_t v = out.vertices[std::size_t(lv)];
+      const eid_t begin = graph.row_begin(v);
+      const vid_t deg = graph.row_length(v);
+      // One offsets-pair read plus every scanned neighbor id.
+      out.bytes_touched += 2 * sizeof(eid_t) + std::size_t(deg) * sizeof(vid_t);
+
+      if (fanout <= 0 || deg <= fanout) {
+        reservoir.assign(graph.col.begin() + begin,
+                         graph.col.begin() + begin + deg);
+      } else {
+        // Replacement-free reservoir over the adjacency list: the first
+        // `fanout` neighbors fill the reservoir, every later neighbor j
+        // replaces a uniform slot of [0, j] when it lands below fanout.
+        reservoir.assign(graph.col.begin() + begin,
+                         graph.col.begin() + begin + fanout);
+        Rng rng(vertex_stream_seed(opts.seed, int(hop), v));
+        for (vid_t j = fanout; j < deg; ++j) {
+          const auto k = rng.uniform(std::uint64_t(j) + 1);
+          if (k < std::uint64_t(fanout)) {
+            reservoir[std::size_t(k)] = graph.col[std::size_t(begin + j)];
+          }
+        }
+      }
+      for (vid_t u : reservoir) {
+        edges.emplace_back(lv, intern(u));
+        ++out.sampled_edges;
+      }
+    }
+    // Next hop expands only the vertices this hop discovered; earlier layers
+    // already have their neighborhoods.
+    frontier_begin = frontier_end;
+    out.hop_offsets.push_back(vid_t(out.vertices.size()));
+  }
+
+  const auto n = vid_t(out.vertices.size());
+  if (opts.add_self_loops) {
+    for (vid_t v = 0; v < n; ++v) edges.emplace_back(v, v);
+  }
+  out.coo = coo_from_edges(n, n, std::move(edges));
+  return out;
+}
+
+}  // namespace gnnone

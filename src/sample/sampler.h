@@ -1,0 +1,66 @@
+// Deterministic k-hop neighbor sampler (the FGNN/SamGraph minibatch regime).
+//
+// Each hop draws at most `fanout` distinct neighbors per frontier vertex
+// with a replacement-free reservoir pass over the vertex's adjacency list
+// (take-all when the degree fits the fanout). Draw indices come from the
+// unbiased Rng::uniform, and every vertex's reservoir is seeded from
+// (trace seed, hop, global vertex id) — sampling a vertex is independent of
+// where it sits in the frontier, so equal seeds give byte-identical
+// subgraphs on every platform.
+//
+// The sampled block is returned as a compact-relabeled, CSR-arranged COO:
+// rows aggregate over columns (y = A x pulls neighbor messages into the
+// sampling vertex), seeds occupy local ids 0..num_seeds, and later hops
+// append in discovery order. Self-loops are added for every sampled vertex
+// (standard GNN practice; also guarantees no empty rows, which keeps the
+// per-batch kernels and GCN normalization well-defined on any sample).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace gnnone {
+
+struct SampleOptions {
+  /// fanouts[h] = neighbor budget per frontier vertex at hop h; the vector's
+  /// length is the hop count (one hop per model layer in serving).
+  std::vector<int> fanouts = {10, 5};
+  std::uint64_t seed = 1;
+  bool add_self_loops = true;
+};
+
+struct SampledSubgraph {
+  /// local id -> global id; seeds first, then each hop's discoveries.
+  std::vector<vid_t> vertices;
+  /// vertices[hop_offsets[h] .. hop_offsets[h+1]) entered the sample at hop
+  /// h (h = 0 is the seed set); size fanouts.size() + 2.
+  std::vector<vid_t> hop_offsets;
+  /// Sampled block in local ids, CSR-arranged; row = sampling vertex,
+  /// col = drawn neighbor (plus self-loops when enabled).
+  Coo coo;
+  /// Drawn (vertex, neighbor) pairs before dedup and self-loops.
+  eid_t sampled_edges = 0;
+  /// Bytes of adjacency data the sampler touched (offsets + every scanned
+  /// neighbor id); the serving driver charges this to the cycle ledger.
+  std::size_t bytes_touched = 0;
+
+  vid_t num_seeds() const {
+    return hop_offsets.size() > 1 ? hop_offsets[1] : 0;
+  }
+  vid_t num_vertices() const { return vid_t(vertices.size()); }
+};
+
+/// Samples the k-hop neighborhood of `seeds` (global ids; duplicates are
+/// collapsed, first occurrence keeps the lower local id). A fanout <= 0
+/// means "take every neighbor" for that hop. Throws std::invalid_argument
+/// on an out-of-range seed or empty fanout list.
+SampledSubgraph sample_khop(const Csr& graph, std::span<const vid_t> seeds,
+                            const SampleOptions& opts = {});
+
+}  // namespace gnnone

@@ -1,0 +1,66 @@
+#include "serve/feature_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/convert.h"
+
+namespace gnnone {
+
+FeatureCache::FeatureCache(const Coo& graph, int feat_len, double alpha,
+                           const gpusim::DeviceSpec& dev)
+    : dev_(&dev),
+      feat_len_(feat_len),
+      alpha_(std::clamp(alpha, 0.0, 1.0)),
+      cached_(std::size_t(graph.num_rows), 0) {
+  const vid_t n = graph.num_rows;
+  num_cached_ = vid_t(std::clamp<long long>(
+      std::llround(alpha_ * double(n)), 0ll, (long long)(n)));
+  if (num_cached_ == 0) return;
+
+  const auto deg = row_lengths(graph);
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) order[std::size_t(v)] = v;
+  // Full sort (not nth_element) so the cached set is deterministic and
+  // matches the request generator's hot-set ordering exactly.
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    if (deg[std::size_t(a)] != deg[std::size_t(b)]) {
+      return deg[std::size_t(a)] > deg[std::size_t(b)];
+    }
+    return a < b;
+  });
+  for (vid_t i = 0; i < num_cached_; ++i) {
+    cached_[std::size_t(order[std::size_t(i)])] = 1;
+  }
+}
+
+GatherStats FeatureCache::gather(std::span<const vid_t> vertices,
+                                 CycleLedger* cycles,
+                                 MemoryLedger* bytes) const {
+  GatherStats st;
+  for (vid_t v : vertices) {
+    if (cached(v)) {
+      ++st.hits;
+      st.hit_bytes += row_bytes();
+    } else {
+      ++st.misses;
+      st.miss_bytes += row_bytes();
+    }
+  }
+  // One gather launch; hit rows stream at DRAM bandwidth, miss rows at PCIe
+  // bandwidth. The two transfers overlap with neither each other nor the
+  // launch in this first-order model, matching dense_cost's structure.
+  st.cycles = 2000 +
+              std::uint64_t(
+                  std::ceil(double(st.hit_bytes) / dev_->dram_bytes_per_cycle)) +
+              std::uint64_t(std::ceil(double(st.miss_bytes) /
+                                      dev_->pcie_bytes_per_cycle));
+  if (cycles != nullptr) cycles->add("feature_gather", st.cycles);
+  if (bytes != nullptr) {
+    bytes->add("feature_cache_hit", st.hit_bytes);
+    bytes->add("feature_cache_miss", st.miss_bytes);
+  }
+  return st;
+}
+
+}  // namespace gnnone

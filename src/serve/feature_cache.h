@@ -1,0 +1,73 @@
+// Degree-ordered static feature cache for GNN serving (the FGNN design).
+//
+// Sampling-based inference spends most of its bytes gathering input features
+// for the sampled vertices; on a real deployment those live in host memory
+// and cross PCIe. FGNN's observation is that a *static* cache works almost
+// as well as an oracle one on power-law graphs: pin the features of the
+// top-alpha fraction of vertices by degree on the device, because high-degree
+// vertices are sampled disproportionately often. A cached vertex's row is
+// read at DRAM bandwidth; a miss crosses PCIe. Both are charged to the
+// cycle ledger under "feature_gather" and to the memory ledger under
+// "feature_cache_hit" / "feature_cache_miss", which is what the serving
+// bench's alpha sweep measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "graph/coo.h"
+#include "graph/types.h"
+#include "tensor/ledger.h"
+
+namespace gnnone {
+
+/// Byte and cycle accounting of one gather call.
+struct GatherStats {
+  std::uint64_t hits = 0;    // vertices served from the device cache
+  std::uint64_t misses = 0;  // vertices fetched across PCIe
+  std::size_t hit_bytes = 0;
+  std::size_t miss_bytes = 0;
+  std::uint64_t cycles = 0;  // modeled cycles of the gather launch
+};
+
+class FeatureCache {
+ public:
+  /// Caches the features of the top-`alpha` fraction of `graph`'s vertices
+  /// ordered by degree (descending, ties by ascending id — the same order
+  /// the request generator's hot set uses). alpha is clamped to [0, 1];
+  /// alpha = 0 caches nothing, alpha = 1 caches every vertex.
+  FeatureCache(const Coo& graph, int feat_len, double alpha,
+               const gpusim::DeviceSpec& dev);
+
+  bool cached(vid_t v) const { return cached_[std::size_t(v)] != 0; }
+  vid_t num_cached() const { return num_cached_; }
+  vid_t num_vertices() const { return vid_t(cached_.size()); }
+  double alpha() const { return alpha_; }
+  int feat_len() const { return feat_len_; }
+
+  /// Device bytes the pinned cache occupies.
+  std::size_t device_bytes() const {
+    return std::size_t(num_cached_) * row_bytes();
+  }
+
+  /// Models gathering the feature rows of `vertices` (global ids) into a
+  /// contiguous device buffer: hits stream from DRAM, misses cross PCIe.
+  /// Charges `cycles` (tag "feature_gather") and `bytes` (tags
+  /// "feature_cache_hit" / "feature_cache_miss"); either ledger may be null.
+  GatherStats gather(std::span<const vid_t> vertices, CycleLedger* cycles,
+                     MemoryLedger* bytes) const;
+
+ private:
+  std::size_t row_bytes() const { return std::size_t(feat_len_) * 4; }
+
+  const gpusim::DeviceSpec* dev_;
+  int feat_len_;
+  double alpha_;
+  vid_t num_cached_ = 0;
+  std::vector<char> cached_;  // per-vertex flag
+};
+
+}  // namespace gnnone

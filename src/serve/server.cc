@@ -1,0 +1,132 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/convert.h"
+#include "sample/sampler.h"
+
+namespace gnnone {
+
+InferenceServer::InferenceServer(const Dataset& ds,
+                                 const gpusim::DeviceSpec& dev,
+                                 const ServeOptions& opts)
+    : ds_(&ds),
+      dev_(&dev),
+      opts_(opts),
+      in_dim_(opts.feature_dim_override > 0 ? opts.feature_dim_override
+                                            : ds.input_feat_len),
+      csr_(coo_to_csr(ds.coo)),
+      cache_(ds.coo, in_dim_, opts.cache_alpha, dev),
+      features_(make_features(ds.coo.num_rows, in_dim_,
+                              ds.labeled ? ds.labels : std::vector<int>{},
+                              opts.seed)) {
+  if (opts.batch_size < 1) {
+    throw std::invalid_argument("InferenceServer: batch_size must be >= 1");
+  }
+}
+
+ServingReport InferenceServer::serve(
+    std::span<const SeedRequest> requests) const {
+  ServingReport rep;
+  rep.num_requests = int(requests.size());
+  rep.predictions.resize(requests.size());
+
+  const ModelConfig cfg =
+      model_config_for(opts_.model_kind, in_dim_, ds_->num_classes);
+
+  OpContext ctx;
+  ctx.dev = dev_;
+  ctx.ledger = &rep.ledger;
+  ctx.training = false;  // dropout is identity at serving time
+
+  for (std::size_t first = 0; first < requests.size();
+       first += std::size_t(opts_.batch_size)) {
+    const std::size_t last =
+        std::min(first + std::size_t(opts_.batch_size), requests.size());
+    const std::uint64_t batch_index = rep.num_batches++;
+    BatchStats bs;
+    bs.num_requests = int(last - first);
+    const std::uint64_t batch_before = rep.ledger.total();
+
+    // Union of the batch's seeds, first appearance keeping the lower slot —
+    // the sampler interns in this order, so seed_local finds every request's
+    // rows in the block.
+    std::vector<vid_t> seeds;
+    for (std::size_t r = first; r < last; ++r) {
+      for (vid_t s : requests[r].seeds) {
+        if (std::find(seeds.begin(), seeds.end(), s) == seeds.end()) {
+          seeds.push_back(s);
+        }
+      }
+    }
+    bs.num_seeds = vid_t(seeds.size());
+
+    // Stage 1: sample the k-hop block. The sampler reports the adjacency
+    // bytes it scanned; charge them at DRAM bandwidth as one launch.
+    SampleOptions so;
+    so.fanouts = opts_.fanouts;
+    so.seed = opts_.seed + batch_index;
+    const SampledSubgraph sub = sample_khop(csr_, seeds, so);
+    bs.num_vertices = sub.num_vertices();
+    bs.num_edges = sub.coo.nnz();
+    bs.sample_cycles =
+        2000 + std::uint64_t(std::ceil(double(sub.bytes_touched) /
+                                       dev_->dram_bytes_per_cycle));
+    rep.ledger.add("sample", bs.sample_cycles);
+
+    // Stage 2: gather input features through the cache.
+    bs.gather = cache_.gather(sub.vertices, &rep.ledger, &rep.bytes);
+
+    // Stage 3: one forward pass over the sampled block.
+    const std::uint64_t fwd_before = rep.ledger.total();
+    std::vector<float> x_data(std::size_t(bs.num_vertices) *
+                              std::size_t(in_dim_));
+    for (vid_t lv = 0; lv < bs.num_vertices; ++lv) {
+      const auto src = std::size_t(sub.vertices[std::size_t(lv)]) *
+                       std::size_t(in_dim_);
+      std::copy_n(features_.begin() + long(src), in_dim_,
+                  x_data.begin() + long(std::size_t(lv) * std::size_t(in_dim_)));
+    }
+    const VarPtr x =
+        make_var(Tensor::from(bs.num_vertices, in_dim_, std::move(x_data)));
+
+    SparseEngine engine(opts_.backend, sub.coo, *dev_);
+    engine.set_tuning_cache(opts_.tuning_cache);
+    engine.set_online_tune(opts_.online_tune);
+    const auto model = make_model(opts_.model_kind, engine, cfg);
+    const VarPtr logp = model->forward(ctx, engine, x, opts_.seed);
+    bs.forward_cycles = rep.ledger.total() - fwd_before;
+
+    // Predictions: seeds hold local ids 0..num_seeds in union order.
+    for (std::size_t r = first; r < last; ++r) {
+      auto& out = rep.predictions[r];
+      out.reserve(requests[r].seeds.size());
+      for (vid_t s : requests[r].seeds) {
+        const auto lv = vid_t(
+            std::find(seeds.begin(), seeds.end(), s) - seeds.begin());
+        int best = 0;
+        for (std::int64_t c = 1; c < logp->value.cols(); ++c) {
+          if (logp->value.at(lv, c) > logp->value.at(lv, best)) best = int(c);
+        }
+        out.push_back(best);
+      }
+    }
+
+    bs.cycles = rep.ledger.total() - batch_before;
+    rep.sample_cycles += bs.sample_cycles;
+    rep.gather_cycles += bs.gather.cycles;
+    rep.forward_cycles += bs.forward_cycles;
+    rep.max_batch_cycles = std::max(rep.max_batch_cycles, bs.cycles);
+    rep.cache_hits += bs.gather.hits;
+    rep.cache_misses += bs.gather.misses;
+    rep.cache_hit_bytes += bs.gather.hit_bytes;
+    rep.cache_miss_bytes += bs.gather.miss_bytes;
+    rep.batches.push_back(bs);
+  }
+  rep.total_cycles = rep.ledger.total();
+  return rep;
+}
+
+}  // namespace gnnone

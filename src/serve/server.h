@@ -1,0 +1,106 @@
+// Request-batching GNN inference driver.
+//
+// The serving regime the FGNN/SamGraph line of work targets: requests name
+// seed vertices, the server groups them into minibatches, samples each
+// batch's k-hop neighborhood, gathers input features through the static
+// degree-ordered cache, and runs one forward pass over the sampled block
+// through the existing GCN/GAT/GIN layers. Every stage charges modeled
+// cycles to one CycleLedger ("sample", "feature_gather", then the usual
+// kernel tags), so a serving run decomposes the same way a training run
+// does and the bench layer can sweep the cache fraction alpha.
+//
+// Determinism: batch b samples with seed opts.seed + b, model weights are
+// glorot-rebuilt from fixed seeds per batch (the checkpoint stand-in — equal
+// configs give equal weights), and the forward runs with training = false,
+// so equal (dataset, requests, options) produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "gen/requests.h"
+#include "gnn/train.h"
+#include "serve/feature_cache.h"
+
+namespace gnnone {
+
+struct ServeOptions {
+  std::string model_kind = "gcn";  // "gcn", "gin" or "gat"
+  int batch_size = 8;              // requests per minibatch
+  std::vector<int> fanouts = {10, 5};
+  /// Fraction of vertices (by degree) whose features are pinned on device.
+  double cache_alpha = 0.1;
+  /// Overrides the dataset's input feature length (0 = use Table 1's F).
+  int feature_dim_override = 0;
+  Backend backend = Backend::kAuto;
+  std::uint64_t seed = 1;
+  /// Backend::kAuto: pretuned cache the dispatcher consults (caller keeps
+  /// ownership; may be null) and whether to tune cache misses on the spot.
+  const tune::TuningCache* tuning_cache = nullptr;
+  bool online_tune = false;
+};
+
+/// Per-minibatch accounting.
+struct BatchStats {
+  int num_requests = 0;
+  vid_t num_seeds = 0;     // distinct seed vertices in the batch
+  vid_t num_vertices = 0;  // sampled block size
+  eid_t num_edges = 0;     // sampled block nnz (with self-loops)
+  GatherStats gather;
+  std::uint64_t sample_cycles = 0;
+  std::uint64_t forward_cycles = 0;
+  std::uint64_t cycles = 0;  // all stages
+};
+
+struct ServingReport {
+  int num_requests = 0;
+  int num_batches = 0;
+  std::uint64_t sample_cycles = 0;
+  std::uint64_t gather_cycles = 0;
+  std::uint64_t forward_cycles = 0;
+  std::uint64_t total_cycles = 0;
+  /// Slowest minibatch — the latency tail a batching server quotes.
+  std::uint64_t max_batch_cycles = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t cache_hit_bytes = 0;
+  std::size_t cache_miss_bytes = 0;
+  /// Fraction of gathered vertices served from the device cache.
+  double cache_hit_rate() const {
+    const double total = double(cache_hits + cache_misses);
+    return total > 0.0 ? double(cache_hits) / total : 0.0;
+  }
+
+  std::vector<BatchStats> batches;
+  CycleLedger ledger;  // cycles by stage/kernel tag
+  MemoryLedger bytes;  // gather traffic by hit/miss tag
+  /// predictions[r][s] = argmax class of request r's seed s.
+  std::vector<std::vector<int>> predictions;
+};
+
+class InferenceServer {
+ public:
+  /// The dataset and device must outlive the server.
+  InferenceServer(const Dataset& ds, const gpusim::DeviceSpec& dev,
+                  const ServeOptions& opts);
+
+  const FeatureCache& cache() const { return cache_; }
+
+  /// Runs every request, batching opts.batch_size at a time (the final
+  /// batch may be smaller). Deterministic for equal inputs.
+  ServingReport serve(std::span<const SeedRequest> requests) const;
+
+ private:
+  const Dataset* ds_;
+  const gpusim::DeviceSpec* dev_;
+  ServeOptions opts_;
+  int in_dim_;
+  Csr csr_;                     // sampling topology
+  FeatureCache cache_;
+  std::vector<float> features_;  // full n x in_dim host-side feature table
+};
+
+}  // namespace gnnone

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "gpusim/device.h"
@@ -23,7 +24,9 @@ inline std::uint64_t dense_op_cycles(const gpusim::DeviceSpec& dev,
                                      std::uint64_t launch_overhead = 2000) {
   const double compute = flops / kDeviceFlopsPerCycle;
   const double memory = bytes / dev.dram_bytes_per_cycle;
-  return launch_overhead + std::uint64_t(std::max(compute, memory));
+  // Round the bound up: truncation undercounted every op by up to a cycle
+  // and priced any op smaller than one cycle at exactly launch_overhead.
+  return launch_overhead + std::uint64_t(std::ceil(std::max(compute, memory)));
 }
 
 /// Convenience for an n x k by k x m matmul.

@@ -1,52 +1,76 @@
-// CycleLedger: accumulates the modeled GPU time of a training run.
+// CycleLedger / MemoryLedger: tagged accumulators for the modeled cost of a
+// run.
 //
-// Sparse kernels contribute their simulated cycles (gpusim); dense ops
-// contribute a roofline estimate (dense_cost.h). Both backends in the
-// training comparison share the dense model — matching the paper's setup
-// where GNNOne and DGL both delegate dense ops to PyTorch (§5.3.2) — so
-// end-to-end speedups are driven by the sparse kernels and launch counts.
+// CycleLedger holds modeled GPU time: sparse kernels contribute their
+// simulated cycles (gpusim); dense ops contribute a roofline estimate
+// (dense_cost.h). Both backends in the training comparison share the dense
+// model — matching the paper's setup where GNNOne and DGL both delegate
+// dense ops to PyTorch (§5.3.2) — so end-to-end speedups are driven by the
+// sparse kernels and launch counts.
+//
+// MemoryLedger holds bytes moved, tagged the same way (the serving path uses
+// it to attribute feature-cache hit vs miss traffic).
+//
+// Both keep entries in first-insertion order — reports and tests iterate
+// entries() and rely on that order — while lookups go through an index map
+// so that add()/by_tag() stay O(1) amortized per call. The previous linear
+// scan made every kernel launch O(tags) and a training run
+// O(launches x tags).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace gnnone {
 
-class CycleLedger {
+namespace detail {
+
+template <typename Derived>
+class TaggedLedger {
  public:
-  void add(const std::string& tag, std::uint64_t cycles) {
-    total_ += cycles;
-    for (auto& [t, c] : by_tag_) {
-      if (t == tag) {
-        c += cycles;
-        return;
-      }
+  void add(const std::string& tag, std::uint64_t amount) {
+    total_ += amount;
+    const auto [it, inserted] = index_.try_emplace(tag, entries_.size());
+    if (inserted) {
+      entries_.emplace_back(tag, amount);
+    } else {
+      entries_[it->second].second += amount;
     }
-    by_tag_.emplace_back(tag, cycles);
   }
 
   std::uint64_t total() const { return total_; }
 
   std::uint64_t by_tag(const std::string& tag) const {
-    for (const auto& [t, c] : by_tag_) {
-      if (t == tag) return c;
-    }
-    return 0;
+    const auto it = index_.find(tag);
+    return it != index_.end() ? entries_[it->second].second : 0;
   }
 
+  /// All tags in first-insertion order.
   const std::vector<std::pair<std::string, std::uint64_t>>& entries() const {
-    return by_tag_;
+    return entries_;
   }
 
   void reset() {
     total_ = 0;
-    by_tag_.clear();
+    entries_.clear();
+    index_.clear();
   }
 
  private:
   std::uint64_t total_ = 0;
-  std::vector<std::pair<std::string, std::uint64_t>> by_tag_;
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;  // tag -> entries_ slot
 };
+
+}  // namespace detail
+
+/// Modeled cycles by tag ("spmm", "sddmm", "dense", ...).
+class CycleLedger : public detail::TaggedLedger<CycleLedger> {};
+
+/// Bytes moved by tag ("feature_cache_hit", "feature_cache_miss", ...).
+class MemoryLedger : public detail::TaggedLedger<MemoryLedger> {};
 
 }  // namespace gnnone

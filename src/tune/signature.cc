@@ -90,6 +90,28 @@ GraphSignature signature_of(const Coo& coo) {
   return s;
 }
 
+GraphSignature coarse_signature(const GraphSignature& s) {
+  auto pow2_ceil = [](std::int64_t v) {
+    std::int64_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  };
+  GraphSignature c;
+  c.rows = pow2_ceil(s.rows);
+  c.cols = pow2_ceil(s.cols);
+  c.nnz = pow2_ceil(s.nnz);
+  c.max_degree = pow2_ceil(s.max_degree);
+  // Half-octave grid: exp2(round(2*log2(d+1)) / 2) - 1, clamped to >= 0.
+  c.mean_degree =
+      s.mean_degree > 0.0
+          ? std::exp2(std::round(2.0 * std::log2(s.mean_degree + 1.0)) / 2.0) -
+                1.0
+          : 0.0;
+  c.degree_cv = std::round(s.degree_cv * 4.0) / 4.0;
+  c.skew = s.skew;
+  return c;
+}
+
 double signature_distance(const GraphSignature& a, const GraphSignature& b) {
   auto log_gap = [](double x, double y) {
     const double lx = std::log(std::max(x, 1.0));

@@ -50,4 +50,12 @@ GraphSignature signature_of(const Coo& coo);
 /// signatures; ~0.7 per 2x size difference.
 double signature_distance(const GraphSignature& a, const GraphSignature& b);
 
+/// Coarsens a signature for shape dedup: rows/cols/nnz/max_degree round up
+/// to powers of two, mean_degree and degree_cv snap to half-octave /
+/// quarter-unit grids. Sampled serving minibatches differ slightly in every
+/// exact field, which would give each batch a distinct cache key; coarse
+/// keys collapse structurally-equivalent batches onto one entry so a
+/// decision tuned for the first batch is an *exact* hit for the rest.
+GraphSignature coarse_signature(const GraphSignature& s);
+
 }  // namespace gnnone::tune

@@ -1,0 +1,193 @@
+// Tests for the k-hop neighbor sampler and induced-subgraph extraction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/datasets.h"
+#include "gen/requests.h"
+#include "gen/rmat.h"
+#include "graph/convert.h"
+#include "graph/subgraph.h"
+#include "sample/sampler.h"
+
+namespace gnnone {
+namespace {
+
+Csr power_law_graph() {
+  RmatParams o;
+  o.scale = 9;  // 512 vertices
+  o.edge_factor = 8;
+  o.seed = 11;
+  return coo_to_csr(rmat_graph(o));
+}
+
+TEST(Sampler, SameSeedGivesByteIdenticalSubgraphs) {
+  const Csr g = power_law_graph();
+  const std::vector<vid_t> seeds = {3, 77, 200, 3};  // dup collapses
+  SampleOptions so;
+  so.fanouts = {8, 4};
+  so.seed = 42;
+  const SampledSubgraph a = sample_khop(g, seeds, so);
+  const SampledSubgraph b = sample_khop(g, seeds, so);
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.hop_offsets, b.hop_offsets);
+  EXPECT_EQ(a.coo.row, b.coo.row);
+  EXPECT_EQ(a.coo.col, b.coo.col);
+  EXPECT_EQ(a.sampled_edges, b.sampled_edges);
+  EXPECT_EQ(a.bytes_touched, b.bytes_touched);
+
+  SampleOptions other = so;
+  other.seed = 43;
+  const SampledSubgraph c = sample_khop(g, seeds, other);
+  // A different trace seed must change the draw (overwhelmingly likely on a
+  // power-law graph with fanout < degree somewhere).
+  EXPECT_NE(a.coo.col, c.coo.col);
+}
+
+TEST(Sampler, SeedsComeFirstAndDupsCollapse) {
+  const Csr g = power_law_graph();
+  const std::vector<vid_t> seeds = {3, 77, 200, 3};
+  const SampledSubgraph s = sample_khop(g, seeds, {});
+  ASSERT_EQ(s.num_seeds(), 3);
+  EXPECT_EQ(s.vertices[0], 3);
+  EXPECT_EQ(s.vertices[1], 77);
+  EXPECT_EQ(s.vertices[2], 200);
+  // Local ids are a compact relabeling: every global id appears once.
+  std::set<vid_t> uniq(s.vertices.begin(), s.vertices.end());
+  EXPECT_EQ(vid_t(uniq.size()), s.num_vertices());
+}
+
+TEST(Sampler, HopOffsetsPartitionTheVertexList) {
+  const Csr g = power_law_graph();
+  SampleOptions so;
+  so.fanouts = {4, 4, 2};
+  const std::vector<vid_t> seeds = {0, 100};
+  const SampledSubgraph s = sample_khop(g, seeds, so);
+  ASSERT_EQ(s.hop_offsets.size(), so.fanouts.size() + 2);
+  EXPECT_EQ(s.hop_offsets.front(), 0);
+  EXPECT_EQ(s.hop_offsets.back(), s.num_vertices());
+  EXPECT_TRUE(std::is_sorted(s.hop_offsets.begin(), s.hop_offsets.end()));
+}
+
+TEST(Sampler, FanoutBoundsTheDrawsPerVertex) {
+  const Csr g = power_law_graph();
+  SampleOptions so;
+  so.fanouts = {5};
+  so.add_self_loops = false;
+  const std::vector<vid_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  const SampledSubgraph s = sample_khop(g, seeds, so);
+  // Each seed row draws min(degree, fanout) distinct neighbors.
+  const Csr sub = coo_to_csr(s.coo);
+  for (vid_t lv = 0; lv < s.num_seeds(); ++lv) {
+    const vid_t deg = g.row_length(s.vertices[std::size_t(lv)]);
+    EXPECT_EQ(sub.row_length(lv), std::min<vid_t>(deg, 5));
+    // Drawn neighbors are real neighbors.
+    for (eid_t e = sub.row_begin(lv); e < sub.row_end(lv); ++e) {
+      const vid_t u = s.vertices[std::size_t(sub.col[std::size_t(e)])];
+      const vid_t v = s.vertices[std::size_t(lv)];
+      const auto* b = g.col.data() + g.row_begin(v);
+      const auto* en = g.col.data() + g.row_end(v);
+      EXPECT_NE(std::find(b, en, u), en);
+    }
+  }
+}
+
+TEST(Sampler, SelfLoopsGuaranteeNoEmptyRows) {
+  const Csr g = power_law_graph();
+  const std::vector<vid_t> seeds = {9, 10};
+  const SampledSubgraph s = sample_khop(g, seeds, {});
+  const Csr sub = coo_to_csr(s.coo);
+  for (vid_t v = 0; v < sub.num_rows; ++v) {
+    EXPECT_GE(sub.row_length(v), 1);
+  }
+}
+
+TEST(Sampler, RejectsBadInput) {
+  const Csr g = power_law_graph();
+  SampleOptions empty;
+  empty.fanouts = {};
+  const std::vector<vid_t> seeds = {0};
+  EXPECT_THROW(sample_khop(g, seeds, empty), std::invalid_argument);
+  const std::vector<vid_t> oob = {g.num_rows};
+  EXPECT_THROW(sample_khop(g, oob, {}), std::invalid_argument);
+}
+
+TEST(Subgraph, MatchesBruteForceReference) {
+  RmatParams o;
+  o.scale = 7;
+  o.edge_factor = 6;
+  o.seed = 5;
+  const Coo g = rmat_graph(o);
+  const std::vector<vid_t> verts = {5, 3, 60, 100, 12, 3};
+
+  const InducedSubgraph sub = extract_induced(g, verts);
+  // Relabeling keeps first-appearance order and drops the duplicate.
+  EXPECT_EQ(sub.vertices, (std::vector<vid_t>{5, 3, 60, 100, 12}));
+
+  // Reference: every edge with both ends in the set, relabeled, sorted.
+  std::set<std::pair<vid_t, vid_t>> want;
+  auto local_of = [&](vid_t gid) {
+    const auto it = std::find(sub.vertices.begin(), sub.vertices.end(), gid);
+    return it == sub.vertices.end()
+               ? vid_t(-1)
+               : vid_t(it - sub.vertices.begin());
+  };
+  for (std::size_t e = 0; e < std::size_t(g.nnz()); ++e) {
+    const vid_t lr = local_of(g.row[e]);
+    const vid_t lc = local_of(g.col[e]);
+    if (lr >= 0 && lc >= 0) want.insert({lr, lc});
+  }
+  std::set<std::pair<vid_t, vid_t>> got;
+  for (std::size_t e = 0; e < std::size_t(sub.coo.nnz()); ++e) {
+    got.insert({sub.coo.row[e], sub.coo.col[e]});
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(sub.coo.is_csr_arranged());
+}
+
+TEST(Subgraph, InducedCsrAgreesWithCooPath) {
+  RmatParams o;
+  o.scale = 7;
+  o.seed = 9;
+  const Coo g = rmat_graph(o);
+  const std::vector<vid_t> verts = {1, 2, 3, 50, 70};
+  std::vector<vid_t> out_verts;
+  const Csr csr = induced_csr(g, verts, &out_verts);
+  const InducedSubgraph sub = extract_induced(g, verts);
+  EXPECT_EQ(out_verts, sub.vertices);
+  EXPECT_EQ(csr_to_coo(csr).col, sub.coo.col);
+}
+
+TEST(Subgraph, RejectsOutOfRangeVertex) {
+  const Coo g = coo_from_edges(3, 3, {{0, 1}, {1, 2}});
+  const std::vector<vid_t> bad = {0, 3};
+  EXPECT_THROW(extract_induced(g, bad), std::invalid_argument);
+}
+
+TEST(Requests, TraceIsDeterministicAndInBounds) {
+  const Dataset ds = make_dataset("G4");
+  RequestTraceOptions o;
+  o.num_requests = 64;
+  o.min_seeds = 1;
+  o.max_seeds = 3;
+  o.hot_fraction = 0.6;
+  o.seed = 17;
+  const auto a = make_request_trace(ds.coo, o);
+  const auto b = make_request_trace(ds.coo, o);
+  ASSERT_EQ(a.size(), 64u);
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].seeds, b[r].seeds);
+    EXPECT_GE(int(a[r].seeds.size()), 1);
+    EXPECT_LE(int(a[r].seeds.size()), 3);
+    std::set<vid_t> uniq(a[r].seeds.begin(), a[r].seeds.end());
+    EXPECT_EQ(uniq.size(), a[r].seeds.size());
+    for (vid_t s : a[r].seeds) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, ds.coo.num_rows);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnnone

@@ -1,0 +1,190 @@
+// Tests for the feature cache and the request-batching inference driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gen/datasets.h"
+#include "gen/requests.h"
+#include "graph/convert.h"
+#include "serve/server.h"
+
+namespace gnnone {
+namespace {
+
+gpusim::DeviceSpec test_device() { return gpusim::DeviceSpec{}; }
+
+TEST(FeatureCache, AlphaZeroMissesEverything) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const FeatureCache cache(ds.coo, 16, 0.0, dev);
+  EXPECT_EQ(cache.num_cached(), 0);
+  const std::vector<vid_t> vs = {0, 1, 2, 100};
+  CycleLedger cycles;
+  MemoryLedger bytes;
+  const GatherStats st = cache.gather(vs, &cycles, &bytes);
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.misses, vs.size());
+  EXPECT_EQ(st.hit_bytes, 0u);
+  EXPECT_EQ(st.miss_bytes, vs.size() * 16 * 4);
+  EXPECT_EQ(bytes.by_tag("feature_cache_miss"), st.miss_bytes);
+  EXPECT_EQ(cycles.by_tag("feature_gather"), st.cycles);
+}
+
+TEST(FeatureCache, AlphaOneHitsEverything) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const FeatureCache cache(ds.coo, 16, 1.0, dev);
+  EXPECT_EQ(cache.num_cached(), ds.coo.num_rows);
+  const std::vector<vid_t> vs = {0, 5, 9999};
+  const GatherStats st = cache.gather(vs, nullptr, nullptr);
+  EXPECT_EQ(st.misses, 0u);
+  EXPECT_EQ(st.hits, vs.size());
+}
+
+TEST(FeatureCache, HitsAreMonotoneInAlpha) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  // A fixed vertex sample; every vertex cached at alpha stays cached at any
+  // larger alpha (degree order is a fixed total order), so hits are
+  // monotone and gather cycles monotone non-increasing (PCIe is slower).
+  std::vector<vid_t> vs;
+  for (vid_t v = 0; v < ds.coo.num_rows; v += 37) vs.push_back(v);
+  std::uint64_t prev_hits = 0;
+  std::uint64_t prev_cycles = ~0ull;
+  for (double alpha : {0.0, 0.05, 0.25, 0.5, 0.75, 1.0}) {
+    const FeatureCache cache(ds.coo, 16, alpha, dev);
+    const GatherStats st = cache.gather(vs, nullptr, nullptr);
+    EXPECT_GE(st.hits, prev_hits) << "alpha=" << alpha;
+    EXPECT_LE(st.cycles, prev_cycles) << "alpha=" << alpha;
+    prev_hits = st.hits;
+    prev_cycles = st.cycles;
+  }
+  EXPECT_EQ(prev_hits, vs.size());  // alpha = 1 hit everything
+}
+
+TEST(FeatureCache, PrefersHighDegreeVertices) {
+  // Star graph: vertex 0 has degree 4, the rest degree 1.
+  const Coo star = coo_from_edges(
+      5, 5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const auto dev = test_device();
+  const FeatureCache cache(star, 8, 0.2, dev);
+  EXPECT_EQ(cache.num_cached(), 1);
+  EXPECT_TRUE(cache.cached(0));
+  EXPECT_FALSE(cache.cached(1));
+}
+
+ServeOptions small_opts() {
+  ServeOptions o;
+  o.model_kind = "gcn";
+  o.batch_size = 4;
+  o.fanouts = {6, 3};
+  o.cache_alpha = 0.1;
+  o.feature_dim_override = 16;
+  o.backend = Backend::kGnnOne;
+  o.seed = 3;
+  return o;
+}
+
+std::vector<SeedRequest> small_trace(const Dataset& ds, int n = 14) {
+  RequestTraceOptions ro;
+  ro.num_requests = n;
+  ro.max_seeds = 3;
+  ro.hot_fraction = 0.5;
+  ro.seed = 21;
+  return make_request_trace(ds.coo, ro);
+}
+
+TEST(InferenceServer, ReportIsConsistent) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const ServeOptions opts = small_opts();
+  const InferenceServer server(ds, dev, opts);
+  const auto reqs = small_trace(ds);
+  const ServingReport rep = server.serve(reqs);
+
+  EXPECT_EQ(rep.num_requests, int(reqs.size()));
+  EXPECT_EQ(rep.num_batches,
+            int((reqs.size() + 3) / std::size_t(opts.batch_size)));
+  EXPECT_EQ(rep.batches.size(), std::size_t(rep.num_batches));
+
+  // Every request got one prediction per seed, in class range.
+  ASSERT_EQ(rep.predictions.size(), reqs.size());
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    ASSERT_EQ(rep.predictions[r].size(), reqs[r].seeds.size());
+    for (int c : rep.predictions[r]) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, ds.num_classes);
+    }
+  }
+
+  // Stage cycles add up and match the ledger's view.
+  std::uint64_t batch_sum = 0;
+  std::uint64_t hits = 0, misses = 0;
+  for (const BatchStats& b : rep.batches) {
+    EXPECT_EQ(b.cycles, b.sample_cycles + b.gather.cycles + b.forward_cycles);
+    EXPECT_EQ(b.gather.hits + b.gather.misses, std::uint64_t(b.num_vertices));
+    batch_sum += b.cycles;
+    hits += b.gather.hits;
+    misses += b.gather.misses;
+  }
+  EXPECT_EQ(rep.total_cycles, batch_sum);
+  EXPECT_EQ(rep.cache_hits, hits);
+  EXPECT_EQ(rep.cache_misses, misses);
+  EXPECT_EQ(rep.ledger.by_tag("sample"), rep.sample_cycles);
+  EXPECT_EQ(rep.ledger.by_tag("feature_gather"), rep.gather_cycles);
+  EXPECT_EQ(rep.bytes.by_tag("feature_cache_hit"), rep.cache_hit_bytes);
+  EXPECT_EQ(rep.bytes.by_tag("feature_cache_miss"), rep.cache_miss_bytes);
+  EXPECT_GE(rep.max_batch_cycles,
+            rep.total_cycles / std::uint64_t(rep.num_batches));
+  EXPECT_GT(rep.forward_cycles, 0u);
+}
+
+TEST(InferenceServer, ServingIsDeterministic) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const InferenceServer server(ds, dev, small_opts());
+  const auto reqs = small_trace(ds);
+  const ServingReport a = server.serve(reqs);
+  const ServingReport b = server.serve(reqs);
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+}
+
+TEST(InferenceServer, BackendChangesCostNotPredictions) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = small_trace(ds, 6);
+  ServeOptions a = small_opts();
+  a.backend = Backend::kGnnOne;
+  ServeOptions b = small_opts();
+  b.backend = Backend::kAuto;
+  const ServingReport ra = InferenceServer(ds, dev, a).serve(reqs);
+  const ServingReport rb = InferenceServer(ds, dev, b).serve(reqs);
+  // All backends compute identical math; only modeled cycles may differ.
+  EXPECT_EQ(ra.predictions, rb.predictions);
+  EXPECT_EQ(ra.cache_hits, rb.cache_hits);
+}
+
+TEST(InferenceServer, CacheAlphaCutsGatherCyclesOnSkewedTraffic) {
+  const Dataset ds = make_dataset("G4");  // power-law stand-in
+  const auto dev = test_device();
+  const auto reqs = small_trace(ds);
+  ServeOptions cold = small_opts();
+  cold.cache_alpha = 0.0;
+  ServeOptions warm = small_opts();
+  warm.cache_alpha = 0.25;
+  const ServingReport rc = InferenceServer(ds, dev, cold).serve(reqs);
+  const ServingReport rw = InferenceServer(ds, dev, warm).serve(reqs);
+  EXPECT_EQ(rc.cache_hits, 0u);
+  EXPECT_GT(rw.cache_hits, 0u);
+  EXPECT_LT(rw.gather_cycles, rc.gather_cycles);
+  // Sampling and forward are cache-independent.
+  EXPECT_EQ(rc.sample_cycles, rw.sample_cycles);
+  EXPECT_EQ(rc.forward_cycles, rw.forward_cycles);
+}
+
+}  // namespace
+}  // namespace gnnone

@@ -8,6 +8,7 @@
 #include "gen/rng.h"
 #include "gpusim/device.h"
 #include "tensor/autograd.h"
+#include "tensor/dense_cost.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 
@@ -255,6 +256,79 @@ TEST(Optim, SgdStepsDownhill) {
     opt.step();
   }
   EXPECT_NEAR(x->value[0], 0.0f, 1e-3f);
+}
+
+TEST(Ledger, EntriesKeepFirstInsertionOrder) {
+  // Regression: lookups moved to an index map; entries() must still report
+  // tags in first-insertion order (reports and figure breakdowns rely on it).
+  CycleLedger ledger;
+  ledger.add("spmm", 10);
+  ledger.add("dense", 5);
+  ledger.add("sddmm", 2);
+  ledger.add("spmm", 30);
+  ledger.add("dense", 1);
+  ASSERT_EQ(ledger.entries().size(), 3u);
+  EXPECT_EQ(ledger.entries()[0].first, "spmm");
+  EXPECT_EQ(ledger.entries()[0].second, 40u);
+  EXPECT_EQ(ledger.entries()[1].first, "dense");
+  EXPECT_EQ(ledger.entries()[1].second, 6u);
+  EXPECT_EQ(ledger.entries()[2].first, "sddmm");
+  EXPECT_EQ(ledger.entries()[2].second, 2u);
+  EXPECT_EQ(ledger.total(), 48u);
+  EXPECT_EQ(ledger.by_tag("spmm"), 40u);
+  EXPECT_EQ(ledger.by_tag("absent"), 0u);
+  ledger.reset();
+  EXPECT_EQ(ledger.total(), 0u);
+  EXPECT_TRUE(ledger.entries().empty());
+  // After reset the index must be rebuilt, not stale.
+  ledger.add("dense", 7);
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].first, "dense");
+  EXPECT_EQ(ledger.by_tag("dense"), 7u);
+}
+
+TEST(Ledger, ManyTagsStayConsistent) {
+  CycleLedger ledger;
+  for (int round = 0; round < 3; ++round) {
+    for (int t = 0; t < 200; ++t) {
+      ledger.add("tag" + std::to_string(t), std::uint64_t(t) + 1);
+    }
+  }
+  ASSERT_EQ(ledger.entries().size(), 200u);
+  for (int t = 0; t < 200; ++t) {
+    EXPECT_EQ(ledger.entries()[std::size_t(t)].first,
+              "tag" + std::to_string(t));
+    EXPECT_EQ(ledger.by_tag("tag" + std::to_string(t)),
+              3u * (std::uint64_t(t) + 1));
+  }
+}
+
+TEST(MemoryLedger, TracksBytesByTag) {
+  MemoryLedger bytes;
+  bytes.add("feature_cache_hit", 4096);
+  bytes.add("feature_cache_miss", 128);
+  bytes.add("feature_cache_hit", 4096);
+  EXPECT_EQ(bytes.total(), 8320u);
+  EXPECT_EQ(bytes.by_tag("feature_cache_hit"), 8192u);
+  EXPECT_EQ(bytes.entries()[0].first, "feature_cache_hit");
+}
+
+TEST(DenseCost, RoundsPartialCyclesUp) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  // A tiny op whose roofline bound is < 1 cycle must still cost at least one
+  // cycle beyond the launch overhead — truncation made it exactly
+  // launch_overhead.
+  const std::uint64_t tiny = dense_op_cycles(dev, 1.0, 8.0);
+  EXPECT_EQ(tiny, 2001u);
+  // 1e-9 flops/bytes is still "some work": never free.
+  EXPECT_GT(dense_op_cycles(dev, 1e-9, 0.0), 2000u);
+  // Zero work costs exactly the launch overhead.
+  EXPECT_EQ(dense_op_cycles(dev, 0.0, 0.0), 2000u);
+  // An exact integer bound is not inflated: bytes = 2048 at 1024 B/cycle is
+  // exactly 2 cycles.
+  EXPECT_EQ(dense_op_cycles(dev, 0.0, 2048.0), 2002u);
+  // A fractional bound rounds up, not down: 2049 bytes -> 3 cycles.
+  EXPECT_EQ(dense_op_cycles(dev, 0.0, 2049.0), 2003u);
 }
 
 TEST(Ledger, ChargesAccumulateByTag) {
