@@ -156,6 +156,8 @@ bench::Json baseline_from_results(const bench::Json& results) {
 
 /// Compares this run against the committed baseline. Returns the number of
 /// problems (drifted, missing, or unexpected-new rows), printing each.
+/// Baseline rows of benches absent from this run (an --only subset) are
+/// skipped, so a filtered run gates exactly its own benches' rows.
 int diff_against_baseline(const bench::Json& results,
                           const bench::Json& baseline, double tolerance) {
   if (baseline["schema"].as_string() != kBaselineSchemaName ||
@@ -171,15 +173,23 @@ int diff_against_baseline(const bench::Json& results,
     return 1;
   }
 
-  // Measured ok-rows by key.
+  // Measured ok-rows by key, and the set of benches this run executed.
   std::vector<std::pair<std::string, std::uint64_t>> measured;
+  std::vector<std::string> run_benches;
   for (const bench::Json& b : results["benches"].items()) {
+    run_benches.push_back(b["name"].as_string());
     for (const bench::Json& r : b["rows"].items()) {
       if (r["status"].as_string() != "ok") continue;
       measured.emplace_back(row_key(b["name"].as_string(), r),
                             r["cycles"].as_uint());
     }
   }
+  auto bench_in_run = [&](const std::string& name) {
+    for (const auto& n : run_benches) {
+      if (n == name) return true;
+    }
+    return false;
+  };
   auto find_measured = [&](const std::string& key) -> const std::uint64_t* {
     for (const auto& [k, v] : measured) {
       if (k == key) return &v;
@@ -188,8 +198,13 @@ int diff_against_baseline(const bench::Json& results,
   };
 
   int problems = 0;
+  std::size_t skipped = 0;
   std::vector<std::string> baseline_keys;
   for (const bench::Json& r : baseline["rows"].items()) {
+    if (!bench_in_run(r["bench"].as_string())) {
+      ++skipped;
+      continue;
+    }
     const std::string key = row_key(r["bench"].as_string(), r);
     baseline_keys.push_back(key);
     const std::uint64_t* got = find_measured(key);
@@ -221,6 +236,10 @@ int diff_against_baseline(const bench::Json& results,
       std::printf("baseline: NEW row %s (not in baseline)\n", key.c_str());
       ++problems;
     }
+  }
+  if (skipped > 0) {
+    std::printf("baseline: skipped %zu row(s) of benches not in this run\n",
+                skipped);
   }
   if (problems > 0) {
     std::printf(

@@ -13,6 +13,12 @@
 //    concentrate on high-degree vertices, so a small cache already serves
 //    most of the traffic: the hit rate at fixed alpha clearly exceeds the
 //    uniform road-grid's, where the hit rate roughly tracks alpha itself.
+//
+// A second sweep pins the three-slot serving pipeline (ServeOptions::
+// pipeline): across fanout/alpha points the pipelined makespan never exceeds
+// the serial total, the saving never exceeds the sample+gather cycles it can
+// hide, predictions stay bit-identical, and a single-batch control (nothing
+// to overlap with) lands exactly on the serial total.
 #include <cstdio>
 
 #include "common.h"
@@ -30,6 +36,19 @@ std::string alpha_config(double alpha) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "alpha=%.2f", alpha);
   return buf;
+}
+
+std::string pipe_config(const char* fan, double alpha) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "fan=%s;alpha=%.2f", fan, alpha);
+  return buf;
+}
+
+/// Every stage's exposed cycles must tile the timeline exactly.
+bool exposed_sums_to_makespan(const gnnone::ServingReport& r) {
+  return r.sample_split.exposed + r.gather_split.exposed +
+             r.forward_split.exposed ==
+         r.total_cycles;
 }
 
 }  // namespace
@@ -166,5 +185,125 @@ GNNONE_BENCH(serving, 260,
   std::printf("\nskewed hit-rate @ alpha=0.1 >= %.3f; uniform <= %.3f; "
               "cold/warm gather = %.2fx\n",
               skewed_min_rate, uniform_max_rate, cold_over_warm);
+
+  // --- Pipelined serving sweep ------------------------------------------
+  // Serial vs three-slot pipeline over fanout x alpha points. Fanout scales
+  // the sample stage, alpha scales the gather stage, so the sweep varies
+  // exactly the work the pipeline can hide behind the forward pass. ci rows
+  // are an exact subset of the full sweep (same trace, same options).
+  struct FanCfg {
+    const char* name;
+    std::vector<int> fanouts;
+  };
+  std::vector<const char*> pipe_graphs = {"G4", "G10"};
+  std::vector<FanCfg> fans = {
+      {"5", {5}}, {"10-5", {10, 5}}, {"15-10-5", {15, 10, 5}}};
+  std::vector<double> pipe_alphas = {0.0, 0.1, 1.0};
+  if (h.ci()) {
+    pipe_graphs = {"G4"};
+    fans = {{"10-5", {10, 5}}};
+    pipe_alphas = {0.0, 1.0};
+  }
+
+  std::printf("\n%-5s %-9s %6s  %12s %12s %8s %10s\n", "graph", "fanout",
+              "alpha", "serial-cyc", "pipe-cyc", "speedup", "hidden-cyc");
+
+  bool never_slower = true, saving_bounded = true, preds_match = true;
+  bool exposed_sums = true;
+  int strictly_faster = 0;
+  std::vector<double> speedups;
+  for (const char* gid : pipe_graphs) {
+    const gnnone::Dataset ds = gnnone::make_dataset(gid);
+    gnnone::RequestTraceOptions ro;
+    ro.num_requests = 96;
+    ro.min_seeds = 1;
+    ro.max_seeds = 3;
+    ro.hot_fraction = 0.0;
+    ro.seed = 77;
+    const auto trace = gnnone::make_request_trace(ds.coo, ro);
+
+    for (const FanCfg& fc : fans) {
+      for (const double alpha : pipe_alphas) {
+        gnnone::ServeOptions o = opts;
+        o.fanouts = fc.fanouts;
+        o.cache_alpha = alpha;
+        const gnnone::InferenceServer serial_server(ds, dev, o);
+        o.pipeline = true;
+        const gnnone::InferenceServer pipe_server(ds, dev, o);
+        const gnnone::ServingReport rs = serial_server.serve(trace);
+        const gnnone::ServingReport rp = pipe_server.serve(trace);
+
+        const std::string cfg = pipe_config(fc.name, alpha);
+        h.add_cycles(gid, "serve_serial", o.feature_dim_override,
+                     rs.total_cycles, cfg);
+        h.add_cycles(gid, "serve_pipelined", o.feature_dim_override,
+                     rp.total_cycles, cfg);
+
+        never_slower = never_slower && rp.total_cycles <= rs.total_cycles;
+        const std::uint64_t saving = rs.total_cycles - rp.total_cycles;
+        // Overlap can only hide sample+gather work; forward is never hidden,
+        // so zero sample+gather cycles would force saving == 0.
+        saving_bounded =
+            saving_bounded && saving <= rp.sample_cycles + rp.gather_cycles;
+        preds_match = preds_match && rp.predictions == rs.predictions;
+        exposed_sums = exposed_sums && exposed_sums_to_makespan(rs) &&
+                       exposed_sums_to_makespan(rp);
+        if (rp.total_cycles < rs.total_cycles) ++strictly_faster;
+        speedups.push_back(double(rs.total_cycles) /
+                           double(rp.total_cycles));
+
+        std::printf("%-5s %-9s %6.2f  %12llu %12llu %7.3fx %10llu\n", gid,
+                    fc.name, alpha, (unsigned long long)rs.total_cycles,
+                    (unsigned long long)rp.total_cycles,
+                    double(rs.total_cycles) / double(rp.total_cycles),
+                    (unsigned long long)saving);
+      }
+    }
+
+    // Single-batch control: with one minibatch there is no batch b+1 to
+    // prepare during the forward, so the pipelined makespan must land
+    // exactly on the serial total — overlap only ever helps when another
+    // batch's sample+gather cycles exist to hide.
+    if (std::string(gid) == "G4") {
+      gnnone::ServeOptions o = opts;
+      o.batch_size = int(trace.size());
+      const gnnone::InferenceServer serial_server(ds, dev, o);
+      o.pipeline = true;
+      const gnnone::InferenceServer pipe_server(ds, dev, o);
+      const gnnone::ServingReport rs = serial_server.serve(trace);
+      const gnnone::ServingReport rp = pipe_server.serve(trace);
+      h.add_cycles(gid, "serve_serial", o.feature_dim_override,
+                   rs.total_cycles, "fan=10-5;alpha=0.10;bs=96");
+      h.add_cycles(gid, "serve_pipelined", o.feature_dim_override,
+                   rp.total_cycles, "fan=10-5;alpha=0.10;bs=96");
+      h.expect("serving.pipeline_single_batch_no_overlap",
+               rp.total_cycles == rs.total_cycles &&
+                   rp.predictions == rs.predictions,
+               "one batch leaves nothing to overlap: pipelined total " +
+                   std::to_string(rp.total_cycles) + " vs serial " +
+                   std::to_string(rs.total_cycles));
+    }
+  }
+
+  h.expect("serving.pipeline_never_slower", never_slower,
+           "pipelined makespan must be <= the serial total on every point");
+  h.expect("serving.pipeline_saving_bounded", saving_bounded,
+           "overlap can hide at most the sample+gather cycles");
+  h.expect("serving.pipeline_predictions_match", preds_match,
+           "pipelined predictions must be bit-identical to serial");
+  h.expect("serving.pipeline_exposed_sums_to_makespan", exposed_sums,
+           "per-stage exposed cycles must sum to total_cycles");
+  const int need_faster = h.ci() ? 1 : 3;
+  h.expect("serving.pipeline_strictly_faster",
+           strictly_faster >= need_faster,
+           std::to_string(strictly_faster) + " of " +
+               std::to_string(speedups.size()) +
+               " points strictly faster (need >= " +
+               std::to_string(need_faster) + ")");
+  const double speedup = bench::geomean(speedups);
+  h.metric("pipeline_speedup_geomean", speedup);
+  std::printf("\npipeline speedup geomean %.3fx over %zu points; %d strictly "
+              "faster\n",
+              speedup, speedups.size(), strictly_faster);
   return 0;
 }

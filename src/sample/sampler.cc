@@ -19,19 +19,22 @@ std::uint64_t vertex_stream_seed(std::uint64_t seed, int hop, vid_t v) {
 }  // namespace
 
 SampledSubgraph sample_khop(const Csr& graph, std::span<const vid_t> seeds,
-                            const SampleOptions& opts) {
+                            const SampleOptions& opts,
+                            SamplerScratch* scratch) {
   if (opts.fanouts.empty()) {
     throw std::invalid_argument("sample_khop: fanouts must not be empty");
   }
 
   SampledSubgraph out;
-  std::vector<vid_t> local(std::size_t(graph.num_rows), vid_t(-1));
+  SamplerScratch own;  // standalone calls pay their own allocation
+  if (scratch == nullptr) scratch = &own;
+  scratch->begin_epoch(graph.num_rows);
   auto intern = [&](vid_t g) {
-    if (local[std::size_t(g)] < 0) {
-      local[std::size_t(g)] = vid_t(out.vertices.size());
+    if (!scratch->present(g)) {
+      scratch->put(g, vid_t(out.vertices.size()));
       out.vertices.push_back(g);
     }
-    return local[std::size_t(g)];
+    return scratch->slot(g);
   };
 
   out.hop_offsets.push_back(0);
@@ -44,7 +47,7 @@ SampledSubgraph sample_khop(const Csr& graph, std::span<const vid_t> seeds,
   out.hop_offsets.push_back(vid_t(out.vertices.size()));
 
   EdgeList edges;
-  std::vector<vid_t> reservoir;
+  std::vector<vid_t>& reservoir = scratch->reservoir();
   vid_t frontier_begin = 0;
   for (std::size_t hop = 0; hop < opts.fanouts.size(); ++hop) {
     const vid_t frontier_end = vid_t(out.vertices.size());

@@ -56,11 +56,54 @@ struct SampledSubgraph {
   vid_t num_vertices() const { return vid_t(vertices.size()); }
 };
 
+/// Reusable cross-call scratch for sample_khop. The sampler's intern table
+/// (global id -> local id) is O(|V|); allocating and clearing it per call
+/// dominates per-batch cost when a server samples many small blocks on a
+/// large graph. The table is epoch-stamped instead: each call bumps the
+/// epoch, and a slot counts as present only when its stamp matches, so reuse
+/// costs O(block) rather than O(|V|). A default-constructed scratch works
+/// for any graph and grows to the largest one it has served.
+class SamplerScratch {
+ public:
+  SamplerScratch() = default;
+
+  /// Starts a new sampling epoch over a graph with `num_rows` vertices and
+  /// returns the epoch id. Grows (never shrinks) the tables.
+  std::uint64_t begin_epoch(vid_t num_rows) {
+    if (slot_.size() < std::size_t(num_rows)) {
+      slot_.resize(std::size_t(num_rows), 0);
+      stamp_.resize(std::size_t(num_rows), 0);
+    }
+    return ++epoch_;
+  }
+
+  bool present(vid_t g) const { return stamp_[std::size_t(g)] == epoch_; }
+  vid_t slot(vid_t g) const { return slot_[std::size_t(g)]; }
+  void put(vid_t g, vid_t local) {
+    stamp_[std::size_t(g)] = epoch_;
+    slot_[std::size_t(g)] = local;
+  }
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::vector<vid_t>& reservoir() { return reservoir_; }
+
+ private:
+  std::vector<vid_t> slot_;           // local id, valid when stamp matches
+  std::vector<std::uint64_t> stamp_;  // epoch that wrote the slot
+  std::uint64_t epoch_ = 0;           // 0 = no epoch begun; stamps start at 1
+  std::vector<vid_t> reservoir_;      // per-vertex draw buffer, reused
+};
+
 /// Samples the k-hop neighborhood of `seeds` (global ids; duplicates are
 /// collapsed, first occurrence keeps the lower local id). A fanout <= 0
 /// means "take every neighbor" for that hop. Throws std::invalid_argument
 /// on an out-of-range seed or empty fanout list.
+///
+/// `scratch` lets a caller that samples many blocks (the inference server)
+/// reuse the O(|V|) intern table across calls; null makes the call allocate
+/// its own. Results are byte-identical either way.
 SampledSubgraph sample_khop(const Csr& graph, std::span<const vid_t> seeds,
-                            const SampleOptions& opts = {});
+                            const SampleOptions& opts = {},
+                            SamplerScratch* scratch = nullptr);
 
 }  // namespace gnnone

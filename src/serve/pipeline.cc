@@ -1,0 +1,84 @@
+#include "serve/pipeline.h"
+
+#include <algorithm>
+
+namespace gnnone {
+
+std::size_t StreamTimeline::place(int stream, int batch, std::uint64_t ready,
+                                  std::uint64_t cycles) {
+  const std::uint64_t start =
+      std::max(ready, stream_free_[std::size_t(stream)]);
+  StageSpan s;
+  s.batch = batch;
+  s.stream = stream;
+  s.start = start;
+  s.end = start + cycles;
+  stream_free_[std::size_t(stream)] = s.end;
+  spans_.push_back(s);
+  return spans_.size() - 1;
+}
+
+std::uint64_t StreamTimeline::makespan() const {
+  std::uint64_t m = 0;
+  for (const StageSpan& s : spans_) m = std::max(m, s.end);
+  return m;
+}
+
+void StreamTimeline::attribute() {
+  // Sweep the elementary intervals between span boundaries. Every span
+  // covers a whole number of elementary intervals, so within one interval
+  // the active set is constant; the active span on the highest-numbered
+  // stream is the exposed occupant, everything else active is overlapped.
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(2 * spans_.size());
+  for (StageSpan& s : spans_) {
+    s.exposed = 0;
+    s.overlapped = 0;
+    if (s.start < s.end) {
+      bounds.push_back(s.start);
+      bounds.push_back(s.end);
+    }
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const std::uint64_t lo = bounds[i], hi = bounds[i + 1];
+    StageSpan* winner = nullptr;
+    for (StageSpan& s : spans_) {
+      if (s.start <= lo && s.end >= hi && s.start < s.end) {
+        if (winner == nullptr || s.stream > winner->stream) winner = &s;
+      }
+    }
+    if (winner == nullptr) continue;  // idle gap: attributed to nobody
+    for (StageSpan& s : spans_) {
+      if (s.start <= lo && s.end >= hi && s.start < s.end) {
+        (&s == winner ? s.exposed : s.overlapped) += hi - lo;
+      }
+    }
+  }
+}
+
+StreamTimeline serve_timeline(std::span<const BatchStageCycles> batches,
+                              bool pipelined) {
+  StreamTimeline tl(kNumServeStreams);
+  std::vector<std::uint64_t> retired(batches.size(), 0);  // forward end
+  std::uint64_t cursor = 0;                               // serial chain
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const BatchStageCycles& c = batches[b];
+    const std::uint64_t slot_free =
+        pipelined ? (b >= 2 ? retired[b - 2] : 0) : cursor;
+    const std::size_t is =
+        tl.place(kSampleStream, int(b), slot_free, c.sample);
+    const std::size_t ig =
+        tl.place(kGatherStream, int(b), tl.span(is).end, c.gather);
+    const std::size_t fi =
+        tl.place(kForwardStream, int(b), tl.span(ig).end, c.forward);
+    retired[b] = tl.span(fi).end;
+    cursor = tl.span(fi).end;
+  }
+  tl.attribute();
+  return tl;
+}
+
+}  // namespace gnnone

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "graph/convert.h"
-#include "sample/sampler.h"
 
 namespace gnnone {
 
@@ -27,11 +28,153 @@ InferenceServer::InferenceServer(const Dataset& ds,
   }
 }
 
+struct InferenceServer::PreparedBatch {
+  std::size_t first = 0, last = 0;  // request range [first, last)
+  /// Per block row: the global vertex whose features the row carries.
+  std::vector<vid_t> block_vertices;
+  /// Per request (relative to `first`): row of its block's first seed; the
+  /// request's seeds occupy rows seed_row[r] + j in request-seed order
+  /// (sample_khop interns seeds first, duplicates collapsing onto their
+  /// first occurrence — see seed_rows).
+  std::vector<std::vector<vid_t>> seed_rows;
+  Coo coo;  // block-diagonal composition of the per-request blocks
+  BatchStats bs;
+};
+
+InferenceServer::PreparedBatch InferenceServer::prepare_batch(
+    std::span<const SeedRequest> requests, std::size_t first,
+    std::size_t last, SamplerScratch& scratch, ServingReport& rep) const {
+  PreparedBatch pb;
+  pb.first = first;
+  pb.last = last;
+  pb.bs.num_requests = int(last - first);
+
+  // Stage 1: sample every request's k-hop block independently. The stream
+  // seed is the trace seed alone — per-(seed, hop, vertex) streams inside
+  // the sampler — never the batch index, so a request's block is a pure
+  // function of its own seed set and predictions cannot depend on which
+  // batch the request lands in.
+  SampleOptions so;
+  so.fanouts = opts_.fanouts;
+  so.seed = opts_.seed;
+
+  std::size_t bytes_touched = 0;
+  for (std::size_t r = first; r < last; ++r) {
+    const SampledSubgraph sub = sample_khop(csr_, requests[r].seeds, so,
+                                            &scratch);
+    const vid_t base = vid_t(pb.block_vertices.size());
+
+    // Request seed j -> its block row. sample_khop assigns seeds local ids
+    // 0..num_seeds in first-appearance order, so a duplicated seed within a
+    // request maps back onto its first occurrence's row.
+    std::vector<vid_t> rows;
+    rows.reserve(requests[r].seeds.size());
+    vid_t next = 0;
+    for (std::size_t j = 0; j < requests[r].seeds.size(); ++j) {
+      vid_t local = vid_t(-1);
+      for (std::size_t k = 0; k < j; ++k) {
+        if (requests[r].seeds[k] == requests[r].seeds[j]) {
+          local = rows[k] - base;
+          break;
+        }
+      }
+      rows.push_back(base + (local >= 0 ? local : next++));
+    }
+    pb.seed_rows.push_back(std::move(rows));
+    pb.bs.num_seeds += sub.num_seeds();
+
+    // Block-diagonal append: each per-request block is CSR-arranged over its
+    // own local ids, and bases increase monotonically, so the concatenation
+    // stays CSR-arranged and every component keeps its exact within-row NZE
+    // order — the property that makes the batched forward bit-identical to
+    // per-request forwards.
+    pb.block_vertices.insert(pb.block_vertices.end(), sub.vertices.begin(),
+                             sub.vertices.end());
+    pb.coo.row.reserve(pb.coo.row.size() + sub.coo.row.size());
+    pb.coo.col.reserve(pb.coo.col.size() + sub.coo.col.size());
+    for (vid_t v : sub.coo.row) pb.coo.row.push_back(base + v);
+    for (vid_t v : sub.coo.col) pb.coo.col.push_back(base + v);
+    bytes_touched += sub.bytes_touched;
+  }
+  pb.coo.num_rows = pb.coo.num_cols = vid_t(pb.block_vertices.size());
+  pb.bs.num_vertices = pb.coo.num_rows;
+  pb.bs.num_edges = pb.coo.nnz();
+
+  // The sampler reports the adjacency bytes it scanned; charge them at DRAM
+  // bandwidth as one launch per batch.
+  pb.bs.sample_cycles =
+      2000 + std::uint64_t(std::ceil(double(bytes_touched) /
+                                     dev_->dram_bytes_per_cycle));
+  rep.ledger.add("sample", pb.bs.sample_cycles);
+
+  // Stage 2: gather input features through the cache. Requests in a batch
+  // often sample the same hub vertices; the physical fetch happens once per
+  // distinct vertex (an O(1)-lookup map built once per batch), replicating
+  // rows on device afterwards is free in this first-order model.
+  std::unordered_map<vid_t, vid_t> gather_slot;
+  gather_slot.reserve(pb.block_vertices.size());
+  std::vector<vid_t> unique_vertices;
+  unique_vertices.reserve(pb.block_vertices.size());
+  for (vid_t g : pb.block_vertices) {
+    if (gather_slot.try_emplace(g, vid_t(unique_vertices.size())).second) {
+      unique_vertices.push_back(g);
+    }
+  }
+  pb.bs.num_unique_vertices = vid_t(unique_vertices.size());
+  pb.bs.gather = cache_.gather(unique_vertices, &rep.ledger, &rep.bytes);
+  return pb;
+}
+
+void InferenceServer::forward_batch(const PreparedBatch& pb,
+                                    std::span<const SeedRequest> requests,
+                                    const ModelConfig& cfg,
+                                    const OpContext& ctx,
+                                    ServingReport& rep) const {
+  const std::uint64_t fwd_before = rep.ledger.total();
+  const vid_t n = pb.bs.num_vertices;
+  std::vector<float> x_data(std::size_t(n) * std::size_t(in_dim_));
+  for (vid_t lv = 0; lv < n; ++lv) {
+    const auto src = std::size_t(pb.block_vertices[std::size_t(lv)]) *
+                     std::size_t(in_dim_);
+    std::copy_n(features_.begin() + long(src), in_dim_,
+                x_data.begin() + long(std::size_t(lv) * std::size_t(in_dim_)));
+  }
+  const VarPtr x = make_var(Tensor::from(n, in_dim_, std::move(x_data)));
+
+  SparseEngine engine(opts_.backend, pb.coo, *dev_);
+  engine.set_tuning_cache(opts_.tuning_cache);
+  engine.set_online_tune(opts_.online_tune);
+  const auto model = make_model(opts_.model_kind, engine, cfg);
+  const VarPtr logp = model->forward(ctx, engine, x, opts_.seed);
+
+  for (std::size_t r = pb.first; r < pb.last; ++r) {
+    auto& out = rep.predictions[r];
+    out.reserve(requests[r].seeds.size());
+    for (const vid_t lv : pb.seed_rows[r - pb.first]) {
+      int best = 0;
+      for (std::int64_t c = 1; c < logp->value.cols(); ++c) {
+        if (logp->value.at(lv, c) > logp->value.at(lv, best)) best = int(c);
+      }
+      out.push_back(best);
+    }
+  }
+  // forward_batch charges the ledger contiguously, so the delta is this
+  // batch's forward cost even when prepare_batch calls interleave.
+  rep.batches[std::size_t(pb.first / std::size_t(opts_.batch_size))]
+      .forward_cycles = rep.ledger.total() - fwd_before;
+}
+
 ServingReport InferenceServer::serve(
     std::span<const SeedRequest> requests) const {
   ServingReport rep;
   rep.num_requests = int(requests.size());
+  rep.pipelined = opts_.pipeline;
   rep.predictions.resize(requests.size());
+
+  const std::size_t bsz = std::size_t(opts_.batch_size);
+  const std::size_t nb = (requests.size() + bsz - 1) / bsz;
+  rep.num_batches = int(nb);
+  rep.batches.resize(nb);
 
   const ModelConfig cfg =
       model_config_for(opts_.model_kind, in_dim_, ds_->num_classes);
@@ -41,91 +184,76 @@ ServingReport InferenceServer::serve(
   ctx.ledger = &rep.ledger;
   ctx.training = false;  // dropout is identity at serving time
 
-  for (std::size_t first = 0; first < requests.size();
-       first += std::size_t(opts_.batch_size)) {
-    const std::size_t last =
-        std::min(first + std::size_t(opts_.batch_size), requests.size());
-    const std::uint64_t batch_index = rep.num_batches++;
-    BatchStats bs;
-    bs.num_requests = int(last - first);
-    const std::uint64_t batch_before = rep.ledger.total();
+  SamplerScratch scratch;  // intern table reused across every batch
+  auto finish_prepare = [&](PreparedBatch pb) {
+    rep.batches[pb.first / bsz] = pb.bs;
+    return pb;
+  };
+  auto range_of = [&](std::size_t b) {
+    return std::pair<std::size_t, std::size_t>{
+        b * bsz, std::min((b + 1) * bsz, requests.size())};
+  };
 
-    // Union of the batch's seeds, first appearance keeping the lower slot —
-    // the sampler interns in this order, so seed_local finds every request's
-    // rows in the block.
-    std::vector<vid_t> seeds;
-    for (std::size_t r = first; r < last; ++r) {
-      for (vid_t s : requests[r].seeds) {
-        if (std::find(seeds.begin(), seeds.end(), s) == seeds.end()) {
-          seeds.push_back(s);
-        }
+  if (!opts_.pipeline) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      const auto [first, last] = range_of(b);
+      const PreparedBatch pb =
+          finish_prepare(prepare_batch(requests, first, last, scratch, rep));
+      forward_batch(pb, requests, cfg, ctx, rep);
+    }
+  } else if (nb > 0) {
+    // Three-slot software pipeline: while batch b forwards, batch b + 1 is
+    // sampled and gathered. The computation is identical to serial mode —
+    // only the schedule (and therefore the cycle composition) changes.
+    const auto [f0, l0] = range_of(0);
+    PreparedBatch next =
+        finish_prepare(prepare_batch(requests, f0, l0, scratch, rep));
+    for (std::size_t b = 0; b < nb; ++b) {
+      const PreparedBatch cur = std::move(next);
+      if (b + 1 < nb) {
+        const auto [first, last] = range_of(b + 1);
+        next =
+            finish_prepare(prepare_batch(requests, first, last, scratch, rep));
       }
+      forward_batch(cur, requests, cfg, ctx, rep);
     }
-    bs.num_seeds = vid_t(seeds.size());
+  }
 
-    // Stage 1: sample the k-hop block. The sampler reports the adjacency
-    // bytes it scanned; charge them at DRAM bandwidth as one launch.
-    SampleOptions so;
-    so.fanouts = opts_.fanouts;
-    so.seed = opts_.seed + batch_index;
-    const SampledSubgraph sub = sample_khop(csr_, seeds, so);
-    bs.num_vertices = sub.num_vertices();
-    bs.num_edges = sub.coo.nnz();
-    bs.sample_cycles =
-        2000 + std::uint64_t(std::ceil(double(sub.bytes_touched) /
-                                       dev_->dram_bytes_per_cycle));
-    rep.ledger.add("sample", bs.sample_cycles);
+  // Build the per-stream timeline from the measured stage costs and fold
+  // the schedule into the report.
+  std::vector<BatchStageCycles> stage_cycles(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    BatchStats& bs = rep.batches[b];
+    bs.cycles = bs.sample_cycles + bs.gather.cycles + bs.forward_cycles;
+    stage_cycles[b] = {bs.sample_cycles, bs.gather.cycles, bs.forward_cycles};
+  }
+  const StreamTimeline tl = serve_timeline(stage_cycles, opts_.pipeline);
+  rep.timeline = tl.spans();
+  rep.total_cycles = tl.makespan();
+  rep.serial_cycles = rep.ledger.total();
 
-    // Stage 2: gather input features through the cache.
-    bs.gather = cache_.gather(sub.vertices, &rep.ledger, &rep.bytes);
-
-    // Stage 3: one forward pass over the sampled block.
-    const std::uint64_t fwd_before = rep.ledger.total();
-    std::vector<float> x_data(std::size_t(bs.num_vertices) *
-                              std::size_t(in_dim_));
-    for (vid_t lv = 0; lv < bs.num_vertices; ++lv) {
-      const auto src = std::size_t(sub.vertices[std::size_t(lv)]) *
-                       std::size_t(in_dim_);
-      std::copy_n(features_.begin() + long(src), in_dim_,
-                  x_data.begin() + long(std::size_t(lv) * std::size_t(in_dim_)));
-    }
-    const VarPtr x =
-        make_var(Tensor::from(bs.num_vertices, in_dim_, std::move(x_data)));
-
-    SparseEngine engine(opts_.backend, sub.coo, *dev_);
-    engine.set_tuning_cache(opts_.tuning_cache);
-    engine.set_online_tune(opts_.online_tune);
-    const auto model = make_model(opts_.model_kind, engine, cfg);
-    const VarPtr logp = model->forward(ctx, engine, x, opts_.seed);
-    bs.forward_cycles = rep.ledger.total() - fwd_before;
-
-    // Predictions: seeds hold local ids 0..num_seeds in union order.
-    for (std::size_t r = first; r < last; ++r) {
-      auto& out = rep.predictions[r];
-      out.reserve(requests[r].seeds.size());
-      for (vid_t s : requests[r].seeds) {
-        const auto lv = vid_t(
-            std::find(seeds.begin(), seeds.end(), s) - seeds.begin());
-        int best = 0;
-        for (std::int64_t c = 1; c < logp->value.cols(); ++c) {
-          if (logp->value.at(lv, c) > logp->value.at(lv, best)) best = int(c);
-        }
-        out.push_back(best);
-      }
-    }
-
-    bs.cycles = rep.ledger.total() - batch_before;
+  for (std::size_t b = 0; b < nb; ++b) {
+    BatchStats& bs = rep.batches[b];
+    const StageSpan& s = rep.timeline[3 * b + std::size_t(kSampleStream)];
+    const StageSpan& f = rep.timeline[3 * b + std::size_t(kForwardStream)];
+    bs.latency_cycles = f.end - s.start;
     rep.sample_cycles += bs.sample_cycles;
     rep.gather_cycles += bs.gather.cycles;
     rep.forward_cycles += bs.forward_cycles;
-    rep.max_batch_cycles = std::max(rep.max_batch_cycles, bs.cycles);
+    rep.max_batch_cycles = std::max(rep.max_batch_cycles, bs.latency_cycles);
     rep.cache_hits += bs.gather.hits;
     rep.cache_misses += bs.gather.misses;
     rep.cache_hit_bytes += bs.gather.hit_bytes;
     rep.cache_miss_bytes += bs.gather.miss_bytes;
-    rep.batches.push_back(bs);
   }
-  rep.total_cycles = rep.ledger.total();
+  for (const StageSpan& span : rep.timeline) {
+    StageSplit& split = span.stream == kSampleStream   ? rep.sample_split
+                        : span.stream == kGatherStream ? rep.gather_split
+                                                       : rep.forward_split;
+    split.cycles += span.cycles();
+    split.exposed += span.exposed;
+    split.overlapped += span.overlapped;
+  }
   return rep;
 }
 

@@ -2,17 +2,37 @@
 //
 // The serving regime the FGNN/SamGraph line of work targets: requests name
 // seed vertices, the server groups them into minibatches, samples each
-// batch's k-hop neighborhood, gathers input features through the static
-// degree-ordered cache, and runs one forward pass over the sampled block
-// through the existing GCN/GAT/GIN layers. Every stage charges modeled
-// cycles to one CycleLedger ("sample", "feature_gather", then the usual
-// kernel tags), so a serving run decomposes the same way a training run
-// does and the bench layer can sweep the cache fraction alpha.
+// request's k-hop neighborhood, gathers input features through the static
+// degree-ordered cache, and runs one forward pass per minibatch over the
+// batched blocks through the existing GCN/GAT/GIN layers. Every stage
+// charges modeled cycles to one CycleLedger ("sample", "feature_gather",
+// then the usual kernel tags), so a serving run decomposes the same way a
+// training run does and the bench layer can sweep the cache fraction alpha.
 //
-// Determinism: batch b samples with seed opts.seed + b, model weights are
-// glorot-rebuilt from fixed seeds per batch (the checkpoint stand-in — equal
-// configs give equal weights), and the forward runs with training = false,
-// so equal (dataset, requests, options) produce byte-identical reports.
+// Batch-composition invariance: every request is sampled independently with
+// streams derived from (trace seed, hop, vertex) — never from the batch
+// index — and the minibatch runs the forward over the *block-diagonal*
+// composition of the per-request blocks (DGL's graph batching). GCN/GAT
+// compute is row- and component-local, so a request's predictions are a
+// pure function of (dataset, options, its own seed set): they do not change
+// with batch_size, with the other requests in the batch, or between serial
+// and pipelined mode. (GIN is the exception: its BatchNorm-style vcolnorm
+// standardizes across every row of the minibatch block, so GIN predictions
+// are inherently batch-coupled — same as real batch-norm inference without
+// frozen running statistics.)
+//
+// Determinism: model weights are glorot-rebuilt from fixed seeds per batch
+// (the checkpoint stand-in — equal configs give equal weights), and the
+// forward runs with training = false, so equal (dataset, requests, options)
+// produce byte-identical reports.
+//
+// Pipelined mode (opts.pipeline) stages batches through a three-slot
+// software pipeline — sample and gather of batch b+1 overlap with the
+// forward of batch b — and reports cycles against the per-stream timeline
+// model in serve/pipeline.h: total_cycles is the timeline makespan, each
+// stage's cycles split into exposed vs overlapped, and a batch's latency is
+// its critical path through the schedule. Predictions and the cycle ledger
+// are bit-identical to serial mode; only the cycle composition changes.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +43,9 @@
 #include "gen/datasets.h"
 #include "gen/requests.h"
 #include "gnn/train.h"
+#include "sample/sampler.h"
 #include "serve/feature_cache.h"
+#include "serve/pipeline.h"
 
 namespace gnnone {
 
@@ -41,28 +63,57 @@ struct ServeOptions {
   /// ownership; may be null) and whether to tune cache misses on the spot.
   const tune::TuningCache* tuning_cache = nullptr;
   bool online_tune = false;
+  /// Software-pipelined serving: overlap sample+gather of batch b+1 with
+  /// forward of batch b (serve/pipeline.h). Off = the serial driver.
+  /// Predictions are bit-identical either way.
+  bool pipeline = false;
+};
+
+/// One stage's cycles split by the timeline attribution: `exposed` cycles
+/// extend the makespan, `overlapped` cycles hide behind a concurrent stage
+/// on a higher-priority stream. exposed + overlapped == cycles; in serial
+/// mode everything is exposed.
+struct StageSplit {
+  std::uint64_t cycles = 0;
+  std::uint64_t exposed = 0;
+  std::uint64_t overlapped = 0;
 };
 
 /// Per-minibatch accounting.
 struct BatchStats {
   int num_requests = 0;
-  vid_t num_seeds = 0;     // distinct seed vertices in the batch
-  vid_t num_vertices = 0;  // sampled block size
-  eid_t num_edges = 0;     // sampled block nnz (with self-loops)
+  vid_t num_seeds = 0;     // seed rows in the block (summed over requests)
+  vid_t num_vertices = 0;  // block rows (per-request blocks, concatenated)
+  /// Distinct global vertices the batch gathers (feature traffic is
+  /// deduplicated across the batch's blocks; see serve's gather stage).
+  vid_t num_unique_vertices = 0;
+  eid_t num_edges = 0;     // block nnz (with self-loops)
   GatherStats gather;
   std::uint64_t sample_cycles = 0;
   std::uint64_t forward_cycles = 0;
-  std::uint64_t cycles = 0;  // all stages
+  std::uint64_t cycles = 0;  // all stages (the batch's modeled work)
+  /// Critical path through the timeline: forward end minus sample start.
+  /// Serial mode: equals `cycles`. Pipelined: can exceed `cycles` when the
+  /// batch waits on a stream held by its neighbors.
+  std::uint64_t latency_cycles = 0;
 };
 
 struct ServingReport {
   int num_requests = 0;
   int num_batches = 0;
+  bool pipelined = false;
   std::uint64_t sample_cycles = 0;
   std::uint64_t gather_cycles = 0;
   std::uint64_t forward_cycles = 0;
+  /// Timeline makespan. Serial mode: equals serial_cycles (the stage sum).
+  /// Pipelined: at most serial_cycles, smaller whenever overlap hides work.
   std::uint64_t total_cycles = 0;
-  /// Slowest minibatch — the latency tail a batching server quotes.
+  /// Sum of every stage's cycles (== ledger.total()): what a serial run
+  /// would quote as total_cycles.
+  std::uint64_t serial_cycles = 0;
+  /// Exposed/overlapped split per stage; exposed sums to total_cycles.
+  StageSplit sample_split, gather_split, forward_split;
+  /// Slowest minibatch by latency — the tail a batching server quotes.
   std::uint64_t max_batch_cycles = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -75,6 +126,9 @@ struct ServingReport {
   }
 
   std::vector<BatchStats> batches;
+  /// The full schedule, batch-major: span 3 * b + stream (serve/pipeline.h
+  /// stream ids). Serial runs get the chained schedule.
+  std::vector<StageSpan> timeline;
   CycleLedger ledger;  // cycles by stage/kernel tag
   MemoryLedger bytes;  // gather traffic by hit/miss tag
   /// predictions[r][s] = argmax class of request r's seed s.
@@ -90,10 +144,22 @@ class InferenceServer {
   const FeatureCache& cache() const { return cache_; }
 
   /// Runs every request, batching opts.batch_size at a time (the final
-  /// batch may be smaller). Deterministic for equal inputs.
+  /// batch may be smaller). Deterministic for equal inputs; per-request
+  /// predictions are invariant to batching (header comment).
   ServingReport serve(std::span<const SeedRequest> requests) const;
 
  private:
+  struct PreparedBatch;  // sampled + gathered, awaiting its forward pass
+
+  PreparedBatch prepare_batch(std::span<const SeedRequest> requests,
+                              std::size_t first, std::size_t last,
+                              SamplerScratch& scratch,
+                              ServingReport& rep) const;
+  void forward_batch(const PreparedBatch& pb,
+                     std::span<const SeedRequest> requests,
+                     const ModelConfig& cfg, const OpContext& ctx,
+                     ServingReport& rep) const;
+
   const Dataset* ds_;
   const gpusim::DeviceSpec* dev_;
   ServeOptions opts_;

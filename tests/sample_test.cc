@@ -103,6 +103,41 @@ TEST(Sampler, SelfLoopsGuaranteeNoEmptyRows) {
   }
 }
 
+TEST(Sampler, ScratchReuseIsByteIdentical) {
+  // One scratch threaded through many calls — the serving pattern — must
+  // give the same blocks as fresh per-call allocation, including across
+  // graphs of different sizes (the scratch grows, stamps invalidate).
+  const Csr big = power_law_graph();
+  RmatParams small_params;
+  small_params.scale = 6;
+  small_params.edge_factor = 4;
+  small_params.seed = 3;
+  const Csr small = coo_to_csr(rmat_graph(small_params));
+
+  SamplerScratch scratch;
+  SampleOptions so;
+  so.fanouts = {6, 3};
+  so.seed = 19;
+  const std::vector<std::vector<vid_t>> seed_sets = {
+      {3, 77}, {200}, {3}, {10, 11, 12}};
+  for (const auto& seeds : seed_sets) {
+    const SampledSubgraph fresh = sample_khop(big, seeds, so);
+    const SampledSubgraph reused = sample_khop(big, seeds, so, &scratch);
+    EXPECT_EQ(fresh.vertices, reused.vertices);
+    EXPECT_EQ(fresh.hop_offsets, reused.hop_offsets);
+    EXPECT_EQ(fresh.coo.row, reused.coo.row);
+    EXPECT_EQ(fresh.coo.col, reused.coo.col);
+    EXPECT_EQ(fresh.bytes_touched, reused.bytes_touched);
+
+    // Interleave a call on the smaller graph to stress the epoch stamps.
+    const std::vector<vid_t> small_seeds = {1, 2};
+    const SampledSubgraph sf = sample_khop(small, small_seeds, so);
+    const SampledSubgraph sr = sample_khop(small, small_seeds, so, &scratch);
+    EXPECT_EQ(sf.vertices, sr.vertices);
+    EXPECT_EQ(sf.coo.col, sr.coo.col);
+  }
+}
+
 TEST(Sampler, RejectsBadInput) {
   const Csr g = power_law_graph();
   SampleOptions empty;

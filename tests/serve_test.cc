@@ -118,17 +118,26 @@ TEST(InferenceServer, ReportIsConsistent) {
     }
   }
 
-  // Stage cycles add up and match the ledger's view.
+  // Stage cycles add up and match the ledger's view. Gather traffic is
+  // deduplicated across the batch's per-request blocks.
   std::uint64_t batch_sum = 0;
   std::uint64_t hits = 0, misses = 0;
   for (const BatchStats& b : rep.batches) {
     EXPECT_EQ(b.cycles, b.sample_cycles + b.gather.cycles + b.forward_cycles);
-    EXPECT_EQ(b.gather.hits + b.gather.misses, std::uint64_t(b.num_vertices));
+    EXPECT_EQ(b.gather.hits + b.gather.misses,
+              std::uint64_t(b.num_unique_vertices));
+    EXPECT_LE(b.num_unique_vertices, b.num_vertices);
+    EXPECT_GE(b.num_vertices, b.num_seeds);
+    // Serial mode: a batch's latency is exactly its own work.
+    EXPECT_EQ(b.latency_cycles, b.cycles);
     batch_sum += b.cycles;
     hits += b.gather.hits;
     misses += b.gather.misses;
   }
+  EXPECT_FALSE(rep.pipelined);
   EXPECT_EQ(rep.total_cycles, batch_sum);
+  EXPECT_EQ(rep.serial_cycles, rep.total_cycles);
+  EXPECT_EQ(rep.total_cycles, rep.ledger.total());
   EXPECT_EQ(rep.cache_hits, hits);
   EXPECT_EQ(rep.cache_misses, misses);
   EXPECT_EQ(rep.ledger.by_tag("sample"), rep.sample_cycles);
@@ -138,6 +147,17 @@ TEST(InferenceServer, ReportIsConsistent) {
   EXPECT_GE(rep.max_batch_cycles,
             rep.total_cycles / std::uint64_t(rep.num_batches));
   EXPECT_GT(rep.forward_cycles, 0u);
+
+  // Serial timeline: three spans per batch, everything exposed.
+  ASSERT_EQ(rep.timeline.size(), 3 * std::size_t(rep.num_batches));
+  for (const StageSpan& s : rep.timeline) {
+    EXPECT_EQ(s.exposed, s.cycles());
+    EXPECT_EQ(s.overlapped, 0u);
+  }
+  EXPECT_EQ(rep.sample_split.cycles, rep.sample_cycles);
+  EXPECT_EQ(rep.gather_split.cycles, rep.gather_cycles);
+  EXPECT_EQ(rep.forward_split.cycles, rep.forward_cycles);
+  EXPECT_EQ(rep.sample_split.overlapped, 0u);
 }
 
 TEST(InferenceServer, ServingIsDeterministic) {
@@ -166,6 +186,163 @@ TEST(InferenceServer, BackendChangesCostNotPredictions) {
   // All backends compute identical math; only modeled cycles may differ.
   EXPECT_EQ(ra.predictions, rb.predictions);
   EXPECT_EQ(ra.cache_hits, rb.cache_hits);
+}
+
+// Regression for the batch-seed bug: the sampler used to be seeded with
+// opts.seed + batch_index, so a request's prediction depended on which
+// batch it landed in and changed with batch_size. Requests are now sampled
+// independently (streams derived from the trace seed alone) and batched
+// block-diagonally, so predictions are a pure function of the request.
+TEST(InferenceServer, PredictionsAreBatchSizeInvariant) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = small_trace(ds);
+  for (const char* kind : {"gcn", "gat"}) {
+    ServeOptions base = small_opts();
+    base.model_kind = kind;
+    std::vector<std::vector<std::vector<int>>> preds;
+    for (int bsz : {1, 3, 5, int(reqs.size())}) {
+      ServeOptions o = base;
+      o.batch_size = bsz;
+      preds.push_back(InferenceServer(ds, dev, o).serve(reqs).predictions);
+      EXPECT_EQ(preds.back(), preds.front())
+          << kind << ": batch_size=" << bsz << " changed predictions";
+    }
+  }
+}
+
+TEST(InferenceServer, DuplicateRequestsGetIdenticalPredictions) {
+  // Two requests with the same seed set must predict identically no matter
+  // where in the trace (and therefore in which batch) they sit.
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  auto reqs = small_trace(ds);
+  reqs.push_back(reqs.front());  // duplicate of request 0, last batch
+  const ServingReport rep = InferenceServer(ds, dev, small_opts()).serve(reqs);
+  EXPECT_EQ(rep.predictions.front(), rep.predictions.back());
+}
+
+TEST(InferenceServer, PipelinedMatchesSerialBitIdentically) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = small_trace(ds);  // 14 requests, batch 4 -> 4 batches
+  ServeOptions serial = small_opts();
+  ServeOptions piped = small_opts();
+  piped.pipeline = true;
+  const ServingReport rs = InferenceServer(ds, dev, serial).serve(reqs);
+  const ServingReport rp = InferenceServer(ds, dev, piped).serve(reqs);
+
+  // The pipeline reorders the schedule, never the computation.
+  EXPECT_EQ(rs.predictions, rp.predictions);
+  EXPECT_EQ(rs.ledger.total(), rp.ledger.total());
+  EXPECT_EQ(rs.sample_cycles, rp.sample_cycles);
+  EXPECT_EQ(rs.gather_cycles, rp.gather_cycles);
+  EXPECT_EQ(rs.forward_cycles, rp.forward_cycles);
+  EXPECT_EQ(rs.cache_hits, rp.cache_hits);
+  EXPECT_EQ(rs.total_cycles, rs.serial_cycles);
+  EXPECT_EQ(rp.serial_cycles, rs.serial_cycles);
+
+  // Overlap helps on this multi-batch fixture and never hurts.
+  EXPECT_TRUE(rp.pipelined);
+  EXPECT_LT(rp.total_cycles, rs.total_cycles);
+  // The saving is bounded by the work available to hide.
+  EXPECT_LE(rs.total_cycles - rp.total_cycles,
+            rp.sample_cycles + rp.gather_cycles);
+}
+
+TEST(InferenceServer, PipelinedTimelineInvariants) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = small_trace(ds);
+  ServeOptions o = small_opts();
+  o.pipeline = true;
+  const ServingReport rep = InferenceServer(ds, dev, o).serve(reqs);
+
+  // Per span and per stage: exposed + overlapped == cycles.
+  ASSERT_EQ(rep.timeline.size(), 3 * std::size_t(rep.num_batches));
+  for (const StageSpan& s : rep.timeline) {
+    EXPECT_EQ(s.exposed + s.overlapped, s.cycles());
+  }
+  for (const StageSplit& split :
+       {rep.sample_split, rep.gather_split, rep.forward_split}) {
+    EXPECT_EQ(split.exposed + split.overlapped, split.cycles);
+  }
+  EXPECT_EQ(rep.sample_split.cycles, rep.sample_cycles);
+  EXPECT_EQ(rep.gather_split.cycles, rep.gather_cycles);
+  EXPECT_EQ(rep.forward_split.cycles, rep.forward_cycles);
+
+  // Every busy cycle is attributed exactly once: exposed sums to the
+  // makespan, which is what the report quotes as total_cycles.
+  EXPECT_EQ(rep.sample_split.exposed + rep.gather_split.exposed +
+                rep.forward_split.exposed,
+            rep.total_cycles);
+  // The forward stream runs its batches back to back at best.
+  EXPECT_GE(rep.total_cycles, rep.forward_cycles);
+  EXPECT_LE(rep.total_cycles, rep.serial_cycles);
+  // The device never hides behind the host in this model.
+  EXPECT_EQ(rep.forward_split.overlapped, 0u);
+
+  // Per-batch latency is the batch's critical path: at least its own work,
+  // and max_batch_cycles tracks the slowest one.
+  std::uint64_t max_latency = 0;
+  for (std::size_t b = 0; b < rep.batches.size(); ++b) {
+    const BatchStats& bs = rep.batches[b];
+    EXPECT_GE(bs.latency_cycles, bs.cycles);
+    EXPECT_EQ(bs.latency_cycles,
+              rep.timeline[3 * b + 2].end - rep.timeline[3 * b].start);
+    max_latency = std::max(max_latency, bs.latency_cycles);
+  }
+  EXPECT_EQ(rep.max_batch_cycles, max_latency);
+}
+
+TEST(ServeTimeline, MakespanMatchesHandComputedSchedule) {
+  // Three equal batches: sample 10, gather 5, forward 100.
+  //
+  // Pipelined, by hand:  s0 0-10, g0 10-15, f0 15-115
+  //                      s1 10-20, g1 20-25, f1 115-215
+  //                      s2 115-125 (slot frees when f0 retires),
+  //                      g2 125-130, f2 215-315
+  // Makespan 315 vs 345 serial; the only exposed host work is s0 and g0
+  // (the pipeline fill) — every later sample/gather hides under a forward.
+  const std::vector<BatchStageCycles> batches = {
+      {10, 5, 100}, {10, 5, 100}, {10, 5, 100}};
+
+  const StreamTimeline serial = serve_timeline(batches, /*pipelined=*/false);
+  EXPECT_EQ(serial.makespan(), 345u);
+  for (const StageSpan& s : serial.spans()) {
+    EXPECT_EQ(s.exposed, s.cycles());
+    EXPECT_EQ(s.overlapped, 0u);
+  }
+
+  const StreamTimeline tl = serve_timeline(batches, /*pipelined=*/true);
+  ASSERT_EQ(tl.spans().size(), 9u);
+  EXPECT_EQ(tl.makespan(), 315u);
+
+  const auto expect_span = [&](std::size_t i, std::uint64_t start,
+                               std::uint64_t end, std::uint64_t exposed) {
+    EXPECT_EQ(tl.span(i).start, start) << "span " << i;
+    EXPECT_EQ(tl.span(i).end, end) << "span " << i;
+    EXPECT_EQ(tl.span(i).exposed, exposed) << "span " << i;
+    EXPECT_EQ(tl.span(i).overlapped, tl.span(i).cycles() - exposed)
+        << "span " << i;
+  };
+  // batch 0: the pipeline fill is exposed.
+  expect_span(0, 0, 10, 10);     // sample 0
+  expect_span(1, 10, 15, 5);     // gather 0 (beats sample 1 on priority)
+  expect_span(2, 15, 115, 100);  // forward 0
+  // batch 1: sample/gather fully hidden under gather 0 / forward 0.
+  expect_span(3, 10, 20, 0);
+  expect_span(4, 20, 25, 0);
+  expect_span(5, 115, 215, 100);
+  // batch 2: waits for batch 0's slot, hides under forward 1.
+  expect_span(6, 115, 125, 0);
+  expect_span(7, 125, 130, 0);
+  expect_span(8, 215, 315, 100);
+
+  // Sum of exposed across all spans is the makespan.
+  std::uint64_t exposed = 0;
+  for (const StageSpan& s : tl.spans()) exposed += s.exposed;
+  EXPECT_EQ(exposed, tl.makespan());
 }
 
 TEST(InferenceServer, CacheAlphaCutsGatherCyclesOnSkewedTraffic) {
