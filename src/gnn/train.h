@@ -17,6 +17,7 @@
 #include "gnn/backends.h"
 #include "gnn/models.h"
 #include "gpusim/memory.h"
+#include "serve/status.h"
 
 namespace gnnone {
 
@@ -48,6 +49,12 @@ struct TrainOptions {
 struct TrainResult {
   bool ran = false;
   std::string fail_reason;  // "OOM", "unsupported", "diverged", or empty
+  /// fail_reason mapped onto the serving error taxonomy, so the training
+  /// and serving harnesses report failures in one vocabulary
+  /// (serve/status.h — header-only, so this adds no link dependency).
+  serve::Status status() const {
+    return serve::status_from_fail_reason(fail_reason);
+  }
   double final_accuracy = 0.0;
   std::vector<double> accuracy_curve;  // per measured epoch
   std::uint64_t cycles_per_epoch = 0;

@@ -1,0 +1,72 @@
+#include "serve/chaos.h"
+
+namespace gnnone::serve {
+
+namespace {
+
+// Fault-kind stream ids: keep the per-request draws of different fault
+// kinds (and the poison/severity draws within one kind) independent.
+constexpr std::uint64_t kOomPoisonStream = 0x6f6f6d2d70ull;     // "oom-p"
+constexpr std::uint64_t kOomSeverityStream = 0x6f6f6d2d73ull;   // "oom-s"
+constexpr std::uint64_t kFetchPoisonStream = 0x6665742d70ull;   // "fet-p"
+constexpr std::uint64_t kFetchSeverityStream = 0x6665742d73ull; // "fet-s"
+constexpr std::uint64_t kKernelPoisonStream = 0x6b65722d70ull;  // "ker-p"
+constexpr std::uint64_t kKernelSeverityStream = 0x6b65722d73ull;// "ker-s"
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double chaos_uniform(std::uint64_t seed, std::uint64_t stream,
+                     std::uint64_t key) {
+  std::uint64_t z = mix64(seed + 0x9e3779b97f4a7c15ull);
+  z = mix64(z ^ (stream + 0x9e3779b97f4a7c15ull));
+  z = mix64(z ^ (key + 0x9e3779b97f4a7c15ull));
+  return double(z >> 11) * 0x1.0p-53;
+}
+
+OomFate oom_fate(const ChaosOptions& chaos, std::size_t request) {
+  OomFate f;
+  if (chaos.oom_rate <= 0.0) return f;
+  f.poisoned =
+      chaos_uniform(chaos.seed, kOomPoisonStream, request) < chaos.oom_rate;
+  if (!f.poisoned) return f;
+  // Severity mix: most memory pressure is relieved by running the request
+  // alone (smaller block), most of the rest by truncating its fanouts; a
+  // small tail is genuinely too large at any setting.
+  const double u = chaos_uniform(chaos.seed, kOomSeverityStream, request);
+  f.cure_rung = u < 0.55 ? 1 : u < 0.90 ? 2 : 3;
+  return f;
+}
+
+FetchFate fetch_fate(double rate, std::uint64_t seed, std::uint64_t request) {
+  FetchFate f;
+  if (rate <= 0.0) return f;
+  f.poisoned = chaos_uniform(seed, kFetchPoisonStream, request) < rate;
+  if (!f.poisoned) return f;
+  // Most transients clear after one or two retries; a 5% tail never does
+  // (a genuinely broken link) and must surface as Status::kTransientFetch.
+  const double u = chaos_uniform(seed, kFetchSeverityStream, request);
+  f.failing_attempts = u < 0.60 ? 1 : u < 0.85 ? 2 : u < 0.95 ? 3
+                                                             : 0x7fffffff;
+  return f;
+}
+
+KernelFate kernel_fate(const ChaosOptions& chaos, std::size_t request) {
+  KernelFate f;
+  if (chaos.kernel_rate <= 0.0) return f;
+  f.poisoned = chaos_uniform(chaos.seed, kKernelPoisonStream, request) <
+               chaos.kernel_rate;
+  if (!f.poisoned) return f;
+  // Most kernel faults are tied to the dispatched kernel family/config and
+  // disappear on the conservative default; 20% are data-poisoned for good.
+  f.safe_backend_cures =
+      chaos_uniform(chaos.seed, kKernelSeverityStream, request) < 0.80;
+  return f;
+}
+
+}  // namespace gnnone::serve

@@ -1,0 +1,159 @@
+// Deterministic chaos plan and degradation-ladder vocabulary for serving.
+//
+// Fault tolerance is only testable when faults are reproducible. A
+// ChaosOptions describes a *schedule* of injected faults derived purely from
+// (seed, fault site, request index): whether a request is poisoned, at which
+// stage its poison fires, and how far up the degradation ladder the server
+// must climb before the request is cured (or proves incurable). Because the
+// draws key on the request's position in the trace — never on batch
+// composition, attempt counts, or wall clock — a request's fate is identical
+// across batch sizes, serial vs pipelined mode, and repeated runs, which is
+// what lets the chaos harness pin bit-identity of every unaffected request
+// against the fault-free run.
+//
+// Three fault kinds map onto the three serving stages:
+//  * OOM        — the stage's DeviceMemory allocation throws (injected via
+//                 the real fail_at_allocation machinery, so RAII unwinding
+//                 is exercised end to end);
+//  * transient  — the feature gather's host->PCIe fetch throws
+//    fetch         TransientFetchError (serve/feature_cache.h); clears after
+//                 a per-request number of failed attempts, or never;
+//  * kernel     — the forward pass throws a simsan-style SanitizerError;
+//    fault        a curable one is fixed by falling back to the safe
+//                 default kernel, an incurable one poisons the request.
+//
+// The degradation ladder (docs/ROBUSTNESS.md) is the fixed escalation the
+// server walks for a faulted batch:
+//   retry (backoff) -> shrink batch (bisection) -> truncate fanouts ->
+//   evict feature cache + safe default backend.
+// Every rung a request rides through is recorded in its DegradationTrace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/status.h"
+
+namespace gnnone::serve {
+
+/// Serving stages a fault can fire in.
+enum class ChaosSite { kSample, kGather, kForward };
+
+constexpr const char* site_name(ChaosSite s) {
+  switch (s) {
+    case ChaosSite::kSample:  return "sample";
+    case ChaosSite::kGather:  return "gather";
+    case ChaosSite::kForward: return "forward";
+  }
+  return "unknown";
+}
+
+/// Retry/backoff policy of the degradation ladder. Backoff cycles are
+/// modeled host-side waiting: charged to the CycleLedger (tag "backoff"),
+/// to the faulted batch's stats, and onto the batch's host stream in the
+/// serving timeline, so Sigma exposed == makespan keeps holding under
+/// recovery.
+struct RetryPolicy {
+  /// Whole-batch retries before the ladder escalates to bisection.
+  int max_retries = 2;
+  /// Base backoff; doubles on every recovery attempt (capped shift).
+  std::uint64_t backoff_cycles = 50000;
+};
+
+/// Deterministic fault-injection schedule (all rates in [0, 1]; a rate of 0
+/// disables that fault kind).
+struct ChaosOptions {
+  /// Fraction of requests whose presence in a group OOMs `oom_site`'s
+  /// allocation until the ladder reaches the request's cure rung.
+  double oom_rate = 0.0;
+  ChaosSite oom_site = ChaosSite::kForward;
+  /// Fraction of requests whose feature fetch transiently faults.
+  double fetch_rate = 0.0;
+  /// Fraction of requests that fault the forward kernel.
+  double kernel_rate = 0.0;
+  std::uint64_t seed = 1;
+
+  bool enabled() const {
+    return oom_rate > 0.0 || fetch_rate > 0.0 || kernel_rate > 0.0;
+  }
+};
+
+/// Pure uniform draw in [0, 1) keyed on (seed, stream, key): splitmix-style
+/// mixing, identical on every platform. `stream` namespaces the fault kinds
+/// so the same request gets independent draws per site.
+double chaos_uniform(std::uint64_t seed, std::uint64_t stream,
+                     std::uint64_t key);
+
+/// How far up the ladder an OOM-poisoned request's fault persists.
+struct OomFate {
+  bool poisoned = false;
+  /// 1 = cured once the request runs alone (shrink/bisect), 2 = cured once
+  /// fanouts are truncated, 3 = incurable (reports Status::kOom).
+  int cure_rung = 0;
+};
+OomFate oom_fate(const ChaosOptions& chaos, std::size_t request);
+
+/// Transient-fetch fate: the request's gather fails its first
+/// `failing_attempts` attempts (INT_MAX = never succeeds).
+struct FetchFate {
+  bool poisoned = false;
+  int failing_attempts = 0;
+};
+FetchFate fetch_fate(double rate, std::uint64_t seed, std::uint64_t request);
+
+/// Kernel-fault fate: a curable fault disappears under the safe default
+/// backend (the ladder's last rung); an incurable one reports
+/// Status::kKernelFault.
+struct KernelFate {
+  bool poisoned = false;
+  bool safe_backend_cures = false;
+};
+KernelFate kernel_fate(const ChaosOptions& chaos, std::size_t request);
+
+/// Rungs of the degradation ladder, in escalation order.
+enum class ServeAction {
+  kRetry,           // re-run the group after backoff
+  kIsolate,         // bisect: re-run in a smaller group
+  kTruncateFanouts, // halve every fanout (>= 1): smaller blocks, less memory
+  kSafeMode,        // evict the feature cache + safe default backend
+};
+
+constexpr const char* action_name(ServeAction a) {
+  switch (a) {
+    case ServeAction::kRetry:           return "retry";
+    case ServeAction::kIsolate:         return "isolate";
+    case ServeAction::kTruncateFanouts: return "truncate_fanouts";
+    case ServeAction::kSafeMode:        return "safe_mode";
+  }
+  return "unknown";
+}
+
+/// One rung of the ladder, as one request experienced it.
+struct DegradationStep {
+  ServeAction action = ServeAction::kRetry;
+  /// The fault that forced this step.
+  Status fault = Status::kOk;
+  /// Stage the fault fired in.
+  ChaosSite site = ChaosSite::kSample;
+  /// Recovery-attempt ordinal within the request's batch (1-based).
+  int attempt = 0;
+  /// Backoff cycles charged before this step's re-run (0 for bisection
+  /// steps, which run immediately).
+  std::uint64_t backoff_cycles = 0;
+};
+
+/// Per-request outcome: the final status, the full degradation trace, and —
+/// when the request failed — a human-readable error.
+struct RequestOutcome {
+  Status status = Status::kOk;
+  /// Non-empty exactly when !is_served(status): the last fault's message
+  /// (or the boundary-validation message for kRejected).
+  std::string error;
+  /// The request was served from truncated fanouts: predictions are valid
+  /// but may differ from the fault-free run's (smaller neighborhoods).
+  bool truncated_fanouts = false;
+  std::vector<DegradationStep> trace;
+};
+
+}  // namespace gnnone::serve

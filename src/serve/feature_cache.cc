@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/convert.h"
+#include "serve/chaos.h"
 
 namespace gnnone {
 
@@ -35,11 +36,25 @@ FeatureCache::FeatureCache(const Coo& graph, int feat_len, double alpha,
 }
 
 GatherStats FeatureCache::gather(std::span<const vid_t> vertices,
-                                 CycleLedger* cycles,
-                                 MemoryLedger* bytes) const {
+                                 CycleLedger* cycles, MemoryLedger* bytes,
+                                 std::span<const GatherProbe> probes,
+                                 bool bypass_cache) const {
+  // Fault check first: an armed transient fetch fails the whole copy before
+  // any cycles or bytes are charged, so a retried gather double-charges
+  // nothing. The fate is a pure function of (seed, key); `attempt` only
+  // indexes into the per-key failing-attempt count, so which batch the key
+  // rides in cannot change its outcome.
+  if (fetch_rate_ > 0.0) {
+    for (const GatherProbe& p : probes) {
+      const serve::FetchFate f = serve::fetch_fate(fetch_rate_, fetch_seed_, p.key);
+      if (f.poisoned && p.attempt < f.failing_attempts) {
+        throw TransientFetchError(p.key, p.attempt + 1);
+      }
+    }
+  }
   GatherStats st;
   for (vid_t v : vertices) {
-    if (cached(v)) {
+    if (!bypass_cache && cached(v)) {
       ++st.hits;
       st.hit_bytes += row_bytes();
     } else {

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -31,6 +33,36 @@ struct GatherStats {
   std::size_t hit_bytes = 0;
   std::size_t miss_bytes = 0;
   std::uint64_t cycles = 0;  // modeled cycles of the gather launch
+};
+
+/// Thrown by FeatureCache::gather when an armed transient PCIe-fetch fault
+/// fires (serve/chaos.h): the host->device copy of this gather failed and
+/// must be retried. Fires *before* any cycles or bytes are charged, so a
+/// faulted gather attempt leaves the ledgers untouched.
+class TransientFetchError : public std::runtime_error {
+ public:
+  TransientFetchError(std::uint64_t key, int attempt)
+      : std::runtime_error("transient PCIe fetch fault: request " +
+                           std::to_string(key) + ", attempt " +
+                           std::to_string(attempt)),
+        key_(key),
+        attempt_(attempt) {}
+  std::uint64_t key() const { return key_; }
+  int attempt() const { return attempt_; }
+
+ private:
+  std::uint64_t key_;
+  int attempt_;
+};
+
+/// One fault probe of a gather call: `key` identifies the unit of work the
+/// gather serves (the serving driver passes the request's trace index) and
+/// `attempt` counts how many gathers that unit has already attempted. The
+/// fault schedule is a pure function of (seed, key, attempt), so outcomes
+/// are independent of batch composition and of serial vs pipelined order.
+struct GatherProbe {
+  std::uint64_t key = 0;
+  int attempt = 0;
 };
 
 class FeatureCache {
@@ -53,12 +85,27 @@ class FeatureCache {
     return std::size_t(num_cached_) * row_bytes();
   }
 
+  /// Arms the seeded transient PCIe-fetch fault schedule: a gather whose
+  /// probe's (key, attempt) is poisoned under (rate, seed) throws
+  /// TransientFetchError (serve/chaos.h's fetch_fate). rate <= 0 disarms.
+  void set_fetch_faults(double rate, std::uint64_t seed) {
+    fetch_rate_ = rate;
+    fetch_seed_ = seed;
+  }
+
   /// Models gathering the feature rows of `vertices` (global ids) into a
   /// contiguous device buffer: hits stream from DRAM, misses cross PCIe.
   /// Charges `cycles` (tag "feature_gather") and `bytes` (tags
   /// "feature_cache_hit" / "feature_cache_miss"); either ledger may be null.
+  ///
+  /// `probes` identify the units of work this gather serves; if any probe is
+  /// scheduled to fault (set_fetch_faults), the gather throws
+  /// TransientFetchError before charging anything. `bypass_cache` models a
+  /// post-eviction gather (the ladder's safe mode): every row crosses PCIe.
   GatherStats gather(std::span<const vid_t> vertices, CycleLedger* cycles,
-                     MemoryLedger* bytes) const;
+                     MemoryLedger* bytes,
+                     std::span<const GatherProbe> probes = {},
+                     bool bypass_cache = false) const;
 
  private:
   std::size_t row_bytes() const { return std::size_t(feat_len_) * 4; }
@@ -68,6 +115,8 @@ class FeatureCache {
   double alpha_;
   vid_t num_cached_ = 0;
   std::vector<char> cached_;  // per-vertex flag
+  double fetch_rate_ = 0.0;   // transient-fetch fault schedule (chaos)
+  std::uint64_t fetch_seed_ = 0;
 };
 
 }  // namespace gnnone

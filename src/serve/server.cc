@@ -2,155 +2,341 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
+#include "gpusim/sanitizer.h"
 #include "graph/convert.h"
 
 namespace gnnone {
+
+namespace {
+
+/// Exponential backoff before recovery attempt `attempt` (1-based), shift
+/// capped so a long ladder cannot overflow.
+std::uint64_t backoff_for(const serve::RetryPolicy& p, int attempt) {
+  const int shift = std::min(std::max(attempt - 1, 0), 10);
+  return p.backoff_cycles << shift;
+}
+
+/// Boundary validation of one request. Empty = admissible. The sampler
+/// would throw std::invalid_argument on an out-of-range seed — the server
+/// turns that into a per-request rejection instead of aborting the run —
+/// and duplicate seeds violate the trace contract (gen/requests.h: unique
+/// within one request).
+std::string validate_request(const SeedRequest& r, vid_t num_vertices) {
+  if (r.seeds.empty()) return "empty seed set";
+  for (std::size_t i = 0; i < r.seeds.size(); ++i) {
+    const vid_t s = r.seeds[i];
+    if (s < 0 || s >= num_vertices) {
+      return "seed " + std::to_string(s) + " out of range [0, " +
+             std::to_string(num_vertices) + ")";
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (r.seeds[j] == s) {
+        return "duplicate seed " + std::to_string(s) + " within request";
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<int> truncated_fanouts(const std::vector<int>& fanouts) {
+  std::vector<int> out = fanouts;
+  for (int& f : out) f = std::max(1, f / 2);
+  return out;
+}
+
+const ServeOptions& validated(const ServeOptions& opts) {
+  opts.Validate();
+  return opts;
+}
+
+}  // namespace
+
+void ServeOptions::Validate() const {
+  if (model_kind != "gcn" && model_kind != "gin" && model_kind != "gat") {
+    throw std::invalid_argument("ServeOptions: unknown model_kind '" +
+                                model_kind + "' (want gcn, gin or gat)");
+  }
+  if (batch_size < 1) {
+    throw std::invalid_argument("ServeOptions: batch_size must be >= 1, got " +
+                                std::to_string(batch_size));
+  }
+  if (fanouts.empty()) {
+    throw std::invalid_argument("ServeOptions: fanouts must not be empty");
+  }
+  for (int f : fanouts) {
+    if (f <= 0) {
+      throw std::invalid_argument(
+          "ServeOptions: fanouts must be positive for serving, got " +
+          std::to_string(f));
+    }
+  }
+  if (!(cache_alpha >= 0.0 && cache_alpha <= 1.0)) {
+    throw std::invalid_argument(
+        "ServeOptions: cache_alpha must be in [0, 1], got " +
+        std::to_string(cache_alpha));
+  }
+  if (feature_dim_override < 0) {
+    throw std::invalid_argument(
+        "ServeOptions: feature_dim_override must be >= 0, got " +
+        std::to_string(feature_dim_override));
+  }
+  for (double rate : {chaos.oom_rate, chaos.fetch_rate, chaos.kernel_rate}) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      throw std::invalid_argument(
+          "ServeOptions: chaos rates must be in [0, 1], got " +
+          std::to_string(rate));
+    }
+  }
+  if (retry.max_retries < 0) {
+    throw std::invalid_argument(
+        "ServeOptions: retry.max_retries must be >= 0, got " +
+        std::to_string(retry.max_retries));
+  }
+}
 
 InferenceServer::InferenceServer(const Dataset& ds,
                                  const gpusim::DeviceSpec& dev,
                                  const ServeOptions& opts)
     : ds_(&ds),
       dev_(&dev),
-      opts_(opts),
+      opts_(validated(opts)),
       in_dim_(opts.feature_dim_override > 0 ? opts.feature_dim_override
                                             : ds.input_feat_len),
       csr_(coo_to_csr(ds.coo)),
       cache_(ds.coo, in_dim_, opts.cache_alpha, dev),
       features_(make_features(ds.coo.num_rows, in_dim_,
                               ds.labeled ? ds.labels : std::vector<int>{},
-                              opts.seed)) {
-  if (opts.batch_size < 1) {
-    throw std::invalid_argument("InferenceServer: batch_size must be >= 1");
-  }
+                              opts.seed)),
+      owned_mem_(opts.device_memory != nullptr
+                     ? nullptr
+                     : std::make_unique<gpusim::DeviceMemory>(
+                           dev.device_memory_bytes)),
+      mem_(opts.device_memory != nullptr ? opts.device_memory
+                                         : owned_mem_.get()),
+      cache_alloc_(*mem_, cache_.device_bytes()) {
+  cache_.set_fetch_faults(opts_.chaos.fetch_rate, opts_.chaos.seed);
 }
 
-struct InferenceServer::PreparedBatch {
-  std::size_t first = 0, last = 0;  // request range [first, last)
-  /// Per block row: the global vertex whose features the row carries.
-  std::vector<vid_t> block_vertices;
-  /// Per request (relative to `first`): row of its block's first seed; the
-  /// request's seeds occupy rows seed_row[r] + j in request-seed order
-  /// (sample_khop interns seeds first, duplicates collapsing onto their
-  /// first occurrence — see seed_rows).
-  std::vector<std::vector<vid_t>> seed_rows;
-  Coo coo;  // block-diagonal composition of the per-request blocks
-  BatchStats bs;
+/// Per-serve mutable state threaded through every attempt.
+struct InferenceServer::ServeState {
+  std::span<const SeedRequest> requests;
+  ServingReport* rep = nullptr;
+  const ModelConfig* cfg = nullptr;
+  OpContext ctx;
+  SamplerScratch scratch;
+  /// Gather attempts per trace index — the `attempt` coordinate of the
+  /// transient-fetch fault schedule. Counted per gather entry per request,
+  /// success or not, so a transient clears after its scheduled number of
+  /// failures no matter how the request is (re)grouped.
+  std::vector<int> gather_attempts;
+  gpusim::DeviceMemory* mem = nullptr;
 };
 
-InferenceServer::PreparedBatch InferenceServer::prepare_batch(
-    std::span<const SeedRequest> requests, std::size_t first,
-    std::size_t last, SamplerScratch& scratch, ServingReport& rep) const {
-  PreparedBatch pb;
-  pb.first = first;
-  pb.last = last;
-  pb.bs.num_requests = int(last - first);
+struct InferenceServer::PreparedGroup {
+  std::vector<std::size_t> indices;  // trace indices of the member requests
+  std::size_t batch = 0;             // owning minibatch (stats slot)
+  GroupMode mode;
+  /// Per block row: the global vertex whose features the row carries.
+  std::vector<vid_t> block_vertices;
+  /// Per member: block row of each of its seeds, request-seed order.
+  std::vector<std::vector<vid_t>> seed_rows;
+  Coo coo;  // block-diagonal composition of the per-request blocks
+  /// Device registrations of the sampled topology and the gathered feature
+  /// rows; released (RAII) when the group retires or its attempt unwinds.
+  gpusim::DeviceAllocation topo;
+  gpusim::DeviceAllocation staging;
+};
+
+bool InferenceServer::arms_oom(const std::vector<std::size_t>& indices,
+                               GroupMode mode, serve::ChaosSite site) const {
+  if (opts_.chaos.oom_rate <= 0.0 || opts_.chaos.oom_site != site) {
+    return false;
+  }
+  for (std::size_t idx : indices) {
+    const serve::OomFate f = serve::oom_fate(opts_.chaos, idx);
+    if (!f.poisoned) continue;
+    const bool cured = (f.cure_rung == 1 && indices.size() == 1) ||
+                       (f.cure_rung <= 2 && mode.truncated);
+    if (!cured) return true;
+  }
+  return false;
+}
+
+InferenceServer::PreparedGroup InferenceServer::prepare_group(
+    ServeState& st, const std::vector<std::size_t>& indices, GroupMode mode,
+    std::size_t b, serve::ChaosSite* stage) const {
+  ServingReport& rep = *st.rep;
+  BatchStats& bs = rep.batches[b];
+  PreparedGroup pg;
+  pg.indices = indices;
+  pg.batch = b;
+  pg.mode = mode;
 
   // Stage 1: sample every request's k-hop block independently. The stream
   // seed is the trace seed alone — per-(seed, hop, vertex) streams inside
   // the sampler — never the batch index, so a request's block is a pure
   // function of its own seed set and predictions cannot depend on which
-  // batch the request lands in.
+  // group the request lands in.
+  *stage = serve::ChaosSite::kSample;
   SampleOptions so;
-  so.fanouts = opts_.fanouts;
+  so.fanouts = mode.truncated ? truncated_fanouts(opts_.fanouts)
+                              : opts_.fanouts;
   so.seed = opts_.seed;
 
+  vid_t group_seeds = 0;
   std::size_t bytes_touched = 0;
-  for (std::size_t r = first; r < last; ++r) {
-    const SampledSubgraph sub = sample_khop(csr_, requests[r].seeds, so,
-                                            &scratch);
-    const vid_t base = vid_t(pb.block_vertices.size());
+  for (std::size_t idx : indices) {
+    const SampledSubgraph sub =
+        sample_khop(csr_, st.requests[idx].seeds, so, &st.scratch);
+    const vid_t base = vid_t(pg.block_vertices.size());
 
-    // Request seed j -> its block row. sample_khop assigns seeds local ids
-    // 0..num_seeds in first-appearance order, so a duplicated seed within a
-    // request maps back onto its first occurrence's row.
+    // Request seed j -> its block row. Boundary validation rejected
+    // within-request duplicates, so sample_khop's first-appearance local
+    // ids are exactly 0..num_seeds-1 in request-seed order.
     std::vector<vid_t> rows;
-    rows.reserve(requests[r].seeds.size());
-    vid_t next = 0;
-    for (std::size_t j = 0; j < requests[r].seeds.size(); ++j) {
-      vid_t local = vid_t(-1);
-      for (std::size_t k = 0; k < j; ++k) {
-        if (requests[r].seeds[k] == requests[r].seeds[j]) {
-          local = rows[k] - base;
-          break;
-        }
-      }
-      rows.push_back(base + (local >= 0 ? local : next++));
+    rows.reserve(st.requests[idx].seeds.size());
+    for (std::size_t j = 0; j < st.requests[idx].seeds.size(); ++j) {
+      rows.push_back(base + vid_t(j));
     }
-    pb.seed_rows.push_back(std::move(rows));
-    pb.bs.num_seeds += sub.num_seeds();
+    pg.seed_rows.push_back(std::move(rows));
+    group_seeds += sub.num_seeds();
 
     // Block-diagonal append: each per-request block is CSR-arranged over its
     // own local ids, and bases increase monotonically, so the concatenation
     // stays CSR-arranged and every component keeps its exact within-row NZE
     // order — the property that makes the batched forward bit-identical to
     // per-request forwards.
-    pb.block_vertices.insert(pb.block_vertices.end(), sub.vertices.begin(),
+    pg.block_vertices.insert(pg.block_vertices.end(), sub.vertices.begin(),
                              sub.vertices.end());
-    pb.coo.row.reserve(pb.coo.row.size() + sub.coo.row.size());
-    pb.coo.col.reserve(pb.coo.col.size() + sub.coo.col.size());
-    for (vid_t v : sub.coo.row) pb.coo.row.push_back(base + v);
-    for (vid_t v : sub.coo.col) pb.coo.col.push_back(base + v);
+    pg.coo.row.reserve(pg.coo.row.size() + sub.coo.row.size());
+    pg.coo.col.reserve(pg.coo.col.size() + sub.coo.col.size());
+    for (vid_t v : sub.coo.row) pg.coo.row.push_back(base + v);
+    for (vid_t v : sub.coo.col) pg.coo.col.push_back(base + v);
     bytes_touched += sub.bytes_touched;
   }
-  pb.coo.num_rows = pb.coo.num_cols = vid_t(pb.block_vertices.size());
-  pb.bs.num_vertices = pb.coo.num_rows;
-  pb.bs.num_edges = pb.coo.nnz();
+  pg.coo.num_rows = pg.coo.num_cols = vid_t(pg.block_vertices.size());
+
+  // The sampled topology lands on device: row + col indices plus the local
+  // -> global map, 4 bytes each. Registering it may throw DeviceOutOfMemory
+  // (real pressure or an injected fault armed just below); a faulted
+  // attempt fires here, *before* the stage charges the ledger, so retries
+  // never double-charge.
+  if (arms_oom(indices, mode, serve::ChaosSite::kSample)) {
+    st.mem->fail_at_allocation(1);
+  }
+  pg.topo = gpusim::DeviceAllocation(
+      *st.mem,
+      (2 * std::size_t(pg.coo.nnz()) + pg.block_vertices.size()) * 4);
 
   // The sampler reports the adjacency bytes it scanned; charge them at DRAM
-  // bandwidth as one launch per batch.
-  pb.bs.sample_cycles =
+  // bandwidth as one launch per group.
+  const std::uint64_t sample_cycles =
       2000 + std::uint64_t(std::ceil(double(bytes_touched) /
                                      dev_->dram_bytes_per_cycle));
-  rep.ledger.add("sample", pb.bs.sample_cycles);
+  rep.ledger.add("sample", sample_cycles);
+  bs.sample_cycles += sample_cycles;
+  bs.num_seeds += group_seeds;
+  bs.num_vertices += pg.coo.num_rows;
+  bs.num_edges += pg.coo.nnz();
 
-  // Stage 2: gather input features through the cache. Requests in a batch
+  // Stage 2: gather input features through the cache. Requests in a group
   // often sample the same hub vertices; the physical fetch happens once per
-  // distinct vertex (an O(1)-lookup map built once per batch), replicating
+  // distinct vertex (an O(1)-lookup map built once per group), replicating
   // rows on device afterwards is free in this first-order model.
+  *stage = serve::ChaosSite::kGather;
   std::unordered_map<vid_t, vid_t> gather_slot;
-  gather_slot.reserve(pb.block_vertices.size());
+  gather_slot.reserve(pg.block_vertices.size());
   std::vector<vid_t> unique_vertices;
-  unique_vertices.reserve(pb.block_vertices.size());
-  for (vid_t g : pb.block_vertices) {
+  unique_vertices.reserve(pg.block_vertices.size());
+  for (vid_t g : pg.block_vertices) {
     if (gather_slot.try_emplace(g, vid_t(unique_vertices.size())).second) {
       unique_vertices.push_back(g);
     }
   }
-  pb.bs.num_unique_vertices = vid_t(unique_vertices.size());
-  pb.bs.gather = cache_.gather(unique_vertices, &rep.ledger, &rep.bytes);
-  return pb;
+
+  if (arms_oom(indices, mode, serve::ChaosSite::kGather)) {
+    st.mem->fail_at_allocation(1);
+  }
+  pg.staging = gpusim::DeviceAllocation(
+      *st.mem, unique_vertices.size() * std::size_t(in_dim_) * 4);
+
+  // Every member pays one gather attempt, success or not; the probes carry
+  // the pre-attempt counts so the cache's fault schedule sees a stable
+  // (request, attempt) coordinate regardless of grouping.
+  std::vector<GatherProbe> probes;
+  probes.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    probes.push_back({std::uint64_t(idx), st.gather_attempts[idx]++});
+  }
+  const GatherStats gst = cache_.gather(unique_vertices, &rep.ledger,
+                                        &rep.bytes, probes, mode.safe);
+  bs.gather.hits += gst.hits;
+  bs.gather.misses += gst.misses;
+  bs.gather.hit_bytes += gst.hit_bytes;
+  bs.gather.miss_bytes += gst.miss_bytes;
+  bs.gather.cycles += gst.cycles;
+  bs.num_unique_vertices += vid_t(unique_vertices.size());
+  return pg;
 }
 
-void InferenceServer::forward_batch(const PreparedBatch& pb,
-                                    std::span<const SeedRequest> requests,
-                                    const ModelConfig& cfg,
-                                    const OpContext& ctx,
-                                    ServingReport& rep) const {
+void InferenceServer::forward_group(ServeState& st,
+                                    const PreparedGroup& pg) const {
+  ServingReport& rep = *st.rep;
+  BatchStats& bs = rep.batches[pg.batch];
+  const vid_t n = pg.coo.num_rows;
+
+  // Activations: the staged input block plus the output logits. May throw
+  // DeviceOutOfMemory (armed below for an injected forward-site fault).
+  if (arms_oom(pg.indices, pg.mode, serve::ChaosSite::kForward)) {
+    st.mem->fail_at_allocation(1);
+  }
+  const gpusim::DeviceAllocation activations(
+      *st.mem,
+      std::size_t(n) * std::size_t(in_dim_ + ds_->num_classes) * 4);
+
+  // Injected kernel fault: fires at forward entry, before any kernel
+  // charges, the way simsan's fatal mode aborts a launch. A curable fault
+  // disappears under the safe default backend.
+  if (opts_.chaos.kernel_rate > 0.0) {
+    for (std::size_t idx : pg.indices) {
+      const serve::KernelFate f = serve::kernel_fate(opts_.chaos, idx);
+      if (f.poisoned && !(pg.mode.safe && f.safe_backend_cures)) {
+        throw gpusim::SanitizerError("injected kernel fault: request " +
+                                     std::to_string(idx));
+      }
+    }
+  }
+
   const std::uint64_t fwd_before = rep.ledger.total();
-  const vid_t n = pb.bs.num_vertices;
   std::vector<float> x_data(std::size_t(n) * std::size_t(in_dim_));
   for (vid_t lv = 0; lv < n; ++lv) {
-    const auto src = std::size_t(pb.block_vertices[std::size_t(lv)]) *
+    const auto src = std::size_t(pg.block_vertices[std::size_t(lv)]) *
                      std::size_t(in_dim_);
     std::copy_n(features_.begin() + long(src), in_dim_,
                 x_data.begin() + long(std::size_t(lv) * std::size_t(in_dim_)));
   }
   const VarPtr x = make_var(Tensor::from(n, in_dim_, std::move(x_data)));
 
-  SparseEngine engine(opts_.backend, pb.coo, *dev_);
-  engine.set_tuning_cache(opts_.tuning_cache);
-  engine.set_online_tune(opts_.online_tune);
-  const auto model = make_model(opts_.model_kind, engine, cfg);
-  const VarPtr logp = model->forward(ctx, engine, x, opts_.seed);
+  // Safe mode drops kAuto dispatch (and its tuning cache) for the
+  // conservative default backend — the ladder's last rung.
+  SparseEngine engine(pg.mode.safe ? Backend::kGnnOne : opts_.backend,
+                      pg.coo, *dev_);
+  engine.set_tuning_cache(pg.mode.safe ? nullptr : opts_.tuning_cache);
+  engine.set_online_tune(pg.mode.safe ? false : opts_.online_tune);
+  const auto model = make_model(opts_.model_kind, engine, *st.cfg);
+  const VarPtr logp = model->forward(st.ctx, engine, x, opts_.seed);
 
-  for (std::size_t r = pb.first; r < pb.last; ++r) {
+  for (std::size_t m = 0; m < pg.indices.size(); ++m) {
+    const std::size_t r = pg.indices[m];
     auto& out = rep.predictions[r];
-    out.reserve(requests[r].seeds.size());
-    for (const vid_t lv : pb.seed_rows[r - pb.first]) {
+    out.clear();  // a retried request must not accumulate stale rows
+    out.reserve(st.requests[r].seeds.size());
+    for (const vid_t lv : pg.seed_rows[m]) {
       int best = 0;
       for (std::int64_t c = 1; c < logp->value.cols(); ++c) {
         if (logp->value.at(lv, c) > logp->value.at(lv, best)) best = int(c);
@@ -158,10 +344,148 @@ void InferenceServer::forward_batch(const PreparedBatch& pb,
       out.push_back(best);
     }
   }
-  // forward_batch charges the ledger contiguously, so the delta is this
-  // batch's forward cost even when prepare_batch calls interleave.
-  rep.batches[std::size_t(pb.first / std::size_t(opts_.batch_size))]
-      .forward_cycles = rep.ledger.total() - fwd_before;
+  // forward_group charges the ledger contiguously, so the delta is this
+  // group's forward cost even when prepare calls interleave (pipelined).
+  bs.forward_cycles += rep.ledger.total() - fwd_before;
+}
+
+bool InferenceServer::forward_or_fault(ServeState& st, const PreparedGroup& pg,
+                                       StageFault* fault) const {
+  try {
+    forward_group(st, pg);
+    for (std::size_t idx : pg.indices) {
+      serve::RequestOutcome& o = st.rep->outcomes[idx];
+      o.truncated_fanouts = pg.mode.truncated;
+      o.status = (pg.mode.truncated || pg.mode.safe)
+                     ? serve::Status::kDegraded
+                     : serve::Status::kOk;
+      o.error.clear();
+    }
+    return true;
+  } catch (const gpusim::DeviceOutOfMemory& e) {
+    *fault = {serve::Status::kOom, serve::ChaosSite::kForward, e.what()};
+  } catch (const gpusim::SanitizerError& e) {
+    *fault = {serve::Status::kKernelFault, serve::ChaosSite::kForward,
+              e.what()};
+  }
+  st.rep->batches[pg.batch].fault_events += 1;
+  st.rep->fault_events += 1;
+  return false;
+}
+
+bool InferenceServer::try_group(ServeState& st,
+                                const std::vector<std::size_t>& indices,
+                                GroupMode mode, std::size_t b,
+                                StageFault* fault) const {
+  serve::ChaosSite stage = serve::ChaosSite::kSample;
+  try {
+    const PreparedGroup pg = prepare_group(st, indices, mode, b, &stage);
+    return forward_or_fault(st, pg, fault);
+  } catch (const gpusim::DeviceOutOfMemory& e) {
+    *fault = {serve::Status::kOom, stage, e.what()};
+  } catch (const TransientFetchError& e) {
+    *fault = {serve::Status::kTransientFetch, serve::ChaosSite::kGather,
+              e.what()};
+  }
+  st.rep->batches[b].fault_events += 1;
+  st.rep->fault_events += 1;
+  return false;
+}
+
+namespace {
+
+void record_step(ServingReport& rep, const std::vector<std::size_t>& members,
+                 const serve::DegradationStep& step) {
+  for (std::size_t idx : members) rep.outcomes[idx].trace.push_back(step);
+}
+
+void charge_backoff(ServingReport& rep, std::size_t b, std::uint64_t wait) {
+  rep.ledger.add("backoff", wait);
+  rep.batches[b].backoff_cycles += wait;
+  rep.backoff_cycles += wait;
+}
+
+}  // namespace
+
+void InferenceServer::recover_batch(ServeState& st, std::size_t b,
+                                    const std::vector<std::size_t>& members,
+                                    StageFault fault) const {
+  ServingReport& rep = *st.rep;
+  // Rung 0: whole-batch retries with exponential backoff — cures transient
+  // fetches whose scheduled failures run out.
+  for (int attempt = 1; attempt <= opts_.retry.max_retries; ++attempt) {
+    const std::uint64_t wait = backoff_for(opts_.retry, attempt);
+    charge_backoff(rep, b, wait);
+    record_step(rep, members,
+                {serve::ServeAction::kRetry, fault.status, fault.site,
+                 attempt, wait});
+    if (try_group(st, members, GroupMode{}, b, &fault)) return;
+  }
+  if (members.size() == 1) {
+    singleton_ladder(st, b, members[0], fault, opts_.retry.max_retries);
+    return;
+  }
+  bisect(st, b, members, fault);
+}
+
+void InferenceServer::bisect(ServeState& st, std::size_t b,
+                             const std::vector<std::size_t>& group,
+                             StageFault fault) const {
+  // Shrink the batch: split in half and re-run each side immediately (no
+  // backoff — the fault is isolated spatially, not waited out). A half with
+  // no poisoned member completes here; a faulted half keeps halving until
+  // the poison is alone.
+  const std::size_t mid = group.size() / 2;
+  const std::vector<std::size_t> halves[2] = {
+      {group.begin(), group.begin() + long(mid)},
+      {group.begin() + long(mid), group.end()}};
+  for (const std::vector<std::size_t>& half : halves) {
+    record_step(*st.rep, half,
+                {serve::ServeAction::kIsolate, fault.status, fault.site, 0,
+                 0});
+    StageFault hf = fault;
+    if (try_group(st, half, GroupMode{}, b, &hf)) continue;
+    if (half.size() == 1) {
+      singleton_ladder(st, b, half[0], hf, opts_.retry.max_retries);
+    } else {
+      bisect(st, b, half, hf);
+    }
+  }
+}
+
+void InferenceServer::singleton_ladder(ServeState& st, std::size_t b,
+                                       std::size_t idx, StageFault fault,
+                                       int attempt_base) const {
+  ServingReport& rep = *st.rep;
+  const std::vector<std::size_t> solo = {idx};
+
+  // Rung: truncate fanouts — halved neighborhoods, smaller blocks.
+  int attempt = attempt_base + 1;
+  std::uint64_t wait = backoff_for(opts_.retry, attempt);
+  charge_backoff(rep, b, wait);
+  record_step(rep, solo,
+              {serve::ServeAction::kTruncateFanouts, fault.status, fault.site,
+               attempt, wait});
+  if (try_group(st, solo, GroupMode{.truncated = true}, b, &fault)) return;
+
+  // Rung: safe mode — cache bypass + the safe default backend (still
+  // truncated; the ladder is cumulative).
+  attempt += 1;
+  wait = backoff_for(opts_.retry, attempt);
+  charge_backoff(rep, b, wait);
+  record_step(rep, solo,
+              {serve::ServeAction::kSafeMode, fault.status, fault.site,
+               attempt, wait});
+  if (try_group(st, solo, GroupMode{.truncated = true, .safe = true}, b,
+                &fault)) {
+    return;
+  }
+
+  // Off the ladder: the request is truly poisoned.
+  serve::RequestOutcome& o = rep.outcomes[idx];
+  o.status = fault.status;
+  o.error = fault.message;
+  rep.predictions[idx].clear();
 }
 
 ServingReport InferenceServer::serve(
@@ -170,62 +494,106 @@ ServingReport InferenceServer::serve(
   rep.num_requests = int(requests.size());
   rep.pipelined = opts_.pipeline;
   rep.predictions.resize(requests.size());
+  rep.outcomes.resize(requests.size());
+
+  // Boundary validation: invalid requests are rejected per-request, never
+  // handed to the sampler.
+  std::vector<std::size_t> valid;
+  valid.reserve(requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    std::string err = validate_request(requests[r], csr_.num_rows);
+    if (err.empty()) {
+      valid.push_back(r);
+    } else {
+      rep.outcomes[r].status = serve::Status::kRejected;
+      rep.outcomes[r].error = std::move(err);
+    }
+  }
 
   const std::size_t bsz = std::size_t(opts_.batch_size);
-  const std::size_t nb = (requests.size() + bsz - 1) / bsz;
+  const std::size_t nb = (valid.size() + bsz - 1) / bsz;
   rep.num_batches = int(nb);
   rep.batches.resize(nb);
+  std::vector<std::vector<std::size_t>> batches(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    batches[b].assign(valid.begin() + long(b * bsz),
+                      valid.begin() + long(std::min((b + 1) * bsz,
+                                                    valid.size())));
+    rep.batches[b].num_requests = int(batches[b].size());
+  }
 
   const ModelConfig cfg =
       model_config_for(opts_.model_kind, in_dim_, ds_->num_classes);
 
-  OpContext ctx;
-  ctx.dev = dev_;
-  ctx.ledger = &rep.ledger;
-  ctx.training = false;  // dropout is identity at serving time
-
-  SamplerScratch scratch;  // intern table reused across every batch
-  auto finish_prepare = [&](PreparedBatch pb) {
-    rep.batches[pb.first / bsz] = pb.bs;
-    return pb;
-  };
-  auto range_of = [&](std::size_t b) {
-    return std::pair<std::size_t, std::size_t>{
-        b * bsz, std::min((b + 1) * bsz, requests.size())};
-  };
+  ServeState st;
+  st.requests = requests;
+  st.rep = &rep;
+  st.cfg = &cfg;
+  st.ctx.dev = dev_;
+  st.ctx.ledger = &rep.ledger;
+  st.ctx.training = false;  // dropout is identity at serving time
+  st.gather_attempts.assign(requests.size(), 0);
+  st.mem = mem_;
 
   if (!opts_.pipeline) {
     for (std::size_t b = 0; b < nb; ++b) {
-      const auto [first, last] = range_of(b);
-      const PreparedBatch pb =
-          finish_prepare(prepare_batch(requests, first, last, scratch, rep));
-      forward_batch(pb, requests, cfg, ctx, rep);
+      StageFault fault;
+      if (!try_group(st, batches[b], GroupMode{}, b, &fault)) {
+        recover_batch(st, b, batches[b], fault);
+      }
     }
   } else if (nb > 0) {
     // Three-slot software pipeline: while batch b forwards, batch b + 1 is
-    // sampled and gathered. The computation is identical to serial mode —
-    // only the schedule (and therefore the cycle composition) changes.
-    const auto [f0, l0] = range_of(0);
-    PreparedBatch next =
-        finish_prepare(prepare_batch(requests, f0, l0, scratch, rep));
-    for (std::size_t b = 0; b < nb; ++b) {
-      const PreparedBatch cur = std::move(next);
-      if (b + 1 < nb) {
-        const auto [first, last] = range_of(b + 1);
-        next =
-            finish_prepare(prepare_batch(requests, first, last, scratch, rep));
+    // sampled and gathered. A fault in either phase drops the batch out of
+    // the pipeline into the recovery ladder (which re-runs it whole, same
+    // attempt sequence as serial mode — the chaos schedule keys on trace
+    // indices, so outcomes and charges match serial bit for bit); the
+    // pipeline continues with its neighbors.
+    auto prepare_phase =
+        [&](std::size_t b) -> std::optional<PreparedGroup> {
+      serve::ChaosSite stage = serve::ChaosSite::kSample;
+      try {
+        return prepare_group(st, batches[b], GroupMode{}, b, &stage);
+      } catch (const gpusim::DeviceOutOfMemory& e) {
+        rep.batches[b].fault_events += 1;
+        rep.fault_events += 1;
+        recover_batch(st, b, batches[b],
+                      {serve::Status::kOom, stage, e.what()});
+      } catch (const TransientFetchError& e) {
+        rep.batches[b].fault_events += 1;
+        rep.fault_events += 1;
+        recover_batch(st, b, batches[b],
+                      {serve::Status::kTransientFetch,
+                       serve::ChaosSite::kGather, e.what()});
       }
-      forward_batch(cur, requests, cfg, ctx, rep);
+      return std::nullopt;
+    };
+
+    std::optional<PreparedGroup> next = prepare_phase(0);
+    for (std::size_t b = 0; b < nb; ++b) {
+      std::optional<PreparedGroup> cur = std::move(next);
+      next.reset();
+      if (b + 1 < nb) next = prepare_phase(b + 1);
+      if (cur.has_value()) {
+        StageFault fault;
+        if (!forward_or_fault(st, *cur, &fault)) {
+          cur.reset();  // release the faulted attempt's staging first
+          recover_batch(st, b, batches[b], fault);
+        }
+      }
     }
   }
 
   // Build the per-stream timeline from the measured stage costs and fold
-  // the schedule into the report.
+  // the schedule into the report. Backoff waits ride the batch's sample
+  // (host) span, so Sigma exposed == makespan holds under recovery too.
   std::vector<BatchStageCycles> stage_cycles(nb);
   for (std::size_t b = 0; b < nb; ++b) {
     BatchStats& bs = rep.batches[b];
-    bs.cycles = bs.sample_cycles + bs.gather.cycles + bs.forward_cycles;
-    stage_cycles[b] = {bs.sample_cycles, bs.gather.cycles, bs.forward_cycles};
+    bs.cycles = bs.sample_cycles + bs.gather.cycles + bs.forward_cycles +
+                bs.backoff_cycles;
+    stage_cycles[b] = {bs.sample_cycles + bs.backoff_cycles, bs.gather.cycles,
+                       bs.forward_cycles};
   }
   const StreamTimeline tl = serve_timeline(stage_cycles, opts_.pipeline);
   rep.timeline = tl.spans();

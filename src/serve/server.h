@@ -33,9 +33,21 @@
 // stage's cycles split into exposed vs overlapped, and a batch's latency is
 // its critical path through the schedule. Predictions and the cycle ledger
 // are bit-identical to serial mode; only the cycle composition changes.
+// Fault tolerance (docs/ROBUSTNESS.md): every request carries a
+// serve::Status outcome in the report instead of a fault aborting the run.
+// When a stage throws — a DeviceMemory OOM, a transient PCIe-fetch fault
+// from the feature cache, or a simsan kernel fault — the server contains it
+// to the faulted minibatch and walks the degradation ladder: whole-batch
+// retries with exponential backoff (charged to the ledger/timeline as
+// "backoff"), bisection down to single requests, truncated fanouts, and
+// finally safe mode (feature-cache bypass + the safe default backend).
+// Only requests whose injected fault is incurable report an error; every
+// other request is served, and any request served without a degraded mode
+// keeps predictions bit-identical to the fault-free run.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,9 +55,12 @@
 #include "gen/datasets.h"
 #include "gen/requests.h"
 #include "gnn/train.h"
+#include "gpusim/memory.h"
 #include "sample/sampler.h"
+#include "serve/chaos.h"
 #include "serve/feature_cache.h"
 #include "serve/pipeline.h"
+#include "serve/status.h"
 
 namespace gnnone {
 
@@ -67,6 +82,24 @@ struct ServeOptions {
   /// forward of batch b (serve/pipeline.h). Off = the serial driver.
   /// Predictions are bit-identical either way.
   bool pipeline = false;
+  /// External device-memory tracker: the pinned cache and every per-batch
+  /// staging allocation are charged against it, so injected faults
+  /// (fail_at_allocation / fail_above) drive the serving OOM paths
+  /// deterministically and tests can assert nothing leaks across a serve.
+  /// Null = a private tracker sized to the device.
+  gpusim::DeviceMemory* device_memory = nullptr;
+  /// Degradation-ladder retry/backoff policy.
+  serve::RetryPolicy retry;
+  /// Deterministic fault-injection schedule (rates 0 = no injection).
+  serve::ChaosOptions chaos;
+
+  /// Throws std::invalid_argument on out-of-range options (unknown
+  /// model_kind, batch_size < 1, empty or non-positive fanouts, cache_alpha
+  /// outside [0, 1], negative feature_dim_override, chaos rates outside
+  /// [0, 1], negative retry budget). The standalone sampler treats a
+  /// fanout <= 0 as "take every neighbor"; serving rejects it — an
+  /// unbounded neighborhood has no place in a latency-bounded tier.
+  void Validate() const;
 };
 
 /// One stage's cycles split by the timeline attribution: `exposed` cycles
@@ -79,7 +112,12 @@ struct StageSplit {
   std::uint64_t overlapped = 0;
 };
 
-/// Per-minibatch accounting.
+/// Per-minibatch accounting. Under recovery a batch's counters accumulate
+/// over every attempt charged on its behalf (retries, bisected sub-groups,
+/// degraded re-runs): stage cycles via ledger deltas, gather traffic per
+/// successful gather, shapes per successfully sampled group — so
+/// hits + misses == num_unique_vertices and the ledger equalities stay
+/// exact whether or not the batch faulted.
 struct BatchStats {
   int num_requests = 0;
   vid_t num_seeds = 0;     // seed rows in the block (summed over requests)
@@ -91,7 +129,13 @@ struct BatchStats {
   GatherStats gather;
   std::uint64_t sample_cycles = 0;
   std::uint64_t forward_cycles = 0;
-  std::uint64_t cycles = 0;  // all stages (the batch's modeled work)
+  /// Modeled recovery waits (exponential backoff between ladder attempts),
+  /// charged to the ledger under "backoff" and placed on the batch's host
+  /// stream in the timeline. 0 on a fault-free batch.
+  std::uint64_t backoff_cycles = 0;
+  /// Faults that fired while serving this batch (initial run + recovery).
+  int fault_events = 0;
+  std::uint64_t cycles = 0;  // all stages + backoff (the batch's work)
   /// Critical path through the timeline: forward end minus sample start.
   /// Serial mode: equals `cycles`. Pipelined: can exceed `cycles` when the
   /// batch waits on a stream held by its neighbors.
@@ -125,40 +169,119 @@ struct ServingReport {
     return total > 0.0 ? double(cache_hits) / total : 0.0;
   }
 
+  /// Total modeled backoff waits and fault events across all batches.
+  std::uint64_t backoff_cycles = 0;
+  int fault_events = 0;
+
   std::vector<BatchStats> batches;
   /// The full schedule, batch-major: span 3 * b + stream (serve/pipeline.h
-  /// stream ids). Serial runs get the chained schedule.
+  /// stream ids). Serial runs get the chained schedule. A batch's sample
+  /// span carries its backoff cycles too (host-side waiting), which keeps
+  /// Sigma exposed == makespan exact under recovery.
   std::vector<StageSpan> timeline;
-  CycleLedger ledger;  // cycles by stage/kernel tag
+  CycleLedger ledger;  // cycles by stage/kernel tag (+ "backoff")
   MemoryLedger bytes;  // gather traffic by hit/miss tag
-  /// predictions[r][s] = argmax class of request r's seed s.
+  /// predictions[r][s] = argmax class of request r's seed s. Empty for a
+  /// request whose outcome is not served (rejected or failed).
   std::vector<std::vector<int>> predictions;
+  /// Per-request status + degradation trace, trace order (serve/chaos.h).
+  std::vector<serve::RequestOutcome> outcomes;
+
+  /// Requests that produced predictions (status kOk or kDegraded).
+  int served_requests() const {
+    int n = 0;
+    for (const auto& o : outcomes) n += serve::is_served(o.status) ? 1 : 0;
+    return n;
+  }
+  /// Requests refused at the server boundary (invalid input).
+  int rejected_requests() const {
+    int n = 0;
+    for (const auto& o : outcomes) {
+      n += o.status == serve::Status::kRejected ? 1 : 0;
+    }
+    return n;
+  }
+  /// Admitted requests the ladder could not cure.
+  int failed_requests() const {
+    return num_requests - rejected_requests() - served_requests();
+  }
+  int degraded_requests() const {
+    int n = 0;
+    for (const auto& o : outcomes) {
+      n += o.status == serve::Status::kDegraded ? 1 : 0;
+    }
+    return n;
+  }
+  /// Served fraction of the admitted (non-rejected) requests — the
+  /// availability the chaos harness holds to a floor.
+  double availability() const {
+    const int eligible = num_requests - rejected_requests();
+    return eligible > 0 ? double(served_requests()) / double(eligible) : 1.0;
+  }
 };
 
 class InferenceServer {
  public:
-  /// The dataset and device must outlive the server.
+  /// The dataset and device must outlive the server. Throws
+  /// std::invalid_argument when opts.Validate() rejects the options.
   InferenceServer(const Dataset& ds, const gpusim::DeviceSpec& dev,
                   const ServeOptions& opts);
 
   const FeatureCache& cache() const { return cache_; }
+  /// The tracker serving allocations are charged to (the external one when
+  /// ServeOptions::device_memory was set, else the private one). Between
+  /// serves exactly the pinned cache bytes are in use — the chaos harness's
+  /// leak check.
+  gpusim::DeviceMemory& device_memory() const { return *mem_; }
 
   /// Runs every request, batching opts.batch_size at a time (the final
-  /// batch may be smaller). Deterministic for equal inputs; per-request
-  /// predictions are invariant to batching (header comment).
+  /// batch may be smaller). Invalid requests (empty seed set, out-of-range
+  /// or duplicated seed ids) are rejected per-request at the boundary; a
+  /// stage fault is contained to its minibatch and recovered through the
+  /// degradation ladder (header comment). Never throws for a fault on the
+  /// serving path; deterministic for equal inputs, and per-request
+  /// predictions are invariant to batching.
   ServingReport serve(std::span<const SeedRequest> requests) const;
 
  private:
-  struct PreparedBatch;  // sampled + gathered, awaiting its forward pass
+  /// Fidelity a group runs at: rungs of the ladder are cumulative, so safe
+  /// mode keeps the truncated fanouts it escalated through.
+  struct GroupMode {
+    bool truncated = false;  // fanouts halved (floor 1)
+    bool safe = false;       // feature-cache bypass + safe default backend
+  };
+  /// A caught stage fault, classified for the ladder.
+  struct StageFault {
+    serve::Status status = serve::Status::kOk;
+    serve::ChaosSite site = serve::ChaosSite::kSample;
+    std::string message;
+  };
+  struct ServeState;     // per-serve scratch (defined in server.cc)
+  struct PreparedGroup;  // sampled + gathered, awaiting its forward pass
 
-  PreparedBatch prepare_batch(std::span<const SeedRequest> requests,
-                              std::size_t first, std::size_t last,
-                              SamplerScratch& scratch,
-                              ServingReport& rep) const;
-  void forward_batch(const PreparedBatch& pb,
-                     std::span<const SeedRequest> requests,
-                     const ModelConfig& cfg, const OpContext& ctx,
-                     ServingReport& rep) const;
+  PreparedGroup prepare_group(ServeState& st,
+                              const std::vector<std::size_t>& indices,
+                              GroupMode mode, std::size_t b,
+                              serve::ChaosSite* stage) const;
+  void forward_group(ServeState& st, const PreparedGroup& pg) const;
+  /// One full attempt at serving `indices` as one group; commits outcomes
+  /// and predictions on success. On a contained fault, fills *fault,
+  /// counts the event against batch b, and returns false.
+  bool try_group(ServeState& st, const std::vector<std::size_t>& indices,
+                 GroupMode mode, std::size_t b, StageFault* fault) const;
+  bool forward_or_fault(ServeState& st, const PreparedGroup& pg,
+                        StageFault* fault) const;
+  /// Walks the ladder for a faulted batch: whole-batch retries w/ backoff,
+  /// bisection to singletons, then the per-request degraded rungs.
+  void recover_batch(ServeState& st, std::size_t b,
+                     const std::vector<std::size_t>& members,
+                     StageFault fault) const;
+  void bisect(ServeState& st, std::size_t b,
+              const std::vector<std::size_t>& group, StageFault fault) const;
+  void singleton_ladder(ServeState& st, std::size_t b, std::size_t idx,
+                        StageFault fault, int attempt_base) const;
+  bool arms_oom(const std::vector<std::size_t>& indices, GroupMode mode,
+                serve::ChaosSite site) const;
 
   const Dataset* ds_;
   const gpusim::DeviceSpec* dev_;
@@ -167,6 +290,9 @@ class InferenceServer {
   Csr csr_;                     // sampling topology
   FeatureCache cache_;
   std::vector<float> features_;  // full n x in_dim host-side feature table
+  std::unique_ptr<gpusim::DeviceMemory> owned_mem_;  // when none was passed
+  gpusim::DeviceMemory* mem_;
+  gpusim::DeviceAllocation cache_alloc_;  // the pinned cache's device bytes
 };
 
 }  // namespace gnnone

@@ -1,0 +1,57 @@
+// Shared error taxonomy for the serving and training paths.
+//
+// A production inference tier cannot treat "the run threw" as its only
+// failure mode: a request either completes cleanly, completes in a degraded
+// mode, or fails for a *reason* that the caller (and the chaos harness) can
+// act on. Every per-request outcome in ServingReport carries one of these
+// statuses, and TrainResult maps its legacy fail_reason strings onto the
+// same taxonomy so the two harnesses report failures in one vocabulary.
+//
+// Header-only on purpose: gnn/train.h includes this from a library that the
+// serve library itself links against, so the taxonomy must not drag any
+// serve-side code with it.
+#pragma once
+
+#include <string>
+
+namespace gnnone::serve {
+
+/// Outcome of one unit of served (or trained) work.
+enum class Status {
+  kOk,             // served cleanly, no degradation
+  kOom,            // device allocation failed beyond what the ladder cures
+  kTransientFetch, // host->device feature fetch kept faulting past retries
+  kKernelFault,    // simsan-style kernel fault not cured by the safe backend
+  kRejected,       // invalid input, refused at the server boundary
+  kDegraded,       // served, but through a degraded mode (see the trace)
+};
+
+constexpr const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:             return "ok";
+    case Status::kOom:            return "oom";
+    case Status::kTransientFetch: return "transient_fetch";
+    case Status::kKernelFault:    return "kernel_fault";
+    case Status::kRejected:       return "rejected";
+    case Status::kDegraded:       return "degraded";
+  }
+  return "unknown";
+}
+
+/// A request with this status produced predictions (cleanly or degraded).
+constexpr bool is_served(Status s) {
+  return s == Status::kOk || s == Status::kDegraded;
+}
+
+/// Mapping from TrainResult::fail_reason's legacy strings. "diverged" is a
+/// poisoned computation — the closest taxon is a kernel fault; "unsupported"
+/// is an admission refusal, i.e. a rejection.
+inline Status status_from_fail_reason(const std::string& reason) {
+  if (reason.empty()) return Status::kOk;
+  if (reason == "OOM") return Status::kOom;
+  if (reason == "diverged") return Status::kKernelFault;
+  if (reason == "unsupported") return Status::kRejected;
+  return Status::kKernelFault;
+}
+
+}  // namespace gnnone::serve

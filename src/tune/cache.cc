@@ -203,4 +203,25 @@ std::optional<TuningCache> TuningCache::load(const std::string& path) {
   }
 }
 
+TuningCache TuningCache::load_or_empty(const std::string& path,
+                                       std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};  // cold start: no cache file yet
+  std::stringstream ss;
+  ss << in.rdbuf();
+  try {
+    return from_json(Json::parse(ss.str()));
+  } catch (const std::exception& e) {
+    // Truncated, corrupted, or version-mismatched: the cache is advisory,
+    // so degrade to empty (dispatch falls through to online tuning /
+    // heuristics) rather than poisoning every kAuto launch with a throw.
+    if (warning != nullptr) {
+      *warning = "tuning cache '" + path +
+                 "' ignored (corrupt or incompatible): " + e.what();
+    }
+    return {};
+  }
+}
+
 }  // namespace gnnone::tune

@@ -85,6 +85,15 @@ class TuningCache {
   bool save(const std::string& path) const;
   static std::optional<TuningCache> load(const std::string& path);
 
+  /// Robust loading for dispatch paths: never throws. A missing file is the
+  /// normal cold start (empty cache, no warning); a file that exists but is
+  /// truncated, corrupted, or carries the wrong schema/version degrades to
+  /// an *empty* cache with a description in *warning (when non-null), so
+  /// Backend::kAuto falls through to online tuning / heuristics instead of
+  /// aborting on a bad cache file.
+  static TuningCache load_or_empty(const std::string& path,
+                                   std::string* warning = nullptr);
+
  private:
   std::vector<Entry> entries_;  // kept sorted by key.str()
 };

@@ -1,0 +1,484 @@
+// Fault-tolerant serving: containment, the degradation ladder, and the
+// deterministic chaos schedule (src/serve/chaos.*, server.cc recovery).
+//
+// The invariants mirrored by bench/bench_chaos.cc at sweep scale:
+//  * a stage fault never crashes serve() and never leaks device bytes;
+//  * only truly-poisoned requests fail; every request served without a
+//    degraded mode is bit-identical to the fault-free run;
+//  * every degraded/failed request carries its DegradationTrace, and
+//    backoff shows up in the ledger and the timeline attribution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/datasets.h"
+#include "gen/requests.h"
+#include "gnn/train.h"
+#include "serve/server.h"
+
+namespace gnnone {
+namespace {
+
+gpusim::DeviceSpec test_device() { return gpusim::DeviceSpec{}; }
+
+ServeOptions chaos_opts() {
+  ServeOptions o;
+  o.model_kind = "gcn";  // batch-invariant predictions (see server.h)
+  o.batch_size = 4;
+  o.fanouts = {6, 3};
+  o.cache_alpha = 0.1;
+  o.feature_dim_override = 16;
+  o.backend = Backend::kAuto;
+  o.seed = 3;
+  return o;
+}
+
+std::vector<SeedRequest> chaos_trace(const Dataset& ds, int n = 14) {
+  RequestTraceOptions ro;
+  ro.num_requests = n;
+  ro.max_seeds = 3;
+  ro.hot_fraction = 0.5;
+  ro.seed = 21;
+  return make_request_trace(ds.coo, ro);
+}
+
+/// Cross-checks the accounting identities that must hold fault-free AND
+/// under recovery: per-batch stage sums, ledger equalities, and (serial
+/// mode) makespan == ledger total.
+void expect_report_consistent(const ServingReport& rep) {
+  std::uint64_t batch_sum = 0;
+  for (const BatchStats& b : rep.batches) {
+    EXPECT_EQ(b.cycles, b.sample_cycles + b.gather.cycles + b.forward_cycles +
+                            b.backoff_cycles);
+    EXPECT_EQ(b.gather.hits + b.gather.misses,
+              std::uint64_t(b.num_unique_vertices));
+    batch_sum += b.cycles;
+  }
+  EXPECT_EQ(batch_sum, rep.ledger.total());
+  EXPECT_EQ(rep.serial_cycles, rep.ledger.total());
+  if (!rep.pipelined) EXPECT_EQ(rep.total_cycles, rep.ledger.total());
+  EXPECT_EQ(rep.ledger.by_tag("sample"), rep.sample_cycles);
+  EXPECT_EQ(rep.ledger.by_tag("feature_gather"), rep.gather_cycles);
+  EXPECT_EQ(rep.ledger.by_tag("backoff"), rep.backoff_cycles);
+  EXPECT_EQ(rep.bytes.by_tag("feature_cache_hit"), rep.cache_hit_bytes);
+  EXPECT_EQ(rep.bytes.by_tag("feature_cache_miss"), rep.cache_miss_bytes);
+  // Every busy instant attributed exactly once.
+  std::uint64_t exposed = 0;
+  for (const StageSpan& s : rep.timeline) {
+    EXPECT_EQ(s.exposed + s.overlapped, s.cycles());
+    exposed += s.exposed;
+  }
+  EXPECT_EQ(exposed, rep.total_cycles);
+  // Outcomes and predictions agree on who was served.
+  ASSERT_EQ(rep.outcomes.size(), rep.predictions.size());
+  for (std::size_t r = 0; r < rep.outcomes.size(); ++r) {
+    if (serve::is_served(rep.outcomes[r].status)) {
+      EXPECT_FALSE(rep.predictions[r].empty()) << "request " << r;
+      EXPECT_TRUE(rep.outcomes[r].error.empty()) << "request " << r;
+    } else {
+      EXPECT_TRUE(rep.predictions[r].empty()) << "request " << r;
+      EXPECT_FALSE(rep.outcomes[r].error.empty()) << "request " << r;
+    }
+  }
+}
+
+/// Requests served at full fidelity must match the fault-free predictions
+/// bit for bit; returns how many were compared.
+int expect_unaffected_bit_identical(const ServingReport& chaos,
+                                    const ServingReport& clean) {
+  int compared = 0;
+  for (std::size_t r = 0; r < chaos.outcomes.size(); ++r) {
+    const serve::RequestOutcome& o = chaos.outcomes[r];
+    if (o.status == serve::Status::kOk && !o.truncated_fanouts) {
+      EXPECT_EQ(chaos.predictions[r], clean.predictions[r]) << "request " << r;
+      ++compared;
+    }
+  }
+  return compared;
+}
+
+// --- the deterministic fault schedule ---------------------------------------
+
+TEST(ChaosSchedule, UniformDrawsAreDeterministicAndInRange) {
+  for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      const double u = serve::chaos_uniform(seed, 42, key);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LT(u, 1.0);
+      EXPECT_EQ(u, serve::chaos_uniform(seed, 42, key));
+    }
+  }
+  // Different streams decorrelate the same key.
+  EXPECT_NE(serve::chaos_uniform(1, 2, 5), serve::chaos_uniform(1, 3, 5));
+}
+
+TEST(ChaosSchedule, RateBoundsAndFateShapes) {
+  serve::ChaosOptions chaos;
+  chaos.seed = 11;
+  chaos.oom_rate = 0.0;
+  EXPECT_FALSE(serve::oom_fate(chaos, 0).poisoned);
+  EXPECT_FALSE(chaos.enabled());
+
+  chaos.oom_rate = 1.0;
+  chaos.kernel_rate = 1.0;
+  EXPECT_TRUE(chaos.enabled());
+  std::set<int> rungs;
+  int cures = 0, total = 0;
+  for (std::size_t r = 0; r < 200; ++r) {
+    const serve::OomFate f = serve::oom_fate(chaos, r);
+    ASSERT_TRUE(f.poisoned);
+    ASSERT_GE(f.cure_rung, 1);
+    ASSERT_LE(f.cure_rung, 3);
+    rungs.insert(f.cure_rung);
+    const serve::KernelFate k = serve::kernel_fate(chaos, r);
+    ASSERT_TRUE(k.poisoned);
+    cures += k.safe_backend_cures ? 1 : 0;
+    ++total;
+    const serve::FetchFate ff = serve::fetch_fate(1.0, chaos.seed, r);
+    ASSERT_TRUE(ff.poisoned);
+    ASSERT_GE(ff.failing_attempts, 1);
+  }
+  EXPECT_EQ(rungs.size(), 3u);        // all severities occur
+  EXPECT_GT(cures, total / 2);        // most kernel faults are curable
+  EXPECT_LT(cures, total);            // but not all
+}
+
+// --- option and request validation ------------------------------------------
+
+TEST(ServeValidation, RejectsOutOfRangeOptions) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reject = [&](void (*mutate)(ServeOptions&)) {
+    ServeOptions o = chaos_opts();
+    mutate(o);
+    EXPECT_THROW(o.Validate(), std::invalid_argument);
+    EXPECT_THROW(InferenceServer(ds, dev, o), std::invalid_argument);
+  };
+  reject([](ServeOptions& o) { o.model_kind = "transformer"; });
+  reject([](ServeOptions& o) { o.batch_size = 0; });
+  reject([](ServeOptions& o) { o.batch_size = -3; });
+  reject([](ServeOptions& o) { o.fanouts.clear(); });
+  reject([](ServeOptions& o) { o.fanouts = {10, 0}; });
+  reject([](ServeOptions& o) { o.fanouts = {-1}; });
+  reject([](ServeOptions& o) { o.cache_alpha = -0.1; });
+  reject([](ServeOptions& o) { o.cache_alpha = 1.5; });
+  reject([](ServeOptions& o) { o.feature_dim_override = -1; });
+  reject([](ServeOptions& o) { o.chaos.oom_rate = 1.5; });
+  reject([](ServeOptions& o) { o.chaos.fetch_rate = -0.2; });
+  reject([](ServeOptions& o) { o.retry.max_retries = -1; });
+  EXPECT_NO_THROW(chaos_opts().Validate());
+}
+
+TEST(ServeValidation, InvalidRequestsAreRejectedPerRequestNotFatal) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const InferenceServer server(ds, dev, chaos_opts());
+  auto reqs = chaos_trace(ds, 6);
+  const vid_t n = ds.coo.num_rows;
+  reqs.push_back({{n}});            // out of range (== num_vertices)
+  reqs.push_back({{vid_t(-1)}});    // negative id
+  reqs.push_back({{3, 7, 3}});      // duplicate within one request
+  reqs.push_back({{}});             // empty seed set
+
+  const ServingReport rep = server.serve(reqs);
+  EXPECT_EQ(rep.rejected_requests(), 4);
+  EXPECT_EQ(rep.served_requests(), 6);
+  EXPECT_EQ(rep.failed_requests(), 0);
+  EXPECT_DOUBLE_EQ(rep.availability(), 1.0);  // rejected are not failures
+  for (std::size_t r = 6; r < reqs.size(); ++r) {
+    EXPECT_EQ(rep.outcomes[r].status, serve::Status::kRejected);
+    EXPECT_FALSE(rep.outcomes[r].error.empty());
+    EXPECT_TRUE(rep.predictions[r].empty());
+    EXPECT_TRUE(rep.outcomes[r].trace.empty());
+  }
+  // The valid requests are untouched by their bad neighbors: batches are
+  // formed over the admitted set only.
+  const ServingReport clean = server.serve(std::span(reqs).first(6));
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_EQ(rep.predictions[r], clean.predictions[r]);
+  }
+  expect_report_consistent(rep);
+}
+
+// --- fault-free behavior is unchanged ---------------------------------------
+
+TEST(ChaosServing, FaultFreeRunHasCleanOutcomes) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const InferenceServer server(ds, dev, chaos_opts());
+  const ServingReport rep = server.serve(chaos_trace(ds));
+  EXPECT_EQ(rep.served_requests(), rep.num_requests);
+  EXPECT_EQ(rep.fault_events, 0);
+  EXPECT_EQ(rep.backoff_cycles, 0u);
+  EXPECT_EQ(rep.ledger.by_tag("backoff"), 0u);
+  for (const serve::RequestOutcome& o : rep.outcomes) {
+    EXPECT_EQ(o.status, serve::Status::kOk);
+    EXPECT_TRUE(o.trace.empty());
+    EXPECT_FALSE(o.truncated_fanouts);
+  }
+  expect_report_consistent(rep);
+  // Between serves exactly the pinned cache is resident.
+  EXPECT_EQ(server.device_memory().in_use(), server.cache().device_bytes());
+}
+
+// --- containment per fault site ---------------------------------------------
+
+void run_site_containment(serve::ChaosSite site) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = chaos_trace(ds);
+  const ServingReport clean =
+      InferenceServer(ds, dev, chaos_opts()).serve(reqs);
+
+  ServeOptions o = chaos_opts();
+  o.chaos.seed = 5;
+  o.chaos.oom_rate = 0.3;
+  o.chaos.oom_site = site;
+  const InferenceServer server(ds, dev, o);
+  const ServingReport rep = server.serve(reqs);
+
+  // Faults fired and were contained: nothing threw, bytes unwound.
+  EXPECT_GT(rep.fault_events, 0) << serve::site_name(site);
+  EXPECT_GT(rep.backoff_cycles, 0u);
+  EXPECT_EQ(server.device_memory().in_use(), server.cache().device_bytes());
+
+  int degraded = 0, failed = 0;
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    const serve::RequestOutcome& oc = rep.outcomes[r];
+    const serve::OomFate fate = serve::oom_fate(o.chaos, r);
+    if (!fate.poisoned) {
+      // A healthy request may ride recovery rungs with its batch but is
+      // always served at full fidelity.
+      EXPECT_EQ(oc.status, serve::Status::kOk) << "request " << r;
+      EXPECT_FALSE(oc.truncated_fanouts);
+    } else if (fate.cure_rung == 1) {
+      EXPECT_EQ(oc.status, serve::Status::kOk) << "request " << r;
+      // Cured by running alone: the trace records the isolation.
+      EXPECT_FALSE(oc.trace.empty());
+    } else if (fate.cure_rung == 2) {
+      EXPECT_EQ(oc.status, serve::Status::kDegraded) << "request " << r;
+      EXPECT_TRUE(oc.truncated_fanouts);
+      ASSERT_FALSE(oc.trace.empty());
+      EXPECT_EQ(oc.trace.back().action, serve::ServeAction::kTruncateFanouts);
+      ++degraded;
+    } else {
+      EXPECT_EQ(oc.status, serve::Status::kOom) << "request " << r;
+      ASSERT_FALSE(oc.trace.empty());
+      // Walked the whole ladder before giving up.
+      EXPECT_EQ(oc.trace.back().action, serve::ServeAction::kSafeMode);
+      EXPECT_EQ(oc.trace.back().fault, serve::Status::kOom);
+      EXPECT_EQ(oc.trace.back().site, site);
+      ++failed;
+    }
+  }
+  EXPECT_GT(expect_unaffected_bit_identical(rep, clean), 0);
+  EXPECT_EQ(rep.served_requests() + failed, rep.num_requests);
+  expect_report_consistent(rep);
+}
+
+TEST(ChaosServing, OomAtSampleIsContained) {
+  run_site_containment(serve::ChaosSite::kSample);
+}
+TEST(ChaosServing, OomAtGatherIsContained) {
+  run_site_containment(serve::ChaosSite::kGather);
+}
+TEST(ChaosServing, OomAtForwardIsContained) {
+  run_site_containment(serve::ChaosSite::kForward);
+}
+
+TEST(ChaosServing, TransientFetchFaultsClearThroughRetries) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = chaos_trace(ds);
+  const ServingReport clean =
+      InferenceServer(ds, dev, chaos_opts()).serve(reqs);
+
+  ServeOptions o = chaos_opts();
+  o.chaos.seed = 9;
+  o.chaos.fetch_rate = 0.4;
+  const InferenceServer server(ds, dev, o);
+  const ServingReport rep = server.serve(reqs);
+
+  EXPECT_GT(rep.fault_events, 0);
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    const serve::FetchFate fate =
+        serve::fetch_fate(o.chaos.fetch_rate, o.chaos.seed, r);
+    if (fate.poisoned && fate.failing_attempts > 1000) {
+      // The incurable tail: fails every rung, surfaces as kTransientFetch.
+      EXPECT_EQ(rep.outcomes[r].status, serve::Status::kTransientFetch)
+          << "request " << r;
+      EXPECT_EQ(rep.outcomes[r].trace.back().action,
+                serve::ServeAction::kSafeMode);
+    } else {
+      // Transients clear once their scheduled failures run out.
+      EXPECT_TRUE(serve::is_served(rep.outcomes[r].status)) << "request " << r;
+    }
+  }
+  EXPECT_GT(expect_unaffected_bit_identical(rep, clean), 0);
+  EXPECT_EQ(server.device_memory().in_use(), server.cache().device_bytes());
+  expect_report_consistent(rep);
+}
+
+TEST(ChaosServing, KernelFaultsFallBackToSafeBackend) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = chaos_trace(ds);
+  const ServingReport clean =
+      InferenceServer(ds, dev, chaos_opts()).serve(reqs);
+
+  ServeOptions o = chaos_opts();
+  o.chaos.seed = 13;
+  o.chaos.kernel_rate = 0.3;
+  const InferenceServer server(ds, dev, o);
+  const ServingReport rep = server.serve(reqs);
+
+  int cured = 0;
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    const serve::KernelFate fate = serve::kernel_fate(o.chaos, r);
+    if (!fate.poisoned) {
+      EXPECT_EQ(rep.outcomes[r].status, serve::Status::kOk) << "request " << r;
+    } else if (fate.safe_backend_cures) {
+      // The safe-backend rung cured it (degraded: it rode the whole ladder).
+      EXPECT_EQ(rep.outcomes[r].status, serve::Status::kDegraded)
+          << "request " << r;
+      EXPECT_EQ(rep.outcomes[r].trace.back().action,
+                serve::ServeAction::kSafeMode);
+      ++cured;
+    } else {
+      EXPECT_EQ(rep.outcomes[r].status, serve::Status::kKernelFault)
+          << "request " << r;
+    }
+  }
+  EXPECT_GT(cured, 0);
+  EXPECT_GT(expect_unaffected_bit_identical(rep, clean), 0);
+  expect_report_consistent(rep);
+}
+
+// --- serial vs pipelined, determinism ---------------------------------------
+
+TEST(ChaosServing, PipelinedMatchesSerialOutcomesUnderChaos) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = chaos_trace(ds);
+  ServeOptions serial = chaos_opts();
+  serial.chaos.seed = 5;
+  serial.chaos.oom_rate = 0.25;
+  serial.chaos.fetch_rate = 0.2;
+  serial.chaos.kernel_rate = 0.15;
+  ServeOptions piped = serial;
+  piped.pipeline = true;
+
+  const ServingReport rs = InferenceServer(ds, dev, serial).serve(reqs);
+  const ServingReport rp = InferenceServer(ds, dev, piped).serve(reqs);
+
+  // The chaos schedule keys on trace indices, never on pipeline order, so
+  // recovery produces identical outcomes, charges, and predictions.
+  EXPECT_EQ(rs.predictions, rp.predictions);
+  EXPECT_EQ(rs.ledger.total(), rp.ledger.total());
+  EXPECT_EQ(rs.backoff_cycles, rp.backoff_cycles);
+  EXPECT_EQ(rs.fault_events, rp.fault_events);
+  ASSERT_EQ(rs.outcomes.size(), rp.outcomes.size());
+  for (std::size_t r = 0; r < rs.outcomes.size(); ++r) {
+    EXPECT_EQ(rs.outcomes[r].status, rp.outcomes[r].status) << r;
+    EXPECT_EQ(rs.outcomes[r].trace.size(), rp.outcomes[r].trace.size()) << r;
+  }
+  EXPECT_LE(rp.total_cycles, rs.total_cycles);  // overlap never hurts
+  expect_report_consistent(rs);
+  expect_report_consistent(rp);  // Sigma exposed == makespan under chaos
+}
+
+TEST(ChaosServing, ChaosRunsAreDeterministic) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto reqs = chaos_trace(ds);
+  ServeOptions o = chaos_opts();
+  o.chaos.seed = 17;
+  o.chaos.oom_rate = 0.2;
+  o.chaos.fetch_rate = 0.2;
+  const InferenceServer server(ds, dev, o);
+  const ServingReport a = server.serve(reqs);
+  const ServingReport b = server.serve(reqs);
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.backoff_cycles, b.backoff_cycles);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  for (std::size_t r = 0; r < a.outcomes.size(); ++r) {
+    EXPECT_EQ(a.outcomes[r].status, b.outcomes[r].status);
+  }
+}
+
+// --- real DeviceMemory faults through the serving path ----------------------
+
+TEST(ChaosServing, ExternalOneShotOomIsAbsorbedAndServerStaysReusable) {
+  // A test-armed fail_at_allocation on a shared tracker — the PR 1 fault
+  // machinery, no chaos schedule at all — unwinds leak-free, the retry rung
+  // absorbs it (one-shots self-consume), and every request is served.
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  gpusim::DeviceMemory mem(dev.device_memory_bytes);
+  ServeOptions o = chaos_opts();
+  o.device_memory = &mem;
+  const InferenceServer server(ds, dev, o);
+  const auto reqs = chaos_trace(ds);
+  const ServingReport clean = server.serve(reqs);
+  ASSERT_EQ(clean.served_requests(), clean.num_requests);
+
+  for (std::uint64_t nth : {1ull, 2ull, 3ull, 5ull, 8ull}) {
+    mem.fail_at_allocation(nth);
+    const ServingReport rep = server.serve(reqs);
+    EXPECT_EQ(rep.served_requests(), rep.num_requests) << "nth=" << nth;
+    EXPECT_GE(rep.fault_events, 1) << "nth=" << nth;
+    EXPECT_EQ(mem.in_use(), server.cache().device_bytes()) << "nth=" << nth;
+    EXPECT_EQ(rep.predictions, clean.predictions) << "nth=" << nth;
+    expect_report_consistent(rep);
+  }
+  mem.clear_faults();
+  // Still healthy after repeated injected failures.
+  EXPECT_EQ(server.serve(reqs).predictions, clean.predictions);
+}
+
+TEST(ChaosServing, SingletonBatchesWalkTheLadderDirectly) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  ServeOptions o = chaos_opts();
+  o.batch_size = 1;  // no bisection available: straight to the rungs
+  o.chaos.seed = 5;
+  o.chaos.oom_rate = 0.3;
+  o.chaos.oom_site = serve::ChaosSite::kForward;
+  const InferenceServer server(ds, dev, o);
+  const ServingReport rep = server.serve(chaos_trace(ds));
+  for (std::size_t r = 0; r < rep.outcomes.size(); ++r) {
+    const serve::OomFate fate = serve::oom_fate(o.chaos, r);
+    if (fate.poisoned && fate.cure_rung == 3) {
+      EXPECT_EQ(rep.outcomes[r].status, serve::Status::kOom);
+    } else {
+      EXPECT_TRUE(serve::is_served(rep.outcomes[r].status)) << r;
+    }
+  }
+  EXPECT_EQ(server.device_memory().in_use(), server.cache().device_bytes());
+  expect_report_consistent(rep);
+}
+
+// --- the shared error taxonomy ----------------------------------------------
+
+TEST(StatusTaxonomy, NamesAndTrainResultMapping) {
+  EXPECT_STREQ(serve::status_name(serve::Status::kOk), "ok");
+  EXPECT_STREQ(serve::status_name(serve::Status::kOom), "oom");
+  EXPECT_STREQ(serve::status_name(serve::Status::kDegraded), "degraded");
+  EXPECT_TRUE(serve::is_served(serve::Status::kDegraded));
+  EXPECT_FALSE(serve::is_served(serve::Status::kRejected));
+
+  TrainResult tr;
+  tr.fail_reason = "";
+  EXPECT_EQ(tr.status(), serve::Status::kOk);
+  tr.fail_reason = "OOM";
+  EXPECT_EQ(tr.status(), serve::Status::kOom);
+  tr.fail_reason = "diverged";
+  EXPECT_EQ(tr.status(), serve::Status::kKernelFault);
+  tr.fail_reason = "unsupported";
+  EXPECT_EQ(tr.status(), serve::Status::kRejected);
+}
+
+}  // namespace
+}  // namespace gnnone

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -248,6 +250,108 @@ TEST(TuningCache, RejectsWrongSchemaAndMalformedEntries) {
 
   const std::string path = testing::TempDir() + "/tune_cache_bad.json";
   EXPECT_FALSE(TuningCache::load(path + ".does_not_exist").has_value());
+}
+
+// --- robust loading (load_or_empty never throws) ----------------------------
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+}
+
+}  // namespace
+
+TEST(TuningCache, LoadOrEmptyMissingFileIsSilentColdStart) {
+  std::string warning = "stale";
+  const TuningCache cache = TuningCache::load_or_empty(
+      testing::TempDir() + "/no_such_cache.json", &warning);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_TRUE(warning.empty());  // missing is normal, not a corruption
+}
+
+TEST(TuningCache, LoadOrEmptyRoundTripsAValidFile) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  TuningCache cache;
+  tune_into(cache, dev, skewed_graph(8), TuneOp::kSpmm, 6);
+  const std::string path = testing::TempDir() + "/tune_cache_ok.json";
+  ASSERT_TRUE(cache.save(path));
+
+  std::string warning;
+  const TuningCache loaded = TuningCache::load_or_empty(path, &warning);
+  EXPECT_TRUE(warning.empty()) << warning;
+  EXPECT_EQ(loaded.size(), cache.size());
+}
+
+TEST(TuningCache, LoadOrEmptyDegradesByteLevelCorruptionToEmpty) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  TuningCache cache;
+  tune_into(cache, dev, skewed_graph(8), TuneOp::kSpmm, 6);
+  const std::string path = testing::TempDir() + "/tune_cache_corrupt.json";
+  ASSERT_TRUE(cache.save(path));
+  const std::string good = slurp(path);
+  ASSERT_FALSE(good.empty());
+
+  // Truncation: a crash mid-save leaves half a document.
+  spit(path, good.substr(0, good.size() / 2));
+  std::string warning;
+  EXPECT_TRUE(TuningCache::load_or_empty(path, &warning).empty());
+  EXPECT_NE(warning.find("ignored"), std::string::npos) << warning;
+
+  // Byte flip inside the document body: structurally invalid JSON.
+  std::string flipped = good;
+  flipped[flipped.size() / 2] = '\x01';
+  spit(path, flipped);
+  warning.clear();
+  EXPECT_TRUE(TuningCache::load_or_empty(path, &warning).empty());
+  EXPECT_FALSE(warning.empty());
+
+  // Garbage that is not JSON at all.
+  spit(path, "\xff\xfe not json");
+  EXPECT_TRUE(TuningCache::load_or_empty(path, &warning).empty());
+  EXPECT_FALSE(warning.empty());
+}
+
+TEST(TuningCache, LoadOrEmptyDegradesVersionMismatchToEmptyWithWarning) {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  TuningCache cache;
+  tune_into(cache, dev, skewed_graph(8), TuneOp::kSpmm, 6);
+  util::Json doc = cache.to_json();
+  doc.set("version", util::Json(kCacheSchemaVersion + 1));
+  const std::string path = testing::TempDir() + "/tune_cache_future.json";
+  spit(path, doc.dump() + "\n");
+
+  std::string warning;
+  const TuningCache loaded = TuningCache::load_or_empty(path, &warning);
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_NE(warning.find("unsupported version"), std::string::npos) << warning;
+
+  // Null warning sink: must still not throw.
+  EXPECT_TRUE(TuningCache::load_or_empty(path).empty());
+}
+
+TEST(AutoBackend, DispatchSurvivesACorruptCacheFile) {
+  // End to end: a corrupt cache file degrades to heuristic dispatch instead
+  // of throwing out of Backend::kAuto.
+  const std::string path = testing::TempDir() + "/tune_cache_dispatch.json";
+  spit(path, "{\"schema\": \"gnnone-tuning-cache\", \"versi");  // truncated
+  std::string warning;
+  const TuningCache cache = TuningCache::load_or_empty(path, &warning);
+  EXPECT_FALSE(warning.empty());
+
+  const Coo g = skewed_graph(8);
+  SparseEngine engine(Backend::kAuto, g, gpusim::default_device());
+  engine.set_tuning_cache(&cache);  // empty: every lookup misses
+  const Candidate c = engine.auto_candidate(engine.coo(), TuneOp::kSpmm, 6);
+  EXPECT_FALSE(c.name(TuneOp::kSpmm).empty());
 }
 
 // --- the Backend::kAuto dispatcher ------------------------------------------
