@@ -1,0 +1,101 @@
+// Parallel functional-pass scaling: the host thread pool behind
+// gpusim::launch() (gpusim/launch.cc, GNNONE_HOST_THREADS) must change
+// wall-clock time only — modeled cycles and every KernelStats counter are
+// bit-identical at every thread count. This bench pins both halves of that
+// contract on the largest gen graphs:
+//  * a modeled-cycles row per thread count (gated by bench/baseline.json
+//    like every other row — any drift across thread counts fails here);
+//  * a wall-clock speedup metric for the functional pass at 8 threads vs
+//    serial, with a >= 4x expectation at full scale on hosts with >= 8
+//    hardware threads (reported ungated elsewhere: the speedup is real but
+//    unmeasurable on small CI runners).
+#include <chrono>
+#include <thread>
+
+#include "common.h"
+#include "gpusim/launch.h"
+
+namespace {
+
+double min_wall_seconds(int iters, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+}  // namespace
+
+GNNONE_BENCH(parallel_scaling, 300,
+             "Parallel CTA execution: bit-identical cycles per thread count "
+             "+ functional-pass wall-clock speedup (SpMM, f=32)",
+             "simulator substrate (gpusim/launch.cc); not a paper figure") {
+  const int dim = 32;
+  const std::vector<std::string> ids =
+      h.ci() ? std::vector<std::string>{"G10"}
+             : std::vector<std::string>{"G10", "G13", "G15"};
+  const int kSweep[] = {1, 2, 4, 8};
+
+  std::printf("%-22s | %14s %14s %14s %14s\n", "dataset", "threads=1",
+              "threads=2", "threads=4", "threads=8");
+  bool all_identical = true;
+  double speedup_worst = 1e300;
+  for (const std::string& id : ids) {
+    const bench::KernelWorkload wl(id);
+    const auto& coo = wl.ds.coo;
+    const auto x = wl.features(dim, 61);
+    std::vector<float> y(std::size_t(coo.num_rows) * std::size_t(dim));
+    gnnone::Context ctx;
+
+    std::uint64_t cycles[4] = {};
+    for (int i = 0; i < 4; ++i) {
+      gpusim::set_host_threads(kSweep[i]);
+      const auto ks = ctx.spmm(coo, wl.edge_val, x, dim, y);
+      cycles[i] = ks.cycles;
+      h.add(id, "gnnone", dim, ks,
+            "threads=" + std::to_string(kSweep[i]));
+      all_identical = all_identical && cycles[i] == cycles[0];
+    }
+    std::printf("%-22s | %14llu %14llu %14llu %14llu\n",
+                (wl.ds.id + "/" + wl.ds.name).c_str(),
+                (unsigned long long)cycles[0], (unsigned long long)cycles[1],
+                (unsigned long long)cycles[2], (unsigned long long)cycles[3]);
+
+    // Wall-clock: the functional pass dominates launch() end to end, so
+    // timing the whole call measures what the thread pool buys.
+    gpusim::set_host_threads(1);
+    const double t1 = min_wall_seconds(h.ci() ? 2 : 3, [&] {
+      (void)ctx.spmm(coo, wl.edge_val, x, dim, y);
+    });
+    gpusim::set_host_threads(8);
+    const double t8 = min_wall_seconds(h.ci() ? 2 : 3, [&] {
+      (void)ctx.spmm(coo, wl.edge_val, x, dim, y);
+    });
+    gpusim::set_host_threads(0);
+    const double sp = t1 / t8;
+    speedup_worst = std::min(speedup_worst, sp);
+    h.metric("wall_speedup_8t_" + id, sp);
+    std::printf("%-22s | serial %.3fs, 8 threads %.3fs -> %.2fx\n", "",
+                t1, t8, sp);
+  }
+  gpusim::set_host_threads(0);
+
+  h.expect("parallel.cycles_thread_invariant", all_identical,
+           "modeled cycles must be bit-identical at 1/2/4/8 host threads");
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (!h.ci() && hw >= 8) {
+    bench::expect_band(h, "parallel.wall_speedup_8t", speedup_worst, 4.0,
+                       1e9,
+                       "functional-pass speedup at 8 threads on the largest "
+                       "gen graphs");
+  } else {
+    std::printf("\n(speedup gate skipped: %s)\n",
+                h.ci() ? "ci scale" : "host has < 8 hardware threads");
+  }
+  return 0;
+}

@@ -1,12 +1,18 @@
 #include "gpusim/launch.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "gpusim/sanitizer.h"
 #include "gpusim/shared.h"
 #include "gpusim/trace.h"
+#include "util/thread_pool.h"
 
 namespace gpusim {
 
@@ -30,7 +36,27 @@ Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
   std::int64_t by_warps = spec.max_warps_per_sm / cfg.warps_per_cta;
   std::int64_t ctas = std::min({std::int64_t(spec.max_ctas_per_sm), by_regs,
                                 by_smem, by_warps});
-  if (ctas < 1) ctas = 1;  // the hardware always runs at least one CTA
+  if (ctas < 1) {
+    // Not even one CTA fits on an SM: on hardware this configuration fails
+    // at launch time (cudaErrorInvalidConfiguration / too many resources
+    // requested), so modeling it as one resident CTA would fabricate
+    // residency the device cannot provide.
+    std::string why;
+    if (by_warps < 1) {
+      why = "warps_per_cta (" + std::to_string(cfg.warps_per_cta) +
+            ") exceeds max_warps_per_sm (" +
+            std::to_string(spec.max_warps_per_sm) + ")";
+    } else if (by_regs < 1) {
+      why = "register demand (" + std::to_string(cfg.regs_per_thread) +
+            " regs x " + std::to_string(threads_per_cta) +
+            " threads) exceeds regs_per_sm (" +
+            std::to_string(spec.regs_per_sm) + ")";
+    } else {
+      why = "shared memory demand exceeds shared_mem_per_sm";
+    }
+    throw std::invalid_argument(
+        "launch config cannot fit a single CTA on an SM: " + why);
+  }
   Occupancy occ;
   occ.ctas_per_sm = int(ctas);
   occ.warps_per_sm = int(ctas) * cfg.warps_per_cta;
@@ -39,12 +65,52 @@ Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
 
 namespace {
 
+std::atomic<int> g_host_threads{0};  // 0 = unset (env / hardware default)
+
+int env_host_threads() {
+  static const int parsed = [] {
+    const char* e = std::getenv("GNNONE_HOST_THREADS");
+    if (e != nullptr) {
+      const int n = std::atoi(e);
+      if (n > 0) return n;
+    }
+    return 0;
+  }();
+  return parsed;
+}
+
 struct WarpCost {
   std::uint64_t issue = 0;
   std::uint64_t stall = 0;
 };
 
+/// One contiguous range of CTAs executed by one worker. Everything a chunk
+/// produces is merged (stats, sanitizer) or replayed (atomic commit log) in
+/// chunk order == CTA order, which is what makes the parallel functional
+/// pass bit-identical to serial execution.
+struct ChunkState {
+  WarpStats totals;                            // per-warp stats, CTA order
+  CommitLog log;                               // deferred atomics, CTA order
+  std::vector<SanitizerViolation> violations;  // simsan findings, CTA order
+  SanitizerCounters san_counters;
+  std::exception_ptr error;
+  bool done = false;
+};
+
 }  // namespace
+
+int host_threads() {
+  const int set = g_host_threads.load(std::memory_order_relaxed);
+  if (set > 0) return set;
+  const int env = env_host_threads();
+  if (env > 0) return env;
+  const int hw = int(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+void set_host_threads(int n) {
+  g_host_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
 
 KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
                    const KernelFn& body) {
@@ -58,31 +124,121 @@ KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
   ks.resident_ctas_per_sm = occ.ctas_per_sm;
   ks.resident_warps_per_sm = occ.warps_per_sm;
 
-  // Functional pass: run every warp, collect per-warp costs. When a
-  // Sanitizer is active (resolved once per launch) every access is checked.
-  SharedMem shmem(cfg.shared_bytes_per_cta);
+  // ---------------------------------------------------------------------
+  // Functional pass: run every warp, collect per-warp costs. Independent
+  // CTAs execute on host threads; see launch.h for the determinism scheme.
+  // When a Sanitizer is active (resolved once per launch) every access is
+  // checked through a per-CTA CtaSanitizer.
+  // ---------------------------------------------------------------------
   Sanitizer* const san = Sanitizer::active();
-  if (san != nullptr) {
-    san->begin_launch(cfg.label, shmem.data(), shmem.capacity());
-  }
+  if (san != nullptr) san->begin_launch(cfg.label);
+
+  const std::int64_t n = cfg.num_ctas;
   std::vector<WarpCost> costs(std::size_t(ks.num_warps));
-  for (std::int64_t cta = 0; cta < cfg.num_ctas; ++cta) {
-    shmem.reset();
-    if (san != nullptr) san->begin_cta(cta, cfg.warps_per_cta);
-    for (int w = 0; w < cfg.warps_per_cta; ++w) {
-      WarpCtx ctx(spec, cta, w, cfg.warps_per_cta, shmem, san);
-      body(ctx);
-      ctx.finish();
-      const WarpStats& s = ctx.stats();
-      ks.totals.add(s);
-      costs[std::size_t(cta) * std::size_t(cfg.warps_per_cta) + std::size_t(w)] =
-          {s.issue_cycles, s.stall_cycles};
+
+  gnnone::util::ThreadPool& pool = gnnone::util::ThreadPool::global();
+  int threads = cfg.host_threads > 0 ? cfg.host_threads : host_threads();
+  threads = std::min<std::int64_t>({std::int64_t(threads),
+                                    std::int64_t(pool.num_workers()) + 1,
+                                    std::max<std::int64_t>(n, 1)});
+
+  // Contiguous CTA chunks: small enough for dynamic load balancing, large
+  // enough to amortize the handout. Chunking never affects results — only
+  // which worker runs which CTAs.
+  const std::int64_t chunk_size =
+      std::max<std::int64_t>(1, n / (std::int64_t(threads) * 8));
+  const std::int64_t num_chunks =
+      n > 0 ? (n + chunk_size - 1) / chunk_size : 0;
+
+  std::vector<ChunkState> chunks(static_cast<std::size_t>(num_chunks));
+  std::atomic<std::int64_t> next_chunk{0};
+  std::atomic<bool> cancel{false};
+  std::mutex commit_mu;
+  std::int64_t commit_cursor = 0;  // guarded by commit_mu
+
+  auto worker = [&](int /*worker_id*/) {
+    // Per-worker arena + sanitizer state: CTAs on different workers never
+    // share mutable simulator state.
+    SharedMem shmem(cfg.shared_bytes_per_cta);
+    CtaSanitizer csan;
+    for (;;) {
+      const std::int64_t c = next_chunk.fetch_add(1);
+      if (c >= num_chunks) break;
+      ChunkState& st = chunks[std::size_t(c)];
+      if (!cancel.load(std::memory_order_relaxed)) {
+        try {
+          const std::int64_t lo = c * chunk_size;
+          const std::int64_t hi = std::min(n, lo + chunk_size);
+          for (std::int64_t cta = lo; cta < hi; ++cta) {
+            shmem.reset();
+            if (san != nullptr) {
+              // Poison so a read-before-first-write cannot observe another
+              // CTA's stale bytes as reproducible-looking data; simsan also
+              // reports the read itself (shared-uninit-read).
+              shmem.poison();
+              csan.begin_cta(*san, cta, cfg.warps_per_cta, shmem.data(),
+                             shmem.capacity());
+            }
+            for (int w = 0; w < cfg.warps_per_cta; ++w) {
+              WarpCtx ctx(spec, cta, w, cfg.warps_per_cta, shmem,
+                          san != nullptr ? &csan : nullptr, &st.log);
+              body(ctx);
+              ctx.finish();
+              const WarpStats& s = ctx.stats();
+              st.totals.add(s);
+              costs[std::size_t(cta) * std::size_t(cfg.warps_per_cta) +
+                    std::size_t(w)] = {s.issue_cycles, s.stall_cycles};
+            }
+            if (san != nullptr) csan.end_cta();
+          }
+        } catch (...) {
+          st.error = std::current_exception();
+          cancel.store(true, std::memory_order_relaxed);
+        }
+        if (san != nullptr) csan.drain_into(st.violations, st.san_counters);
+      }
+      // Ordered streaming commit: whoever completes a chunk replays every
+      // ready log at the cursor, so memory for deferred atomics stays
+      // bounded by the in-flight chunks instead of the whole launch. The
+      // cursor never passes a failed chunk (its predecessors commit, its
+      // successors do not — matching where serial execution stopped).
+      std::lock_guard<std::mutex> lk(commit_mu);
+      st.done = true;
+      while (commit_cursor < num_chunks) {
+        ChunkState& ready = chunks[std::size_t(commit_cursor)];
+        if (!ready.done || ready.error) break;
+        for (const AtomicCommit& op : ready.log) op.apply();
+        CommitLog().swap(ready.log);
+        ++commit_cursor;
+      }
     }
-    if (san != nullptr) san->end_cta();
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    pool.run(threads, worker);
+  }
+
+  // Merge in chunk (== CTA) order on the driving thread. On a failed chunk,
+  // absorb the sanitizer findings up to and including it (the fatal-mode
+  // violation is recorded before its SanitizerError is thrown), then
+  // rethrow what serial execution would have hit first.
+  for (std::int64_t c = 0; c < num_chunks; ++c) {
+    ChunkState& st = chunks[std::size_t(c)];
+    if (san != nullptr) {
+      san->absorb(std::move(st.violations), st.san_counters);
+    }
+    if (st.error) std::rethrow_exception(st.error);
+    ks.totals.add(st.totals);
   }
   if (san != nullptr) san->end_launch(ks.sanitizer);
 
+  // ---------------------------------------------------------------------
   // Scheduling pass: round-robin CTA assignment, wave-based SM timing.
+  // Untouched by host-side parallelism: modeled cycles depend only on the
+  // per-warp cost traces above.
+  // ---------------------------------------------------------------------
   std::uint64_t makespan = 0;
   const int S = spec.num_sms;
   for (int sm = 0; sm < S && sm < cfg.num_ctas; ++sm) {
@@ -120,8 +276,10 @@ KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
 
   std::uint64_t cycles = cfg.launch_overhead_cycles + makespan;
   const auto total_bytes = ks.totals.bytes_loaded + ks.totals.bytes_stored;
-  const auto bw_floor = std::uint64_t(double(total_bytes) /
-                                      spec.dram_bytes_per_cycle) +
+  // Ceil the fractional bytes-per-cycle term (the convention dense_op_cycles
+  // established): a partially filled cycle still occupies the bus.
+  const auto bw_floor = std::uint64_t(std::ceil(double(total_bytes) /
+                                                spec.dram_bytes_per_cycle)) +
                         cfg.launch_overhead_cycles;
   if (bw_floor > cycles) {
     cycles = bw_floor;

@@ -27,6 +27,10 @@ struct LaunchConfig {
   /// Kernel name for diagnostics (simsan violation reports). Optional; an
   /// empty label reports as "<unnamed>".
   std::string label;
+  /// Host threads for this launch's functional pass (0 = the process-wide
+  /// default, see host_threads() below). Results are bit-identical at every
+  /// value; 1 is the fully serial path.
+  int host_threads = 0;
 };
 
 /// Achieved occupancy for a launch configuration on a device.
@@ -35,12 +39,36 @@ struct Occupancy {
   int warps_per_sm = 0;
 };
 
+/// Achieved occupancy for the configuration, or std::invalid_argument when
+/// the configuration cannot fit even one CTA on an SM (warps_per_cta beyond
+/// the SM's warp slots, or register demand exceeding the register file):
+/// such a launch fails at cudaLaunchKernel time on hardware, so modeling it
+/// as if one CTA were resident would silently fabricate impossible numbers.
 Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
 
 using KernelFn = std::function<void(WarpCtx&)>;
 
-/// Executes `body` once per warp (functionally, in deterministic order) and
-/// returns the modeled kernel time:
+/// The process-wide default host-thread count for the functional pass:
+/// set_host_threads() override if set, else GNNONE_HOST_THREADS (read once),
+/// else std::thread::hardware_concurrency().
+int host_threads();
+/// Overrides the default worker count for subsequent launches (tests/bench
+/// sweeps). 0 restores the env/hardware default.
+void set_host_threads(int n);
+
+/// Executes `body` once per warp and returns the modeled kernel time.
+///
+/// Functional pass: independent CTAs execute on a host thread pool
+/// (host_threads()/LaunchConfig::host_threads workers; 1 = serial) with
+/// results bit-identical to serial execution at every thread count:
+///
+///   - each worker runs its CTAs against a private SharedMem arena;
+///   - cross-CTA float atomics append to per-CTA commit logs replayed in
+///     CTA order (see AtomicCommit), never racing on host memory;
+///   - per-warp stats and sanitizer diagnostics merge in launch order.
+///
+/// Timing model (computed from the per-warp cost traces, unaffected by the
+/// host-side parallelism):
 ///
 ///   - CTAs are assigned to SMs round-robin.
 ///   - Each SM runs its CTA queue in batches of `ctas_per_sm` resident CTAs
@@ -50,7 +78,8 @@ using KernelFn = std::function<void(WarpCtx&)>;
 ///     latency cannot be hidden by co-resident warps — this is where both
 ///     workload imbalance and occupancy collapse surface as time.
 ///   - Total = launch overhead + max over SMs, floored by aggregate DRAM
-///     bandwidth.
+///     bandwidth (fractional bytes-per-cycle terms rounded up, matching the
+///     dense cost model's ceil convention).
 KernelStats launch(const DeviceSpec& spec, const LaunchConfig& cfg,
                    const KernelFn& body);
 

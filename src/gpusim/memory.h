@@ -37,8 +37,13 @@ class DeviceOutOfMemory : public std::runtime_error {
   std::size_t requested_;
 };
 
-/// Tracks simulated device-memory usage. Not thread-safe (the simulator is
-/// single-threaded by design; determinism is a feature).
+/// Tracks simulated device-memory usage. Not thread-safe by itself, and it
+/// does not need to be: allocation/release happen on the thread driving the
+/// simulation (kernel *launch* order), which stays serial even when the
+/// functional pass inside a launch fans CTAs out across host threads
+/// (gpusim::set_host_threads / GNNONE_HOST_THREADS). Kernels never allocate
+/// mid-launch, so the allocation sequence — and therefore fault-injection
+/// ordering — is identical at every thread count.
 ///
 /// Fault injection: tests drive the OOM error paths deterministically by
 /// arming fail_at_allocation() (the n-th future allocate() throws) or

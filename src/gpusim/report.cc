@@ -93,10 +93,11 @@ std::string describe(const KernelStats& ks, const DeviceSpec& spec) {
   if (ks.sanitizer.total() > 0) {
     out += fmt("simsan           : %" PRIu64 " violations (%" PRIu64
                " global OOB, %" PRIu64 " shared OOB, %" PRIu64
-               " races, %" PRIu64 " barrier)\n",
+               " races, %" PRIu64 " barrier, %" PRIu64 " uninit)\n",
                ks.sanitizer.total(), ks.sanitizer.global_oob,
                ks.sanitizer.shared_oob, ks.sanitizer.shared_races,
-               ks.sanitizer.barrier_divergence);
+               ks.sanitizer.barrier_divergence,
+               ks.sanitizer.shared_uninit_reads);
   }
   return out;
 }

@@ -29,6 +29,7 @@ const char* violation_name(ViolationKind k) {
     case ViolationKind::kSharedRace: return "shared-memory-race";
     case ViolationKind::kBarrierDivergence: return "barrier-divergence";
     case ViolationKind::kDoubleRelease: return "double-release";
+    case ViolationKind::kSharedUninitRead: return "shared-uninit-read";
   }
   return "?";
 }
@@ -77,16 +78,17 @@ void Sanitizer::record(ViolationKind kind, int warp, int lane,
     case ViolationKind::kBarrierDivergence:
       launch_counters_.barrier_divergence += 1;
       break;
+    case ViolationKind::kSharedUninitRead:
+      launch_counters_.shared_uninit_reads += 1;
+      break;
     case ViolationKind::kDoubleRelease: break;  // not a launch event
   }
   if (report_.violations_.size() < opts_.max_recorded) {
-    report_.violations_.push_back(
-        {kind, kernel_, cur_cta_, warp, lane, detail});
+    report_.violations_.push_back({kind, kernel_, -1, warp, lane, detail});
   }
   if (opts_.fatal) {
     throw SanitizerError(
-        SanitizerViolation{kind, kernel_, cur_cta_, warp, lane, detail}
-            .describe());
+        SanitizerViolation{kind, kernel_, -1, warp, lane, detail}.describe());
   }
 }
 
@@ -97,31 +99,88 @@ const Sanitizer::Region* Sanitizer::find_region(const std::byte* base) const {
   return nullptr;
 }
 
-void Sanitizer::begin_launch(const std::string& kernel,
-                             const std::byte* shmem_base,
-                             std::size_t shmem_capacity) {
+void Sanitizer::begin_launch(const std::string& kernel) {
   kernel_ = kernel;
-  sh_base_ = shmem_base;
-  sh_capacity_ = shmem_capacity;
-  shadow_.assign((shmem_capacity + 3) / 4, ShadowWord{});
   launch_counters_ = {};
-  cur_cta_ = -1;
 }
 
 void Sanitizer::end_launch(SanitizerCounters& out) {
   out.add(launch_counters_);
-  cur_cta_ = -1;
-  sh_base_ = nullptr;
-  sh_capacity_ = 0;
 }
 
-void Sanitizer::begin_cta(std::int64_t cta, int warps_per_cta) {
-  cur_cta_ = cta;
-  std::fill(shadow_.begin(), shadow_.end(), ShadowWord{});
+void Sanitizer::absorb(std::vector<SanitizerViolation>&& violations,
+                       const SanitizerCounters& counters) {
+  report_.counts_[std::size_t(ViolationKind::kGlobalOob)] +=
+      counters.global_oob;
+  report_.counts_[std::size_t(ViolationKind::kSharedOob)] +=
+      counters.shared_oob;
+  report_.counts_[std::size_t(ViolationKind::kSharedRace)] +=
+      counters.shared_races;
+  report_.counts_[std::size_t(ViolationKind::kBarrierDivergence)] +=
+      counters.barrier_divergence;
+  report_.counts_[std::size_t(ViolationKind::kSharedUninitRead)] +=
+      counters.shared_uninit_reads;
+  launch_counters_.add(counters);
+  for (auto& v : violations) {
+    if (report_.violations_.size() >= opts_.max_recorded) break;
+    report_.violations_.push_back(std::move(v));
+  }
+}
+
+void CtaSanitizer::drain_into(std::vector<SanitizerViolation>& violations,
+                              SanitizerCounters& counters) {
+  if (violations.empty()) {
+    violations = std::move(pending_);
+  } else {
+    for (auto& v : pending_) violations.push_back(std::move(v));
+  }
+  pending_.clear();
+  counters.add(counters_);
+  counters_ = {};
+}
+
+// ---------------------------------------------------------------------
+// CtaSanitizer
+// ---------------------------------------------------------------------
+
+void CtaSanitizer::begin_cta(Sanitizer& parent, std::int64_t cta,
+                             int warps_per_cta, const std::byte* shmem_base,
+                             std::size_t shmem_capacity) {
+  parent_ = &parent;
+  cta_ = cta;
+  sh_base_ = shmem_base;
+  sh_capacity_ = shmem_capacity;
+  shadow_.assign((shmem_capacity + 3) / 4, ShadowWord{});
   barrier_phase_.assign(std::size_t(warps_per_cta), 0);
 }
 
-void Sanitizer::end_cta() {
+void CtaSanitizer::record(ViolationKind kind, int warp, int lane,
+                          std::string detail) {
+  counters_.add([&] {
+    SanitizerCounters c;
+    switch (kind) {
+      case ViolationKind::kGlobalOob: c.global_oob = 1; break;
+      case ViolationKind::kSharedOob: c.shared_oob = 1; break;
+      case ViolationKind::kSharedRace: c.shared_races = 1; break;
+      case ViolationKind::kBarrierDivergence: c.barrier_divergence = 1; break;
+      case ViolationKind::kSharedUninitRead: c.shared_uninit_reads = 1; break;
+      case ViolationKind::kDoubleRelease: break;  // not a CTA event
+    }
+    return c;
+  }());
+  if (pending_.size() < parent_->opts_.max_recorded) {
+    pending_.push_back({kind, parent_->kernel_, cta_, warp, lane, detail});
+  }
+  if (parent_->opts_.fatal) {
+    // The launcher absorbs this CTA's pending violations (in CTA order)
+    // before rethrowing, so the report still carries the violation.
+    throw SanitizerError(
+        SanitizerViolation{kind, parent_->kernel_, cta_, warp, lane, detail}
+            .describe());
+  }
+}
+
+void CtaSanitizer::end_cta() {
   for (std::size_t w = 1; w < barrier_phase_.size(); ++w) {
     if (barrier_phase_[w] != barrier_phase_[0]) {
       record(ViolationKind::kBarrierDivergence, int(w), -1,
@@ -133,13 +192,13 @@ void Sanitizer::end_cta() {
   }
 }
 
-std::uint32_t Sanitizer::check_global(const void* base, std::size_t elem_bytes,
-                                      int vec_width,
-                                      const std::int64_t* index,
-                                      std::uint32_t mask, bool is_write,
-                                      int warp) {
+std::uint32_t CtaSanitizer::check_global(const void* base,
+                                         std::size_t elem_bytes, int vec_width,
+                                         const std::int64_t* index,
+                                         std::uint32_t mask, bool is_write,
+                                         int warp) {
   const auto* b = static_cast<const std::byte*>(base);
-  const Region* r = find_region(b);
+  const Sanitizer::Region* r = parent_->find_region(b);
   if (r == nullptr) return mask;  // untracked memory: unchecked
   const std::int64_t base_off = b - r->begin;
   const std::int64_t size = std::int64_t(r->bytes);
@@ -160,8 +219,8 @@ std::uint32_t Sanitizer::check_global(const void* base, std::size_t elem_bytes,
   return ok;
 }
 
-void Sanitizer::race_track_word(std::size_t word, bool is_write, int warp,
-                                int lane) {
+void CtaSanitizer::race_track_word(std::size_t word, bool is_write, int warp,
+                                   int lane) {
   if (word >= shadow_.size()) return;
   ShadowWord& s = shadow_[word];
   const std::int32_t phase =
@@ -182,6 +241,7 @@ void Sanitizer::race_track_word(std::size_t word, bool is_write, int warp,
     }
     s.writer_warp = warp;
     s.writer_phase = phase;
+    s.written = true;
   } else {
     if (s.writer_warp >= 0 && s.writer_warp != warp &&
         s.writer_phase == phase) {
@@ -190,15 +250,25 @@ void Sanitizer::race_track_word(std::size_t word, bool is_write, int warp,
                  " — no CTA barrier since its write",
                  word, word * 4, s.writer_warp));
     }
+    if (!s.written) {
+      record(ViolationKind::kSharedUninitRead, warp, lane,
+             fmt("read of shared word %zu (byte %zu) that no warp of the CTA"
+                 " has written — garbage on hardware, stale previous-CTA"
+                 " bytes (nondeterministic under parallel CTA execution)"
+                 " in the simulator",
+                 word, word * 4));
+      s.written = true;  // one report per word per CTA is enough
+    }
     s.reader_warp = warp;
     s.reader_phase = phase;
   }
 }
 
-std::uint32_t Sanitizer::check_shared(const void* elem0, std::size_t num_elems,
-                                      std::size_t elem_bytes,
-                                      const int* index, std::uint32_t mask,
-                                      bool is_write, int warp) {
+std::uint32_t CtaSanitizer::check_shared(const void* elem0,
+                                         std::size_t num_elems,
+                                         std::size_t elem_bytes,
+                                         const int* index, std::uint32_t mask,
+                                         bool is_write, int warp) {
   const auto* b = static_cast<const std::byte*>(elem0);
   const bool in_arena = sh_base_ != nullptr && b >= sh_base_ &&
                         b < sh_base_ + sh_capacity_;
@@ -223,15 +293,16 @@ std::uint32_t Sanitizer::check_shared(const void* elem0, std::size_t num_elems,
   return ok;
 }
 
-bool Sanitizer::check_shared_scalar(const void* elem0, std::size_t num_elems,
-                                    std::size_t elem_bytes, int index,
-                                    int warp) {
+bool CtaSanitizer::check_shared_scalar(const void* elem0,
+                                       std::size_t num_elems,
+                                       std::size_t elem_bytes, int index,
+                                       int warp) {
   const int idx[1] = {index};
   return check_shared(elem0, num_elems, elem_bytes, idx, 1u, /*is_write=*/false,
                       warp) != 0;
 }
 
-void Sanitizer::on_warp_barrier(std::uint32_t active_mask, int warp) {
+void CtaSanitizer::on_warp_barrier(std::uint32_t active_mask, int warp) {
   if (active_mask != 0xffffffffu) {
     record(ViolationKind::kBarrierDivergence, warp, -1,
            fmt("warp barrier issued under partial active mask 0x%08x",
@@ -239,7 +310,7 @@ void Sanitizer::on_warp_barrier(std::uint32_t active_mask, int warp) {
   }
 }
 
-void Sanitizer::on_cta_barrier(std::uint32_t active_mask, int warp) {
+void CtaSanitizer::on_cta_barrier(std::uint32_t active_mask, int warp) {
   if (active_mask != 0xffffffffu) {
     record(ViolationKind::kBarrierDivergence, warp, -1,
            fmt("CTA barrier issued under partial active mask 0x%08x",

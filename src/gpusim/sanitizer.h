@@ -10,6 +10,13 @@
 //    CTA barrier separates them: each warp's "phase" is its count of
 //    cta_sync() calls, and same-phase accesses to the same word (with at
 //    least one write) are unordered on real hardware.
+//  * Uninitialized shared reads — a read of a shared word no warp of the
+//    CTA has written. On hardware this returns garbage (or, with the serial
+//    one-arena simulator, the previous CTA's stale bytes — which under
+//    parallel CTA execution becomes nondeterminism, since "previous" then
+//    depends on worker scheduling). The launcher also poison-fills the
+//    arena at each CTA boundary while a sanitizer is active so stale data
+//    cannot masquerade as reproducible results.
 //  * Out-of-bounds global accesses — a registry of tracked regions
 //    (Buffer<T> registers automatically; raw spans via track()); every
 //    ld/st/atomic whose base lies in a tracked region must stay inside it.
@@ -20,6 +27,15 @@
 //  * Barrier divergence — a barrier issued under a partial active mask, or
 //    unequal cta_sync() counts across the warps of a CTA at kernel exit
 //    (a deadlock on real hardware).
+//
+// Concurrency: CTAs of one launch may execute in parallel on host threads
+// (gpusim::set_host_threads / GNNONE_HOST_THREADS). The Sanitizer object
+// itself is the *accumulator* — region registry, options, report — and is
+// only touched from the thread driving the launch. All per-CTA mutable
+// checking state (shared-arena shadow words, barrier phases, pending
+// violations) lives in a CtaSanitizer owned by the executing worker; the
+// launcher absorbs each CTA's results back into the Sanitizer in CTA order,
+// so reports and counters are bit-identical at every thread count.
 //
 // The checks are opt-in: with no active Sanitizer the hot loop performs a
 // single predictable null-pointer test per warp-wide operation (1/32 of a
@@ -44,6 +60,7 @@ enum class ViolationKind {
   kSharedRace,
   kBarrierDivergence,
   kDoubleRelease,
+  kSharedUninitRead,
 };
 
 const char* violation_name(ViolationKind k);
@@ -72,6 +89,8 @@ struct SanitizerOptions {
   /// it, so a flood of repeats cannot exhaust memory).
   std::size_t max_recorded = 64;
   /// Throw SanitizerError on the first violation instead of accumulating.
+  /// Under parallel CTA execution the launcher rethrows the violation of
+  /// the lowest faulting CTA, matching what serial execution hits first.
   bool fatal = false;
 };
 
@@ -89,14 +108,18 @@ class SanitizerReport {
 
  private:
   friend class Sanitizer;
-  static constexpr std::size_t kKinds = 5;
+  static constexpr std::size_t kKinds = 6;
   std::uint64_t counts_[kKinds] = {};
   std::vector<SanitizerViolation> violations_;
 };
 
-/// The checking layer. Construction pushes this sanitizer as the active one
-/// (simulator-wide; the simulator is single-threaded by design), destruction
-/// pops it — scope a Sanitizer around the launches you want checked:
+class CtaSanitizer;
+
+/// The checking layer's accumulator + region registry. Construction pushes
+/// this sanitizer as the active one (resolved once per launch; per-CTA
+/// checking state lives in CtaSanitizer instances owned by the launch
+/// workers), destruction pops it — scope a Sanitizer around the launches
+/// you want checked:
 ///
 ///   gpusim::Sanitizer san;
 ///   san.track(x.data(), x.size() * sizeof(float), "x");
@@ -114,6 +137,8 @@ class Sanitizer {
 
   /// Registers a global-memory region for out-of-bounds checking. Buffer<T>
   /// calls this automatically; tests register raw vectors/spans directly.
+  /// Must not be called while a launch is executing (regions are read
+  /// lock-free by concurrently checking CTAs).
   void track(const void* base, std::size_t bytes, std::string name);
   /// Removes a region previously registered with track(); no-op when absent.
   void untrack(const void* base);
@@ -121,14 +146,57 @@ class Sanitizer {
   const SanitizerReport& report() const { return report_; }
 
   // -------------------------------------------------------------------
-  // Simulator hooks (called by launch.cc / WarpCtx / DeviceMemory; not a
-  // user API).
+  // Simulator hooks (called by launch.cc / DeviceMemory; not a user API).
   // -------------------------------------------------------------------
 
-  void begin_launch(const std::string& kernel, const std::byte* shmem_base,
-                    std::size_t shmem_capacity);
+  void begin_launch(const std::string& kernel);
   void end_launch(SanitizerCounters& out);
-  void begin_cta(std::int64_t cta, int warps_per_cta);
+
+  /// Merges finished CTAs' pending violations and counters into the report.
+  /// The launcher calls this in CTA order from the driving thread, which is
+  /// what keeps the report identical at every thread count.
+  void absorb(std::vector<SanitizerViolation>&& violations,
+              const SanitizerCounters& counters);
+
+  /// DeviceMemory::release() accounting underflow (double release).
+  /// Records the violation, then throws SanitizerError.
+  void on_release_underflow(std::size_t requested, std::size_t in_use);
+
+ private:
+  friend class CtaSanitizer;
+
+  struct Region {
+    const std::byte* begin;
+    std::size_t bytes;
+    std::string name;
+  };
+
+  void record(ViolationKind kind, int warp, int lane, std::string detail);
+  const Region* find_region(const std::byte* base) const;
+
+  SanitizerOptions opts_;
+  SanitizerReport report_;
+  SanitizerCounters launch_counters_;
+  std::vector<Region> regions_;
+
+  std::string kernel_;
+
+  Sanitizer* prev_;
+};
+
+/// Per-CTA checking engine: owns every piece of mutable state one CTA's
+/// checks touch (arena shadow words, barrier phases, pending violations),
+/// so independent CTAs can be checked from different host threads with no
+/// shared writes. A worker reuses one instance across the CTAs it executes:
+/// begin_cta() rebinds it to the next CTA, and the launcher absorbs the
+/// pending results into the parent Sanitizer in CTA order.
+class CtaSanitizer {
+ public:
+  /// Rebinds to one CTA: resets shadow/phase state and remembers the
+  /// worker's arena so span addresses map to byte offsets.
+  void begin_cta(Sanitizer& parent, std::int64_t cta, int warps_per_cta,
+                 const std::byte* shmem_base, std::size_t shmem_capacity);
+  /// End-of-CTA checks (unbalanced CTA barriers).
   void end_cta();
 
   /// Bounds-checks one warp-wide global access of `vec_width` elements of
@@ -150,41 +218,40 @@ class Sanitizer {
   void on_warp_barrier(std::uint32_t active_mask, int warp);
   void on_cta_barrier(std::uint32_t active_mask, int warp);
 
-  /// DeviceMemory::release() accounting underflow (double release).
-  /// Records the violation, then throws SanitizerError.
-  void on_release_underflow(std::size_t requested, std::size_t in_use);
+  /// Moves the accumulated violations/counters out (the launcher stashes
+  /// them per CTA chunk and later feeds Sanitizer::absorb in CTA order).
+  /// begin_cta() does not clear them, so one worker's instance accumulates
+  /// a whole contiguous chunk in CTA order between drains.
+  void drain_into(std::vector<SanitizerViolation>& violations,
+                  SanitizerCounters& counters);
+
+  const std::vector<SanitizerViolation>& pending() const { return pending_; }
+  const SanitizerCounters& counters() const { return counters_; }
 
  private:
-  struct Region {
-    const std::byte* begin;
-    std::size_t bytes;
-    std::string name;
-  };
+  friend class Sanitizer;
+
   /// Per-4-byte-word shadow state of the shared arena.
   struct ShadowWord {
     std::int32_t writer_warp = -1;
     std::int32_t writer_phase = -1;
     std::int32_t reader_warp = -1;
     std::int32_t reader_phase = -1;
+    bool written = false;  // any write this CTA (uninit-read tracking)
   };
 
   void record(ViolationKind kind, int warp, int lane, std::string detail);
-  const Region* find_region(const std::byte* base) const;
   void race_track_word(std::size_t word, bool is_write, int warp, int lane);
 
-  SanitizerOptions opts_;
-  SanitizerReport report_;
-  SanitizerCounters launch_counters_;
-  std::vector<Region> regions_;
-
-  std::string kernel_;
+  Sanitizer* parent_ = nullptr;
   const std::byte* sh_base_ = nullptr;
   std::size_t sh_capacity_ = 0;
   std::vector<ShadowWord> shadow_;
   std::vector<std::int32_t> barrier_phase_;  // per warp of the current CTA
-  std::int64_t cur_cta_ = -1;
+  std::int64_t cta_ = -1;
 
-  Sanitizer* prev_;
+  std::vector<SanitizerViolation> pending_;
+  SanitizerCounters counters_;
 };
 
 }  // namespace gpusim

@@ -1,13 +1,24 @@
 // Per-CTA shared-memory arena for simulated kernels.
 //
-// Functional storage for the GPU's programmable shared memory. The launcher
-// resets the arena at each CTA boundary; warps of a CTA allocate disjoint
-// slices from it (warps execute sequentially in the simulator, but slices are
-// warp-private by kernel construction, mirroring the paper's per-warp
-// CACHE_SIZE staging buffers). Over-allocating beyond the launch
-// configuration's declared shared bytes is a kernel bug and throws.
+// Functional storage for the GPU's programmable shared memory. Each launch
+// worker owns one arena (CTAs of a launch may execute in parallel on host
+// threads; warps *within* a CTA still execute sequentially) and resets it at
+// every CTA boundary; warps of a CTA allocate disjoint slices from it,
+// mirroring the paper's per-warp CACHE_SIZE staging buffers. Over-allocating
+// beyond the launch configuration's declared shared bytes is a kernel bug
+// and throws.
+//
+// reset() recycles the arena without clearing it — exactly like hardware,
+// where a CTA inherits whatever bytes the SM's previous CTA left behind. A
+// kernel that reads shared memory before writing it therefore gets stale
+// garbage, and under parallel CTA execution *which* garbage depends on
+// worker scheduling. The simsan uninit-read check (sanitizer.h) reports
+// such reads, and the launcher poison-fills the arena at each CTA boundary
+// while a sanitizer is active (see poison()) so stale data cannot leak
+// reproducible-looking results into outputs.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -38,8 +49,16 @@ class SharedMem {
     return {reinterpret_cast<T*>(storage_.data() + offset), count};
   }
 
-  /// Frees all allocations (CTA boundary).
+  /// Frees all allocations (CTA boundary). Does not clear the bytes.
   void reset() { top_ = 0; }
+
+  /// Fills the arena with a recognizable garbage pattern. The launcher
+  /// calls this at each CTA boundary while a sanitizer is active, so a
+  /// kernel's read-before-first-write yields deterministic poison instead
+  /// of the previous CTA's data (simsan reports the read itself too).
+  void poison() {
+    std::fill(storage_.begin(), storage_.end(), std::byte{0xAB});
+  }
 
   std::size_t capacity() const { return storage_.size(); }
   std::size_t high_water() const { return high_water_; }

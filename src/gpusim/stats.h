@@ -67,9 +67,11 @@ struct SanitizerCounters {
   std::uint64_t shared_oob = 0;         // out-of-bounds shared accesses
   std::uint64_t shared_races = 0;       // cross-warp shared-memory conflicts
   std::uint64_t barrier_divergence = 0; // partial-mask / unbalanced barriers
+  std::uint64_t shared_uninit_reads = 0;  // reads of never-written shared words
 
   std::uint64_t total() const {
-    return global_oob + shared_oob + shared_races + barrier_divergence;
+    return global_oob + shared_oob + shared_races + barrier_divergence +
+           shared_uninit_reads;
   }
 
   void add(const SanitizerCounters& o) {
@@ -77,6 +79,7 @@ struct SanitizerCounters {
     shared_oob += o.shared_oob;
     shared_races += o.shared_races;
     barrier_divergence += o.barrier_divergence;
+    shared_uninit_reads += o.shared_uninit_reads;
   }
 };
 

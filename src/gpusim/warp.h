@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "gpusim/device.h"
 #include "gpusim/sanitizer.h"
@@ -44,6 +45,29 @@ namespace detail {
 int count_transactions(const LaneArray<std::uint64_t>& addr, Mask mask);
 }  // namespace detail
 
+/// One deferred global atomic update. CTAs of a launch may execute in
+/// parallel on host threads; cross-CTA float atomics would then race and
+/// their accumulation order would vary run to run. Instead each CTA appends
+/// its atomics (in program order) to a commit log, and the launcher replays
+/// the logs in CTA order — the exact order serial execution applies them,
+/// so results are bit-identical at every thread count.
+struct AtomicCommit {
+  enum Op : std::uint8_t { kAdd = 0, kMax = 1 };
+  float* addr;
+  float value;
+  Op op;
+
+  void apply() const {
+    if (op == kAdd) {
+      *addr += value;
+    } else if (value > *addr) {
+      *addr = value;
+    }
+  }
+};
+
+using CommitLog = std::vector<AtomicCommit>;
+
 /// Global-memory addresses are modeled relative to each array's base
 /// (device allocations are transaction-aligned, as cudaMalloc guarantees),
 /// so coalescing costs depend only on the access pattern — never on host
@@ -51,10 +75,12 @@ int count_transactions(const LaneArray<std::uint64_t>& addr, Mask mask);
 class WarpCtx {
  public:
   WarpCtx(const DeviceSpec& spec, std::int64_t cta_id, int warp_in_cta,
-          int warps_per_cta, SharedMem& shmem, Sanitizer* san = nullptr)
+          int warps_per_cta, SharedMem& shmem, CtaSanitizer* san = nullptr,
+          CommitLog* commit_log = nullptr)
       : spec_(&spec),
         shmem_(&shmem),
         san_(san),
+        log_(commit_log),
         cta_id_(cta_id),
         warp_in_cta_(warp_in_cta),
         warps_per_cta_(warps_per_cta) {}
@@ -193,6 +219,13 @@ class WarpCtx {
   }
 
   /// Warp-wide global atomic add. Lanes hitting the same address serialize.
+  /// The functional update is deferred to the launch's per-CTA commit log
+  /// when one is attached (launch.cc replays logs in CTA order, which is
+  /// what keeps float accumulation bit-identical to serial execution when
+  /// CTAs run in parallel); the cost model depends only on the in-register
+  /// values and intra-warp address collisions, so it is charged here either
+  /// way. A consequence either way (matching real GPU semantics): a kernel
+  /// must not read an address it atomically updates within the same launch.
   void atomic_add(float* base, const LaneArray<std::int64_t>& index,
                   const LaneArray<float>& value, Mask mask = kFullMask) {
     if (san_ != nullptr) {
@@ -202,7 +235,11 @@ class WarpCtx {
     int max_mult = 0;
     for (int l = 0; l < kWarpSize; ++l) {
       if (!(mask >> l & 1u)) continue;
-      base[index[l]] += value[l];
+      if (log_ != nullptr) {
+        log_->push_back({base + index[l], value[l], AtomicCommit::kAdd});
+      } else {
+        base[index[l]] += value[l];
+      }
       int mult = 1;
       for (int m = 0; m < l; ++m) {
         if ((mask >> m & 1u) && index[m] == index[l]) ++mult;
@@ -230,8 +267,12 @@ class WarpCtx {
     int max_mult = 0;
     for (int l = 0; l < kWarpSize; ++l) {
       if (!(mask >> l & 1u)) continue;
-      float& slot = base[index[l]];
-      if (value[l] > slot) slot = value[l];
+      if (log_ != nullptr) {
+        log_->push_back({base + index[l], value[l], AtomicCommit::kMax});
+      } else {
+        float& slot = base[index[l]];
+        if (value[l] > slot) slot = value[l];
+      }
       int mult = 1;
       for (int m = 0; m < l; ++m) {
         if ((mask >> m & 1u) && index[m] == index[l]) ++mult;
@@ -414,7 +455,8 @@ class WarpCtx {
 
   const DeviceSpec* spec_;
   SharedMem* shmem_;
-  Sanitizer* san_ = nullptr;
+  CtaSanitizer* san_ = nullptr;
+  CommitLog* log_ = nullptr;
   std::int64_t cta_id_;
   int warp_in_cta_;
   int warps_per_cta_;

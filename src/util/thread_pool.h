@@ -1,0 +1,124 @@
+// A small persistent host thread pool for the simulator's parallel
+// functional pass (gpusim/launch.cc) and any future host-parallel phase.
+//
+// Design constraints, in order:
+//  * Determinism is the caller's job — the pool only provides "run this
+//    callback on k workers"; callers do their own (ordered) work handout
+//    and result merging. The pool never reorders or batches anything.
+//  * Launch frequency is high (a training epoch is thousands of kernel
+//    launches), so workers are created once and parked on a condition
+//    variable between launches instead of being spawned per launch.
+//  * The callback must not throw: callers that need error propagation
+//    capture exceptions into their own per-task state (launch.cc stores an
+//    std::exception_ptr per CTA chunk). A throw escaping the callback
+//    terminates, as it would from a detached std::thread.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gnnone::util {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` parked worker threads (0 is valid: run() then
+  /// executes everything on the calling thread).
+  explicit ThreadPool(int workers) {
+    if (workers < 0) workers = 0;
+    threads_.reserve(std::size_t(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return int(threads_.size()); }
+
+  /// Runs job(id) for id in [0, parallelism): id 0 on the calling thread,
+  /// ids 1..parallelism-1 on pool workers. Blocks until every invocation
+  /// returns. `parallelism` beyond num_workers()+1 is clamped. One run() at
+  /// a time; concurrent callers serialize on an internal mutex.
+  void run(int parallelism, const std::function<void(int)>& job) {
+    int helpers = parallelism - 1;
+    if (helpers > num_workers()) helpers = num_workers();
+    if (helpers <= 0) {
+      job(0);
+      return;
+    }
+    std::unique_lock<std::mutex> run_lk(run_mu_);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_ = &job;
+      active_helpers_ = helpers;
+      remaining_ = helpers;
+      ++generation_;
+    }
+    wake_.notify_all();
+    job(0);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+  /// Process-wide pool shared by every launch site. Lazily constructed on
+  /// first use. Sized to hardware_concurrency() - 1 workers but never fewer
+  /// than 15, so an explicit GNNONE_HOST_THREADS request up to 16 runs with
+  /// real concurrency even on small machines (determinism tests sweep fixed
+  /// thread counts regardless of the host's core count; parked workers cost
+  /// nothing).
+  static ThreadPool& global() {
+    static ThreadPool pool(
+        std::max(int(std::thread::hardware_concurrency()) - 1, 15));
+    return pool;
+  }
+
+ private:
+  void worker_loop(int index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        wake_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        if (index >= active_helpers_) continue;  // not needed this round
+        job = job_;
+      }
+      (*job)(index + 1);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--remaining_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex run_mu_;  // serializes run() callers
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int active_helpers_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gnnone::util

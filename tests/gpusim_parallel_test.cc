@@ -1,0 +1,474 @@
+// Parallel-vs-serial bit identity for the gpusim functional pass.
+//
+// launch() may execute independent CTAs on a host thread pool
+// (gpusim::set_host_threads / GNNONE_HOST_THREADS / LaunchConfig::
+// host_threads); the contract is that every observable output — kernel
+// results, KernelStats, sanitizer reports, serving ledgers, fault-injection
+// ordering — is bit-identical to serial execution at every thread count.
+// These tests sweep 1/2/4/8 host threads over every layer of the stack that
+// launches kernels and compare against the serial run bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "gen/requests.h"
+#include "gen/rmat.h"
+#include "gen/rng.h"
+#include "gnn/train.h"
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+#include "gpusim/memory.h"
+#include "gpusim/sanitizer.h"
+#include "graph/convert.h"
+#include "graph/neighbor_group.h"
+#include "serve/server.h"
+#include "tune/search_space.h"
+
+namespace gnnone {
+namespace {
+
+using gpusim::CommitLog;
+using gpusim::kWarpSize;
+using gpusim::LaneArray;
+using gpusim::LaunchConfig;
+using gpusim::Sanitizer;
+using gpusim::SanitizerOptions;
+using gpusim::ViolationKind;
+using gpusim::WarpCtx;
+
+const int kThreadSweep[] = {1, 2, 4, 8};
+
+/// Runs `body` with the process-wide thread default forced to `t`, restoring
+/// the env/hardware default afterwards even on assertion failure.
+template <typename Fn>
+auto at_threads(int t, Fn&& body) {
+  gpusim::set_host_threads(t);
+  struct Restore {
+    ~Restore() { gpusim::set_host_threads(0); }
+  } restore;
+  return body();
+}
+
+void expect_stats_equal(const gpusim::KernelStats& a,
+                        const gpusim::KernelStats& b, const char* what) {
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.dram_bandwidth_bound, b.dram_bandwidth_bound) << what;
+  EXPECT_EQ(a.num_ctas, b.num_ctas) << what;
+  EXPECT_EQ(a.num_warps, b.num_warps) << what;
+  EXPECT_EQ(a.resident_ctas_per_sm, b.resident_ctas_per_sm) << what;
+  const gpusim::WarpStats& x = a.totals;
+  const gpusim::WarpStats& y = b.totals;
+  EXPECT_EQ(x.issue_cycles, y.issue_cycles) << what;
+  EXPECT_EQ(x.stall_cycles, y.stall_cycles) << what;
+  EXPECT_EQ(x.global_load_instrs, y.global_load_instrs) << what;
+  EXPECT_EQ(x.global_store_instrs, y.global_store_instrs) << what;
+  EXPECT_EQ(x.load_transactions, y.load_transactions) << what;
+  EXPECT_EQ(x.store_transactions, y.store_transactions) << what;
+  EXPECT_EQ(x.bytes_loaded, y.bytes_loaded) << what;
+  EXPECT_EQ(x.bytes_stored, y.bytes_stored) << what;
+  EXPECT_EQ(x.shared_ops, y.shared_ops) << what;
+  EXPECT_EQ(x.shuffles, y.shuffles) << what;
+  EXPECT_EQ(x.barriers, y.barriers) << what;
+  EXPECT_EQ(x.atomic_instrs, y.atomic_instrs) << what;
+  EXPECT_EQ(x.atomic_serializations, y.atomic_serializations) << what;
+  EXPECT_EQ(x.alu_instrs, y.alu_instrs) << what;
+  EXPECT_EQ(x.load_issue_cycles, y.load_issue_cycles) << what;
+  EXPECT_EQ(x.load_stall_cycles, y.load_stall_cycles) << what;
+  EXPECT_EQ(x.store_issue_cycles, y.store_issue_cycles) << what;
+  EXPECT_EQ(x.atomic_issue_cycles, y.atomic_issue_cycles) << what;
+}
+
+bool bits_equal(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Arbitrary (non-integer) floats: float accumulation is order-sensitive, so
+/// bitwise equality across thread counts proves the commit order itself is
+/// preserved, not merely the set of contributions.
+std::vector<float> noisy_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = float(rng.uniform_real()) * 2.0f - 1.0f;
+  return v;
+}
+
+// --- every kernel family in the tune search space ---------------------------
+
+struct FamilyRun {
+  std::vector<float> out;
+  gpusim::KernelStats ks;
+};
+
+FamilyRun run_family(const Coo& coo, const Csr& csr, const NeighborGroups& ng,
+                     tune::TuneOp op, tune::KernelFamily fam, int f) {
+  const std::size_t rows = std::size_t(coo.num_rows);
+  const std::size_t cols = std::size_t(coo.num_cols);
+  const std::vector<float> edge_val = noisy_vec(std::size_t(coo.nnz()), 11);
+  const std::vector<float> x = noisy_vec(std::max(rows, cols) * std::size_t(f), 12);
+  const std::vector<float> y = noisy_vec(cols * std::size_t(f), 13);
+  FamilyRun r;
+  const std::size_t out_elems = op == tune::TuneOp::kSpmm ? rows * std::size_t(f)
+                                : op == tune::TuneOp::kSddmm
+                                    ? std::size_t(coo.nnz())
+                                    : rows;
+  r.out.assign(out_elems, 0.0f);
+  r.ks = tune::run_candidate(gpusim::default_device(),
+                             tune::family_default(op, fam), op,
+                             tune::OpInputs{&coo, &csr, &ng}, edge_val, x, y, f,
+                             r.out);
+  return r;
+}
+
+TEST(ParallelBitIdentity, EveryKernelFamilyAtEveryThreadCount) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  const Coo coo = rmat_graph(p);
+  const Csr csr = coo_to_csr(coo);
+  const NeighborGroups ng = build_neighbor_groups(csr);
+  for (tune::TuneOp op :
+       {tune::TuneOp::kSpmm, tune::TuneOp::kSddmm, tune::TuneOp::kSpmv}) {
+    for (tune::KernelFamily fam : tune::families(op)) {
+      const std::string what = std::string(tune::op_name(op)) + "/" +
+                               tune::family_name(fam);
+      const FamilyRun serial = at_threads(
+          1, [&] { return run_family(coo, csr, ng, op, fam, 32); });
+      for (int t : kThreadSweep) {
+        const FamilyRun par = at_threads(
+            t, [&] { return run_family(coo, csr, ng, op, fam, 32); });
+        EXPECT_TRUE(bits_equal(par.out, serial.out))
+            << what << " at " << t << " threads";
+        expect_stats_equal(par.ks, serial.ks, what.c_str());
+      }
+    }
+  }
+}
+
+TEST(ParallelBitIdentity, LaunchLevelOverrideBeatsProcessDefault) {
+  // cfg.host_threads takes precedence over set_host_threads(); both paths
+  // must agree bit for bit.
+  std::vector<float> acc_serial(64, 0.0f), acc_override(64, 0.0f);
+  auto body = [](std::vector<float>& acc) {
+    return [&acc](WarpCtx& w) {
+      LaneArray<std::int64_t> idx{};
+      LaneArray<float> val{};
+      for (int l = 0; l < kWarpSize; ++l) {
+        idx[l] = (w.cta_id() + l) % 64;
+        val[l] = float(l) * 0.1f + float(w.cta_id()) * 0.01f;
+      }
+      w.atomic_add(acc.data(), idx, val);
+    };
+  };
+  LaunchConfig lc;
+  lc.num_ctas = 96;
+  lc.warps_per_cta = 2;
+  at_threads(1, [&] {
+    return gpusim::launch(gpusim::default_device(), lc, body(acc_serial));
+  });
+  lc.host_threads = 8;
+  at_threads(1, [&] {
+    return gpusim::launch(gpusim::default_device(), lc, body(acc_override));
+  });
+  EXPECT_TRUE(bits_equal(acc_override, acc_serial));
+}
+
+// --- training ---------------------------------------------------------------
+
+TEST(ParallelBitIdentity, TrainingRunsAreIdentical) {
+  const Dataset ds = make_dataset("G0");
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.measured_epochs = 1;
+  opts.feature_dim_override = 8;
+  auto run = [&] { return train_model(Backend::kGnnOne, ds, "gcn",
+                                      gpusim::default_device(), opts); };
+  const TrainResult serial = at_threads(1, run);
+  ASSERT_TRUE(serial.ran) << serial.fail_reason;
+  for (int t : kThreadSweep) {
+    const TrainResult par = at_threads(t, run);
+    EXPECT_EQ(par.ran, serial.ran) << t;
+    EXPECT_EQ(par.fail_reason, serial.fail_reason) << t;
+    EXPECT_EQ(par.total_cycles, serial.total_cycles) << t;
+    ASSERT_EQ(par.accuracy_curve.size(), serial.accuracy_curve.size()) << t;
+    for (std::size_t i = 0; i < serial.accuracy_curve.size(); ++i) {
+      EXPECT_EQ(par.accuracy_curve[i], serial.accuracy_curve[i])
+          << t << " epoch " << i;
+    }
+  }
+}
+
+// --- serving: serial, pipelined, and the chaos ladder ------------------------
+
+ServeOptions serve_opts(bool pipeline, bool chaos) {
+  ServeOptions o;
+  o.model_kind = "gcn";
+  o.batch_size = 4;
+  o.fanouts = {6, 3};
+  o.cache_alpha = 0.1;
+  o.feature_dim_override = 16;
+  o.backend = Backend::kAuto;
+  o.seed = 3;
+  o.pipeline = pipeline;
+  if (chaos) {
+    o.chaos.oom_rate = 0.2;
+    o.chaos.fetch_rate = 0.15;
+    o.chaos.kernel_rate = 0.1;
+    o.chaos.seed = 5;
+  }
+  return o;
+}
+
+void expect_reports_equal(const ServingReport& a, const ServingReport& b,
+                          const char* what) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles) << what;
+  EXPECT_EQ(a.serial_cycles, b.serial_cycles) << what;
+  EXPECT_EQ(a.ledger.total(), b.ledger.total()) << what;
+  ASSERT_EQ(a.predictions.size(), b.predictions.size()) << what;
+  for (std::size_t r = 0; r < a.predictions.size(); ++r) {
+    EXPECT_EQ(a.predictions[r], b.predictions[r]) << what << " request " << r;
+  }
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << what;
+  for (std::size_t r = 0; r < a.outcomes.size(); ++r) {
+    EXPECT_EQ(a.outcomes[r].status, b.outcomes[r].status)
+        << what << " request " << r;
+    EXPECT_EQ(a.outcomes[r].error, b.outcomes[r].error)
+        << what << " request " << r;
+  }
+}
+
+TEST(ParallelBitIdentity, ServingModesAreIdentical) {
+  const Dataset ds = make_dataset("G4");
+  RequestTraceOptions ro;
+  ro.num_requests = 12;
+  ro.max_seeds = 3;
+  ro.hot_fraction = 0.5;
+  ro.seed = 21;
+  const std::vector<SeedRequest> reqs = make_request_trace(ds.coo, ro);
+  struct Mode {
+    const char* name;
+    bool pipeline;
+    bool chaos;
+  };
+  for (const Mode m : {Mode{"serial", false, false},
+                       Mode{"pipelined", true, false},
+                       Mode{"chaos", false, true}}) {
+    auto run = [&] {
+      return InferenceServer(ds, gpusim::default_device(),
+                             serve_opts(m.pipeline, m.chaos))
+          .serve(reqs);
+    };
+    const ServingReport serial = at_threads(1, run);
+    for (int t : kThreadSweep) {
+      const ServingReport par = at_threads(t, run);
+      expect_reports_equal(par, serial, m.name);
+    }
+  }
+}
+
+// --- sanitizer reports -------------------------------------------------------
+
+/// Cross-warp race kernel at many CTAs. Worker-thread-local span: warps of
+/// one CTA always run on the same host thread, so the span warp 0 allocates
+/// is the one warp 1 of the *same* CTA reads.
+gpusim::KernelFn racy_kernel() {
+  static thread_local std::span<float> stage;
+  return [](WarpCtx& w) {
+    LaneArray<int> idx{};
+    for (int l = 0; l < kWarpSize; ++l) idx[l] = l;
+    if (w.warp_in_cta() == 0) {
+      stage = w.shared().alloc<float>(kWarpSize);
+      LaneArray<float> vals{};
+      w.sh_write(stage, idx, vals);
+    } else {
+      (void)w.sh_read(std::span<const float>(stage), idx);  // no barrier
+    }
+  };
+}
+
+TEST(ParallelBitIdentity, SanitizerReportsAreIdentical) {
+  LaunchConfig lc;
+  lc.num_ctas = 8;  // 8 * 32 races = 256 pending, 4x the 64-record cap
+  lc.warps_per_cta = 2;
+  lc.shared_bytes_per_cta = 4096;
+  lc.label = "racy";
+  auto run = [&] {
+    Sanitizer san;
+    const auto ks = gpusim::launch(gpusim::default_device(), lc, racy_kernel());
+    struct Out {
+      std::vector<gpusim::SanitizerViolation> violations;
+      std::uint64_t races;
+      gpusim::SanitizerCounters launch_counters;
+    };
+    return Out{san.report().violations(),
+               san.report().count(ViolationKind::kSharedRace), ks.sanitizer};
+  };
+  const auto serial = at_threads(1, run);
+  EXPECT_EQ(serial.races, 256u);
+  EXPECT_EQ(serial.violations.size(), 64u);  // record cap
+  for (int t : kThreadSweep) {
+    const auto par = at_threads(t, run);
+    EXPECT_EQ(par.races, serial.races) << t;
+    EXPECT_EQ(par.launch_counters.shared_races,
+              serial.launch_counters.shared_races) << t;
+    ASSERT_EQ(par.violations.size(), serial.violations.size()) << t;
+    for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+      EXPECT_EQ(par.violations[i].kind, serial.violations[i].kind) << i;
+      EXPECT_EQ(par.violations[i].cta, serial.violations[i].cta) << i;
+      EXPECT_EQ(par.violations[i].warp, serial.violations[i].warp) << i;
+      EXPECT_EQ(par.violations[i].lane, serial.violations[i].lane) << i;
+      EXPECT_EQ(par.violations[i].detail, serial.violations[i].detail) << i;
+    }
+  }
+}
+
+TEST(ParallelBitIdentity, FatalSanitizerThrowsLowestCtaAtEveryThreadCount) {
+  // Only CTA 5 violates; fatal mode must rethrow exactly that CTA's error
+  // regardless of which worker hit it (or whether later chunks were
+  // cancelled before running).
+  LaunchConfig lc;
+  lc.num_ctas = 32;
+  lc.warps_per_cta = 1;
+  lc.shared_bytes_per_cta = 4096;
+  lc.label = "one_bad_cta";
+  auto kernel = [](WarpCtx& w) {
+    auto stage = w.shared().alloc<float>(kWarpSize);
+    LaneArray<int> idx{};
+    for (int l = 0; l < kWarpSize; ++l) {
+      idx[l] = w.cta_id() == 5 ? l + 17 : l;  // CTA 5 runs off the end
+    }
+    LaneArray<float> vals{};
+    w.sh_write(stage, idx, vals);
+  };
+  auto run = [&] {
+    Sanitizer san({.max_recorded = 64, .fatal = true});
+    std::string message;
+    try {
+      gpusim::launch(gpusim::default_device(), lc, kernel);
+    } catch (const gpusim::SanitizerError& e) {
+      message = e.what();
+    }
+    return message;
+  };
+  const std::string serial = at_threads(1, run);
+  ASSERT_NE(serial.find("cta 5"), std::string::npos) << serial;
+  for (int t : kThreadSweep) {
+    EXPECT_EQ(at_threads(t, run), serial) << t << " threads";
+  }
+}
+
+// --- the shared-uninit-read detector and arena poisoning --------------------
+
+TEST(SimsanUninit, ReadBeforeAnyWriteIsReported) {
+  LaunchConfig lc;
+  lc.num_ctas = 1;
+  lc.warps_per_cta = 1;
+  lc.shared_bytes_per_cta = 4096;
+  lc.label = "uninit_reader";
+  Sanitizer san;
+  gpusim::launch(gpusim::default_device(), lc, [](WarpCtx& w) {
+    auto stage = w.shared().alloc<float>(kWarpSize);
+    LaneArray<int> idx{};
+    for (int l = 0; l < kWarpSize; ++l) idx[l] = l;
+    (void)w.sh_read(std::span<const float>(stage), idx);
+  });
+  EXPECT_EQ(san.report().count(ViolationKind::kSharedUninitRead),
+            std::uint64_t(kWarpSize));
+  ASSERT_FALSE(san.report().violations().empty());
+  EXPECT_EQ(san.report().violations()[0].kind,
+            ViolationKind::kSharedUninitRead);
+}
+
+TEST(SimsanUninit, WriteThenReadIsClean) {
+  LaunchConfig lc;
+  lc.num_ctas = 4;
+  lc.warps_per_cta = 1;
+  lc.shared_bytes_per_cta = 4096;
+  Sanitizer san;
+  gpusim::launch(gpusim::default_device(), lc, [](WarpCtx& w) {
+    auto stage = w.shared().alloc<float>(kWarpSize);
+    LaneArray<int> idx{};
+    LaneArray<float> vals{};
+    for (int l = 0; l < kWarpSize; ++l) idx[l] = l;
+    w.sh_write(stage, idx, vals);
+    (void)w.sh_read(std::span<const float>(stage), idx);
+  });
+  EXPECT_TRUE(san.report().clean());
+}
+
+TEST(SimsanUninit, PoisonHidesPreviousCtaBytes) {
+  // CTA 0 fills shared with 7.0f; CTA 1 reads without writing. Before the
+  // poison fill, serial execution leaked CTA 0's bytes into CTA 1 —
+  // plausible-looking data that parallel execution would turn
+  // nondeterministic. Under an active sanitizer CTA 1 must see the poison
+  // pattern, never 7.0f.
+  LaunchConfig lc;
+  lc.num_ctas = 2;
+  lc.warps_per_cta = 1;
+  lc.shared_bytes_per_cta = 4096;
+  std::vector<float> seen(kWarpSize, 0.0f);
+  Sanitizer san;
+  at_threads(1, [&] {
+    return gpusim::launch(gpusim::default_device(), lc, [&](WarpCtx& w) {
+      auto stage = w.shared().alloc<float>(kWarpSize);
+      LaneArray<int> idx{};
+      for (int l = 0; l < kWarpSize; ++l) idx[l] = l;
+      if (w.cta_id() == 0) {
+        LaneArray<float> vals{};
+        for (int l = 0; l < kWarpSize; ++l) vals[l] = 7.0f;
+        w.sh_write(stage, idx, vals);
+      } else {
+        const auto got = w.sh_read(std::span<const float>(stage), idx);
+        for (int l = 0; l < kWarpSize; ++l) seen[std::size_t(l)] = got[l];
+      }
+    });
+  });
+  EXPECT_EQ(san.report().count(ViolationKind::kSharedUninitRead),
+            std::uint64_t(kWarpSize));
+  for (float v : seen) EXPECT_NE(v, 7.0f);
+}
+
+// --- fault injection ordering ------------------------------------------------
+
+TEST(ParallelBitIdentity, AllocationOrderIsThreadCountInvariant) {
+  // Device allocations happen on the launch-driving thread, never inside
+  // the parallel region, so the n-th-allocation fault must hit the same
+  // site — same fail_reason, same allocation count — at every thread count.
+  const Dataset ds = make_dataset("G0");
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.measured_epochs = 1;
+  opts.feature_dim_override = 8;
+  opts.eval_accuracy = false;
+  auto run_with_fault = [&](std::uint64_t n) {
+    gpusim::DeviceMemory mem(gpusim::default_device().device_memory_bytes);
+    mem.fail_at_allocation(n);
+    opts.device_memory = &mem;
+    const TrainResult r = train_model(Backend::kGnnOne, ds, "gcn",
+                                      gpusim::default_device(), opts);
+    opts.device_memory = nullptr;
+    struct Out {
+      bool ran;
+      std::string fail_reason;
+      std::uint64_t allocations;
+    };
+    return Out{r.ran, r.fail_reason, mem.allocation_count()};
+  };
+  const auto serial = at_threads(1, [&] { return run_with_fault(3); });
+  EXPECT_FALSE(serial.ran);
+  EXPECT_EQ(serial.fail_reason, "OOM");
+  for (int t : kThreadSweep) {
+    const auto par = at_threads(t, [&] { return run_with_fault(3); });
+    EXPECT_EQ(par.ran, serial.ran) << t;
+    EXPECT_EQ(par.fail_reason, serial.fail_reason) << t;
+    EXPECT_EQ(par.allocations, serial.allocations) << t;
+  }
+}
+
+}  // namespace
+}  // namespace gnnone

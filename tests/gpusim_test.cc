@@ -195,6 +195,38 @@ TEST(Occupancy, LimitedByWarpSlots) {
   EXPECT_EQ(compute_occupancy(spec(), lc).warps_per_sm, 64);
 }
 
+TEST(Occupancy, RejectsConfigExceedingWarpSlots) {
+  LaunchConfig lc;
+  lc.warps_per_cta = 128;  // > 64 warp slots: cudaErrorInvalidConfiguration
+  lc.regs_per_thread = 0;
+  EXPECT_THROW(compute_occupancy(spec(), lc), std::invalid_argument);
+}
+
+TEST(Occupancy, RejectsConfigExceedingRegisterFile) {
+  LaunchConfig lc;
+  lc.warps_per_cta = 8;  // 256 threads
+  lc.regs_per_thread = 512;  // 512 * 256 = 131072 > 65536 regs
+  EXPECT_THROW(compute_occupancy(spec(), lc), std::invalid_argument);
+}
+
+TEST(Occupancy, RejectionSurfacesThroughLaunch) {
+  // An impossible config must fail the launch (as on hardware), not get
+  // silently clamped to one resident CTA.
+  LaunchConfig lc;
+  lc.num_ctas = 4;
+  lc.warps_per_cta = 8;
+  lc.regs_per_thread = 512;
+  EXPECT_THROW(launch(spec(), lc, [](WarpCtx&) {}), std::invalid_argument);
+}
+
+TEST(Occupancy, BoundaryConfigStillFits) {
+  // Exactly one CTA's worth of registers is legal and yields occupancy 1.
+  LaunchConfig lc;
+  lc.warps_per_cta = 8;  // 256 threads
+  lc.regs_per_thread = 255;  // 255 * 256 = 65280 <= 65536
+  EXPECT_EQ(compute_occupancy(spec(), lc).ctas_per_sm, 1);
+}
+
 TEST(Scheduling, ImbalancedWarpDominatesMakespan) {
   std::vector<float> data(1 << 20, 0.0f);
   // 256 CTAs of 1 warp; warp 0 does 1000 dependent loads, others do 1.
