@@ -10,6 +10,7 @@
 #include "gen/datasets.h"
 #include "gpusim/report.h"
 #include "gpusim/trace.h"
+#include "util/stats.h"
 
 namespace bench {
 
@@ -267,6 +268,22 @@ Json results_doc(const std::vector<const Harness*>& benches, Scale scale,
   for (const Harness* h : benches) arr.push_back(h->to_json());
   doc.set("benches", std::move(arr));
   return doc;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t> samples, double p) {
+  return gnnone::util::percentile(std::move(samples), p);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  return gnnone::util::percentile(std::move(samples), p);
+}
+
+std::uint64_t p50(std::vector<std::uint64_t> samples) {
+  return percentile(std::move(samples), 50.0);
+}
+
+std::uint64_t p99(std::vector<std::uint64_t> samples) {
+  return percentile(std::move(samples), 99.0);
 }
 
 // --- registry -------------------------------------------------------------

@@ -139,6 +139,18 @@ class Harness {
 Json results_doc(const std::vector<const Harness*>& benches, Scale scale,
                  const gpusim::DeviceSpec& spec);
 
+// --- order statistics -----------------------------------------------------
+// Exact nearest-rank percentiles (util/stats.h — the same selection the
+// serving TenantReport uses, so a bench expectation on a p99 compares the
+// identical number the report quotes). Throws std::invalid_argument on an
+// empty sample set or p outside [0, 100].
+
+std::uint64_t percentile(std::vector<std::uint64_t> samples, double p);
+double percentile(std::vector<double> samples, double p);
+/// p50 / p99 shorthands for latency-tail reporting.
+std::uint64_t p50(std::vector<std::uint64_t> samples);
+std::uint64_t p99(std::vector<std::uint64_t> samples);
+
 // --- bench registry ------------------------------------------------------
 
 struct BenchInfo {

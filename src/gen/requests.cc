@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "gen/rng.h"
@@ -9,14 +11,62 @@
 
 namespace gnnone {
 
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Derived stream seed: independent Rng sequences per (seed, stream) pair,
+/// so tenant t's arrival draws never depend on how many draws tenant t-1
+/// consumed.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  return mix64(seed + 0x9e3779b97f4a7c15ull * (stream + 1));
+}
+
+/// Exponential interarrival with the given mean, in whole cycles (>= 1 so
+/// arrivals strictly advance and a trace cannot collapse onto one cycle).
+std::uint64_t exponential_cycles(Rng& rng, double mean) {
+  double u = rng.uniform_real();
+  if (u > 1.0 - 1e-12) u = 1.0 - 1e-12;  // avoid log(0)
+  const double draw = -mean * std::log1p(-u);
+  const double capped = std::min(draw, 9.0e15);  // stay inside uint64
+  return std::max<std::uint64_t>(1, std::uint64_t(std::llround(capped)));
+}
+
+}  // namespace
+
+void RequestTraceOptions::Validate() const {
+  if (num_requests < 0) {
+    throw std::invalid_argument(
+        "RequestTraceOptions: num_requests must be >= 0, got " +
+        std::to_string(num_requests));
+  }
+  if (min_seeds < 1 || max_seeds < min_seeds) {
+    throw std::invalid_argument(
+        "RequestTraceOptions: bad seed bounds [" + std::to_string(min_seeds) +
+        ", " + std::to_string(max_seeds) + "]");
+  }
+  if (!(hot_fraction >= 0.0 && hot_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "RequestTraceOptions: hot_fraction must be in [0, 1], got " +
+        std::to_string(hot_fraction));
+  }
+  if (!(hot_set_fraction > 0.0 && hot_set_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "RequestTraceOptions: hot_set_fraction must be in (0, 1], got " +
+        std::to_string(hot_set_fraction));
+  }
+}
+
 std::vector<SeedRequest> make_request_trace(const Coo& graph,
                                             const RequestTraceOptions& opts) {
+  opts.Validate();
   const vid_t n = graph.num_rows;
   if (n <= 0) {
     throw std::invalid_argument("make_request_trace: empty graph");
-  }
-  if (opts.min_seeds < 1 || opts.max_seeds < opts.min_seeds) {
-    throw std::invalid_argument("make_request_trace: bad seed bounds");
   }
 
   // Hot set: the top hot_set_fraction of vertices by degree (ties by id, so
@@ -59,6 +109,218 @@ std::vector<SeedRequest> make_request_trace(const Coo& graph,
     }
   }
   return trace;
+}
+
+// --- open-loop arrival processes ------------------------------------------
+
+const char* arrival_process_name(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty:  return "bursty";
+  }
+  return "unknown";
+}
+
+void ArrivalOptions::Validate() const {
+  if (!(mean_interarrival_cycles > 0.0)) {
+    throw std::invalid_argument(
+        "ArrivalOptions: mean_interarrival_cycles must be > 0, got " +
+        std::to_string(mean_interarrival_cycles));
+  }
+  if (process == ArrivalProcess::kBursty) {
+    if (!(burst_multiplier >= 1.0)) {
+      throw std::invalid_argument(
+          "ArrivalOptions: burst_multiplier must be >= 1, got " +
+          std::to_string(burst_multiplier));
+    }
+    if (!(burst_fraction > 0.0 && burst_fraction < 1.0)) {
+      throw std::invalid_argument(
+          "ArrivalOptions: burst_fraction must be in (0, 1), got " +
+          std::to_string(burst_fraction));
+    }
+    if (period_cycles == 0) {
+      throw std::invalid_argument(
+          "ArrivalOptions: period_cycles must be > 0");
+    }
+    // The floor phase's rate multiplier (1 - f*m) / (1 - f) must stay
+    // positive for the overall mean to be preserved by a non-negative rate.
+    if (burst_fraction * burst_multiplier >= 1.0) {
+      throw std::invalid_argument(
+          "ArrivalOptions: burst_fraction * burst_multiplier must be < 1 "
+          "(the floor phase would need a negative rate)");
+    }
+  }
+}
+
+std::vector<std::uint64_t> make_arrivals(int n, const ArrivalOptions& opts,
+                                         std::uint64_t stream) {
+  opts.Validate();
+  if (n < 0) {
+    throw std::invalid_argument("make_arrivals: n must be >= 0, got " +
+                                std::to_string(n));
+  }
+  Rng rng(derive_seed(opts.seed, stream));
+  std::vector<std::uint64_t> out;
+  out.reserve(std::size_t(n));
+
+  if (opts.process == ArrivalProcess::kPoisson) {
+    std::uint64_t t = 0;
+    for (int i = 0; i < n; ++i) {
+      t += exponential_cycles(rng, opts.mean_interarrival_cycles);
+      out.push_back(t);
+    }
+    return out;
+  }
+
+  // Bursty/diurnal: each period spends burst_fraction of its cycles at
+  // burst_multiplier x the overall mean rate and the rest at the derived
+  // floor rate, so the long-run average rate stays 1/mean. Interarrivals
+  // are exponential at the rate of the phase the clock is currently in —
+  // a piecewise-constant-rate Poisson process evaluated at the draw point,
+  // which keeps the generator one-pass and deterministic.
+  const double mean_rate = 1.0 / opts.mean_interarrival_cycles;
+  const double burst_rate = opts.burst_multiplier * mean_rate;
+  const double floor_rate = (1.0 - opts.burst_fraction *
+                                       opts.burst_multiplier) /
+                            (1.0 - opts.burst_fraction) * mean_rate;
+  const auto burst_cycles =
+      std::uint64_t(opts.burst_fraction * double(opts.period_cycles));
+  std::uint64_t t = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t phase = t % opts.period_cycles;
+    const bool in_burst = phase < burst_cycles;
+    const double rate = in_burst ? burst_rate : floor_rate;
+    // A zero floor rate cannot happen (Validate), but guard the division.
+    const double mean = 1.0 / std::max(rate, 1e-18);
+    t += exponential_cycles(rng, mean);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<SeedRequest> make_open_loop_trace(
+    const Coo& graph, const std::vector<TenantWorkload>& tenants) {
+  if (tenants.empty()) {
+    throw std::invalid_argument("make_open_loop_trace: no tenants");
+  }
+  struct Issued {
+    std::uint64_t arrival;
+    int tenant;
+    int order;  // issue order within the tenant (stable tie-break)
+    std::size_t slot;
+  };
+  std::vector<SeedRequest> all;
+  std::vector<Issued> issued;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantWorkload& w = tenants[t];
+    std::vector<SeedRequest> reqs = make_request_trace(graph, w.requests);
+    const std::vector<std::uint64_t> arrivals =
+        make_arrivals(int(reqs.size()), w.arrivals, std::uint64_t(t));
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      reqs[i].tenant = int(t);
+      reqs[i].arrival_cycle = arrivals[i];
+      issued.push_back({arrivals[i], int(t), int(i), all.size()});
+      all.push_back(std::move(reqs[i]));
+    }
+  }
+  std::sort(issued.begin(), issued.end(), [](const Issued& a, const Issued& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    return a.order < b.order;
+  });
+  std::vector<SeedRequest> merged;
+  merged.reserve(all.size());
+  for (const Issued& e : issued) merged.push_back(std::move(all[e.slot]));
+  return merged;
+}
+
+// --- trace persistence ----------------------------------------------------
+
+util::Json trace_to_json(const std::vector<SeedRequest>& trace) {
+  util::Json doc = util::Json::object();
+  doc.set("schema", kTraceSchemaName);
+  doc.set("version", kTraceSchemaVersion);
+  util::Json reqs = util::Json::array();
+  for (const SeedRequest& r : trace) {
+    util::Json rj = util::Json::object();
+    rj.set("tenant", r.tenant);
+    rj.set("arrival", r.arrival_cycle);
+    util::Json seeds = util::Json::array();
+    for (vid_t s : r.seeds) seeds.push_back(std::int64_t(s));
+    rj.set("seeds", std::move(seeds));
+    reqs.push_back(std::move(rj));
+  }
+  doc.set("requests", std::move(reqs));
+  return doc;
+}
+
+std::vector<SeedRequest> trace_from_json(const util::Json& doc) {
+  if (doc["schema"].as_string() != kTraceSchemaName) {
+    throw std::invalid_argument("request trace: unrecognized schema '" +
+                                doc["schema"].as_string() + "'");
+  }
+  if (doc["version"].as_int() != kTraceSchemaVersion) {
+    throw std::invalid_argument(
+        "request trace: unsupported version " +
+        std::to_string(doc["version"].as_int()) + " (want " +
+        std::to_string(kTraceSchemaVersion) + ")");
+  }
+  if (!doc["requests"].is_array()) {
+    throw std::invalid_argument("request trace: missing 'requests' array");
+  }
+  std::vector<SeedRequest> trace;
+  trace.reserve(doc["requests"].items().size());
+  for (const util::Json& rj : doc["requests"].items()) {
+    SeedRequest r;
+    const std::int64_t tenant = rj["tenant"].as_int(-1);
+    if (tenant < 0) {
+      throw std::invalid_argument("request trace: negative/missing tenant");
+    }
+    r.tenant = int(tenant);
+    r.arrival_cycle = rj["arrival"].as_uint();
+    if (!rj["seeds"].is_array() || rj["seeds"].items().empty()) {
+      throw std::invalid_argument("request trace: request without seeds");
+    }
+    for (const util::Json& sj : rj["seeds"].items()) {
+      const std::int64_t s = sj.as_int(-1);
+      if (s < 0) {
+        throw std::invalid_argument("request trace: negative seed id");
+      }
+      r.seeds.push_back(vid_t(s));
+    }
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+bool save_trace(const std::string& path,
+                const std::vector<SeedRequest>& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << trace_to_json(trace).dump() << '\n';
+  out.flush();
+  return bool(out);
+}
+
+std::vector<SeedRequest> load_trace_or_empty(const std::string& path,
+                                             std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};  // no artifact yet: an empty study, not an error
+  std::stringstream ss;
+  ss << in.rdbuf();
+  try {
+    return trace_from_json(util::Json::parse(ss.str()));
+  } catch (const std::exception& e) {
+    // Corrupt, truncated, or version-mismatched: the trace is a replay
+    // artifact, so degrade to empty rather than aborting the study — same
+    // posture as TuningCache::load_or_empty.
+    if (warning != nullptr) {
+      *warning = "request trace '" + path +
+                 "' ignored (corrupt or incompatible): " + e.what();
+    }
+    return {};
+  }
 }
 
 }  // namespace gnnone

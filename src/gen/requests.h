@@ -6,13 +6,30 @@
 // over the graph or, with hot_fraction > 0, skewed toward a top-degree hot
 // set — real serving traffic concentrates on popular entities, which is
 // exactly what a degree-ordered feature cache exploits.
+//
+// Open-loop traffic (the multi-tenant SLO study, docs/SERVING.md §8): a
+// request additionally carries the tenant that issued it and the cycle it
+// *arrived* at the server, drawn from a deterministic arrival process —
+// Poisson (memoryless steady traffic) or bursty/diurnal (a periodic high-rate
+// phase over a low-rate floor, the shape real user traffic has). Arrival
+// draws come from per-tenant derived Rng streams, so one tenant's trace is
+// reproducible from the seed alone and does not shift when another tenant's
+// workload changes. A closed-loop trace is the degenerate case: every
+// arrival_cycle is 0 and every tenant is 0.
+//
+// Traces are replayable artifacts: save_trace()/load_trace_or_empty() give a
+// versioned, byte-deterministic JSON round-trip (util/json.h), failing soft
+// on corrupt or version-mismatched files the way TuningCache::load_or_empty
+// does — a traffic study must not crash because an artifact went stale.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/coo.h"
 #include "graph/types.h"
+#include "util/json.h"
 
 namespace gnnone {
 
@@ -25,15 +42,114 @@ struct RequestTraceOptions {
   /// Top-degree share of vertices forming the hot set (ties break by id).
   double hot_set_fraction = 0.1;
   std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on out-of-range options: num_requests < 0,
+  /// inconsistent seed bounds, hot_fraction outside [0, 1], or
+  /// hot_set_fraction outside (0, 1] (a hot set must contain something for
+  /// hot draws to land in).
+  void Validate() const;
 };
 
 struct SeedRequest {
   std::vector<vid_t> seeds;  // may repeat across requests, unique within one
+  /// Tenant that issued the request: an index into the serving tier's tenant
+  /// table (ServeOptions::tenants). 0 in single-tenant/closed-loop traces.
+  int tenant = 0;
+  /// Cycle the request arrived at the server (open-loop traces). 0 means
+  /// "available immediately" — the closed-loop convention every pre-tenant
+  /// trace uses.
+  std::uint64_t arrival_cycle = 0;
 };
 
 /// Generates a deterministic request trace over `graph`'s vertices. Throws
-/// std::invalid_argument on an empty graph or inconsistent seed bounds.
+/// std::invalid_argument on an empty graph or invalid options
+/// (RequestTraceOptions::Validate). All requests arrive at cycle 0,
+/// tenant 0 — the closed-loop workload.
 std::vector<SeedRequest> make_request_trace(const Coo& graph,
                                             const RequestTraceOptions& opts);
+
+// --- open-loop arrival processes ------------------------------------------
+
+enum class ArrivalProcess {
+  kPoisson,  // i.i.d. exponential interarrivals (memoryless steady load)
+  kBursty,   // diurnal: periodic burst phase at burst_multiplier x the floor
+};
+
+const char* arrival_process_name(ArrivalProcess p);
+
+struct ArrivalOptions {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Mean cycles between consecutive arrivals (the offered load knob:
+  /// smaller = hotter). For kBursty this is the *overall* mean — the phase
+  /// rates are derived so the long-run average rate matches 1/mean.
+  double mean_interarrival_cycles = 1.0e6;
+  /// kBursty: rate multiplier inside the burst phase relative to the
+  /// overall mean rate (> 1; the floor phase rate is derived to preserve
+  /// the mean). 1.0 degenerates to Poisson. burst_fraction *
+  /// burst_multiplier must stay < 1 or the derived floor rate would be
+  /// negative (Validate rejects it); the defaults leave 20% of the mass
+  /// for the floor.
+  double burst_multiplier = 4.0;
+  /// kBursty: fraction of each period spent in the burst phase, in (0, 1).
+  double burst_fraction = 0.2;
+  /// kBursty: period of the diurnal cycle in cycles.
+  std::uint64_t period_cycles = 8'000'000;
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on non-positive mean_interarrival_cycles,
+  /// burst_multiplier < 1, burst_fraction outside (0, 1), or a zero period.
+  void Validate() const;
+};
+
+/// Draws `n` deterministic arrival cycles (non-decreasing, starting after
+/// cycle 0) from the process. `stream` namespaces the Rng derivation —
+/// make_open_loop_trace passes the tenant id, so each tenant owns an
+/// independent, individually reproducible arrival stream. Throws
+/// std::invalid_argument on invalid options or n < 0.
+std::vector<std::uint64_t> make_arrivals(int n, const ArrivalOptions& opts,
+                                         std::uint64_t stream = 0);
+
+/// One tenant's traffic description for an open-loop trace.
+struct TenantWorkload {
+  RequestTraceOptions requests;  // how many, which seed vertices
+  ArrivalOptions arrivals;       // when they show up
+};
+
+/// Generates a merged open-loop trace: per tenant t, `tenants[t]` requests
+/// with that tenant's seed distribution and arrival process (arrival stream
+/// = tenant index), merged and sorted by (arrival_cycle, tenant, issue
+/// order) so the trace is a deterministic arrival-ordered log. Throws
+/// std::invalid_argument on an empty graph, an empty tenant list, or
+/// invalid per-tenant options.
+std::vector<SeedRequest> make_open_loop_trace(
+    const Coo& graph, const std::vector<TenantWorkload>& tenants);
+
+// --- trace persistence ----------------------------------------------------
+
+inline constexpr const char* kTraceSchemaName = "gnnone-request-trace";
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// Versioned, byte-deterministic document: save -> load -> save round-trips
+/// to identical bytes (the artifact-diff property the bench results and
+/// tuning cache already have).
+util::Json trace_to_json(const std::vector<SeedRequest>& trace);
+
+/// Parses a trace_to_json document. Throws util::JsonError /
+/// std::invalid_argument on schema or version mismatch and malformed
+/// requests (negative tenant, empty or negative seeds).
+std::vector<SeedRequest> trace_from_json(const util::Json& doc);
+
+/// Writes the trace document to `path`; false when the file cannot be
+/// written.
+bool save_trace(const std::string& path, const std::vector<SeedRequest>& trace);
+
+/// Loads a trace saved by save_trace. A missing file is a silent cold start
+/// (empty trace, no warning); corrupt, truncated, or version-mismatched
+/// files degrade to an *empty* trace with `*warning` explaining why (when
+/// non-null) instead of throwing — same contract as
+/// TuningCache::load_or_empty: a replay artifact is advisory, not load-
+/// bearing.
+std::vector<SeedRequest> load_trace_or_empty(const std::string& path,
+                                             std::string* warning = nullptr);
 
 }  // namespace gnnone

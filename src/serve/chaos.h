@@ -154,6 +154,13 @@ struct RequestOutcome {
   /// but may differ from the fault-free run's (smaller neighborhoods).
   bool truncated_fanouts = false;
   std::vector<DegradationStep> trace;
+  /// Latency attribution (cycles). queue_cycles: arrival -> the request's
+  /// batch starts its first stage; service_cycles: batch start -> the
+  /// request's forward completes on the timeline. End-to-end latency is
+  /// their sum. Closed-loop serving has queue_cycles measured from cycle 0
+  /// (every request "arrives" before the run); rejected requests carry 0/0.
+  std::uint64_t queue_cycles = 0;
+  std::uint64_t service_cycles = 0;
 };
 
 }  // namespace gnnone::serve

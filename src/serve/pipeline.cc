@@ -30,7 +30,8 @@ void StreamTimeline::attribute() {
   // the active set is constant; the active span on the highest-numbered
   // stream is the exposed occupant, everything else active is overlapped.
   std::vector<std::uint64_t> bounds;
-  bounds.reserve(2 * spans_.size());
+  bounds.reserve(2 * spans_.size() + 1);
+  bounds.push_back(0);  // idle before the first span counts toward idle too
   for (StageSpan& s : spans_) {
     s.exposed = 0;
     s.overlapped = 0;
@@ -42,6 +43,7 @@ void StreamTimeline::attribute() {
   std::sort(bounds.begin(), bounds.end());
   bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
 
+  idle_cycles_ = 0;
   for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
     const std::uint64_t lo = bounds[i], hi = bounds[i + 1];
     StageSpan* winner = nullptr;
@@ -50,7 +52,13 @@ void StreamTimeline::attribute() {
         if (winner == nullptr || s.stream > winner->stream) winner = &s;
       }
     }
-    if (winner == nullptr) continue;  // idle gap: attributed to nobody
+    if (winner == nullptr) {
+      // Idle gap: attributed to nobody, accounted exactly — open-loop
+      // schedules wait for arrivals, and the tiling invariant is
+      // Sigma exposed + idle == makespan.
+      idle_cycles_ += hi - lo;
+      continue;
+    }
     for (StageSpan& s : spans_) {
       if (s.start <= lo && s.end >= hi && s.start < s.end) {
         (&s == winner ? s.exposed : s.overlapped) += hi - lo;
@@ -68,8 +76,8 @@ StreamTimeline serve_timeline(std::span<const BatchStageCycles> batches,
     const BatchStageCycles& c = batches[b];
     const std::uint64_t slot_free =
         pipelined ? (b >= 2 ? retired[b - 2] : 0) : cursor;
-    const std::size_t is =
-        tl.place(kSampleStream, int(b), slot_free, c.sample);
+    const std::size_t is = tl.place(kSampleStream, int(b),
+                                    std::max(slot_free, c.release), c.sample);
     const std::size_t ig =
         tl.place(kGatherStream, int(b), tl.span(is).end, c.gather);
     const std::size_t fi =

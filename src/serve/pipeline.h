@@ -20,7 +20,11 @@
 //   exposed + overlapped     == span cycles   (per span),
 //
 // which is what lets a report quote total_cycles = makespan while still
-// accounting for every stage cycle.
+// accounting for every stage cycle. (Open-loop schedules with per-batch
+// release cycles are the one extension: waiting for traffic opens idle gaps
+// no span occupies, tracked exactly by idle_cycles(), and the tiling becomes
+// Sigma exposed + idle == makespan — still exact, with idle == 0 for every
+// closed-loop schedule.)
 #pragma once
 
 #include <cstdint>
@@ -74,6 +78,11 @@ class StreamTimeline {
   /// Latest span end across all streams (0 for an empty timeline).
   std::uint64_t makespan() const;
 
+  /// Cycles before the makespan during which *no* stream is busy — the
+  /// server idling for the next arrival in an open-loop schedule. Valid
+  /// after attribute(): makespan == Sigma exposed + idle_cycles exactly.
+  std::uint64_t idle_cycles() const { return idle_cycles_; }
+
   /// Splits every span's cycles into exposed vs overlapped (header comment).
   /// Idempotent; call after the schedule is complete.
   void attribute();
@@ -81,6 +90,7 @@ class StreamTimeline {
  private:
   std::vector<std::uint64_t> stream_free_;
   std::vector<StageSpan> spans_;
+  std::uint64_t idle_cycles_ = 0;
 };
 
 /// Per-batch stage costs, as the serial cost model measures them.
@@ -88,6 +98,15 @@ struct BatchStageCycles {
   std::uint64_t sample = 0;
   std::uint64_t gather = 0;
   std::uint64_t forward = 0;
+  /// Earliest cycle the batch may start (open-loop serving: the scheduler's
+  /// cut cycle, which is >= every member's arrival). 0 — the closed-loop
+  /// default — reproduces the pre-tenant schedule exactly. A positive
+  /// release can open genuine idle gaps in the timeline (the server waiting
+  /// for traffic); attribute() leaves those unattributed, so with releases
+  /// the tiling invariant becomes Sigma exposed + idle == makespan
+  /// (StreamTimeline::idle_cycles), with idle == 0 whenever every release
+  /// is 0.
+  std::uint64_t release = 0;
 };
 
 /// Builds the serving schedule over kNumServeStreams streams; span index
@@ -108,6 +127,12 @@ struct BatchStageCycles {
 /// The schedule is work-conserving, so its makespan never exceeds the serial
 /// sum, and the saving is bounded by the sample+gather cycles available to
 /// hide (attribute() proves both per run; the bench expectations pin them).
+///
+/// A batch's sample span additionally starts no earlier than its `release`
+/// cycle (0 for closed-loop batches): an open-loop server cannot work on
+/// requests that have not arrived, in either mode. Pipelined overlap still
+/// never reorders batches, so the pipelined makespan stays <= the serial one
+/// point for point.
 StreamTimeline serve_timeline(std::span<const BatchStageCycles> batches,
                               bool pipelined);
 

@@ -1,0 +1,307 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace gnnone::serve {
+
+namespace {
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+void SchedulerOptions::Validate() const {
+  if (!(estimator_ewma > 0.0) || estimator_ewma > 1.0) {
+    throw std::invalid_argument(
+        "SchedulerOptions: estimator_ewma must be in (0, 1]");
+  }
+}
+
+// --- BatchCostEstimator -----------------------------------------------------
+
+BatchCostEstimator::BatchCostEstimator(int num_tenants, double ewma)
+    : per_tenant_(std::size_t(std::max(num_tenants, 0))), ewma_(ewma) {}
+
+void BatchCostEstimator::observe(int tenant, int batch_requests,
+                                 std::uint64_t service_cycles) {
+  if (tenant < 0 || std::size_t(tenant) >= per_tenant_.size()) return;
+  if (batch_requests < 1) return;
+  Fit& f = per_tenant_[std::size_t(tenant)];
+  const double n = double(batch_requests);
+  const double c = double(service_cycles);
+  if (f.n == 0) {
+    f.s_n = n;
+    f.s_c = c;
+    f.s_nn = n * n;
+    f.s_nc = n * c;
+  } else {
+    const double a = ewma_;
+    f.s_n = (1.0 - a) * f.s_n + a * n;
+    f.s_c = (1.0 - a) * f.s_c + a * c;
+    f.s_nn = (1.0 - a) * f.s_nn + a * n * n;
+    f.s_nc = (1.0 - a) * f.s_nc + a * n * c;
+  }
+  f.n += 1;
+}
+
+std::uint64_t BatchCostEstimator::estimate(int tenant,
+                                           int batch_requests) const {
+  if (tenant < 0 || std::size_t(tenant) >= per_tenant_.size()) return 0;
+  const Fit& f = per_tenant_[std::size_t(tenant)];
+  if (f.n == 0) return 0;
+  // Closed-form least squares on the EWMA-weighted stats. With effectively
+  // one batch size observed the variance collapses; fall back to the pure
+  // proportional model cycles ~= (s_c / s_n) * size.
+  const double var = f.s_nn - f.s_n * f.s_n;
+  double per_request, fixed;
+  if (var > 1e-9 * std::max(1.0, f.s_nn)) {
+    per_request = (f.s_nc - f.s_n * f.s_c) / var;
+    fixed = f.s_c - per_request * f.s_n;
+  } else {
+    per_request = f.s_n > 0.0 ? f.s_c / f.s_n : 0.0;
+    fixed = 0.0;
+  }
+  // Costs are nonnegative and nondecreasing in batch size by construction of
+  // the serving cost model; clamp the fit to that shape so a noisy pair of
+  // observations cannot produce a negative "estimate" that fools the slack
+  // policy into unbounded waiting.
+  per_request = std::max(per_request, 0.0);
+  fixed = std::max(fixed, 0.0);
+  const double est = fixed + per_request * double(batch_requests);
+  if (est <= 0.0) return 0;
+  if (est >= 9.0e18) return std::uint64_t(9.0e18);
+  return std::uint64_t(std::llround(est));
+}
+
+// --- TenantScheduler --------------------------------------------------------
+
+TenantScheduler::TenantScheduler(const std::vector<TenantSpec>& tenants,
+                                 const SchedulerOptions& opts, int batch_size)
+    : tenants_(tenants),
+      opts_(opts),
+      batch_size_(batch_size),
+      queues_(tenants.size()),
+      heads_(tenants.size(), 0),
+      estimator_(int(tenants.size()), opts.estimator_ewma) {
+  opts_.Validate();
+  if (tenants_.empty()) {
+    throw std::invalid_argument("TenantScheduler: tenant list is empty");
+  }
+  if (batch_size_ < 1) {
+    throw std::invalid_argument("TenantScheduler: batch_size must be >= 1");
+  }
+}
+
+void TenantScheduler::enqueue(std::size_t index, int tenant,
+                              std::uint64_t arrival) {
+  if (tenant < 0 || std::size_t(tenant) >= queues_.size()) {
+    throw std::invalid_argument("TenantScheduler: tenant out of range");
+  }
+  auto& q = queues_[std::size_t(tenant)];
+  if (!q.empty() && arrival < q.back().arrival) {
+    throw std::invalid_argument(
+        "TenantScheduler: enqueue out of arrival order");
+  }
+  q.push_back(Pending{index, arrival});
+  ++remaining_;
+}
+
+std::uint64_t TenantScheduler::head_deadline(int tenant) const {
+  const auto& q = queues_[std::size_t(tenant)];
+  const std::size_t h = heads_[std::size_t(tenant)];
+  if (h >= q.size()) return kNever;
+  return q[h].arrival + tenants_[std::size_t(tenant)].slo_cycles;
+}
+
+int TenantScheduler::arrived_count(int tenant, std::uint64_t cycle) const {
+  const auto& q = queues_[std::size_t(tenant)];
+  int count = 0;
+  for (std::size_t i = heads_[std::size_t(tenant)];
+       i < q.size() && count < batch_size_; ++i) {
+    if (q[i].arrival > cycle) break;  // queues are arrival-ordered
+    ++count;
+  }
+  return count;
+}
+
+TenantScheduler::BatchPlan TenantScheduler::cut(int tenant,
+                                                std::uint64_t cut_cycle,
+                                                int take) {
+  BatchPlan plan;
+  plan.tenant = tenant;
+  plan.cut_cycle = cut_cycle;
+  auto& q = queues_[std::size_t(tenant)];
+  std::size_t& h = heads_[std::size_t(tenant)];
+  plan.members.reserve(std::size_t(take));
+  for (int i = 0; i < take && h < q.size(); ++i, ++h) {
+    plan.members.push_back(q[h].index);
+  }
+  remaining_ -= plan.members.size();
+  return plan;
+}
+
+std::optional<TenantScheduler::BatchPlan> TenantScheduler::next_batch(
+    std::uint64_t now) {
+  if (remaining_ == 0) return std::nullopt;
+
+  // The server only sees requests that have arrived: advance the clock to
+  // the earliest pending head when everything is still in flight.
+  std::uint64_t earliest_arrival = kNever;
+  for (std::size_t t = 0; t < queues_.size(); ++t) {
+    if (heads_[t] < queues_[t].size()) {
+      earliest_arrival = std::min(earliest_arrival, queues_[t][heads_[t]].arrival);
+    }
+  }
+  const std::uint64_t clock = std::max(now, earliest_arrival);
+
+  switch (opts_.policy) {
+    case SchedulerPolicy::kFifoAggregate: {
+      // Serve the globally oldest head; wait until the batch fills or that
+      // head has aged max_wait_cycles (the dynamic-batching timeout).
+      int pick = -1;
+      std::uint64_t pick_arrival = kNever;
+      for (std::size_t t = 0; t < queues_.size(); ++t) {
+        if (heads_[t] >= queues_[t].size()) continue;
+        const std::uint64_t a = queues_[t][heads_[t]].arrival;
+        if (a < pick_arrival) {
+          pick_arrival = a;
+          pick = int(t);
+        }
+      }
+      const auto& q = queues_[std::size_t(pick)];
+      const std::size_t h = heads_[std::size_t(pick)];
+      const std::size_t fill_idx = h + std::size_t(batch_size_) - 1;
+      const std::uint64_t fill_cut =
+          fill_idx < q.size() ? q[fill_idx].arrival : kNever;
+      std::uint64_t timeout_cut = pick_arrival;
+      if (timeout_cut <= kNever - opts_.max_wait_cycles) {
+        timeout_cut += opts_.max_wait_cycles;
+      } else {
+        timeout_cut = kNever;
+      }
+      std::uint64_t when = std::min(fill_cut, timeout_cut);
+      if (when == kNever) when = pick_arrival;  // short tail: take what exists
+      when = std::max(when, clock);
+      return cut(pick, when, arrived_count(pick, when));
+    }
+
+    case SchedulerPolicy::kEdf: {
+      // Among queues whose head has arrived, serve the earliest absolute
+      // deadline immediately. Deadlines of waiting requests are fixed while
+      // later arrivals get strictly later deadlines, so no queue starves.
+      int pick = -1;
+      std::uint64_t pick_deadline = kNever;
+      for (std::size_t t = 0; t < queues_.size(); ++t) {
+        if (heads_[t] >= queues_[t].size()) continue;
+        if (queues_[t][heads_[t]].arrival > clock) continue;
+        const std::uint64_t d = head_deadline(int(t));
+        if (d < pick_deadline) {
+          pick_deadline = d;
+          pick = int(t);
+        }
+      }
+      return cut(pick, clock, arrived_count(pick, clock));
+    }
+
+    case SchedulerPolicy::kSlack: {
+      // Pick the arrived head with the least slack
+      // (deadline - clock - estimated service of the batch it would get).
+      int pick = -1;
+      double pick_slack = std::numeric_limits<double>::infinity();
+      for (std::size_t t = 0; t < queues_.size(); ++t) {
+        if (heads_[t] >= queues_[t].size()) continue;
+        if (queues_[t][heads_[t]].arrival > clock) continue;
+        const int ready = arrived_count(int(t), clock);
+        const double slack = double(head_deadline(int(t))) - double(clock) -
+                             double(estimator_.estimate(int(t), ready));
+        if (slack < pick_slack) {  // ties break toward the lower tenant id
+          pick_slack = slack;
+          pick = int(t);
+        }
+      }
+      // Amortize while it is safe: keep waiting for the picked tenant's next
+      // arrival as long as the head would still meet its deadline with the
+      // bigger batch's estimated cost. An unseeded estimator never waits
+      // (estimate 0 but also no evidence batching pays — behave like EDF).
+      std::uint64_t when = clock;
+      if (estimator_.seeded(pick)) {
+        const auto& q = queues_[std::size_t(pick)];
+        const std::size_t h = heads_[std::size_t(pick)];
+        const std::uint64_t deadline = head_deadline(pick);
+        int size = arrived_count(pick, when);
+        while (size < batch_size_ && h + std::size_t(size) < q.size()) {
+          const std::uint64_t next_arrival = q[h + std::size_t(size)].arrival;
+          const std::uint64_t est =
+              estimator_.estimate(pick, size + 1);
+          if (next_arrival > deadline || est > deadline - next_arrival) break;
+          when = next_arrival;
+          size = arrived_count(pick, when);
+        }
+      }
+      return cut(pick, when, arrived_count(pick, when));
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+// --- TenantReport -----------------------------------------------------------
+
+std::vector<TenantReport> make_tenant_reports(
+    const std::vector<TenantSpec>& tenants, const std::vector<int>& tenant_of,
+    const std::vector<RequestOutcome>& outcomes) {
+  std::vector<TenantReport> reports(tenants.size());
+  std::vector<std::vector<std::uint64_t>> latencies(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    reports[t].tenant = int(t);
+    reports[t].name = tenants[t].name;
+    reports[t].slo_cycles = tenants[t].slo_cycles;
+  }
+  std::vector<int> in_slo(tenants.size(), 0);
+  for (std::size_t r = 0; r < outcomes.size() && r < tenant_of.size(); ++r) {
+    const int t = tenant_of[r];
+    if (t < 0 || std::size_t(t) >= tenants.size()) continue;
+    TenantReport& rep = reports[std::size_t(t)];
+    const RequestOutcome& o = outcomes[r];
+    ++rep.requests;
+    switch (o.status) {
+      case Status::kRejected:
+        ++rep.rejected;
+        continue;
+      case Status::kDegraded:
+        ++rep.degraded;
+        ++rep.served;
+        break;
+      case Status::kOk:
+        ++rep.served;
+        break;
+      default:
+        ++rep.failed;
+        break;
+    }
+    rep.queue_cycles_total += o.queue_cycles;
+    rep.service_cycles_total += o.service_cycles;
+    if (is_served(o.status)) {
+      const std::uint64_t lat = o.queue_cycles + o.service_cycles;
+      latencies[std::size_t(t)].push_back(lat);
+      if (lat <= rep.slo_cycles) ++in_slo[std::size_t(t)];
+    }
+  }
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    TenantReport& rep = reports[t];
+    const auto& lats = latencies[t];
+    if (!lats.empty()) {
+      rep.p50_latency_cycles = util::percentile(lats, 50.0);
+      rep.p90_latency_cycles = util::percentile(lats, 90.0);
+      rep.p99_latency_cycles = util::percentile(lats, 99.0);
+      rep.max_latency_cycles = *std::max_element(lats.begin(), lats.end());
+    }
+    const int admitted = rep.requests - rep.rejected;
+    rep.attainment = admitted > 0 ? double(in_slo[t]) / double(admitted) : 1.0;
+  }
+  return reports;
+}
+
+}  // namespace gnnone::serve

@@ -1,0 +1,211 @@
+// Multi-tenant SLO-aware batch scheduling for the serving path
+// (docs/SERVING.md §8).
+//
+// A tenant is one (model kind, fanout config, SLO deadline) class of traffic
+// — the gSuite cross-model x cross-config workload matrix. Each tenant owns
+// a FIFO queue of arrived-but-unserved requests; a SchedulerPolicy decides,
+// at every decision point of the simulated clock, which queue forms the next
+// minibatch and whether to cut it short or wait for more arrivals:
+//
+//  * kFifo   — the throughput baseline every batching server starts as: the
+//              queue of the globally earliest pending arrival is chosen, and
+//              the batch waits until it is full or the oldest member has
+//              waited max_wait_cycles. Great amortization, terrible tails:
+//              a loose-SLO tenant's full batch happily starves a tight-SLO
+//              tenant's deadline.
+//  * kEdf    — earliest deadline first: the queue whose head request has the
+//              earliest absolute deadline (arrival + slo_cycles) is served
+//              *immediately* with whatever has arrived (never waits). The
+//              classic optimal single-machine policy for max lateness.
+//  * kSlack  — deadline-driven like kEdf, but batch-aware: a
+//              BatchCostEstimator learns each tenant's batch-size -> service
+//              -cycles curve from observed per-stage cycles, and the policy
+//              keeps waiting for the next arrival only while the head
+//              request's slack (deadline - now - estimated service) stays
+//              nonnegative. Recovers kFifo's amortization when deadlines are
+//              loose and kEdf's urgency when they are tight.
+//
+// All three are deterministic: decisions are pure functions of the arrival
+// trace and observed (deterministic) service cycles, so a schedule replays
+// bit-identically — including under chaos recovery, whose extra cycles
+// simply advance the decision clock.
+//
+// The scheduler never mixes tenants in one minibatch (a batch runs exactly
+// one model and one fanout config), and per-request sampling keys on the
+// trace seed alone (server.h), so a request's predictions are bit-identical
+// to the same request served by a single-tenant server with its tenant's
+// config — the property the SLO bench pins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/chaos.h"
+
+namespace gnnone::serve {
+
+/// One traffic class: which model serves it, how deep it samples, and the
+/// latency target its requests are held to.
+struct TenantSpec {
+  std::string name;                // report label ("interactive", "batchy")
+  std::string model_kind = "gcn";  // "gcn", "gin" or "gat"
+  std::vector<int> fanouts = {10, 5};
+  /// Deadline: a request must complete within slo_cycles of its arrival.
+  std::uint64_t slo_cycles = 1;
+};
+
+enum class SchedulerPolicy { kFifoAggregate, kEdf, kSlack };
+
+constexpr const char* policy_name(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::kFifoAggregate: return "fifo";
+    case SchedulerPolicy::kEdf:           return "edf";
+    case SchedulerPolicy::kSlack:         return "slack";
+  }
+  return "unknown";
+}
+
+struct SchedulerOptions {
+  SchedulerPolicy policy = SchedulerPolicy::kFifoAggregate;
+  /// kFifoAggregate: the batch is cut once its oldest member has waited this
+  /// long, full or not (the classic dynamic-batching timeout). 0 = cut
+  /// immediately with whatever is pending (degenerates to per-tenant FIFO
+  /// with no amortization).
+  std::uint64_t max_wait_cycles = 2'000'000;
+  /// kSlack: EWMA weight of the newest per-request service observation in
+  /// the batch-cost estimator, in (0, 1].
+  double estimator_ewma = 0.3;
+
+  /// Throws std::invalid_argument on estimator_ewma outside (0, 1].
+  void Validate() const;
+};
+
+/// Learns each tenant's batch-size <-> service-latency tradeoff from
+/// observed per-stage cycles. The model is affine: a per-batch fixed cost
+/// (launch overheads, the constant part of the sample stage) plus a
+/// per-request marginal cost, both EWMA-tracked per tenant. Before the
+/// first observation the estimate is 0 — the slack policy then never waits,
+/// i.e. it behaves like kEdf until it has seen each tenant once.
+class BatchCostEstimator {
+ public:
+  BatchCostEstimator(int num_tenants, double ewma);
+
+  /// Feeds one served batch's measured service cycles (sample + gather +
+  /// forward, recovery included — recovery time is real time the tenant's
+  /// next batch waited behind).
+  void observe(int tenant, int batch_requests, std::uint64_t service_cycles);
+
+  /// Estimated service cycles of a `batch_requests`-sized batch for the
+  /// tenant; 0 before the tenant's first observation.
+  std::uint64_t estimate(int tenant, int batch_requests) const;
+
+  bool seeded(int tenant) const { return per_tenant_[std::size_t(tenant)].n > 0; }
+
+ private:
+  // EWMA sufficient statistics of the (batch size, service cycles) stream,
+  // from which the affine fit is solved in closed form on every estimate.
+  struct Fit {
+    double s_n = 0.0;    // EWMA of batch size
+    double s_c = 0.0;    // EWMA of service cycles
+    double s_nn = 0.0;   // EWMA of size^2
+    double s_nc = 0.0;   // EWMA of size * cycles
+    int n = 0;           // observations folded in
+  };
+  std::vector<Fit> per_tenant_;
+  double ewma_;
+};
+
+/// Per-tenant FIFO queues plus the policy that turns them into minibatches.
+/// Drive it with the simulated clock: enqueue the whole (arrival-sorted)
+/// trace up front, then repeatedly ask next_batch(now) and feed the measured
+/// service cycles back via observe().
+class TenantScheduler {
+ public:
+  /// `batch_size` is the server's maximum minibatch size. Throws
+  /// std::invalid_argument when opts.Validate() rejects the options,
+  /// `tenants` is empty, or batch_size < 1.
+  TenantScheduler(const std::vector<TenantSpec>& tenants,
+                  const SchedulerOptions& opts, int batch_size);
+
+  /// Registers a request (trace index `index`) of `tenant`, arriving at
+  /// `arrival`. Must be called in trace order (the per-tenant queues are
+  /// FIFO in arrival order).
+  void enqueue(std::size_t index, int tenant, std::uint64_t arrival);
+
+  /// The next minibatch the policy cuts, at or after cycle `now`:
+  struct BatchPlan {
+    int tenant = 0;
+    /// When the batch was cut — every member arrived by then, and the batch
+    /// may not start earlier (its release cycle on the timeline). Always
+    /// >= the `now` passed in.
+    std::uint64_t cut_cycle = 0;
+    std::vector<std::size_t> members;  // trace indices, arrival order
+  };
+  /// std::nullopt once every enqueued request has been handed out. The
+  /// clock advances to the next arrival by itself when nothing is pending.
+  std::optional<BatchPlan> next_batch(std::uint64_t now);
+
+  /// Feeds the slack policy's estimator (no-op for the other policies).
+  void observe(int tenant, int batch_requests, std::uint64_t service_cycles) {
+    estimator_.observe(tenant, batch_requests, service_cycles);
+  }
+
+  const BatchCostEstimator& estimator() const { return estimator_; }
+  bool empty() const { return remaining_ == 0; }
+
+ private:
+  struct Pending {
+    std::size_t index;
+    std::uint64_t arrival;
+  };
+  /// Queue head position per tenant (queues are consumed front to back).
+  std::uint64_t head_deadline(int tenant) const;
+  /// Pending requests of `tenant` that have arrived by `cycle`, capped at
+  /// batch_size.
+  int arrived_count(int tenant, std::uint64_t cycle) const;
+  BatchPlan cut(int tenant, std::uint64_t cut_cycle, int take);
+
+  std::vector<TenantSpec> tenants_;
+  SchedulerOptions opts_;
+  int batch_size_;
+  std::vector<std::vector<Pending>> queues_;  // per tenant, arrival order
+  std::vector<std::size_t> heads_;            // consumed prefix per queue
+  std::size_t remaining_ = 0;
+  BatchCostEstimator estimator_;
+};
+
+/// Per-tenant latency/SLO aggregate over one serving run. Latency is
+/// arrival-to-completion: queue_cycles (arrival -> the batch's first stage
+/// starts) + service_cycles (the batch's critical path through the
+/// timeline). Percentiles are exact nearest-rank (util/stats.h) over the
+/// tenant's *served* requests.
+struct TenantReport {
+  int tenant = 0;
+  std::string name;
+  std::uint64_t slo_cycles = 0;
+  int requests = 0;   // trace requests of this tenant
+  int served = 0;     // status kOk or kDegraded
+  int degraded = 0;
+  int failed = 0;     // admitted but incurable
+  int rejected = 0;   // refused at the boundary
+  std::uint64_t queue_cycles_total = 0;
+  std::uint64_t service_cycles_total = 0;
+  std::uint64_t p50_latency_cycles = 0;
+  std::uint64_t p90_latency_cycles = 0;
+  std::uint64_t p99_latency_cycles = 0;
+  std::uint64_t max_latency_cycles = 0;
+  /// Served-within-deadline share of the tenant's admitted (non-rejected)
+  /// requests: a failed request always misses its SLO.
+  double attainment = 0.0;
+};
+
+/// Aggregates per-request outcomes into per-tenant reports. `tenant_of[r]`
+/// and `outcomes[r]` are trace-indexed; tenants with no traffic report
+/// zeroed counters (attainment 1.0 — no admitted request missed).
+std::vector<TenantReport> make_tenant_reports(
+    const std::vector<TenantSpec>& tenants, const std::vector<int>& tenant_of,
+    const std::vector<RequestOutcome>& outcomes);
+
+}  // namespace gnnone::serve

@@ -97,13 +97,37 @@ void ServeOptions::Validate() const {
         "ServeOptions: retry.max_retries must be >= 0, got " +
         std::to_string(retry.max_retries));
   }
+  for (const serve::TenantSpec& t : tenants) {
+    if (t.model_kind != "gcn" && t.model_kind != "gin" &&
+        t.model_kind != "gat") {
+      throw std::invalid_argument("ServeOptions: tenant '" + t.name +
+                                  "' has unknown model_kind '" +
+                                  t.model_kind + "' (want gcn, gin or gat)");
+    }
+    if (t.fanouts.empty()) {
+      throw std::invalid_argument("ServeOptions: tenant '" + t.name +
+                                  "' has empty fanouts");
+    }
+    for (int f : t.fanouts) {
+      if (f <= 0) {
+        throw std::invalid_argument(
+            "ServeOptions: tenant '" + t.name +
+            "' fanouts must be positive, got " + std::to_string(f));
+      }
+    }
+    if (t.slo_cycles < 1) {
+      throw std::invalid_argument("ServeOptions: tenant '" + t.name +
+                                  "' slo_cycles must be >= 1");
+    }
+  }
+  scheduler.Validate();
 }
 
 InferenceServer::InferenceServer(const Dataset& ds,
                                  const gpusim::DeviceSpec& dev,
                                  const ServeOptions& opts)
     : ds_(&ds),
-      dev_(&dev),
+      dev_(dev),
       opts_(validated(opts)),
       in_dim_(opts.feature_dim_override > 0 ? opts.feature_dim_override
                                             : ds.input_feat_len),
@@ -127,6 +151,10 @@ struct InferenceServer::ServeState {
   std::span<const SeedRequest> requests;
   ServingReport* rep = nullptr;
   const ModelConfig* cfg = nullptr;
+  /// Active tenant while a scheduled batch (and its whole recovery ladder —
+  /// a batch never mixes tenants) runs; null on the legacy single-tenant
+  /// path, which reads model_kind/fanouts from the options instead.
+  const serve::TenantSpec* tenant = nullptr;
   OpContext ctx;
   SamplerScratch scratch;
   /// Gather attempts per trace index — the `attempt` coordinate of the
@@ -184,8 +212,10 @@ InferenceServer::PreparedGroup InferenceServer::prepare_group(
   // group the request lands in.
   *stage = serve::ChaosSite::kSample;
   SampleOptions so;
-  so.fanouts = mode.truncated ? truncated_fanouts(opts_.fanouts)
-                              : opts_.fanouts;
+  const std::vector<int>& base_fanouts =
+      st.tenant != nullptr ? st.tenant->fanouts : opts_.fanouts;
+  so.fanouts =
+      mode.truncated ? truncated_fanouts(base_fanouts) : base_fanouts;
   so.seed = opts_.seed;
 
   vid_t group_seeds = 0;
@@ -237,7 +267,7 @@ InferenceServer::PreparedGroup InferenceServer::prepare_group(
   // bandwidth as one launch per group.
   const std::uint64_t sample_cycles =
       2000 + std::uint64_t(std::ceil(double(bytes_touched) /
-                                     dev_->dram_bytes_per_cycle));
+                                     dev_.dram_bytes_per_cycle));
   rep.ledger.add("sample", sample_cycles);
   bs.sample_cycles += sample_cycles;
   bs.num_seeds += group_seeds;
@@ -325,10 +355,12 @@ void InferenceServer::forward_group(ServeState& st,
   // Safe mode drops kAuto dispatch (and its tuning cache) for the
   // conservative default backend — the ladder's last rung.
   SparseEngine engine(pg.mode.safe ? Backend::kGnnOne : opts_.backend,
-                      pg.coo, *dev_);
+                      pg.coo, dev_);
   engine.set_tuning_cache(pg.mode.safe ? nullptr : opts_.tuning_cache);
   engine.set_online_tune(pg.mode.safe ? false : opts_.online_tune);
-  const auto model = make_model(opts_.model_kind, engine, *st.cfg);
+  const std::string& kind =
+      st.tenant != nullptr ? st.tenant->model_kind : opts_.model_kind;
+  const auto model = make_model(kind, engine, *st.cfg);
   const VarPtr logp = model->forward(st.ctx, engine, x, opts_.seed);
 
   for (std::size_t m = 0; m < pg.indices.size(); ++m) {
@@ -403,6 +435,52 @@ void charge_backoff(ServingReport& rep, std::size_t b, std::uint64_t wait) {
   rep.ledger.add("backoff", wait);
   rep.batches[b].backoff_cycles += wait;
   rep.backoff_cycles += wait;
+}
+
+/// Builds the per-stream timeline from the measured stage costs and folds
+/// the schedule into the report: makespan, per-stage exposed/overlapped
+/// splits, per-batch latencies, cache totals. Backoff waits ride each
+/// batch's sample (host) span and open-loop batches carry their release
+/// cycle, so Sigma exposed + idle == makespan holds under both recovery and
+/// arrival gaps (idle == 0 whenever every release is 0).
+void fold_timeline(ServingReport& rep, bool pipelined) {
+  const std::size_t nb = rep.batches.size();
+  std::vector<BatchStageCycles> stage_cycles(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    BatchStats& bs = rep.batches[b];
+    bs.cycles = bs.sample_cycles + bs.gather.cycles + bs.forward_cycles +
+                bs.backoff_cycles;
+    stage_cycles[b] = {bs.sample_cycles + bs.backoff_cycles, bs.gather.cycles,
+                       bs.forward_cycles, bs.release_cycle};
+  }
+  const StreamTimeline tl = serve_timeline(stage_cycles, pipelined);
+  rep.timeline = tl.spans();
+  rep.total_cycles = tl.makespan();
+  rep.serial_cycles = rep.ledger.total();
+  rep.idle_cycles = tl.idle_cycles();
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    BatchStats& bs = rep.batches[b];
+    const StageSpan& s = rep.timeline[3 * b + std::size_t(kSampleStream)];
+    const StageSpan& f = rep.timeline[3 * b + std::size_t(kForwardStream)];
+    bs.latency_cycles = f.end - s.start;
+    rep.sample_cycles += bs.sample_cycles;
+    rep.gather_cycles += bs.gather.cycles;
+    rep.forward_cycles += bs.forward_cycles;
+    rep.max_batch_cycles = std::max(rep.max_batch_cycles, bs.latency_cycles);
+    rep.cache_hits += bs.gather.hits;
+    rep.cache_misses += bs.gather.misses;
+    rep.cache_hit_bytes += bs.gather.hit_bytes;
+    rep.cache_miss_bytes += bs.gather.miss_bytes;
+  }
+  for (const StageSpan& span : rep.timeline) {
+    StageSplit& split = span.stream == kSampleStream   ? rep.sample_split
+                        : span.stream == kGatherStream ? rep.gather_split
+                                                       : rep.forward_split;
+    split.cycles += span.cycles();
+    split.exposed += span.exposed;
+    split.overlapped += span.overlapped;
+  }
 }
 
 }  // namespace
@@ -490,6 +568,7 @@ void InferenceServer::singleton_ladder(ServeState& st, std::size_t b,
 
 ServingReport InferenceServer::serve(
     std::span<const SeedRequest> requests) const {
+  if (!opts_.tenants.empty()) return serve_scheduled(requests);
   ServingReport rep;
   rep.num_requests = int(requests.size());
   rep.pipelined = opts_.pipeline;
@@ -529,7 +608,7 @@ ServingReport InferenceServer::serve(
   st.requests = requests;
   st.rep = &rep;
   st.cfg = &cfg;
-  st.ctx.dev = dev_;
+  st.ctx.dev = &dev_;
   st.ctx.ledger = &rep.ledger;
   st.ctx.training = false;  // dropout is identity at serving time
   st.gather_attempts.assign(requests.size(), 0);
@@ -584,44 +663,134 @@ ServingReport InferenceServer::serve(
     }
   }
 
-  // Build the per-stream timeline from the measured stage costs and fold
-  // the schedule into the report. Backoff waits ride the batch's sample
-  // (host) span, so Sigma exposed == makespan holds under recovery too.
-  std::vector<BatchStageCycles> stage_cycles(nb);
-  for (std::size_t b = 0; b < nb; ++b) {
-    BatchStats& bs = rep.batches[b];
-    bs.cycles = bs.sample_cycles + bs.gather.cycles + bs.forward_cycles +
-                bs.backoff_cycles;
-    stage_cycles[b] = {bs.sample_cycles + bs.backoff_cycles, bs.gather.cycles,
-                       bs.forward_cycles};
-  }
-  const StreamTimeline tl = serve_timeline(stage_cycles, opts_.pipeline);
-  rep.timeline = tl.spans();
-  rep.total_cycles = tl.makespan();
-  rep.serial_cycles = rep.ledger.total();
+  fold_timeline(rep, opts_.pipeline);
 
+  // Queue/service attribution against the schedule actually reported: the
+  // closed-loop convention is that every request "arrived" at its
+  // arrival_cycle (usually 0) and queued until its batch's sample span
+  // started. Rejected requests keep 0/0.
   for (std::size_t b = 0; b < nb; ++b) {
-    BatchStats& bs = rep.batches[b];
     const StageSpan& s = rep.timeline[3 * b + std::size_t(kSampleStream)];
     const StageSpan& f = rep.timeline[3 * b + std::size_t(kForwardStream)];
-    bs.latency_cycles = f.end - s.start;
-    rep.sample_cycles += bs.sample_cycles;
-    rep.gather_cycles += bs.gather.cycles;
-    rep.forward_cycles += bs.forward_cycles;
-    rep.max_batch_cycles = std::max(rep.max_batch_cycles, bs.latency_cycles);
-    rep.cache_hits += bs.gather.hits;
-    rep.cache_misses += bs.gather.misses;
-    rep.cache_hit_bytes += bs.gather.hit_bytes;
-    rep.cache_miss_bytes += bs.gather.miss_bytes;
+    for (std::size_t idx : batches[b]) {
+      serve::RequestOutcome& o = rep.outcomes[idx];
+      const std::uint64_t arrival = requests[idx].arrival_cycle;
+      o.queue_cycles = s.start > arrival ? s.start - arrival : 0;
+      o.service_cycles = f.end - s.start;
+    }
   }
-  for (const StageSpan& span : rep.timeline) {
-    StageSplit& split = span.stream == kSampleStream   ? rep.sample_split
-                        : span.stream == kGatherStream ? rep.gather_split
-                                                       : rep.forward_split;
-    split.cycles += span.cycles();
-    split.exposed += span.exposed;
-    split.overlapped += span.overlapped;
+  return rep;
+}
+
+ServingReport InferenceServer::serve_scheduled(
+    std::span<const SeedRequest> requests) const {
+  ServingReport rep;
+  rep.num_requests = int(requests.size());
+  rep.pipelined = opts_.pipeline;
+  rep.predictions.resize(requests.size());
+  rep.outcomes.resize(requests.size());
+
+  const int num_tenants = int(opts_.tenants.size());
+  std::vector<int> tenant_of(requests.size(), -1);
+
+  // Boundary validation, extended with the tenant-range check. A request
+  // naming a tenant outside the table is rejected and attributed to no
+  // tenant's report.
+  std::vector<std::size_t> valid;
+  valid.reserve(requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const bool tenant_ok =
+        requests[r].tenant >= 0 && requests[r].tenant < num_tenants;
+    if (tenant_ok) tenant_of[r] = requests[r].tenant;
+    std::string err = !tenant_ok
+                          ? "tenant " + std::to_string(requests[r].tenant) +
+                                " out of range [0, " +
+                                std::to_string(num_tenants) + ")"
+                          : validate_request(requests[r], csr_.num_rows);
+    if (err.empty()) {
+      valid.push_back(r);
+    } else {
+      rep.outcomes[r].status = serve::Status::kRejected;
+      rep.outcomes[r].error = std::move(err);
+    }
   }
+
+  // Feed the scheduler in deterministic arrival order — (arrival, trace
+  // index), so an unsorted trace behaves identically to its sorted self and
+  // the per-tenant queues stay FIFO in arrival order.
+  std::vector<std::size_t> order = valid;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return requests[a].arrival_cycle <
+                            requests[b].arrival_cycle;
+                   });
+  serve::TenantScheduler sched(opts_.tenants, opts_.scheduler,
+                               opts_.batch_size);
+  for (std::size_t r : order) {
+    sched.enqueue(r, requests[r].tenant, requests[r].arrival_cycle);
+  }
+
+  // Per-tenant model configs: tenants share the feature table (and its
+  // input width) but each runs its own architecture.
+  std::vector<ModelConfig> cfgs;
+  cfgs.reserve(std::size_t(num_tenants));
+  for (const serve::TenantSpec& t : opts_.tenants) {
+    cfgs.push_back(model_config_for(t.model_kind, in_dim_, ds_->num_classes));
+  }
+
+  ServeState st;
+  st.requests = requests;
+  st.rep = &rep;
+  st.ctx.dev = &dev_;
+  st.ctx.ledger = &rep.ledger;
+  st.ctx.training = false;
+  st.gather_attempts.assign(requests.size(), 0);
+  st.mem = mem_;
+
+  // Discrete-event decision loop on the serial completion clock: the
+  // scheduler cuts the next batch from what has arrived by `now`, the batch
+  // runs (with its tenant's config; a fault walks the same ladder as the
+  // legacy path, inside the batch's tenant), and the clock advances past
+  // its measured service — recovery time included, which is exactly how a
+  // degraded batch pressures the queues behind it. Pipelined mode replays
+  // the identical committed batch sequence on the overlapped timeline, so
+  // every per-request observable (predictions, status, trace, queue and
+  // service cycles) is mode-invariant by construction.
+  std::uint64_t now = 0;
+  while (std::optional<serve::TenantScheduler::BatchPlan> plan =
+             sched.next_batch(now)) {
+    const std::size_t b = rep.batches.size();
+    rep.batches.emplace_back();
+    {
+      BatchStats& bs = rep.batches[b];
+      bs.num_requests = int(plan->members.size());
+      bs.tenant = plan->tenant;
+      bs.release_cycle = plan->cut_cycle;
+    }
+    st.tenant = &opts_.tenants[std::size_t(plan->tenant)];
+    st.cfg = &cfgs[std::size_t(plan->tenant)];
+    StageFault fault;
+    if (!try_group(st, plan->members, GroupMode{}, b, &fault)) {
+      recover_batch(st, b, plan->members, fault);
+    }
+    const BatchStats& bs = rep.batches[b];
+    const std::uint64_t service = bs.sample_cycles + bs.gather.cycles +
+                                  bs.forward_cycles + bs.backoff_cycles;
+    const std::uint64_t start = std::max(now, plan->cut_cycle);
+    for (std::size_t idx : plan->members) {
+      serve::RequestOutcome& o = rep.outcomes[idx];
+      const std::uint64_t arrival = requests[idx].arrival_cycle;
+      o.queue_cycles = start > arrival ? start - arrival : 0;
+      o.service_cycles = service;
+    }
+    sched.observe(plan->tenant, int(plan->members.size()), service);
+    now = start + service;
+  }
+  rep.num_batches = int(rep.batches.size());
+
+  fold_timeline(rep, opts_.pipeline);
+  rep.tenants =
+      serve::make_tenant_reports(opts_.tenants, tenant_of, rep.outcomes);
   return rep;
 }
 

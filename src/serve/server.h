@@ -60,6 +60,7 @@
 #include "serve/chaos.h"
 #include "serve/feature_cache.h"
 #include "serve/pipeline.h"
+#include "serve/scheduler.h"
 #include "serve/status.h"
 
 namespace gnnone {
@@ -92,13 +93,25 @@ struct ServeOptions {
   serve::RetryPolicy retry;
   /// Deterministic fault-injection schedule (rates 0 = no injection).
   serve::ChaosOptions chaos;
+  /// Multi-tenant SLO-aware serving (docs/SERVING.md §8). Non-empty turns
+  /// the server into an open-loop scheduled tier: each request's
+  /// SeedRequest::tenant indexes this table, batches are formed per tenant
+  /// by `scheduler.policy` from the requests' arrival cycles, each batch
+  /// runs its tenant's model_kind/fanouts (batch_size stays the global max),
+  /// and the report gains per-tenant TenantReports. Empty (the default)
+  /// keeps the legacy single-tenant closed-loop driver bit for bit.
+  std::vector<serve::TenantSpec> tenants;
+  /// Batch-formation policy for the multi-tenant path (ignored otherwise).
+  serve::SchedulerOptions scheduler;
 
   /// Throws std::invalid_argument on out-of-range options (unknown
   /// model_kind, batch_size < 1, empty or non-positive fanouts, cache_alpha
   /// outside [0, 1], negative feature_dim_override, chaos rates outside
-  /// [0, 1], negative retry budget). The standalone sampler treats a
-  /// fanout <= 0 as "take every neighbor"; serving rejects it — an
-  /// unbounded neighborhood has no place in a latency-bounded tier.
+  /// [0, 1], negative retry budget, a tenant with an unknown model_kind /
+  /// empty or non-positive fanouts / slo_cycles < 1, scheduler options out
+  /// of range). The standalone sampler treats a fanout <= 0 as "take every
+  /// neighbor"; serving rejects it — an unbounded neighborhood has no place
+  /// in a latency-bounded tier.
   void Validate() const;
 };
 
@@ -140,6 +153,12 @@ struct BatchStats {
   /// Serial mode: equals `cycles`. Pipelined: can exceed `cycles` when the
   /// batch waits on a stream held by its neighbors.
   std::uint64_t latency_cycles = 0;
+  /// Tenant the batch belongs to (scheduled serving; 0 on the legacy path —
+  /// a batch never mixes tenants).
+  int tenant = 0;
+  /// Earliest cycle the batch could start (the scheduler's cut cycle; 0 on
+  /// the legacy closed-loop path).
+  std::uint64_t release_cycle = 0;
 };
 
 struct ServingReport {
@@ -172,6 +191,18 @@ struct ServingReport {
   /// Total modeled backoff waits and fault events across all batches.
   std::uint64_t backoff_cycles = 0;
   int fault_events = 0;
+
+  /// Timeline cycles during which every stream idles (an open-loop server
+  /// waiting for arrivals). The exposed-tiling invariant with releases is
+  /// Sigma exposed + idle_cycles == total_cycles; 0 on every closed-loop
+  /// schedule.
+  std::uint64_t idle_cycles = 0;
+  /// Per-tenant latency/SLO aggregates (multi-tenant scheduled serving;
+  /// empty on the legacy path). Latencies are quoted on the scheduler's
+  /// decision clock — the serial execution order batches were committed in —
+  /// so they are identical in serial and pipelined mode, like every other
+  /// per-request observable.
+  std::vector<serve::TenantReport> tenants;
 
   std::vector<BatchStats> batches;
   /// The full schedule, batch-major: span 3 * b + stream (serve/pipeline.h
@@ -222,7 +253,8 @@ struct ServingReport {
 
 class InferenceServer {
  public:
-  /// The dataset and device must outlive the server. Throws
+  /// The dataset must outlive the server; the device spec is copied (it is
+  /// a small flat struct, and callers routinely pass temporaries). Throws
   /// std::invalid_argument when opts.Validate() rejects the options.
   InferenceServer(const Dataset& ds, const gpusim::DeviceSpec& dev,
                   const ServeOptions& opts);
@@ -236,11 +268,17 @@ class InferenceServer {
 
   /// Runs every request, batching opts.batch_size at a time (the final
   /// batch may be smaller). Invalid requests (empty seed set, out-of-range
-  /// or duplicated seed ids) are rejected per-request at the boundary; a
-  /// stage fault is contained to its minibatch and recovered through the
-  /// degradation ladder (header comment). Never throws for a fault on the
-  /// serving path; deterministic for equal inputs, and per-request
-  /// predictions are invariant to batching.
+  /// or duplicated seed ids, a tenant index outside the tenant table) are
+  /// rejected per-request at the boundary; a stage fault is contained to
+  /// its minibatch and recovered through the degradation ladder (header
+  /// comment). Never throws for a fault on the serving path; deterministic
+  /// for equal inputs, and per-request predictions are invariant to
+  /// batching.
+  ///
+  /// With ServeOptions::tenants set, batches are instead formed by the
+  /// tenant scheduler from the requests' arrival cycles (open-loop), each
+  /// batch runs its tenant's config, and every outcome carries exact
+  /// queue/service attribution on the scheduler's decision clock.
   ServingReport serve(std::span<const SeedRequest> requests) const;
 
  private:
@@ -282,9 +320,12 @@ class InferenceServer {
                         StageFault fault, int attempt_base) const;
   bool arms_oom(const std::vector<std::size_t>& indices, GroupMode mode,
                 serve::ChaosSite site) const;
+  /// The multi-tenant open-loop driver behind serve() (tenants non-empty):
+  /// scheduler-formed batches on a discrete-event decision clock.
+  ServingReport serve_scheduled(std::span<const SeedRequest> requests) const;
 
   const Dataset* ds_;
-  const gpusim::DeviceSpec* dev_;
+  gpusim::DeviceSpec dev_;  // by value: binding a caller temporary is legal
   ServeOptions opts_;
   int in_dim_;
   Csr csr_;                     // sampling topology

@@ -1,0 +1,49 @@
+// Exact order statistics shared by the serving tenant reports
+// (serve/scheduler.h) and the bench layer (bench/harness.h).
+//
+// Latency tails are the serving metric that matters (the GNN-architecture
+// survey's point), and an SLO gate must be *exact*: interpolated percentiles
+// differ across libraries and float rounding, so both the per-tenant p99 in
+// TenantReport and the bench expectations use the nearest-rank definition —
+// the smallest sample such that at least ceil(p/100 * n) samples are <= it.
+// Pure integer selection over a sorted copy: byte-deterministic, and the
+// p100 of a set is its max, the p0 its min.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gnnone::util {
+
+/// Exact nearest-rank percentile of `samples` (p in [0, 100]): sorts a copy
+/// and returns the element at rank ceil(p/100 * n), clamped to [1, n], so
+/// p = 0 gives the minimum and p = 100 the maximum. Throws
+/// std::invalid_argument on an empty sample set or p outside [0, 100] — a
+/// percentile of nothing is a bug at the call site, not a zero.
+template <typename T>
+T percentile(std::vector<T> samples, double p) {
+  if (samples.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile: p must be in [0, 100], got " +
+                                std::to_string(p));
+  }
+  std::sort(samples.begin(), samples.end());
+  // Nearest rank: ceil(p/100 * n) in exact integer arithmetic. p is snapped
+  // to a 1/100-percent grid first (p50/p90/p99/p99.9 all live on it), which
+  // sidesteps the float-division rounding that makes naive ceil(0.99 * n)
+  // land on the wrong rank for some n.
+  const std::uint64_t n = std::uint64_t(samples.size());
+  const std::uint64_t p_scaled = std::uint64_t(p * 100.0 + 0.5);  // p * 100
+  std::uint64_t rank = (p_scaled * n + 10000 - 1) / 10000;
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return samples[std::size_t(rank - 1)];
+}
+
+}  // namespace gnnone::util

@@ -365,5 +365,51 @@ TEST(Experiments, RewriteMarkerBlockReplacesOnlyTheBlock) {
   EXPECT_FALSE(rewrite_marker_block(::testing::TempDir() + "/absent.md", "x"));
 }
 
+// ---------------------------------------------------------------------------
+// percentile (exact nearest-rank; shared with serve::TenantReport)
+
+TEST(Percentile, NearestRankIsExactOnSmallSets) {
+  const std::vector<std::uint64_t> xs = {40, 10, 30, 20};  // unsorted input
+  // n = 4: rank(p) = ceil(p/100 * 4) -> p50 = rank 2 = 20, p90/p99 = 40.
+  EXPECT_EQ(percentile(xs, 50.0), 20u);
+  EXPECT_EQ(percentile(xs, 90.0), 40u);
+  EXPECT_EQ(percentile(xs, 99.0), 40u);
+  EXPECT_EQ(percentile(xs, 100.0), 40u);
+  // p -> 0 clamps to the minimum (rank floor 1).
+  EXPECT_EQ(percentile(xs, 0.0), 10u);
+  EXPECT_EQ(p50(xs), 20u);
+  EXPECT_EQ(p99(xs), 40u);
+
+  // Single sample: every percentile is that sample.
+  EXPECT_EQ(percentile(std::vector<std::uint64_t>{7}, 99.0), 7u);
+  EXPECT_EQ(percentile(std::vector<double>{2.5}, 50.0), 2.5);
+}
+
+TEST(Percentile, RankBoundariesAvoidFloatDrift) {
+  // n = 100, values 1..100: nearest-rank p99 must be exactly the 99th
+  // element, not the 100th — the case a naive ceil(0.99 * 100) gets wrong
+  // when the product rounds to 99.00000000000001.
+  std::vector<std::uint64_t> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = std::uint64_t(i + 1);
+  EXPECT_EQ(percentile(xs, 99.0), 99u);
+  EXPECT_EQ(percentile(xs, 50.0), 50u);
+  EXPECT_EQ(percentile(xs, 1.0), 1u);
+  EXPECT_EQ(percentile(xs, 90.0), 90u);
+  // n = 200: p99 -> rank ceil(198) = 198.
+  std::vector<std::uint64_t> ys(200);
+  for (std::size_t i = 0; i < ys.size(); ++i) ys[i] = std::uint64_t(i + 1);
+  EXPECT_EQ(percentile(ys, 99.0), 198u);
+  EXPECT_EQ(percentile(ys, 99.5), 199u);
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange) {
+  EXPECT_THROW(percentile(std::vector<std::uint64_t>{}, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<std::uint64_t>{1}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<std::uint64_t>{1}, 100.5),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bench

@@ -3,14 +3,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "gen/datasets.h"
 #include "gen/grid.h"
 #include "gen/random.h"
+#include "gen/requests.h"
 #include "gen/rmat.h"
 #include "gen/rng.h"
 #include "graph/convert.h"
+#include "util/json.h"
 
 namespace gnnone {
 namespace {
@@ -219,6 +225,258 @@ TEST(Datasets, KernelSuiteScalesAreTractable) {
     EXPECT_LE(d.coo.nnz(), 600000) << id;
     EXPECT_GE(d.coo.nnz(), 5000) << id;
   }
+}
+
+// --- request traces: validation boundaries ----------------------------------
+
+TEST(RequestTrace, ValidationRejectsOutOfRangeOptions) {
+  const Dataset ds = make_dataset("G0");
+  RequestTraceOptions o;
+  o.num_requests = -1;
+  EXPECT_THROW(make_request_trace(ds.coo, o), std::invalid_argument);
+  o = {};
+  o.min_seeds = 0;
+  EXPECT_THROW(make_request_trace(ds.coo, o), std::invalid_argument);
+  o = {};
+  o.min_seeds = 5;
+  o.max_seeds = 2;
+  EXPECT_THROW(make_request_trace(ds.coo, o), std::invalid_argument);
+  o = {};
+  o.hot_fraction = 1.0001;
+  EXPECT_THROW(make_request_trace(ds.coo, o), std::invalid_argument);
+  o = {};
+  o.hot_fraction = -0.1;
+  EXPECT_THROW(make_request_trace(ds.coo, o), std::invalid_argument);
+  o = {};
+  o.hot_set_fraction = 0.0;  // a hot set must contain something
+  EXPECT_THROW(make_request_trace(ds.coo, o), std::invalid_argument);
+  o = {};
+  o.hot_set_fraction = 1.5;
+  EXPECT_THROW(make_request_trace(ds.coo, o), std::invalid_argument);
+
+  // Valid boundary values go through: hot_fraction at both ends, the whole
+  // graph as hot set, zero requests.
+  o = {};
+  o.num_requests = 0;
+  EXPECT_TRUE(make_request_trace(ds.coo, o).empty());
+  o = {};
+  o.num_requests = 4;
+  o.hot_fraction = 1.0;
+  o.hot_set_fraction = 1.0;
+  EXPECT_EQ(make_request_trace(ds.coo, o).size(), 4u);
+}
+
+// --- open-loop arrivals -----------------------------------------------------
+
+TEST(Arrivals, DeterministicMonotoneAndStreamIndependent) {
+  ArrivalOptions o;
+  o.mean_interarrival_cycles = 1000.0;
+  o.seed = 7;
+  const auto a = make_arrivals(256, o, 0);
+  const auto b = make_arrivals(256, o, 0);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 256u);
+  EXPECT_GT(a.front(), 0u);  // arrivals start after cycle 0
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GT(a[i], a[i - 1]) << i;  // whole-cycle interarrivals >= 1
+  }
+  // Derived streams are independent sequences, and a prefix of a longer
+  // draw equals the shorter draw (one-pass generation).
+  const auto c = make_arrivals(256, o, 1);
+  EXPECT_NE(a, c);
+  const auto longer = make_arrivals(300, o, 0);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), longer.begin()));
+  EXPECT_TRUE(make_arrivals(0, o).empty());
+}
+
+TEST(Arrivals, PoissonMeanRoughlyMatches) {
+  ArrivalOptions o;
+  o.mean_interarrival_cycles = 1000.0;
+  o.seed = 3;
+  const int n = 4000;
+  const auto a = make_arrivals(n, o);
+  const double mean = double(a.back()) / double(n);
+  EXPECT_NEAR(mean, 1000.0, 100.0);
+}
+
+TEST(Arrivals, BurstyPreservesTheMeanAndActuallyBursts) {
+  ArrivalOptions o;
+  o.process = ArrivalProcess::kBursty;
+  o.mean_interarrival_cycles = 1000.0;
+  o.burst_multiplier = 4.0;
+  o.burst_fraction = 0.2;
+  o.period_cycles = 100000;
+  o.seed = 3;
+  const int n = 8000;
+  const auto a = make_arrivals(n, o);
+  const double mean = double(a.back()) / double(n);
+  EXPECT_NEAR(mean, 1000.0, 150.0);  // long-run rate preserved
+
+  // Burst phases are denser than floor phases: count arrivals by phase.
+  std::uint64_t in_burst = 0, in_floor = 0;
+  const auto burst_cycles = std::uint64_t(o.burst_fraction * 100000);
+  for (std::uint64_t t : a) {
+    (t % o.period_cycles < burst_cycles ? in_burst : in_floor) += 1;
+  }
+  // 20% of the time carries ~4x the rate => ~80% of the mass would be 4:1
+  // per unit time; require at least 2x density to keep the bound robust.
+  const double burst_density = double(in_burst) / (0.2 * double(a.back()));
+  const double floor_density = double(in_floor) / (0.8 * double(a.back()));
+  EXPECT_GT(burst_density, 2.0 * floor_density);
+}
+
+TEST(Arrivals, ValidationRejectsDegenerateProcesses) {
+  ArrivalOptions o;
+  o.mean_interarrival_cycles = 0.0;
+  EXPECT_THROW(make_arrivals(4, o), std::invalid_argument);
+  o = {};
+  EXPECT_THROW(make_arrivals(-1, o), std::invalid_argument);
+  o = {};
+  o.process = ArrivalProcess::kBursty;
+  o.burst_multiplier = 0.5;
+  EXPECT_THROW(make_arrivals(4, o), std::invalid_argument);
+  o = {};
+  o.process = ArrivalProcess::kBursty;
+  o.burst_fraction = 0.0;
+  EXPECT_THROW(make_arrivals(4, o), std::invalid_argument);
+  o = {};
+  o.process = ArrivalProcess::kBursty;
+  o.burst_fraction = 1.0;
+  EXPECT_THROW(make_arrivals(4, o), std::invalid_argument);
+  o = {};
+  o.process = ArrivalProcess::kBursty;
+  o.period_cycles = 0;
+  EXPECT_THROW(make_arrivals(4, o), std::invalid_argument);
+  // The floor phase would need a negative rate to preserve the mean.
+  o = {};
+  o.process = ArrivalProcess::kBursty;
+  o.burst_multiplier = 4.0;
+  o.burst_fraction = 0.3;
+  EXPECT_THROW(make_arrivals(4, o), std::invalid_argument);
+}
+
+TEST(OpenLoopTrace, MergesTenantsInArrivalOrder) {
+  const Dataset ds = make_dataset("G0");
+  TenantWorkload w0;
+  w0.requests.num_requests = 20;
+  w0.requests.seed = 4;
+  w0.arrivals.mean_interarrival_cycles = 500.0;
+  w0.arrivals.seed = 9;
+  TenantWorkload w1 = w0;
+  w1.requests.num_requests = 15;
+  w1.requests.seed = 5;
+  w1.arrivals.process = ArrivalProcess::kBursty;
+  w1.arrivals.burst_fraction = 0.2;
+  w1.arrivals.period_cycles = 20000;
+  const auto trace = make_open_loop_trace(ds.coo, {w0, w1});
+  ASSERT_EQ(trace.size(), 35u);
+  int counts[2] = {0, 0};
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_TRUE(trace[i].tenant == 0 || trace[i].tenant == 1);
+    counts[trace[i].tenant]++;
+    if (i > 0) {
+      EXPECT_GE(trace[i].arrival_cycle, trace[i - 1].arrival_cycle) << i;
+    }
+    EXPECT_FALSE(trace[i].seeds.empty());
+  }
+  EXPECT_EQ(counts[0], 20);
+  EXPECT_EQ(counts[1], 15);
+  // Deterministic end to end.
+  const auto again = make_open_loop_trace(ds.coo, {w0, w1});
+  ASSERT_EQ(again.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].seeds, again[i].seeds);
+    EXPECT_EQ(trace[i].tenant, again[i].tenant);
+    EXPECT_EQ(trace[i].arrival_cycle, again[i].arrival_cycle);
+  }
+  EXPECT_THROW(make_open_loop_trace(ds.coo, {}), std::invalid_argument);
+}
+
+// --- trace persistence ------------------------------------------------------
+
+namespace {
+void spit(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+}
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+}  // namespace
+
+TEST(TraceJson, RoundTripsByteIdentically) {
+  const Dataset ds = make_dataset("G0");
+  TenantWorkload w;
+  w.requests.num_requests = 12;
+  w.requests.seed = 8;
+  w.arrivals.mean_interarrival_cycles = 2000.0;
+  const auto trace = make_open_loop_trace(ds.coo, {w, w});
+
+  const std::string dumped = trace_to_json(trace).dump();
+  const auto back = trace_from_json(util::Json::parse(dumped));
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].seeds, trace[i].seeds);
+    EXPECT_EQ(back[i].tenant, trace[i].tenant);
+    EXPECT_EQ(back[i].arrival_cycle, trace[i].arrival_cycle);
+  }
+  // save -> load -> save produces identical bytes (versioned,
+  // insertion-ordered document).
+  EXPECT_EQ(trace_to_json(back).dump(), dumped);
+}
+
+TEST(TraceJson, SaveLoadRoundTripAndFailSoft) {
+  const Dataset ds = make_dataset("G0");
+  TenantWorkload w;
+  w.requests.num_requests = 6;
+  w.requests.seed = 2;
+  const auto trace = make_open_loop_trace(ds.coo, {w});
+  const std::string path = ::testing::TempDir() + "/request_trace_ok.json";
+  ASSERT_TRUE(save_trace(path, trace));
+
+  std::string warning = "stale";
+  const auto loaded = load_trace_or_empty(path, &warning);
+  EXPECT_TRUE(warning.empty()) << warning;
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].seeds, trace[i].seeds);
+  }
+
+  // Missing file: silent cold start.
+  warning = "stale";
+  EXPECT_TRUE(
+      load_trace_or_empty(::testing::TempDir() + "/no_such_trace.json",
+                          &warning)
+          .empty());
+  EXPECT_TRUE(warning.empty());
+
+  // Truncation and garbage degrade to empty with a warning.
+  const std::string good = slurp(path);
+  const std::string bad = ::testing::TempDir() + "/request_trace_bad.json";
+  spit(bad, good.substr(0, good.size() / 2));
+  EXPECT_TRUE(load_trace_or_empty(bad, &warning).empty());
+  EXPECT_NE(warning.find("ignored"), std::string::npos) << warning;
+  spit(bad, "\xff\xfe not json");
+  EXPECT_TRUE(load_trace_or_empty(bad, &warning).empty());
+  EXPECT_FALSE(warning.empty());
+
+  // Version and schema mismatches fail soft the same way.
+  util::Json future = trace_to_json(trace);
+  future.set("version", kTraceSchemaVersion + 1);
+  spit(bad, future.dump());
+  EXPECT_TRUE(load_trace_or_empty(bad, &warning).empty());
+  EXPECT_NE(warning.find("version"), std::string::npos) << warning;
+  util::Json alien = trace_to_json(trace);
+  alien.set("schema", "something-else");
+  spit(bad, alien.dump());
+  EXPECT_TRUE(load_trace_or_empty(bad, &warning).empty());
+  EXPECT_FALSE(warning.empty());
+
+  // The strict parser throws where the loader degrades.
+  EXPECT_THROW(trace_from_json(future), std::invalid_argument);
 }
 
 }  // namespace
