@@ -1,0 +1,373 @@
+// Cache-policy bake-off (docs/SERVING.md §9): pre-sampling frequency vs
+// degree order vs CLOCK for the serving feature cache.
+//
+// Part A sweeps policy x alpha x {skewed G4/G10, uniform G5} x fanouts over
+// the fixed uniform serving trace. Encoded claims:
+//  * FGNN's headline: the pre-sampling frequency order's hit rate is >= the
+//    degree order's on the skewed graphs at every interior alpha — observed
+//    access frequency under fanout caps refines what degree only
+//    approximates;
+//  * all three policies coincide at the degenerate capacities: alpha = 0
+//    (nothing cached anywhere) and alpha = 1 (everything cached; CLOCK
+//    never misses so it never installs) produce identical gather cycles and
+//    hit counts;
+//  * predictions are bit-identical across policies at every point — the
+//    cache only decides where bytes move, never what the model computes.
+//
+// Part B serves a drifting-hot-set trace whose phases walk through cold
+// regions of the degree order: the static degree cache cannot follow, CLOCK
+// adapts — its hit rate must exceed static degree's.
+//
+// Part C partitions the cache per tenant for scheduled serving: a small
+// steady tenant sharing a CLOCK cache with a churning tenant gets evicted;
+// with its own partition (same total capacity, largest-remainder split) its
+// hit rate recovers. Capacities must conserve: partition rows sum exactly
+// to the shared capacity.
+//
+// Part D runs the tuner's replay bake-off and pins the dispatch loop:
+// tune_cache_policy records the winner in the TuningCache, and a
+// cache_policy = kAuto server resolves to exactly that policy.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "gen/requests.h"
+#include "serve/cache_policy.h"
+#include "serve/server.h"
+#include "tune/cache.h"
+
+namespace {
+
+using gnnone::serve::CachePolicy;
+
+const CachePolicy kPolicies[] = {CachePolicy::kDegree,
+                                 CachePolicy::kPresampleFrequency,
+                                 CachePolicy::kClock};
+
+std::string policy_config(CachePolicy p, const char* fan, double alpha) {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "pol=%s;fan=%s;alpha=%.2f",
+                gnnone::serve::cache_policy_name(p), fan, alpha);
+  return buf;
+}
+
+gnnone::RequestTraceOptions serving_trace_options() {
+  gnnone::RequestTraceOptions ro;
+  ro.num_requests = 96;
+  ro.min_seeds = 1;
+  ro.max_seeds = 3;
+  ro.hot_fraction = 0.0;  // uniform traffic: hits come from topology alone
+  ro.seed = 77;
+  return ro;
+}
+
+}  // namespace
+
+GNNONE_BENCH(cache_policy, 262,
+             "Serving cache policies: pre-sampling frequency vs degree vs "
+             "CLOCK",
+             "extension (docs/SERVING.md §9); FGNN-style frequency caching "
+             "beats degree order on skewed graphs, CLOCK follows a drifting "
+             "hot set") {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+
+  gnnone::ServeOptions base;
+  base.model_kind = "gcn";
+  base.batch_size = 24;
+  base.fanouts = {10, 5};
+  base.feature_dim_override = 32;
+  base.backend = gnnone::Backend::kAuto;
+  base.seed = 9;
+  base.presample_epochs = 3;
+
+  // --- Part A: policy x alpha x graph x fanout sweep ----------------------
+  struct SweepGraph {
+    const char* id;
+    bool skewed;
+  };
+  struct FanCfg {
+    const char* name;
+    std::vector<int> fanouts;
+    std::vector<double> alphas;
+  };
+  std::vector<SweepGraph> suite = {{"G4", true},    // wiki-Talk, power-law
+                                   {"G10", true},   // Kron-21, Kronecker
+                                   {"G5", false}};  // roadNet-CA, grid
+  std::vector<FanCfg> fans = {{"10-5", {10, 5}, {0.0, 0.1, 0.25, 0.5, 1.0}},
+                              {"5", {5}, {0.0, 0.25, 1.0}}};
+  if (h.ci()) {
+    suite = {{"G4", true}, {"G5", false}};
+    fans = {{"10-5", {10, 5}, {0.0, 0.25, 1.0}}};
+  }
+
+  std::printf("%-5s %-7s %6s  %-15s %9s %12s %10s\n", "graph", "fanout",
+              "alpha", "policy", "hit-rate", "gather-cyc", "evictions");
+
+  bool freq_beats_degree = true, degenerate_equal = true, preds_equal = true;
+  std::vector<double> freq_over_degree;
+  std::string worst_point;
+
+  for (const SweepGraph& sg : suite) {
+    const gnnone::Dataset ds = gnnone::make_dataset(sg.id);
+    const auto trace = gnnone::make_request_trace(ds.coo,
+                                                  serving_trace_options());
+
+    for (const FanCfg& fc : fans) {
+      for (const double alpha : fc.alphas) {
+        gnnone::ServingReport reps[3];
+        for (int p = 0; p < 3; ++p) {
+          gnnone::ServeOptions o = base;
+          o.fanouts = fc.fanouts;
+          o.cache_alpha = alpha;
+          o.cache_policy = kPolicies[p];
+          // Warm the frequency policy up on the traffic it will serve — the
+          // FGNN presampling regime (epoch 0 replays the serving draws,
+          // later epochs add independent ones).
+          o.presample_probe = trace;
+          const gnnone::InferenceServer server(ds, dev, o);
+          reps[p] = server.serve(trace);
+
+          h.add_cycles(sg.id, "cache_gather", o.feature_dim_override,
+                       reps[p].gather_cycles,
+                       policy_config(kPolicies[p], fc.name, alpha));
+          std::printf("%-5s %-7s %6.2f  %-15s %8.1f%% %12llu %10llu\n",
+                      sg.id, fc.name, alpha,
+                      gnnone::serve::cache_policy_name(kPolicies[p]),
+                      100.0 * reps[p].cache_hit_rate(),
+                      (unsigned long long)reps[p].gather_cycles,
+                      (unsigned long long)reps[p].cache_evictions);
+        }
+
+        // The cache never changes the math: identical predictions and
+        // outcome stream across all three policies at every point.
+        preds_equal = preds_equal &&
+                      reps[1].predictions == reps[0].predictions &&
+                      reps[2].predictions == reps[0].predictions;
+
+        if (alpha == 0.0 || alpha == 1.0) {
+          for (int p = 1; p < 3; ++p) {
+            degenerate_equal = degenerate_equal &&
+                               reps[p].gather_cycles ==
+                                   reps[0].gather_cycles &&
+                               reps[p].cache_hits == reps[0].cache_hits &&
+                               reps[p].cache_misses == reps[0].cache_misses;
+          }
+        } else if (sg.skewed) {
+          // FGNN's claim, at every interior alpha on every skewed graph.
+          const double dr = reps[0].cache_hit_rate();
+          const double fr = reps[1].cache_hit_rate();
+          if (fr < dr) {
+            freq_beats_degree = false;
+            char buf[96];
+            std::snprintf(buf, sizeof buf, "%s fan=%s alpha=%.2f: %.4f < %.4f",
+                          sg.id, fc.name, alpha, fr, dr);
+            worst_point = buf;
+          }
+          if (dr > 0.0) freq_over_degree.push_back(fr / dr);
+        }
+      }
+    }
+  }
+
+  h.expect("cache_policy.freq_ge_degree_on_skewed", freq_beats_degree,
+           freq_beats_degree
+               ? "frequency hit-rate >= degree at every interior alpha"
+               : worst_point);
+  h.expect("cache_policy.policies_equal_at_degenerate_alpha",
+           degenerate_equal,
+           "alpha in {0,1} must erase every policy difference");
+  h.expect("cache_policy.predictions_policy_invariant", preds_equal,
+           "predictions must be bit-identical across cache policies");
+  if (!freq_over_degree.empty()) {
+    h.metric("freq_over_degree_hit_rate_geomean",
+             bench::geomean(freq_over_degree));
+  }
+
+  // --- Part B: CLOCK on a drifting hot set --------------------------------
+  // Four phases, each re-requesting a fresh window of mid-rank vertices
+  // (beyond the alpha = 0.05 static capacity) three times. Degree pinning
+  // was decided before the drift; CLOCK installs a phase's working set on
+  // first touch and serves the repeats from device.
+  {
+    const gnnone::Dataset ds = gnnone::make_dataset("G4");
+    const auto order = gnnone::serve::degree_order(ds.coo);
+    std::vector<gnnone::SeedRequest> drift;
+    const int kPhases = 4, kDistinct = 8, kRepeats = 3;
+    for (int phase = 0; phase < kPhases; ++phase) {
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        for (int r = 0; r < kDistinct; ++r) {
+          gnnone::SeedRequest req;
+          const std::size_t rank = std::size_t(4000 + phase * 800 + 2 * r);
+          req.seeds = {order[rank], order[rank + 1]};
+          drift.push_back(std::move(req));
+        }
+      }
+    }
+
+    gnnone::ServingReport reps[2];
+    const CachePolicy pols[2] = {CachePolicy::kDegree, CachePolicy::kClock};
+    for (int p = 0; p < 2; ++p) {
+      gnnone::ServeOptions o = base;
+      o.batch_size = 8;
+      o.cache_alpha = 0.05;
+      o.cache_policy = pols[p];
+      const gnnone::InferenceServer server(ds, dev, o);
+      reps[p] = server.serve(drift);
+      h.add_cycles("G4", "cache_drift", o.feature_dim_override,
+                   reps[p].gather_cycles,
+                   policy_config(pols[p], "10-5", o.cache_alpha));
+    }
+    std::printf("\ndrifting hot set (G4, alpha=0.05): degree %.1f%% vs "
+                "clock %.1f%% hit-rate\n",
+                100.0 * reps[0].cache_hit_rate(),
+                100.0 * reps[1].cache_hit_rate());
+    h.metric("drift_hit_rate_degree", reps[0].cache_hit_rate());
+    h.metric("drift_hit_rate_clock", reps[1].cache_hit_rate());
+    h.expect("cache_policy.clock_follows_drifting_hot_set",
+             reps[1].cache_hit_rate() >= reps[0].cache_hit_rate(),
+             "clock " + std::to_string(reps[1].cache_hit_rate()) +
+                 " vs degree " + std::to_string(reps[0].cache_hit_rate()));
+    h.expect("cache_policy.drift_predictions_match",
+             reps[0].predictions == reps[1].predictions,
+             "drift-trace predictions must be policy-invariant");
+  }
+
+  // --- Part C: per-tenant cache partitioning ------------------------------
+  // Tenant A churns through a large window (working set >> the whole
+  // cache); tenant B re-requests a tiny steady set with shallow fanouts.
+  // Shared CLOCK: A installs more than twice the capacity between B's
+  // visits, so the hand wraps twice — the first sweep clears B's reference
+  // bits, the second evicts its rows. Partitioned (equal shares, same total
+  // rows): B's working set fits its own partition and stays resident.
+  {
+    const gnnone::Dataset ds = gnnone::make_dataset("G4");
+    const auto order = gnnone::serve::degree_order(ds.coo);
+    std::vector<gnnone::SeedRequest> trace;
+    int a_issued = 0;
+    for (int i = 0; i < 120; ++i) {
+      gnnone::SeedRequest req;
+      req.arrival_cycle = std::uint64_t(i) * 1000;
+      if (i % 10 == 9) {  // every tenth request belongs to the steady tenant
+        req.tenant = 1;
+        const std::size_t rank = std::size_t(12000 + 2 * ((i / 10) % 8));
+        req.seeds = {order[rank], order[rank + 1]};
+      } else {
+        req.tenant = 0;
+        const std::size_t rank = std::size_t(2000 + 3 * a_issued++);
+        req.seeds = {order[rank], order[rank + 1], order[rank + 2]};
+      }
+      trace.push_back(std::move(req));
+    }
+
+    gnnone::ServeOptions o = base;
+    o.batch_size = 8;
+    o.cache_alpha = 0.02;
+    o.cache_policy = CachePolicy::kClock;
+    gnnone::serve::TenantSpec churn, steady;
+    churn.name = "churn";
+    churn.fanouts = {10, 5};
+    churn.slo_cycles = 1'000'000'000;
+    churn.cache_share = 0.5;
+    steady.name = "steady";
+    steady.fanouts = {2};  // tiny neighborhoods: the set a partition shields
+    steady.slo_cycles = 1'000'000'000;
+    steady.cache_share = 0.5;
+    o.tenants = {churn, steady};
+
+    auto tenant_hit_rate = [](const gnnone::ServingReport& rep, int tenant) {
+      std::uint64_t hits = 0, misses = 0;
+      for (const gnnone::BatchStats& bs : rep.batches) {
+        if (bs.tenant != tenant) continue;
+        hits += bs.gather.hits;
+        misses += bs.gather.misses;
+      }
+      const double total = double(hits + misses);
+      return total > 0.0 ? double(hits) / total : 0.0;
+    };
+
+    const gnnone::InferenceServer shared(ds, dev, o);
+    o.partition_cache = true;
+    const gnnone::InferenceServer parted(ds, dev, o);
+    const gnnone::ServingReport rs = shared.serve(trace);
+    const gnnone::ServingReport rp = parted.serve(trace);
+
+    h.add_cycles("G4", "cache_part_gather", o.feature_dim_override,
+                 rs.gather_cycles, "pol=clock;mode=shared");
+    h.add_cycles("G4", "cache_part_gather", o.feature_dim_override,
+                 rp.gather_cycles, "pol=clock;mode=partitioned");
+    h.add_cycles("G4", "cache_part_total", o.feature_dim_override,
+                 rs.total_cycles, "pol=clock;mode=shared");
+    h.add_cycles("G4", "cache_part_total", o.feature_dim_override,
+                 rp.total_cycles, "pol=clock;mode=partitioned");
+
+    const double b_shared = tenant_hit_rate(rs, 1);
+    const double b_parted = tenant_hit_rate(rp, 1);
+    std::printf("\npartitioning (G4, clock, alpha=%.2f): steady tenant "
+                "%.1f%% shared vs %.1f%% partitioned\n", o.cache_alpha,
+                100.0 * b_shared, 100.0 * b_parted);
+    h.metric("steady_tenant_hit_rate_shared", b_shared);
+    h.metric("steady_tenant_hit_rate_partitioned", b_parted);
+    h.expect("cache_policy.partition_shields_steady_tenant",
+             b_parted >= b_shared,
+             "partitioned " + std::to_string(b_parted) + " vs shared " +
+                 std::to_string(b_shared));
+
+    const gnnone::vid_t shared_rows = shared.cache().num_cached();
+    gnnone::vid_t part_rows = 0;
+    for (int t = 0; t < 2; ++t) part_rows += parted.tenant_cache(t).num_cached();
+    h.expect("cache_policy.partition_capacity_conserved",
+             parted.partitioned() && part_rows == shared_rows,
+             "partition rows " + std::to_string(part_rows) + " vs shared " +
+                 std::to_string(shared_rows));
+    h.expect("cache_policy.partition_predictions_match",
+             rs.predictions == rp.predictions,
+             "partitioning must not change predictions");
+  }
+
+  // --- Part D: tuner replay + kAuto dispatch ------------------------------
+  {
+    const gnnone::Dataset ds = gnnone::make_dataset("G4");
+    const auto trace = gnnone::make_request_trace(ds.coo,
+                                                  serving_trace_options());
+    gnnone::serve::PolicyTuneConfig cfg;
+    cfg.cache_alpha = 0.1;
+    cfg.fanouts = {10, 5};
+    cfg.batch_size = 24;
+    cfg.feat_len = 32;
+    cfg.seed = base.seed;
+    cfg.presample_epochs = 3;
+    cfg.presample_probe = trace;
+
+    gnnone::tune::TuningCache tc;
+    const gnnone::serve::CachePolicyBakeoff bake =
+        gnnone::serve::tune_cache_policy(ds.coo, dev, cfg, trace, &tc);
+    std::printf("\nbake-off (G4): ");
+    for (const gnnone::serve::PolicyOutcome& oc : bake.outcomes) {
+      h.add_cycles("G4", "cache_replay", cfg.feat_len, oc.gather_cycles,
+                   std::string("pol=") +
+                       gnnone::serve::cache_policy_name(oc.policy));
+      std::printf("%s=%llu ", gnnone::serve::cache_policy_name(oc.policy),
+                  (unsigned long long)oc.gather_cycles);
+    }
+    std::printf("-> winner %s\n",
+                gnnone::serve::cache_policy_name(bake.winner));
+
+    gnnone::ServeOptions o = base;
+    o.cache_alpha = cfg.cache_alpha;
+    o.cache_policy = CachePolicy::kAuto;
+    o.tuning_cache = &tc;
+    o.presample_probe = trace;
+    const gnnone::InferenceServer server(ds, dev, o);
+    h.expect("cache_policy.auto_dispatches_tuned_winner",
+             server.cache_policy() == bake.winner,
+             std::string("kAuto resolved to ") +
+                 gnnone::serve::cache_policy_name(server.cache_policy()) +
+                 ", bake-off winner " +
+                 gnnone::serve::cache_policy_name(bake.winner));
+    h.expect("cache_policy.tuner_recorded_one_entry",
+             tc.serve_entries().size() == 1,
+             std::to_string(tc.serve_entries().size()) + " serve entries");
+  }
+  return 0;
+}

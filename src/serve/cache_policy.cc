@@ -1,0 +1,327 @@
+#include "serve/cache_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/convert.h"
+#include "serve/feature_cache.h"
+#include "tune/signature.h"
+
+namespace gnnone::serve {
+
+const char* cache_policy_name(CachePolicy p) {
+  switch (p) {
+    case CachePolicy::kDegree:
+      return "degree";
+    case CachePolicy::kPresampleFrequency:
+      return "presample_freq";
+    case CachePolicy::kClock:
+      return "clock";
+    case CachePolicy::kAuto:
+      return "auto";
+  }
+  return "degree";
+}
+
+bool cache_policy_from_name(const std::string& name, CachePolicy* out) {
+  if (name == "degree") {
+    *out = CachePolicy::kDegree;
+  } else if (name == "presample_freq") {
+    *out = CachePolicy::kPresampleFrequency;
+  } else if (name == "clock") {
+    *out = CachePolicy::kClock;
+  } else if (name == "auto") {
+    *out = CachePolicy::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<vid_t> degree_order(const Coo& graph) {
+  const vid_t n = graph.num_rows;
+  const auto deg = row_lengths(graph);
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) order[std::size_t(v)] = v;
+  // Full sort (not nth_element) so the pinned set is deterministic and
+  // matches the request generator's hot-set ordering exactly.
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    if (deg[std::size_t(a)] != deg[std::size_t(b)]) {
+      return deg[std::size_t(a)] > deg[std::size_t(b)];
+    }
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<std::uint64_t> presample_frequencies(
+    const Csr& csr, std::span<const SeedRequest> probe,
+    const std::vector<int>& fanouts, std::uint64_t seed, int epochs,
+    SamplerScratch* scratch) {
+  if (epochs < 0) {
+    throw std::invalid_argument(
+        "presample_frequencies: epochs must be nonnegative");
+  }
+  std::vector<std::uint64_t> freq(std::size_t(csr.num_rows), 0);
+  if (epochs == 0 || probe.empty()) return freq;
+  SamplerScratch own;
+  if (scratch == nullptr) scratch = &own;
+  SampleOptions so;
+  so.fanouts = fanouts;
+  for (int e = 0; e < epochs; ++e) {
+    // Epoch 0 samples with the serving seed itself — a probe equal to the
+    // serving trace then observes the exact access stream — and later
+    // epochs add independent draws of the same workload.
+    so.seed = seed + 0x9e3779b97f4a7c15ULL * std::uint64_t(e);
+    for (const SeedRequest& req : probe) {
+      const SampledSubgraph sg = sample_khop(csr, req.seeds, so, scratch);
+      // Blocks are deduplicated within a request, so each sampled vertex
+      // counts one access per request — the granularity the serving gather
+      // fetches at.
+      for (vid_t v : sg.vertices) ++freq[std::size_t(v)];
+    }
+  }
+  return freq;
+}
+
+std::vector<vid_t> frequency_order(std::span<const std::uint64_t> freq,
+                                   std::span<const vid_t> degrees) {
+  if (freq.size() != degrees.size()) {
+    throw std::invalid_argument(
+        "frequency_order: freq and degrees must rank the same vertex set");
+  }
+  std::vector<vid_t> order(freq.size());
+  for (std::size_t v = 0; v < order.size(); ++v) order[v] = vid_t(v);
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    if (freq[std::size_t(a)] != freq[std::size_t(b)]) {
+      return freq[std::size_t(a)] > freq[std::size_t(b)];
+    }
+    if (degrees[std::size_t(a)] != degrees[std::size_t(b)]) {
+      return degrees[std::size_t(a)] > degrees[std::size_t(b)];
+    }
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<SeedRequest> default_presample_probe(const Coo& graph,
+                                                 std::uint64_t seed,
+                                                 int num_requests) {
+  RequestTraceOptions opts;
+  opts.num_requests = num_requests;
+  opts.min_seeds = 1;
+  opts.max_seeds = 3;
+  opts.hot_fraction = 0.0;
+  // Derived from (but distinct from) the serving seed so the probe never
+  // aliases a serving trace generated from the same seed.
+  opts.seed = seed ^ 0xc2b2ae3d27d4eb4fULL;
+  return make_request_trace(graph, opts);
+}
+
+std::vector<vid_t> partition_capacities(vid_t capacity,
+                                        std::span<const double> shares) {
+  if (shares.empty()) {
+    throw std::invalid_argument(
+        "partition_capacities: need at least one tenant share");
+  }
+  double total = 0.0;
+  for (double s : shares) {
+    if (!(s >= 0.0)) {  // rejects negatives and NaN
+      throw std::invalid_argument(
+          "partition_capacities: shares must be nonnegative");
+    }
+    total += s;
+  }
+  const std::size_t k = shares.size();
+  std::vector<double> quota(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // All-zero shares mean an equal split.
+    const double w = total > 0.0 ? shares[i] / total : 1.0 / double(k);
+    quota[i] = double(capacity) * w;
+  }
+  std::vector<vid_t> parts(k);
+  vid_t assigned = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    parts[i] = vid_t(std::floor(quota[i]));
+    assigned += parts[i];
+  }
+  // Largest remainder: leftover rows go to the largest fractional parts,
+  // ties to the lowest tenant index, so the parts sum exactly to capacity.
+  std::vector<std::size_t> idx(k);
+  std::iota(idx.begin(), idx.end(), std::size_t(0));
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return quota[a] - std::floor(quota[a]) > quota[b] - std::floor(quota[b]);
+  });
+  for (std::size_t i = 0; assigned < capacity; ++i) {
+    ++parts[idx[i % k]];
+    ++assigned;
+  }
+  return parts;
+}
+
+std::string cache_workload_key(double alpha, const std::vector<int>& fanouts,
+                               int batch_size, int feat_dim) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "alpha=%.3f", alpha);
+  std::string key = buf;
+  key += ";fan=";
+  for (std::size_t i = 0; i < fanouts.size(); ++i) {
+    if (i > 0) key += '-';
+    key += std::to_string(fanouts[i]);
+  }
+  std::snprintf(buf, sizeof buf, ";bs=%d;f=%d", batch_size, feat_dim);
+  key += buf;
+  return key;
+}
+
+ClockCache::ClockCache(std::span<const vid_t> seed_order, vid_t capacity,
+                       vid_t num_vertices)
+    : slot_of_(std::size_t(num_vertices), vid_t(-1)) {
+  if (capacity < 0 || capacity > num_vertices ||
+      std::size_t(capacity) > seed_order.size()) {
+    throw std::invalid_argument("ClockCache: capacity out of range");
+  }
+  slots_.assign(seed_order.begin(), seed_order.begin() + capacity);
+  ref_.assign(std::size_t(capacity), 0);
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    slot_of_[std::size_t(slots_[s])] = vid_t(s);
+  }
+}
+
+bool ClockCache::access(vid_t v) {
+  const vid_t s = slot_of_[std::size_t(v)];
+  if (s >= 0) {
+    ref_[std::size_t(s)] = 1;  // second chance
+    return true;
+  }
+  if (slots_.empty()) return false;  // capacity 0: nothing can be installed
+  // Sweep the hand, clearing reference bits, until an unreferenced victim
+  // appears (guaranteed within two laps), then install v in its place.
+  while (ref_[hand_] != 0) {
+    ref_[hand_] = 0;
+    hand_ = (hand_ + 1) % slots_.size();
+  }
+  slot_of_[std::size_t(slots_[hand_])] = -1;
+  slots_[hand_] = v;
+  slot_of_[std::size_t(v)] = vid_t(hand_);
+  ref_[hand_] = 0;
+  hand_ = (hand_ + 1) % slots_.size();
+  return false;
+}
+
+CachePolicyBakeoff tune_cache_policy(const Coo& graph,
+                                     const gpusim::DeviceSpec& dev,
+                                     const PolicyTuneConfig& cfg,
+                                     std::span<const SeedRequest> trace,
+                                     tune::TuningCache* out) {
+  if (cfg.batch_size <= 0 || cfg.feat_len <= 0 || cfg.fanouts.empty() ||
+      cfg.presample_epochs < 0 || cfg.elem_bytes == 0) {
+    throw std::invalid_argument("tune_cache_policy: invalid config");
+  }
+  const double alpha = std::clamp(cfg.cache_alpha, 0.0, 1.0);
+  const Csr csr = coo_to_csr(graph);
+  SamplerScratch scratch;
+
+  const std::vector<SeedRequest> default_probe =
+      cfg.presample_probe.empty()
+          ? default_presample_probe(graph, cfg.seed)
+          : std::vector<SeedRequest>{};
+  const std::span<const SeedRequest> probe =
+      cfg.presample_probe.empty() ? std::span<const SeedRequest>(default_probe)
+                                  : std::span<const SeedRequest>(
+                                        cfg.presample_probe);
+  const auto deg = row_lengths(graph);
+  const auto freq = presample_frequencies(csr, probe, cfg.fanouts, cfg.seed,
+                                          cfg.presample_epochs, &scratch);
+  const auto freq_ord = frequency_order(freq, deg);
+
+  const CachePolicy policies[] = {CachePolicy::kDegree,
+                                  CachePolicy::kPresampleFrequency,
+                                  CachePolicy::kClock};
+  std::vector<FeatureCache> caches;
+  caches.reserve(3);
+  for (CachePolicy p : policies) {
+    CacheConfig cc;
+    cc.policy = p;
+    cc.elem_bytes = cfg.elem_bytes;
+    caches.emplace_back(graph, cfg.feat_len, alpha, dev, cc,
+                        p == CachePolicy::kPresampleFrequency
+                            ? std::span<const vid_t>(freq_ord)
+                            : std::span<const vid_t>());
+  }
+  std::vector<FeatureCache::ClockTxn> txns;
+  for (const FeatureCache& c : caches) txns.emplace_back(c);
+
+  CachePolicyBakeoff result;
+  result.outcomes.resize(3);
+  for (int p = 0; p < 3; ++p) result.outcomes[p].policy = policies[p];
+
+  // Replay the serving driver's sample + dedup + gather stream per batch;
+  // forward passes are policy-invariant, so gather traffic is the whole
+  // difference.
+  SampleOptions so;
+  so.fanouts = cfg.fanouts;
+  so.seed = cfg.seed;
+  std::int64_t batch = 0;
+  for (std::size_t begin = 0; begin < trace.size();
+       begin += std::size_t(cfg.batch_size), ++batch) {
+    const std::size_t end =
+        std::min(trace.size(), begin + std::size_t(cfg.batch_size));
+    std::vector<vid_t> unique;
+    std::unordered_map<vid_t, vid_t> slot;
+    for (std::size_t r = begin; r < end; ++r) {
+      const SampledSubgraph sg =
+          sample_khop(csr, trace[r].seeds, so, &scratch);
+      for (vid_t v : sg.vertices) {
+        if (slot.emplace(v, vid_t(unique.size())).second) unique.push_back(v);
+      }
+    }
+    for (int p = 0; p < 3; ++p) {
+      FeatureCache::ClockGatherCtx ctx;
+      ctx.txn = &txns[std::size_t(p)];
+      ctx.batch = batch;
+      ctx.commit = true;
+      const GatherStats st =
+          caches[std::size_t(p)].gather(unique, nullptr, nullptr, {}, false,
+                                        ctx);
+      result.outcomes[std::size_t(p)].gather_cycles += st.cycles;
+      result.outcomes[std::size_t(p)].hits += st.hits;
+      result.outcomes[std::size_t(p)].misses += st.misses;
+    }
+  }
+
+  // Fewest replayed gather cycles wins; exact ties break in enum order so
+  // degree — the conservative default — prevails.
+  result.winner = CachePolicy::kDegree;
+  std::uint64_t best = result.outcomes[0].gather_cycles;
+  for (int p = 1; p < 3; ++p) {
+    if (result.outcomes[std::size_t(p)].gather_cycles < best) {
+      best = result.outcomes[std::size_t(p)].gather_cycles;
+      result.winner = policies[p];
+    }
+  }
+
+  if (out != nullptr) {
+    tune::ServeKey key;
+    key.signature = tune::signature_of(graph);
+    key.workload =
+        cache_workload_key(alpha, cfg.fanouts, cfg.batch_size, cfg.feat_len);
+    key.device = tune::device_key(dev);
+    tune::ServeDecision dec;
+    dec.cache_policy = cache_policy_name(result.winner);
+    for (const PolicyOutcome& o : result.outcomes) {
+      if (o.policy == result.winner) {
+        dec.gather_cycles = o.gather_cycles;
+        dec.hit_rate = o.hit_rate();
+      }
+    }
+    out->put_serve(key, dec);
+  }
+  return result;
+}
+
+}  // namespace gnnone::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "graph/convert.h"
 #include "serve/chaos.h"
@@ -9,71 +10,166 @@
 namespace gnnone {
 
 FeatureCache::FeatureCache(const Coo& graph, int feat_len, double alpha,
-                           const gpusim::DeviceSpec& dev)
-    : dev_(&dev),
-      feat_len_(feat_len),
-      alpha_(std::clamp(alpha, 0.0, 1.0)),
-      cached_(std::size_t(graph.num_rows), 0) {
-  const vid_t n = graph.num_rows;
-  num_cached_ = vid_t(std::clamp<long long>(
-      std::llround(alpha_ * double(n)), 0ll, (long long)(n)));
-  if (num_cached_ == 0) return;
+                           const gpusim::DeviceSpec& dev,
+                           std::size_t elem_bytes)
+    : FeatureCache(graph, feat_len, alpha, dev,
+                   CacheConfig{serve::CachePolicy::kDegree, elem_bytes, -1}) {}
 
-  const auto deg = row_lengths(graph);
-  std::vector<vid_t> order(static_cast<std::size_t>(n));
-  for (vid_t v = 0; v < n; ++v) order[std::size_t(v)] = v;
-  // Full sort (not nth_element) so the cached set is deterministic and
-  // matches the request generator's hot-set ordering exactly.
-  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
-    if (deg[std::size_t(a)] != deg[std::size_t(b)]) {
-      return deg[std::size_t(a)] > deg[std::size_t(b)];
-    }
-    return a < b;
-  });
+FeatureCache::FeatureCache(const Coo& graph, int feat_len, double alpha,
+                           const gpusim::DeviceSpec& dev,
+                           const CacheConfig& cfg,
+                           std::span<const vid_t> pin_order)
+    : dev_(dev),
+      feat_len_(feat_len),
+      elem_bytes_(cfg.elem_bytes),
+      alpha_(std::clamp(alpha, 0.0, 1.0)),
+      policy_(cfg.policy),
+      cached_(std::size_t(graph.num_rows), 0) {
+  if (policy_ == serve::CachePolicy::kAuto) {
+    throw std::invalid_argument(
+        "FeatureCache: kAuto must be resolved to a concrete policy before "
+        "cache construction");
+  }
+  if (elem_bytes_ == 0) {
+    throw std::invalid_argument("FeatureCache: elem_bytes must be positive");
+  }
+  const vid_t n = graph.num_rows;
+  num_cached_ = cfg.capacity_override >= 0 ? std::min(cfg.capacity_override, n)
+                                           : capacity_for(n, alpha_);
+
+  std::vector<vid_t> owned_order;
+  std::span<const vid_t> order = pin_order;
+  if (order.empty() &&
+      (num_cached_ > 0 || policy_ == serve::CachePolicy::kClock)) {
+    owned_order = serve::degree_order(graph);
+    order = owned_order;
+  }
+  if (!order.empty() && vid_t(order.size()) < n) {
+    throw std::invalid_argument(
+        "FeatureCache: pin_order must rank every vertex");
+  }
   for (vid_t i = 0; i < num_cached_; ++i) {
     cached_[std::size_t(order[std::size_t(i)])] = 1;
   }
+  if (policy_ == serve::CachePolicy::kClock) {
+    clock_init_ = serve::ClockCache(order, num_cached_, n);
+  }
+}
+
+vid_t FeatureCache::capacity_for(vid_t num_vertices, double alpha) {
+  const double a = std::clamp(alpha, 0.0, 1.0);
+  return vid_t(std::clamp<long long>(std::llround(a * double(num_vertices)),
+                                     0ll, (long long)(num_vertices)));
+}
+
+bool FeatureCache::ClockTxn::committed(std::int64_t batch) const {
+  // Commits arrive in strictly ascending batch order (the commit
+  // discipline), so membership reduces to an upper-bound check — correct
+  // even after old snapshots age out of the ring.
+  return !snaps_.empty() && batch <= snaps_.back().id;
+}
+
+const serve::ClockCache& FeatureCache::ClockTxn::basis(
+    std::int64_t batch) const {
+  const serve::ClockCache* best = &initial_;
+  std::int64_t best_id = -1;
+  for (const Snap& s : snaps_) {
+    if (s.id < batch && s.id > best_id) {
+      best = &s.state;
+      best_id = s.id;
+    }
+  }
+  return *best;
+}
+
+void FeatureCache::ClockTxn::commit(std::int64_t batch,
+                                    serve::ClockCache&& state) {
+  snaps_.push_back(Snap{batch, std::move(state)});
+  if (snaps_.size() > 3) snaps_.erase(snaps_.begin());
 }
 
 GatherStats FeatureCache::gather(std::span<const vid_t> vertices,
                                  CycleLedger* cycles, MemoryLedger* bytes,
                                  std::span<const GatherProbe> probes,
-                                 bool bypass_cache) const {
-  // Fault check first: an armed transient fetch fails the whole copy before
+                                 bool bypass_cache,
+                                 const ClockGatherCtx& clock) const {
+  // Nothing to gather: no launch happens, so nothing is charged and no
+  // fault can fire — a zero-row copy is never issued.
+  if (vertices.empty()) return {};
+  // Fault check next: an armed transient fetch fails the whole copy before
   // any cycles or bytes are charged, so a retried gather double-charges
   // nothing. The fate is a pure function of (seed, key); `attempt` only
   // indexes into the per-key failing-attempt count, so which batch the key
   // rides in cannot change its outcome.
   if (fetch_rate_ > 0.0) {
     for (const GatherProbe& p : probes) {
-      const serve::FetchFate f = serve::fetch_fate(fetch_rate_, fetch_seed_, p.key);
+      const serve::FetchFate f =
+          serve::fetch_fate(fetch_rate_, fetch_seed_, p.key);
       if (f.poisoned && p.attempt < f.failing_attempts) {
         throw TransientFetchError(p.key, p.attempt + 1);
       }
     }
   }
   GatherStats st;
-  for (vid_t v : vertices) {
-    if (!bypass_cache && cached(v)) {
-      ++st.hits;
-      st.hit_bytes += row_bytes();
-    } else {
-      ++st.misses;
-      st.miss_bytes += row_bytes();
+  if (policy_ == serve::CachePolicy::kClock && !bypass_cache) {
+    // Replay from the committed state after the previous batch (the initial
+    // state without a txn) on a private copy; publish it only on the
+    // batch's designated committing attempt. Every recovery replay of the
+    // same batch therefore observes the identical basis, which is what
+    // keeps serial, pipelined, and chaos hit streams equal.
+    serve::ClockCache state =
+        clock.txn != nullptr ? clock.txn->basis(clock.batch) : clock_init_;
+    const bool can_install = state.capacity() > 0;
+    for (vid_t v : vertices) {
+      if (state.access(v)) {
+        ++st.hits;
+        st.hit_bytes += row_bytes();
+      } else {
+        ++st.misses;
+        st.miss_bytes += row_bytes();
+        if (can_install) {
+          // The cache starts full, so every install displaces a row.
+          ++st.evictions;
+          st.insert_bytes += row_bytes();
+        }
+      }
+    }
+    if (clock.txn != nullptr && clock.commit &&
+        !clock.txn->committed(clock.batch)) {
+      clock.txn->commit(clock.batch, std::move(state));
+    }
+  } else {
+    for (vid_t v : vertices) {
+      if (!bypass_cache && cached(v)) {
+        ++st.hits;
+        st.hit_bytes += row_bytes();
+      } else {
+        ++st.misses;
+        st.miss_bytes += row_bytes();
+      }
     }
   }
   // One gather launch; hit rows stream at DRAM bandwidth, miss rows at PCIe
-  // bandwidth. The two transfers overlap with neither each other nor the
-  // launch in this first-order model, matching dense_cost's structure.
-  st.cycles = 2000 +
-              std::uint64_t(
-                  std::ceil(double(st.hit_bytes) / dev_->dram_bytes_per_cycle)) +
-              std::uint64_t(std::ceil(double(st.miss_bytes) /
-                                      dev_->pcie_bytes_per_cycle));
+  // bandwidth, and CLOCK installs write fetched rows back into their slots
+  // at DRAM bandwidth. The transfers overlap with neither each other nor
+  // the launch in this first-order model, matching dense_cost's structure.
+  st.cycles =
+      2000 +
+      std::uint64_t(
+          std::ceil(double(st.hit_bytes) / dev_.dram_bytes_per_cycle)) +
+      std::uint64_t(
+          std::ceil(double(st.miss_bytes) / dev_.pcie_bytes_per_cycle)) +
+      std::uint64_t(
+          std::ceil(double(st.insert_bytes) / dev_.dram_bytes_per_cycle));
   if (cycles != nullptr) cycles->add("feature_gather", st.cycles);
   if (bytes != nullptr) {
     bytes->add("feature_cache_hit", st.hit_bytes);
     bytes->add("feature_cache_miss", st.miss_bytes);
+    // Only CLOCK ever inserts; omitting the zero keeps the static policies'
+    // ledgers byte-identical to the pre-policy server.
+    if (st.insert_bytes > 0) {
+      bytes->add("feature_cache_insert", st.insert_bytes);
+    }
   }
   return st;
 }

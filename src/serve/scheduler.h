@@ -54,6 +54,11 @@ struct TenantSpec {
   std::vector<int> fanouts = {10, 5};
   /// Deadline: a request must complete within slo_cycles of its arrival.
   std::uint64_t slo_cycles = 1;
+  /// Relative share of the feature-cache capacity under
+  /// ServeOptions::partition_cache (serve::partition_capacities): rows are
+  /// apportioned proportionally; all-zero shares split equally. Must be
+  /// nonnegative. Ignored without partitioning.
+  double cache_share = 0.0;
 };
 
 enum class SchedulerPolicy { kFifoAggregate, kEdf, kSlack };

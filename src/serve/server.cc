@@ -97,6 +97,16 @@ void ServeOptions::Validate() const {
         "ServeOptions: retry.max_retries must be >= 0, got " +
         std::to_string(retry.max_retries));
   }
+  if (presample_epochs < 0) {
+    throw std::invalid_argument(
+        "ServeOptions: presample_epochs must be >= 0, got " +
+        std::to_string(presample_epochs));
+  }
+  if (partition_cache && tenants.empty()) {
+    throw std::invalid_argument(
+        "ServeOptions: partition_cache requires a tenant table (the legacy "
+        "single-tenant path has nothing to partition by)");
+  }
   for (const serve::TenantSpec& t : tenants) {
     if (t.model_kind != "gcn" && t.model_kind != "gin" &&
         t.model_kind != "gat") {
@@ -119,8 +129,62 @@ void ServeOptions::Validate() const {
       throw std::invalid_argument("ServeOptions: tenant '" + t.name +
                                   "' slo_cycles must be >= 1");
     }
+    if (!(t.cache_share >= 0.0)) {  // rejects negatives and NaN
+      throw std::invalid_argument("ServeOptions: tenant '" + t.name +
+                                  "' cache_share must be >= 0");
+    }
   }
   scheduler.Validate();
+}
+
+serve::CachePolicy InferenceServer::resolve_policy(const Dataset& ds,
+                                                   const gpusim::DeviceSpec& dev,
+                                                   const ServeOptions& opts,
+                                                   int in_dim) {
+  if (opts.cache_policy != serve::CachePolicy::kAuto) return opts.cache_policy;
+  if (opts.tuning_cache == nullptr) return serve::CachePolicy::kDegree;
+  tune::ServeKey key;
+  key.signature = tune::signature_of(ds.coo);
+  key.workload = serve::cache_workload_key(opts.cache_alpha, opts.fanouts,
+                                           opts.batch_size, in_dim);
+  key.device = tune::device_key(dev);
+  const tune::ServeDecision* d = opts.tuning_cache->lookup_serve(key);
+  if (d == nullptr) d = opts.tuning_cache->lookup_serve_nearest(key);
+  serve::CachePolicy p = serve::CachePolicy::kDegree;
+  if (d != nullptr && serve::cache_policy_from_name(d->cache_policy, &p) &&
+      p != serve::CachePolicy::kAuto) {
+    return p;
+  }
+  return serve::CachePolicy::kDegree;
+}
+
+FeatureCache InferenceServer::make_cache(const Dataset& ds,
+                                         const gpusim::DeviceSpec& dev,
+                                         const ServeOptions& opts, int in_dim,
+                                         const Csr& csr,
+                                         serve::CachePolicy policy) {
+  CacheConfig cc;
+  cc.policy = policy;
+  // Partitioned serving moves every row into the per-tenant caches; the
+  // shared cache stays allocated-but-empty so the device byte budget is
+  // owned entirely by the partitions.
+  if (opts.partition_cache) cc.capacity_override = 0;
+  if (policy == serve::CachePolicy::kPresampleFrequency &&
+      !opts.partition_cache) {
+    const std::vector<SeedRequest> own_probe =
+        opts.presample_probe.empty()
+            ? serve::default_presample_probe(ds.coo, opts.seed)
+            : std::vector<SeedRequest>{};
+    const std::span<const SeedRequest> probe =
+        opts.presample_probe.empty()
+            ? std::span<const SeedRequest>(own_probe)
+            : std::span<const SeedRequest>(opts.presample_probe);
+    const auto freq = serve::presample_frequencies(
+        csr, probe, opts.fanouts, opts.seed, opts.presample_epochs);
+    const auto order = serve::frequency_order(freq, row_lengths(ds.coo));
+    return FeatureCache(ds.coo, in_dim, opts.cache_alpha, dev, cc, order);
+  }
+  return FeatureCache(ds.coo, in_dim, opts.cache_alpha, dev, cc);
 }
 
 InferenceServer::InferenceServer(const Dataset& ds,
@@ -132,7 +196,8 @@ InferenceServer::InferenceServer(const Dataset& ds,
       in_dim_(opts.feature_dim_override > 0 ? opts.feature_dim_override
                                             : ds.input_feat_len),
       csr_(coo_to_csr(ds.coo)),
-      cache_(ds.coo, in_dim_, opts.cache_alpha, dev),
+      policy_(resolve_policy(ds, dev, opts_, in_dim_)),
+      cache_(make_cache(ds, dev, opts_, in_dim_, csr_, policy_)),
       features_(make_features(ds.coo.num_rows, in_dim_,
                               ds.labeled ? ds.labels : std::vector<int>{},
                               opts.seed)),
@@ -144,6 +209,61 @@ InferenceServer::InferenceServer(const Dataset& ds,
                                          : owned_mem_.get()),
       cache_alloc_(*mem_, cache_.device_bytes()) {
   cache_.set_fetch_faults(opts_.chaos.fetch_rate, opts_.chaos.seed);
+  if (!opts_.partition_cache) return;
+
+  // Per-tenant partitions: the alpha capacity splits by TenantSpec shares
+  // (largest remainder, sums exactly), each partition pins from its own
+  // order — a tenant-filtered probe for the frequency policy, falling back
+  // to the full probe when a tenant issued no probe requests.
+  const vid_t cap =
+      FeatureCache::capacity_for(ds.coo.num_rows, opts_.cache_alpha);
+  std::vector<double> shares;
+  shares.reserve(opts_.tenants.size());
+  for (const serve::TenantSpec& t : opts_.tenants) {
+    shares.push_back(t.cache_share);
+  }
+  const std::vector<vid_t> caps = serve::partition_capacities(cap, shares);
+
+  std::vector<SeedRequest> default_probe;
+  std::span<const SeedRequest> probe;
+  std::vector<vid_t> deg;
+  if (policy_ == serve::CachePolicy::kPresampleFrequency) {
+    if (opts_.presample_probe.empty()) {
+      default_probe = serve::default_presample_probe(ds.coo, opts_.seed);
+    }
+    probe = opts_.presample_probe.empty()
+                ? std::span<const SeedRequest>(default_probe)
+                : std::span<const SeedRequest>(opts_.presample_probe);
+    deg = row_lengths(ds.coo);
+  }
+  tenant_caches_.reserve(opts_.tenants.size());
+  tenant_cache_allocs_.reserve(opts_.tenants.size());
+  for (std::size_t t = 0; t < opts_.tenants.size(); ++t) {
+    CacheConfig cc;
+    cc.policy = policy_;
+    cc.capacity_override = caps[t];
+    std::vector<vid_t> order;
+    if (policy_ == serve::CachePolicy::kPresampleFrequency) {
+      std::vector<SeedRequest> sub;
+      for (const SeedRequest& r : probe) {
+        if (r.tenant == int(t)) sub.push_back(r);
+      }
+      const std::span<const SeedRequest> tenant_probe =
+          sub.empty() ? probe : std::span<const SeedRequest>(sub);
+      const auto freq = serve::presample_frequencies(
+          csr_, tenant_probe, opts_.tenants[t].fanouts, opts_.seed,
+          opts_.presample_epochs);
+      order = serve::frequency_order(freq, deg);
+    }
+    tenant_caches_.emplace_back(
+        ds.coo, in_dim_, opts_.cache_alpha, dev_, cc,
+        order.empty() ? std::span<const vid_t>()
+                      : std::span<const vid_t>(order));
+    tenant_caches_.back().set_fetch_faults(opts_.chaos.fetch_rate,
+                                           opts_.chaos.seed);
+    tenant_cache_allocs_.emplace_back(*mem_,
+                                      tenant_caches_.back().device_bytes());
+  }
 }
 
 /// Per-serve mutable state threaded through every attempt.
@@ -155,6 +275,8 @@ struct InferenceServer::ServeState {
   /// a batch never mixes tenants) runs; null on the legacy single-tenant
   /// path, which reads model_kind/fanouts from the options instead.
   const serve::TenantSpec* tenant = nullptr;
+  /// Active tenant index (the partition selector); -1 on the legacy path.
+  int tenant_idx = -1;
   OpContext ctx;
   SamplerScratch scratch;
   /// Gather attempts per trace index — the `attempt` coordinate of the
@@ -162,6 +284,10 @@ struct InferenceServer::ServeState {
   /// success or not, so a transient clears after its scheduled number of
   /// failures no matter how the request is (re)grouped.
   std::vector<int> gather_attempts;
+  /// Per-cache CLOCK transactions (kClock only; one per partition on the
+  /// partitioned path, one for the shared cache otherwise). A fresh serve
+  /// starts from the cache's seeded initial state — serves are independent.
+  std::vector<FeatureCache::ClockTxn> clock_txns;
   gpusim::DeviceMemory* mem = nullptr;
 };
 
@@ -303,12 +429,36 @@ InferenceServer::PreparedGroup InferenceServer::prepare_group(
   for (std::size_t idx : indices) {
     probes.push_back({std::uint64_t(idx), st.gather_attempts[idx]++});
   }
-  const GatherStats gst = cache_.gather(unique_vertices, &rep.ledger,
-                                        &rep.bytes, probes, mode.safe);
+  // Gather through the active cache: the tenant's partition when serving
+  // is partitioned, the shared cache otherwise. Under kClock the gather
+  // carries its batch's transaction coordinates; only the batch's first
+  // full-fidelity, full-membership attempt commits the advanced state
+  // (recovery replays — retries after a commit, bisected halves, truncated
+  // or safe reruns — observe the same basis and discard), which is what
+  // keeps the hit stream identical across serial, pipelined, and chaos
+  // drivers.
+  const FeatureCache& fc =
+      (!tenant_caches_.empty() && st.tenant_idx >= 0)
+          ? tenant_caches_[std::size_t(st.tenant_idx)]
+          : cache_;
+  FeatureCache::ClockGatherCtx clock;
+  if (policy_ == serve::CachePolicy::kClock && !st.clock_txns.empty()) {
+    const std::size_t slot = (!tenant_caches_.empty() && st.tenant_idx >= 0)
+                                 ? std::size_t(st.tenant_idx)
+                                 : 0;
+    clock.txn = &st.clock_txns[slot];
+    clock.batch = std::int64_t(b);
+    clock.commit = !mode.truncated && !mode.safe &&
+                   indices.size() == std::size_t(bs.num_requests);
+  }
+  const GatherStats gst = fc.gather(unique_vertices, &rep.ledger, &rep.bytes,
+                                    probes, mode.safe, clock);
   bs.gather.hits += gst.hits;
   bs.gather.misses += gst.misses;
+  bs.gather.evictions += gst.evictions;
   bs.gather.hit_bytes += gst.hit_bytes;
   bs.gather.miss_bytes += gst.miss_bytes;
+  bs.gather.insert_bytes += gst.insert_bytes;
   bs.gather.cycles += gst.cycles;
   bs.num_unique_vertices += vid_t(unique_vertices.size());
   return pg;
@@ -470,8 +620,10 @@ void fold_timeline(ServingReport& rep, bool pipelined) {
     rep.max_batch_cycles = std::max(rep.max_batch_cycles, bs.latency_cycles);
     rep.cache_hits += bs.gather.hits;
     rep.cache_misses += bs.gather.misses;
+    rep.cache_evictions += bs.gather.evictions;
     rep.cache_hit_bytes += bs.gather.hit_bytes;
     rep.cache_miss_bytes += bs.gather.miss_bytes;
+    rep.cache_insert_bytes += bs.gather.insert_bytes;
   }
   for (const StageSpan& span : rep.timeline) {
     StageSplit& split = span.stream == kSampleStream   ? rep.sample_split
@@ -612,6 +764,7 @@ ServingReport InferenceServer::serve(
   st.ctx.ledger = &rep.ledger;
   st.ctx.training = false;  // dropout is identity at serving time
   st.gather_attempts.assign(requests.size(), 0);
+  if (policy_ == serve::CachePolicy::kClock) st.clock_txns.emplace_back(cache_);
   st.mem = mem_;
 
   if (!opts_.pipeline) {
@@ -745,6 +898,15 @@ ServingReport InferenceServer::serve_scheduled(
   st.ctx.ledger = &rep.ledger;
   st.ctx.training = false;
   st.gather_attempts.assign(requests.size(), 0);
+  if (policy_ == serve::CachePolicy::kClock) {
+    if (!tenant_caches_.empty()) {
+      for (const FeatureCache& c : tenant_caches_) {
+        st.clock_txns.emplace_back(c);
+      }
+    } else {
+      st.clock_txns.emplace_back(cache_);
+    }
+  }
   st.mem = mem_;
 
   // Discrete-event decision loop on the serial completion clock: the
@@ -768,6 +930,7 @@ ServingReport InferenceServer::serve_scheduled(
       bs.release_cycle = plan->cut_cycle;
     }
     st.tenant = &opts_.tenants[std::size_t(plan->tenant)];
+    st.tenant_idx = plan->tenant;
     st.cfg = &cfgs[std::size_t(plan->tenant)];
     StageFault fault;
     if (!try_group(st, plan->members, GroupMode{}, b, &fault)) {

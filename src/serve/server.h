@@ -71,6 +71,25 @@ struct ServeOptions {
   std::vector<int> fanouts = {10, 5};
   /// Fraction of vertices (by degree) whose features are pinned on device.
   double cache_alpha = 0.1;
+  /// Which vertices the cache budget goes to (serve/cache_policy.h):
+  /// kDegree (the original static order, bit-identical), kPresampleFrequency
+  /// (warmup-sampled access frequency), kClock (dynamic second-chance), or
+  /// kAuto (dispatch the bake-off winner recorded in `tuning_cache` for this
+  /// (graph signature, workload, device); degree when nothing matches).
+  serve::CachePolicy cache_policy = serve::CachePolicy::kDegree;
+  /// kPresampleFrequency: warmup epochs of the sampler over the probe
+  /// trace. 0 collapses to the degree order exactly (all counts tie at 0).
+  int presample_epochs = 3;
+  /// kPresampleFrequency: the probe trace the warmup epochs sample. Empty =
+  /// a default uniform probe derived from `seed`
+  /// (serve::default_presample_probe).
+  std::vector<SeedRequest> presample_probe;
+  /// Scheduled serving only: give each tenant its own cache partition sized
+  /// by TenantSpec::cache_share (largest-remainder split of the alpha
+  /// capacity; all-zero shares split equally) instead of one shared cache.
+  /// Partition capacities sum exactly to the shared capacity, so the device
+  /// byte budget is unchanged.
+  bool partition_cache = false;
   /// Overrides the dataset's input feature length (0 = use Table 1's F).
   int feature_dim_override = 0;
   Backend backend = Backend::kAuto;
@@ -108,8 +127,10 @@ struct ServeOptions {
   /// model_kind, batch_size < 1, empty or non-positive fanouts, cache_alpha
   /// outside [0, 1], negative feature_dim_override, chaos rates outside
   /// [0, 1], negative retry budget, a tenant with an unknown model_kind /
-  /// empty or non-positive fanouts / slo_cycles < 1, scheduler options out
-  /// of range). The standalone sampler treats a fanout <= 0 as "take every
+  /// empty or non-positive fanouts / slo_cycles < 1 / negative cache_share,
+  /// negative presample_epochs, partition_cache without tenants, scheduler
+  /// options out of range). The standalone sampler treats a fanout <= 0 as
+  /// "take every
   /// neighbor"; serving rejects it — an unbounded neighborhood has no place
   /// in a latency-bounded tier.
   void Validate() const;
@@ -180,8 +201,13 @@ struct ServingReport {
   std::uint64_t max_batch_cycles = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// CLOCK policy: rows displaced by installs across all batches (0 under
+  /// the static policies).
+  std::uint64_t cache_evictions = 0;
   std::size_t cache_hit_bytes = 0;
   std::size_t cache_miss_bytes = 0;
+  /// CLOCK policy: bytes written installing fetched rows into their slots.
+  std::size_t cache_insert_bytes = 0;
   /// Fraction of gathered vertices served from the device cache.
   double cache_hit_rate() const {
     const double total = double(cache_hits + cache_misses);
@@ -260,6 +286,22 @@ class InferenceServer {
                   const ServeOptions& opts);
 
   const FeatureCache& cache() const { return cache_; }
+  /// The concrete policy serving runs under — ServeOptions::cache_policy
+  /// with kAuto resolved against the tuning cache at construction.
+  serve::CachePolicy cache_policy() const { return policy_; }
+  /// Whether scheduled serving gathers through per-tenant partitions.
+  bool partitioned() const { return !tenant_caches_.empty(); }
+  /// Tenant t's cache partition (partitioned() must hold).
+  const FeatureCache& tenant_cache(int t) const {
+    return tenant_caches_[std::size_t(t)];
+  }
+  /// Device bytes across the shared cache and every partition — what sits
+  /// in use between serves.
+  std::size_t cache_device_bytes() const {
+    std::size_t total = cache_.device_bytes();
+    for (const FeatureCache& c : tenant_caches_) total += c.device_bytes();
+    return total;
+  }
   /// The tracker serving allocations are charged to (the external one when
   /// ServeOptions::device_memory was set, else the private one). Between
   /// serves exactly the pinned cache bytes are in use — the chaos harness's
@@ -324,16 +366,36 @@ class InferenceServer {
   /// scheduler-formed batches on a discrete-event decision clock.
   ServingReport serve_scheduled(std::span<const SeedRequest> requests) const;
 
+  /// kAuto resolution at construction: consult the tuning cache's serve
+  /// table (exact signature, then nearest) for this workload; degree when
+  /// nothing matches or no cache was supplied.
+  static serve::CachePolicy resolve_policy(const Dataset& ds,
+                                           const gpusim::DeviceSpec& dev,
+                                           const ServeOptions& opts,
+                                           int in_dim);
+  /// The shared cache (empty when partitioning: the partitions own the
+  /// rows). Runs the presample warmup when the policy asks for it.
+  static FeatureCache make_cache(const Dataset& ds,
+                                 const gpusim::DeviceSpec& dev,
+                                 const ServeOptions& opts, int in_dim,
+                                 const Csr& csr, serve::CachePolicy policy);
+
   const Dataset* ds_;
   gpusim::DeviceSpec dev_;  // by value: binding a caller temporary is legal
   ServeOptions opts_;
   int in_dim_;
   Csr csr_;                     // sampling topology
+  serve::CachePolicy policy_;   // concrete (kAuto resolved)
   FeatureCache cache_;
+  /// Per-tenant partitions (ServeOptions::partition_cache): index = tenant.
+  std::vector<FeatureCache> tenant_caches_;
   std::vector<float> features_;  // full n x in_dim host-side feature table
   std::unique_ptr<gpusim::DeviceMemory> owned_mem_;  // when none was passed
   gpusim::DeviceMemory* mem_;
   gpusim::DeviceAllocation cache_alloc_;  // the pinned cache's device bytes
+  /// Device registrations of the per-tenant partitions (aligned with
+  /// tenant_caches_).
+  std::vector<gpusim::DeviceAllocation> tenant_cache_allocs_;
 };
 
 }  // namespace gnnone

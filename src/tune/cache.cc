@@ -23,6 +23,10 @@ std::string TuneKey::str() const {
          "|" + signature.key();
 }
 
+std::string ServeKey::str() const {
+  return "serve|" + workload + "|" + device + "|" + signature.key();
+}
+
 void TuningCache::put(const TuneKey& key, const TuneDecision& decision) {
   const std::string k = key.str();
   auto it = std::lower_bound(
@@ -53,6 +57,45 @@ const TuneDecision* TuningCache::lookup_nearest(const TuneKey& key,
         e.key.device != key.device) {
       continue;
     }
+    const double d = signature_distance(e.key.signature, key.signature);
+    if (best == nullptr ? d <= best_d : d < best_d) {
+      best = &e.decision;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+void TuningCache::put_serve(const ServeKey& key,
+                            const ServeDecision& decision) {
+  const std::string k = key.str();
+  auto it = std::lower_bound(serve_entries_.begin(), serve_entries_.end(), k,
+                             [](const ServeEntry& e, const std::string& s) {
+                               return e.key.str() < s;
+                             });
+  if (it != serve_entries_.end() && it->key.str() == k) {
+    it->decision = decision;
+    return;
+  }
+  serve_entries_.insert(it, ServeEntry{key, decision});
+}
+
+const ServeDecision* TuningCache::lookup_serve(const ServeKey& key) const {
+  const std::string k = key.str();
+  auto it = std::lower_bound(serve_entries_.begin(), serve_entries_.end(), k,
+                             [](const ServeEntry& e, const std::string& s) {
+                               return e.key.str() < s;
+                             });
+  if (it != serve_entries_.end() && it->key.str() == k) return &it->decision;
+  return nullptr;
+}
+
+const ServeDecision* TuningCache::lookup_serve_nearest(
+    const ServeKey& key, double max_distance) const {
+  const ServeDecision* best = nullptr;
+  double best_d = max_distance;
+  for (const ServeEntry& e : serve_entries_) {
+    if (e.key.workload != key.workload || e.key.device != key.device) continue;
     const double d = signature_distance(e.key.signature, key.signature);
     if (best == nullptr ? d <= best_d : d < best_d) {
       best = &e.decision;
@@ -151,6 +194,18 @@ Json TuningCache::to_json() const {
     arr.push_back(std::move(j));
   }
   doc.set("entries", std::move(arr));
+  Json sarr = Json::array();
+  for (const ServeEntry& e : serve_entries_) {  // sorted by key
+    Json j = Json::object();
+    j.set("workload", e.key.workload);
+    j.set("device", e.key.device);
+    j.set("signature", signature_json(e.key.signature));
+    j.set("cache_policy", e.decision.cache_policy);
+    j.set("gather_cycles", e.decision.gather_cycles);
+    j.set("hit_rate", e.decision.hit_rate);
+    sarr.push_back(std::move(j));
+  }
+  doc.set("serve_entries", std::move(sarr));
   return doc;
 }
 
@@ -178,6 +233,24 @@ TuningCache TuningCache::from_json(const Json& doc) {
     d.cycles = j["cycles"].as_uint();
     d.bit_checked = j["bit_checked"].as_bool();
     cache.put(key, d);
+  }
+  // Pre-policy cache files have no serve table; treat its absence as empty
+  // so old artifacts keep loading.
+  if (doc.contains("serve_entries")) {
+    for (const Json& j : doc["serve_entries"].items()) {
+      ServeKey key;
+      key.workload = j["workload"].as_string();
+      key.device = j["device"].as_string();
+      key.signature = signature_from_json(j["signature"]);
+      ServeDecision d;
+      d.cache_policy = j["cache_policy"].as_string();
+      if (d.cache_policy.empty()) {
+        throw JsonError("tuning cache: serve entry with empty cache_policy");
+      }
+      d.gather_cycles = j["gather_cycles"].as_uint();
+      d.hit_rate = j["hit_rate"].as_double();
+      cache.put_serve(key, d);
+    }
   }
   return cache;
 }

@@ -50,6 +50,31 @@ struct TuneDecision {
   bool bit_checked = false;  // output matched the CPU reference bit-for-bit
 };
 
+/// Lookup key of one serving cache-policy entry (the bake-off's verdict,
+/// docs/SERVING.md §9). Lives beside the kernel entries in the same cache
+/// file: the serving tier and the kernel tuner share one artifact.
+struct ServeKey {
+  GraphSignature signature;
+  /// Canonical workload discriminator (serve::cache_workload_key): the
+  /// ServeOptions fields that shape gather traffic, e.g.
+  /// "alpha=0.100;fan=10-5;bs=24;f=32".
+  std::string workload;
+  std::string device;  // device_key() of the tuning device
+
+  /// Canonical string, "serve|<workload>|<device>|<sigkey>". Sort/equality
+  /// key of the serve table.
+  std::string str() const;
+};
+
+/// A tuned serving decision: which cache policy won the bake-off and why.
+/// The policy is stored as its canonical name (serve::cache_policy_name) so
+/// tune/ stays independent of serve/.
+struct ServeDecision {
+  std::string cache_policy;          // "degree" | "presample_freq" | "clock"
+  std::uint64_t gather_cycles = 0;   // winner's replayed gather cycles
+  double hit_rate = 0.0;             // winner's replayed hit rate
+};
+
 class TuningCache {
  public:
   /// Inserts or overwrites the entry for `key`.
@@ -74,6 +99,21 @@ class TuningCache {
   };
   const std::vector<Entry>& entries() const { return entries_; }
 
+  /// Serving cache-policy table (same exact/nearest discipline as the
+  /// kernel entries; nearest requires matching workload + device).
+  void put_serve(const ServeKey& key, const ServeDecision& decision);
+  const ServeDecision* lookup_serve(const ServeKey& key) const;
+  const ServeDecision* lookup_serve_nearest(const ServeKey& key,
+                                            double max_distance = 3.0) const;
+
+  struct ServeEntry {
+    ServeKey key;
+    ServeDecision decision;
+  };
+  const std::vector<ServeEntry>& serve_entries() const {
+    return serve_entries_;
+  }
+
   /// Versioned, deterministic document (entries sorted by key string).
   util::Json to_json() const;
   /// Parses a document produced by to_json(); throws util::JsonError on a
@@ -95,7 +135,8 @@ class TuningCache {
                                    std::string* warning = nullptr);
 
  private:
-  std::vector<Entry> entries_;  // kept sorted by key.str()
+  std::vector<Entry> entries_;            // kept sorted by key.str()
+  std::vector<ServeEntry> serve_entries_;  // kept sorted by key.str()
 };
 
 }  // namespace gnnone::tune

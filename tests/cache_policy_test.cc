@@ -1,0 +1,550 @@
+// Tests for the serving cache-policy layer (serve/cache_policy.h): the
+// degree / pre-sampling-frequency / CLOCK policies, the per-batch CLOCK
+// commit discipline, per-tenant cache partitioning, the tuner's bake-off +
+// kAuto dispatch, and the FeatureCache bugfix regressions (device spec by
+// value, empty gathers charge nothing, element-size-derived row bytes).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "gen/requests.h"
+#include "graph/convert.h"
+#include "serve/cache_policy.h"
+#include "serve/server.h"
+#include "tune/cache.h"
+
+namespace gnnone {
+namespace {
+
+using serve::CachePolicy;
+using serve::ClockCache;
+
+gpusim::DeviceSpec test_device() { return gpusim::DeviceSpec{}; }
+
+// --- Bugfix regressions --------------------------------------------------
+
+TEST(CachePolicyBugfix, DeviceSpecIsCopiedNotReferenced) {
+  const Dataset ds = make_dataset("G1");
+  // The old cache stored `const DeviceSpec*` from the ctor reference; a
+  // temporary spec then dangled. Gather after the temporary dies must use
+  // the copied bandwidths.
+  const FeatureCache cache(ds.coo, 16, 0.5, gpusim::DeviceSpec{});
+  const std::vector<vid_t> vs = {0, 1, 2, 3};
+  const GatherStats a = cache.gather(vs, nullptr, nullptr);
+  const gpusim::DeviceSpec fresh{};
+  const FeatureCache stable(ds.coo, 16, 0.5, fresh);
+  const GatherStats b = stable.gather(vs, nullptr, nullptr);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes);
+  EXPECT_EQ(a.miss_bytes, b.miss_bytes);
+}
+
+TEST(CachePolicyBugfix, EmptyGatherChargesNothing) {
+  const Dataset ds = make_dataset("G1");
+  const auto dev = test_device();
+  const FeatureCache cache(ds.coo, 16, 0.5, dev);
+  CycleLedger cycles;
+  MemoryLedger bytes;
+  const GatherStats st = cache.gather({}, &cycles, &bytes);
+  EXPECT_EQ(st.cycles, 0u);  // was a flat 2000-cycle launch charge
+  EXPECT_EQ(st.hits + st.misses, 0u);
+  EXPECT_EQ(cycles.total(), 0u);
+  EXPECT_EQ(bytes.total(), 0u);
+}
+
+TEST(CachePolicyBugfix, EmptyGatherSkipsFaultProbes) {
+  const Dataset ds = make_dataset("G1");
+  const auto dev = test_device();
+  FeatureCache cache(ds.coo, 16, 0.5, dev);
+  cache.set_fetch_faults(1.0, 7);  // every probe poisoned
+  const std::vector<GatherProbe> probes = {{3, 0}};
+  EXPECT_NO_THROW(cache.gather({}, nullptr, nullptr, probes));
+}
+
+TEST(CachePolicyBugfix, RowBytesDeriveFromElementSize) {
+  const Dataset ds = make_dataset("G1");
+  const auto dev = test_device();
+  const FeatureCache f32(ds.coo, 16, 0.5, dev);
+  const FeatureCache f64(ds.coo, 16, 0.5, dev, sizeof(double));
+  EXPECT_EQ(f32.row_bytes(), 16u * 4u);  // was hard-coded 4-byte elements
+  EXPECT_EQ(f64.row_bytes(), 16u * 8u);
+  EXPECT_EQ(f64.device_bytes(), 2 * f32.device_bytes());
+  const std::vector<vid_t> vs = {0, 1, 2, 3, 4, 5};
+  const GatherStats a = f32.gather(vs, nullptr, nullptr);
+  const GatherStats b = f64.gather(vs, nullptr, nullptr);
+  EXPECT_EQ(b.hit_bytes, 2 * a.hit_bytes);
+  EXPECT_EQ(b.miss_bytes, 2 * a.miss_bytes);
+}
+
+// --- Policy orders -------------------------------------------------------
+
+TEST(CachePolicy, NamesRoundTrip) {
+  for (CachePolicy p : {CachePolicy::kDegree, CachePolicy::kPresampleFrequency,
+                        CachePolicy::kClock, CachePolicy::kAuto}) {
+    CachePolicy back;
+    ASSERT_TRUE(serve::cache_policy_from_name(serve::cache_policy_name(p),
+                                              &back));
+    EXPECT_EQ(back, p);
+  }
+  CachePolicy out;
+  EXPECT_FALSE(serve::cache_policy_from_name("lru", &out));
+}
+
+TEST(CachePolicy, ZeroWarmupFrequencyOrderIsDegreeOrder) {
+  const Dataset ds = make_dataset("G4");
+  const Csr csr = coo_to_csr(ds.coo);
+  const auto probe = serve::default_presample_probe(ds.coo, 5);
+  const auto freq =
+      serve::presample_frequencies(csr, probe, {10, 5}, 5, /*epochs=*/0);
+  for (std::uint64_t f : freq) EXPECT_EQ(f, 0u);
+  std::vector<vid_t> degrees(std::size_t(ds.coo.num_rows), 0);
+  for (const vid_t r : ds.coo.row) ++degrees[std::size_t(r)];
+  EXPECT_EQ(serve::frequency_order(freq, degrees), serve::degree_order(ds.coo));
+}
+
+TEST(CachePolicy, FrequencyOrderPrefersSampledVertices) {
+  // Path-ish graph where vertex 4 has low degree but is the in-neighbor of
+  // every probe seed, so presampling counts it every request while degree
+  // order ranks it last.
+  const Coo g = coo_from_edges(6, 6,
+                               {{0, 1}, {0, 2}, {0, 3}, {1, 0}, {2, 0},
+                                {3, 0}, {1, 4}, {2, 4}, {3, 4}, {5, 4}});
+  const Csr csr = coo_to_csr(g);
+  std::vector<SeedRequest> probe(4);
+  probe[0].seeds = {1};
+  probe[1].seeds = {2};
+  probe[2].seeds = {3};
+  probe[3].seeds = {1, 2};
+  const auto freq = serve::presample_frequencies(csr, probe, {2}, 9, 2);
+  // Seeds 1..3 each pull in their sampled in-neighborhood; 4 never appears
+  // as a seed or an in-neighbor of one (edges 1->4 etc. point *to* 4), so
+  // its count comes only from being sampled where reachable.
+  EXPECT_GT(freq[1] + freq[2] + freq[3], 0u);
+  std::vector<vid_t> degrees(6, 0);
+  for (const vid_t r : g.row) ++degrees[std::size_t(r)];
+  const auto order = serve::frequency_order(freq, degrees);
+  // The most frequently sampled vertex leads the order regardless of degree.
+  std::uint64_t best = 0;
+  vid_t best_v = 0;
+  for (vid_t v = 0; v < 6; ++v) {
+    if (freq[std::size_t(v)] > best) {
+      best = freq[std::size_t(v)];
+      best_v = v;
+    }
+  }
+  EXPECT_EQ(order[0], best_v);
+}
+
+TEST(CachePolicy, PresampleFrequenciesRejectNegativeEpochs) {
+  const Dataset ds = make_dataset("G1");
+  const Csr csr = coo_to_csr(ds.coo);
+  const auto probe = serve::default_presample_probe(ds.coo, 5);
+  EXPECT_THROW(serve::presample_frequencies(csr, probe, {5}, 5, -1),
+               std::invalid_argument);
+}
+
+// --- CLOCK mechanics -----------------------------------------------------
+
+TEST(ClockCache, SecondChanceEvictionByHand) {
+  // Capacity 2 seeded with {10, 11}. Exercise the textbook second-chance
+  // sequence by hand.
+  const std::vector<vid_t> seed_order = {10, 11};
+  ClockCache c(seed_order, 2, 20);
+  EXPECT_TRUE(c.contains(10));
+  EXPECT_TRUE(c.contains(11));
+
+  EXPECT_TRUE(c.access(10));   // hit: ref(10) set
+  EXPECT_FALSE(c.access(5));   // miss: hand at slot0 sees ref(10), clears it,
+                               // evicts 11 (slot1, unreferenced)
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_FALSE(c.contains(11));
+  EXPECT_TRUE(c.contains(10));
+
+  EXPECT_FALSE(c.access(11));  // miss: hand wrapped past slot1; 10 now
+                               // unreferenced -> evicted
+  EXPECT_FALSE(c.contains(10));
+  EXPECT_TRUE(c.contains(11));
+  EXPECT_TRUE(c.contains(5));
+
+  EXPECT_TRUE(c.access(5));    // both resident rows hit
+  EXPECT_TRUE(c.access(11));
+}
+
+TEST(ClockCache, CapacityZeroAlwaysMisses) {
+  ClockCache c({}, 0, 4);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(0));
+  EXPECT_EQ(c.capacity(), 0);
+}
+
+TEST(ClockCache, BoundaryAlphasMatchStaticPolicies) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  RequestTraceOptions ro;
+  ro.num_requests = 24;
+  const auto trace = make_request_trace(ds.coo, ro);
+  for (double alpha : {0.0, 1.0}) {
+    ServingReport reps[2];
+    for (int p = 0; p < 2; ++p) {
+      ServeOptions o;
+      o.batch_size = 4;
+      o.fanouts = {4, 3};
+      o.feature_dim_override = 16;
+      o.cache_alpha = alpha;
+      o.cache_policy = p == 0 ? CachePolicy::kDegree : CachePolicy::kClock;
+      const InferenceServer server(ds, dev, o);
+      reps[p] = server.serve(trace);
+    }
+    EXPECT_EQ(reps[0].cache_hits, reps[1].cache_hits) << "alpha=" << alpha;
+    EXPECT_EQ(reps[0].cache_misses, reps[1].cache_misses) << "alpha=" << alpha;
+    EXPECT_EQ(reps[0].gather_cycles, reps[1].gather_cycles)
+        << "alpha=" << alpha;
+    EXPECT_EQ(reps[1].cache_evictions, 0u) << "alpha=" << alpha;
+  }
+}
+
+TEST(ClockCache, EvictionsEqualMissesWhenCapacityPositive) {
+  // Seeded full, every miss evicts + installs.
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  RequestTraceOptions ro;
+  ro.num_requests = 24;
+  const auto trace = make_request_trace(ds.coo, ro);
+  ServeOptions o;
+  o.batch_size = 4;
+  o.fanouts = {4, 3};
+  o.feature_dim_override = 16;
+  o.cache_alpha = 0.1;
+  o.cache_policy = CachePolicy::kClock;
+  const InferenceServer server(ds, dev, o);
+  const ServingReport rep = server.serve(trace);
+  EXPECT_EQ(rep.cache_evictions, rep.cache_misses);
+  EXPECT_EQ(rep.cache_insert_bytes, rep.cache_miss_bytes);
+  EXPECT_GT(rep.cache_evictions, 0u);
+}
+
+// --- Server-level policy behavior ---------------------------------------
+
+ServeOptions policy_opts(CachePolicy p) {
+  ServeOptions o;
+  o.model_kind = "gcn";
+  o.batch_size = 4;
+  o.fanouts = {4, 3};
+  o.cache_alpha = 0.1;
+  o.cache_policy = p;
+  o.feature_dim_override = 16;
+  o.seed = 3;
+  return o;
+}
+
+std::vector<SeedRequest> small_trace(const Coo& graph) {
+  RequestTraceOptions ro;
+  ro.num_requests = 24;
+  return make_request_trace(graph, ro);
+}
+
+TEST(PolicyServer, ZeroWarmupFrequencyServerMatchesDegreeBitIdentically) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto trace = small_trace(ds.coo);
+  ServeOptions deg = policy_opts(CachePolicy::kDegree);
+  ServeOptions freq = policy_opts(CachePolicy::kPresampleFrequency);
+  freq.presample_epochs = 0;
+  const ServingReport a = InferenceServer(ds, dev, deg).serve(trace);
+  const ServingReport b = InferenceServer(ds, dev, freq).serve(trace);
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.gather_cycles, b.gather_cycles);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.ledger.total(), b.ledger.total());
+  EXPECT_EQ(a.bytes.total(), b.bytes.total());
+}
+
+TEST(PolicyServer, PredictionsAreCachePolicyInvariant) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto trace = small_trace(ds.coo);
+  const ServingReport base =
+      InferenceServer(ds, dev, policy_opts(CachePolicy::kDegree)).serve(trace);
+  for (CachePolicy p :
+       {CachePolicy::kPresampleFrequency, CachePolicy::kClock}) {
+    const ServingReport rep =
+        InferenceServer(ds, dev, policy_opts(p)).serve(trace);
+    EXPECT_EQ(rep.predictions, base.predictions)
+        << serve::cache_policy_name(p);
+    ASSERT_EQ(rep.outcomes.size(), base.outcomes.size());
+    for (std::size_t r = 0; r < rep.outcomes.size(); ++r) {
+      EXPECT_EQ(rep.outcomes[r].status, base.outcomes[r].status)
+          << serve::cache_policy_name(p) << " request " << r;
+    }
+  }
+}
+
+TEST(PolicyServer, ClockSerialPipelinedAndRepeatedServesAgree) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto trace = small_trace(ds.coo);
+  ServeOptions o = policy_opts(CachePolicy::kClock);
+  const InferenceServer server(ds, dev, o);
+  const ServingReport serial1 = server.serve(trace);
+  const ServingReport serial2 = server.serve(trace);  // fresh txn per serve
+  o.pipeline = true;
+  const InferenceServer piped(ds, dev, o);
+  const ServingReport pipe = piped.serve(trace);
+
+  EXPECT_EQ(serial1.cache_hits, serial2.cache_hits);
+  EXPECT_EQ(serial1.gather_cycles, serial2.gather_cycles);
+  EXPECT_EQ(serial1.cache_evictions, serial2.cache_evictions);
+
+  EXPECT_EQ(serial1.predictions, pipe.predictions);
+  EXPECT_EQ(serial1.cache_hits, pipe.cache_hits);
+  EXPECT_EQ(serial1.cache_misses, pipe.cache_misses);
+  EXPECT_EQ(serial1.cache_evictions, pipe.cache_evictions);
+  EXPECT_EQ(serial1.gather_cycles, pipe.gather_cycles);
+  EXPECT_EQ(serial1.ledger.total(), pipe.ledger.total());
+}
+
+TEST(PolicyServer, ClockChaosRecoveryIsDriverInvariant) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  RequestTraceOptions ro;
+  ro.num_requests = 24;
+  const auto trace = make_request_trace(ds.coo, ro);
+  ServeOptions o = policy_opts(CachePolicy::kClock);
+  o.chaos.fetch_rate = 0.2;
+  o.chaos.kernel_rate = 0.1;
+  o.chaos.oom_rate = 0.1;
+  o.chaos.seed = 11;
+  const InferenceServer serial(ds, dev, o);
+  const ServingReport a = serial.serve(trace);
+  o.pipeline = true;
+  const InferenceServer piped(ds, dev, o);
+  const ServingReport b = piped.serve(trace);
+
+  EXPECT_GT(a.fault_events, 0);
+  EXPECT_EQ(a.predictions, b.predictions);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t r = 0; r < a.outcomes.size(); ++r) {
+    EXPECT_EQ(a.outcomes[r].status, b.outcomes[r].status) << "request " << r;
+  }
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.cache_evictions, b.cache_evictions);
+  EXPECT_EQ(a.gather_cycles, b.gather_cycles);
+  // Nothing leaks across a chaotic serve: only the cache stays allocated.
+  EXPECT_EQ(serial.device_memory().in_use(), serial.cache().device_bytes());
+  EXPECT_EQ(piped.device_memory().in_use(), piped.cache().device_bytes());
+}
+
+TEST(PolicyServer, BypassCacheMissesUnderEveryPolicy) {
+  const Dataset ds = make_dataset("G1");
+  const auto dev = test_device();
+  const std::vector<vid_t> vs = {0, 1, 2, 3, 4};
+  for (CachePolicy p : {CachePolicy::kDegree, CachePolicy::kPresampleFrequency,
+                        CachePolicy::kClock}) {
+    CacheConfig cfg;
+    cfg.policy = p;
+    const FeatureCache cache(ds.coo, 8, 1.0, dev, cfg);
+    const GatherStats st =
+        cache.gather(vs, nullptr, nullptr, {}, /*bypass_cache=*/true);
+    EXPECT_EQ(st.hits, 0u) << serve::cache_policy_name(p);
+    EXPECT_EQ(st.misses, vs.size()) << serve::cache_policy_name(p);
+    EXPECT_EQ(st.evictions, 0u) << serve::cache_policy_name(p);
+    EXPECT_EQ(st.insert_bytes, 0u) << serve::cache_policy_name(p);
+  }
+}
+
+// --- Partitioning --------------------------------------------------------
+
+TEST(Partitioning, LargestRemainderSplit) {
+  const std::vector<double> shares = {0.5, 0.25, 0.25};
+  const auto caps = serve::partition_capacities(10, shares);
+  ASSERT_EQ(caps.size(), 3u);
+  EXPECT_EQ(caps[0], 5);
+  EXPECT_EQ(caps[1], 3);  // remainder row goes to the lowest tied index
+  EXPECT_EQ(caps[2], 2);
+
+  const std::vector<double> zero = {0.0, 0.0};
+  const auto eq = serve::partition_capacities(7, zero);
+  EXPECT_EQ(eq[0] + eq[1], 7);
+  EXPECT_EQ(eq[0], 4);  // equal split, remainder to tenant 0
+
+  const std::vector<double> neg = {1.0, -0.5};
+  EXPECT_THROW(serve::partition_capacities(4, neg), std::invalid_argument);
+  EXPECT_THROW(serve::partition_capacities(4, std::span<const double>{}),
+               std::invalid_argument);
+}
+
+ServeOptions tenant_opts(bool partition) {
+  ServeOptions o;
+  o.batch_size = 4;
+  o.fanouts = {4, 3};
+  o.cache_alpha = 0.1;
+  o.cache_policy = CachePolicy::kClock;
+  o.feature_dim_override = 16;
+  o.seed = 3;
+  serve::TenantSpec a, b;
+  a.name = "a";
+  a.slo_cycles = 1'000'000'000;
+  a.cache_share = 0.5;
+  b.name = "b";
+  b.slo_cycles = 1'000'000'000;
+  b.cache_share = 0.5;
+  o.tenants = {a, b};
+  o.partition_cache = partition;
+  return o;
+}
+
+std::vector<SeedRequest> tenant_trace(const Coo& graph) {
+  RequestTraceOptions ro;
+  ro.num_requests = 24;
+  ro.seed = 21;
+  auto trace = make_request_trace(graph, ro);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].tenant = int(i % 2);
+    trace[i].arrival_cycle = std::uint64_t(i) * 1000;
+  }
+  return trace;
+}
+
+TEST(Partitioning, CapacityConservedAndAccountingExact) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto trace = tenant_trace(ds.coo);
+
+  const InferenceServer shared(ds, dev, tenant_opts(false));
+  const InferenceServer parted(ds, dev, tenant_opts(true));
+  ASSERT_FALSE(shared.partitioned());
+  ASSERT_TRUE(parted.partitioned());
+
+  // Same total row budget, so the same device byte budget.
+  const vid_t total = FeatureCache::capacity_for(ds.coo.num_rows, 0.1);
+  EXPECT_EQ(shared.cache().num_cached(), total);
+  EXPECT_EQ(parted.cache().num_cached(), 0);  // the shared cache is empty
+  vid_t rows = 0;
+  for (int t = 0; t < 2; ++t) rows += parted.tenant_cache(t).num_cached();
+  EXPECT_EQ(rows, total);
+  EXPECT_EQ(parted.cache_device_bytes(), shared.cache_device_bytes());
+
+  const ServingReport rs = shared.serve(trace);
+  const ServingReport rp = parted.serve(trace);
+  // Partitioning moves bytes, never math.
+  EXPECT_EQ(rs.predictions, rp.predictions);
+  ASSERT_EQ(rs.outcomes.size(), rp.outcomes.size());
+  for (std::size_t r = 0; r < rs.outcomes.size(); ++r) {
+    EXPECT_EQ(rs.outcomes[r].status, rp.outcomes[r].status) << "request " << r;
+  }
+  // Hit + miss still covers exactly the deduplicated vertices per batch.
+  for (const BatchStats& bs : rp.batches) {
+    EXPECT_EQ(bs.gather.hits + bs.gather.misses,
+              std::uint64_t(bs.num_unique_vertices));
+  }
+  // The partitions' device rows stay allocated, nothing else.
+  EXPECT_EQ(parted.device_memory().in_use(), parted.cache_device_bytes());
+}
+
+TEST(Partitioning, StaticPoliciesPartitionToo) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  const auto trace = tenant_trace(ds.coo);
+  for (CachePolicy p :
+       {CachePolicy::kDegree, CachePolicy::kPresampleFrequency}) {
+    ServeOptions o = tenant_opts(true);
+    o.cache_policy = p;
+    const InferenceServer server(ds, dev, o);
+    const ServingReport rep = server.serve(trace);
+    EXPECT_TRUE(server.partitioned());
+    EXPECT_GT(rep.cache_hits, 0u) << serve::cache_policy_name(p);
+    EXPECT_EQ(rep.cache_evictions, 0u) << serve::cache_policy_name(p);
+  }
+}
+
+// --- Tuner + kAuto dispatch ---------------------------------------------
+
+TEST(PolicyTuner, RecordsWinnerAndAutoDispatchesIt) {
+  const Dataset ds = make_dataset("G4");
+  const auto dev = test_device();
+  RequestTraceOptions ro;
+  ro.num_requests = 32;
+  ro.seed = 77;
+  const auto trace = make_request_trace(ds.coo, ro);
+
+  serve::PolicyTuneConfig cfg;
+  cfg.cache_alpha = 0.1;
+  cfg.fanouts = {4, 3};
+  cfg.batch_size = 4;
+  cfg.feat_len = 16;
+  cfg.seed = 3;
+  cfg.presample_probe = trace;
+
+  tune::TuningCache tc;
+  const serve::CachePolicyBakeoff bake =
+      serve::tune_cache_policy(ds.coo, dev, cfg, trace, &tc);
+  ASSERT_EQ(bake.outcomes.size(), 3u);
+  EXPECT_EQ(tc.serve_entries().size(), 1u);
+  // The winner really is the cheapest outcome.
+  for (const serve::PolicyOutcome& oc : bake.outcomes) {
+    if (oc.policy == bake.winner) continue;
+    EXPECT_GE(oc.gather_cycles,
+              bake.outcomes[std::size_t(bake.winner)].gather_cycles);
+  }
+
+  ServeOptions o = policy_opts(CachePolicy::kAuto);
+  o.tuning_cache = &tc;
+  o.presample_probe = trace;
+  const InferenceServer server(ds, dev, o);
+  EXPECT_EQ(server.cache_policy(), bake.winner);
+
+  // Without a tuning cache, kAuto falls back to degree.
+  const InferenceServer bare(ds, dev, policy_opts(CachePolicy::kAuto));
+  EXPECT_EQ(bare.cache_policy(), CachePolicy::kDegree);
+}
+
+TEST(PolicyTuner, ServeEntriesSurviveJsonRoundTripByteIdentically) {
+  const Dataset ds = make_dataset("G1");
+  const auto dev = test_device();
+  RequestTraceOptions ro;
+  ro.num_requests = 8;
+  const auto trace = make_request_trace(ds.coo, ro);
+  serve::PolicyTuneConfig cfg;
+  cfg.fanouts = {3};
+  cfg.batch_size = 4;
+  cfg.feat_len = 8;
+  tune::TuningCache tc;
+  serve::tune_cache_policy(ds.coo, dev, cfg, trace, &tc);
+  ASSERT_EQ(tc.serve_entries().size(), 1u);
+
+  const std::string dump = tc.to_json().dump(2);
+  const tune::TuningCache back = tune::TuningCache::from_json(tc.to_json());
+  ASSERT_EQ(back.serve_entries().size(), 1u);
+  EXPECT_EQ(back.to_json().dump(2), dump);
+  const tune::TuningCache::ServeEntry& e = back.serve_entries()[0];
+  const tune::ServeDecision* hit = back.lookup_serve(e.key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cache_policy, tc.serve_entries()[0].decision.cache_policy);
+}
+
+// --- Validation ----------------------------------------------------------
+
+TEST(PolicyValidation, RejectsBadOptions) {
+  ServeOptions o;
+  o.presample_epochs = -1;
+  EXPECT_THROW(o.Validate(), std::invalid_argument);
+
+  ServeOptions p;
+  p.partition_cache = true;  // no tenants
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+
+  ServeOptions q = tenant_opts(true);
+  q.tenants[1].cache_share = -0.25;
+  EXPECT_THROW(q.Validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(tenant_opts(true).Validate());
+}
+
+}  // namespace
+}  // namespace gnnone
