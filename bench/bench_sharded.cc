@@ -1,0 +1,291 @@
+// Sharded multi-device serving (docs/SERVING.md §10): the graph and feature
+// table partitioned across N simulated devices, requests routed to the owner
+// of their first seed, with either symmetric devices (every device samples
+// AND forwards its own batches, paying the gSuite colocation dilation on
+// both stages) or factored FGNN-style roles (dedicated samplers hand off to
+// dedicated forward devices over NVLink, no dilation on either side).
+//
+// Encoded claims:
+//  * predictions are bit-identical to the unsharded server at every shard
+//    count and role assignment (gcn — row/component-local compute);
+//  * one symmetric shard with dilation 1.0 IS the unsharded serial driver:
+//    identical makespan, identical ledger total;
+//  * the per-device timelines tile exactly — Σ exposed + idle == makespan on
+//    every device — and gather bytes are conserved: local hit + local miss +
+//    remote hit + remote miss bytes == Σ unique gathered vertices x row
+//    bytes;
+//  * factoring roles beats N symmetric devices on the sampling-heavy end of
+//    the sweep (deep fanouts, narrow features — strictly, on >= 3 points),
+//    for two compounding reasons: dedicated devices dodge the colocation
+//    dilation entirely, and the sampler->forward round-robin rebalances
+//    work that seed-ownership routing distributes unevenly across
+//    symmetric devices;
+//  * overload + admission control (SchedulerOptions::max_queue_depth) on the
+//    scheduled path: the backlog stays at or under the bound, sheds are > 0,
+//    and rejected + served + degraded + failed tiles the trace exactly.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "gen/requests.h"
+#include "serve/server.h"
+
+namespace {
+
+constexpr int kNumDevices = 4;
+
+struct MixPoint {
+  const char* id;        // sweep label ("fan15x10_d16")
+  std::vector<int> fanouts;
+  int dim;
+  bool sampling_heavy;   // the factored-roles win band
+};
+
+std::string shard_config(const char* mix, const char* layout) {
+  return std::string("mix=") + mix + ";layout=" + layout;
+}
+
+/// Per-device tiling: Σ exposed + idle == makespan, exactly, per device.
+bool devices_tile(const gnnone::ServingReport& rep) {
+  for (const gnnone::serve::DeviceShardReport& d : rep.devices) {
+    if (d.exposed_cycles + d.idle_cycles != d.makespan) return false;
+  }
+  return true;
+}
+
+/// Gather byte conservation over the whole run (header comment).
+bool bytes_conserved(const gnnone::ServingReport& rep, std::size_t row_bytes) {
+  std::size_t expect = 0;
+  for (const gnnone::BatchStats& b : rep.batches) {
+    expect += std::size_t(b.num_unique_vertices) * row_bytes;
+  }
+  const std::size_t got = rep.cache_hit_bytes + rep.cache_miss_bytes +
+                          rep.remote_hit_bytes + rep.remote_miss_bytes;
+  return got == expect;
+}
+
+/// The factored role assignment for a given sampler count: the first
+/// `samplers` devices sample, the rest forward.
+gnnone::serve::ShardOptions factored(int samplers) {
+  gnnone::serve::ShardOptions s;
+  s.num_devices = kNumDevices;
+  for (int d = 0; d < kNumDevices; ++d) {
+    s.roles.push_back(d < samplers ? gnnone::serve::ShardRole::kSampler
+                                   : gnnone::serve::ShardRole::kForward);
+  }
+  return s;
+}
+
+}  // namespace
+
+GNNONE_BENCH(sharded, 263,
+             "Sharded serving: symmetric vs factored sampler/forward roles "
+             "across simulated devices",
+             "extension (docs/SERVING.md §10); factored roles dodge the "
+             "colocation dilation and win sampling-heavy mixes; admission "
+             "control bounds the overload backlog") {
+  const gpusim::DeviceSpec& dev = gpusim::default_device();
+  const gnnone::Dataset ds = gnnone::make_dataset("G4");
+
+  // Uniform traffic: routed load balances across the contiguous degree-order
+  // shards (hot traffic would pile onto the top-degree shard — a layout
+  // question, not a role question).
+  gnnone::RequestTraceOptions ro;
+  ro.num_requests = 96;
+  ro.min_seeds = 1;
+  ro.max_seeds = 3;
+  ro.hot_fraction = 0.0;
+  ro.seed = 77;
+  const auto trace = gnnone::make_request_trace(ds.coo, ro);
+
+  // The fanout/dim sweep walks the sample-to-forward cost ratio: deep
+  // fanouts + narrow features are the sampling-heavy end (where the win
+  // expectation is pinned), shallow fanouts + wide features the
+  // forward-heavy end (reported for the record — the best split shifts
+  // toward fewer samplers). ci keeps one point from each end.
+  std::vector<MixPoint> mixes = {
+      {"fan15x10_d16", {15, 10}, 16, true},
+      {"fan12x8_d16", {12, 8}, 16, true},
+      {"fan10x10_d32", {10, 10}, 32, true},
+      {"fan10x5_d32", {10, 5}, 32, false},
+      {"fan4x2_d96", {4, 2}, 96, false}};
+  if (h.ci()) {
+    mixes = {{"fan15x10_d16", {15, 10}, 16, true},
+             {"fan4x2_d96", {4, 2}, 96, false}};
+  }
+
+  std::printf("%-14s %10s %12s %12s %12s %12s  %s\n", "mix", "unsharded",
+              "sym x4", "3s+1f", "2s+2f", "1s+3f", "best");
+
+  bool preds_invariant = true;
+  bool identity_exact = true;
+  bool tiles = true;
+  bool conserved = true;
+  int factored_wins = 0, heavy_points = 0;
+  std::vector<double> win_ratios;
+
+  for (const MixPoint& mix : mixes) {
+    gnnone::ServeOptions base;
+    base.model_kind = "gcn";
+    base.batch_size = 8;
+    base.fanouts = mix.fanouts;
+    base.cache_alpha = 0.1;
+    base.feature_dim_override = mix.dim;
+    base.backend = gnnone::Backend::kGnnOne;
+    base.seed = 9;
+
+    const gnnone::InferenceServer flat(ds, dev, base);
+    const gnnone::ServingReport flat_rep = flat.serve(trace);
+    const std::size_t row_bytes = std::size_t(mix.dim) * 4;
+
+    // One symmetric shard with no dilation IS the unsharded serial driver.
+    {
+      gnnone::ServeOptions o = base;
+      o.shard.num_devices = 1;
+      o.shard.colocation_dilation = 1.0;
+      const gnnone::InferenceServer one(ds, dev, o);
+      const gnnone::ServingReport rep = one.serve(trace);
+      identity_exact = identity_exact &&
+                       rep.total_cycles == flat_rep.total_cycles &&
+                       rep.ledger.total() == flat_rep.ledger.total() &&
+                       rep.predictions == flat_rep.predictions;
+    }
+
+    // Symmetric N devices vs every factored split.
+    std::uint64_t sym_cycles = 0, best_factored = 0;
+    std::vector<std::uint64_t> cycles_by_layout;
+    const std::vector<std::pair<const char*, gnnone::serve::ShardOptions>>
+        layouts = {{"sym", [] {
+                      gnnone::serve::ShardOptions s;
+                      s.num_devices = kNumDevices;
+                      return s;
+                    }()},
+                   {"3s1f", factored(3)},
+                   {"2s2f", factored(2)},
+                   {"1s3f", factored(1)}};
+    for (const auto& [name, shard] : layouts) {
+      gnnone::ServeOptions o = base;
+      o.shard = shard;
+      const gnnone::InferenceServer server(ds, dev, o);
+      const gnnone::ServingReport rep = server.serve(trace);
+
+      preds_invariant = preds_invariant &&
+                        rep.predictions == flat_rep.predictions;
+      tiles = tiles && devices_tile(rep);
+      conserved = conserved && bytes_conserved(rep, row_bytes);
+
+      h.add_cycles("G4", "shard_makespan", mix.dim, rep.total_cycles,
+                   shard_config(mix.id, name));
+      cycles_by_layout.push_back(rep.total_cycles);
+      if (std::string(name) == "sym") {
+        sym_cycles = rep.total_cycles;
+      } else {
+        best_factored = best_factored == 0
+                            ? rep.total_cycles
+                            : std::min(best_factored, rep.total_cycles);
+      }
+    }
+
+    const char* best = best_factored < sym_cycles ? "factored" : "symmetric";
+    std::printf("%-14s %10llu %12llu %12llu %12llu %12llu  %s\n", mix.id,
+                (unsigned long long)flat_rep.total_cycles,
+                (unsigned long long)cycles_by_layout[0],
+                (unsigned long long)cycles_by_layout[1],
+                (unsigned long long)cycles_by_layout[2],
+                (unsigned long long)cycles_by_layout[3], best);
+
+    if (mix.sampling_heavy) {
+      ++heavy_points;
+      if (best_factored < sym_cycles) ++factored_wins;
+      win_ratios.push_back(double(sym_cycles) / double(best_factored));
+    }
+  }
+
+  h.expect("sharded.predictions_invariant", preds_invariant,
+           "sharded predictions differ from the unsharded server");
+  h.expect("sharded.one_shard_is_unsharded", identity_exact,
+           "1 symmetric shard at dilation 1.0 != the unsharded serial run");
+  h.expect("sharded.devices_tile_exactly", tiles,
+           "some device's exposed + idle != makespan");
+  h.expect("sharded.gather_bytes_conserved", conserved,
+           "hit+miss+remote bytes != unique vertices x row bytes");
+  h.expect("sharded.factored_wins_sampling_heavy",
+           factored_wins == heavy_points && heavy_points >= (h.ci() ? 1 : 3),
+           "factored roles lost a sampling-heavy point to symmetric");
+  if (!win_ratios.empty()) {
+    double prod = 1.0;
+    for (double r : win_ratios) prod *= r;
+    h.metric("factored_speedup_geomean_sampling_heavy",
+             std::pow(prod, 1.0 / double(win_ratios.size())));
+  }
+
+  // --- overload + admission control on the scheduled path ----------------
+  // One tenant, Poisson arrivals far above service capacity: unbounded, the
+  // backlog grows with the trace; with max_queue_depth the peak stays at the
+  // bound and the overflow is shed at admission as kRejected.
+  {
+    gnnone::TenantWorkload w;
+    w.requests.num_requests = h.ci() ? 48 : 96;
+    w.requests.min_seeds = 1;
+    w.requests.max_seeds = 2;
+    w.requests.seed = 31;
+    w.arrivals.process = gnnone::ArrivalProcess::kPoisson;
+    // A batch of 8 services in ~25k cycles; arrivals every ~100 cycles
+    // offer ~30x capacity, so the whole trace lands during the first few
+    // batches and the backlog is the trace minus what got served.
+    w.arrivals.mean_interarrival_cycles = 100.0;
+    w.arrivals.seed = 31;
+    const auto open_trace = gnnone::make_open_loop_trace(ds.coo, {w});
+
+    gnnone::ServeOptions o;
+    o.model_kind = "gcn";
+    o.batch_size = 8;
+    o.fanouts = {10, 5};
+    o.cache_alpha = 0.1;
+    o.feature_dim_override = 32;
+    o.backend = gnnone::Backend::kGnnOne;
+    o.seed = 9;
+    o.tenants = {{"overloaded", "gcn", {10, 5}, 40'000'000, 0.0}};
+
+    const std::size_t kDepth = 12;
+    std::vector<std::pair<const char*, std::size_t>> runs = {
+        {"unbounded", 0}, {"bounded", kDepth}};
+    std::size_t unbounded_peak = 0, bounded_peak = 0;
+    int shed = 0;
+    bool tiling = true;
+    for (const auto& [name, depth] : runs) {
+      gnnone::ServeOptions oo = o;
+      oo.scheduler.max_queue_depth = depth;
+      const gnnone::InferenceServer server(ds, dev, oo);
+      const gnnone::ServingReport rep = server.serve(open_trace);
+      h.add_cycles("G4", "shard_admission_makespan", 32, rep.total_cycles,
+                   std::string("queue=") + name);
+      tiling = tiling &&
+               rep.served_requests() + rep.rejected_requests() +
+                       rep.failed_requests() ==
+                   rep.num_requests;
+      if (depth == 0) {
+        unbounded_peak = rep.peak_queue_depth;
+      } else {
+        bounded_peak = rep.peak_queue_depth;
+        shed = rep.rejected_requests();
+      }
+    }
+    std::printf("admission: unbounded peak %zu, bounded peak %zu (cap %zu), "
+                "shed %d\n",
+                unbounded_peak, bounded_peak, kDepth, shed);
+    h.metric("admission_unbounded_peak_depth", double(unbounded_peak));
+    h.metric("admission_shed_requests", double(shed));
+    h.expect("sharded.admission_bounds_backlog",
+             bounded_peak <= kDepth && unbounded_peak > kDepth,
+             "max_queue_depth failed to bound the overload backlog");
+    h.expect("sharded.admission_sheds_overflow", shed > 0,
+             "overload with a bounded queue shed nothing");
+    h.expect("sharded.admission_accounting_tiles", tiling,
+             "served + rejected + failed != trace size under admission");
+  }
+  return 0;
+}

@@ -31,7 +31,7 @@ bool uses_coo_kernels(Backend b) {
 
 SparseEngine::SparseEngine(Backend backend, const Coo& coo,
                            const gpusim::DeviceSpec& dev)
-    : backend_(backend), dev_(&dev), coo_(coo) {
+    : backend_(backend), dev_(dev), coo_(coo) {
   auto [t, perm] = coo_transpose(coo_);
   coo_t_ = std::move(t);
   perm_ = std::move(perm);
@@ -76,7 +76,7 @@ tune::Candidate SparseEngine::auto_candidate(const Coo& coo, tune::TuneOp op,
     }
   }
   if (online_tune_) {
-    return tune::tune_into(session_, *dev_, coo, op, key.dim, {})
+    return tune::tune_into(session_, dev_, coo, op, key.dim, {})
         .best.candidate;
   }
   // Cold-miss heuristic: near-uniform graphs don't need GNNOne's balancing,
@@ -144,14 +144,14 @@ Tensor SparseEngine::run_spmm(const OpContext& ctx, const Coo& coo,
   if (backend_ == Backend::kAuto) {
     const bool forward = &coo == &coo_;
     const tune::OpInputs in{&coo, &csr, forward ? &ng_ : &ng_t_};
-    ks = tune::run_candidate(*dev_,
+    ks = tune::run_candidate(dev_,
                              auto_candidate(coo, tune::TuneOp::kSpmm, f),
                              tune::TuneOp::kSpmm, in, ev, x.flat(), {}, f,
                              out.flat());
   } else if (uses_coo_kernels(backend_)) {
-    ks = gnnone_spmm(*dev_, coo, ev, x.flat(), f, out.flat());
+    ks = gnnone_spmm(dev_, coo, ev, x.flat(), f, out.flat());
   } else {
-    ks = baselines::cusparse_spmm(*dev_, csr, ev, x.flat(), f, out.flat());
+    ks = baselines::cusparse_spmm(dev_, csr, ev, x.flat(), f, out.flat());
   }
   charge(ctx, "spmm", ks);
   return out;
@@ -166,20 +166,20 @@ Tensor SparseEngine::run_sddmm(const OpContext& ctx, const Tensor& x,
   switch (backend_) {
     case Backend::kGnnOne:
     case Backend::kGnnOneFused:
-      ks = gnnone_sddmm(*dev_, coo_, x.flat(), y.flat(), f, out.flat());
+      ks = gnnone_sddmm(dev_, coo_, x.flat(), y.flat(), f, out.flat());
       break;
     case Backend::kDgl:
-      ks = baselines::dgl_sddmm(*dev_, coo_, x.flat(), y.flat(), f,
+      ks = baselines::dgl_sddmm(dev_, coo_, x.flat(), y.flat(), f,
                                 out.flat());
       break;
     case Backend::kDgnn:
-      ks = baselines::dgsparse_sddmm(*dev_, csr_, x.flat(), y.flat(), f,
+      ks = baselines::dgsparse_sddmm(dev_, csr_, x.flat(), y.flat(), f,
                                      out.flat());
       break;
     case Backend::kAuto: {
       // SDDMM always runs on the forward graph (row = destination).
       const tune::OpInputs in{&coo_, &csr_, &ng_};
-      ks = tune::run_candidate(*dev_,
+      ks = tune::run_candidate(dev_,
                                auto_candidate(coo_, tune::TuneOp::kSddmm, f),
                                tune::TuneOp::kSddmm, in, {}, x.flat(),
                                y.flat(), f, out.flat());
@@ -339,7 +339,7 @@ VarPtr SparseEngine::edge_softmax(const OpContext& ctx, const VarPtr& scores) {
   const Tensor maxes = run_spmm(ctx, coo_, csr_, scores->value.flat(), vones);
   (void)maxes;  // segment max computed functionally above; cost charged here
   const Tensor sums = run_spmm(ctx, coo_, csr_, z.flat(), vones);
-  ctx.charge("edge_elem", elementwise_cycles(*dev_, coo_.nnz()) * 2);
+  ctx.charge("edge_elem", elementwise_cycles(dev_, coo_.nnz()) * 2);
   Tensor out(coo_.nnz(), 1);
   for (std::size_t e = 0; e < nnz; ++e) {
     const float s = sums[std::size_t(coo_.row[e])];
@@ -358,7 +358,7 @@ VarPtr SparseEngine::edge_softmax(const OpContext& ctx, const VarPtr& scores) {
     for (std::size_t e = 0; e < m; ++e) ad[e] = n->value[e] * n->grad[e];
     Tensor vones(coo_.num_rows, 1, 1.0f);
     const Tensor seg = run_spmm(ctx, coo_, csr_, ad, vones);
-    ctx.charge("edge_elem", elementwise_cycles(*dev_, coo_.nnz()));
+    ctx.charge("edge_elem", elementwise_cycles(dev_, coo_.nnz()));
     for (std::size_t e = 0; e < m; ++e) {
       sv->grad[e] +=
           n->value[e] * (n->grad[e] - seg[std::size_t(coo_.row[e])]);
@@ -381,7 +381,7 @@ VarPtr SparseEngine::fused_attention(const OpContext& ctx,
   Tensor out(coo_.num_rows, f);
   if (coo_.nnz() > 0) {
     const FusedAttentionStats fs = gnnone_fused_attention(
-        *dev_, coo_, s_src->value.flat(), s_dst->value.flat(),
+        dev_, coo_, s_src->value.flat(), s_dst->value.flat(),
         h->value.flat(), f, leaky_slope, alpha->flat(), out.flat());
     charge(ctx, "sddmm", fs.max_pass);
     charge(ctx, "sddmm", fs.logit_pass);
@@ -423,7 +423,7 @@ VarPtr SparseEngine::fused_attention(const OpContext& ctx,
                       dv->value[std::size_t(coo_.row[e])];
       dlogit[e] = ds * (v >= 0.0f ? 1.0f : leaky_slope);
     }
-    ctx.charge("edge_elem", elementwise_cycles(*dev_, coo_.nnz()) * 2);
+    ctx.charge("edge_elem", elementwise_cycles(dev_, coo_.nnz()) * 2);
     // Scatter to the score vectors (f=1 SpMMs, forward + transposed).
     if (dv->requires_grad) {
       const Tensor g = run_spmm(ctx, coo_, csr_, dlogit, vones);

@@ -49,6 +49,10 @@ std::string backend_name(Backend b);
 /// sparse ops whose forward/backward invoke the backend's simulated kernels.
 class SparseEngine {
  public:
+  /// The graph is copied into the backend's storage formats; the device spec
+  /// is copied too (it is a small flat struct, and callers — the serving
+  /// driver included — routinely pass temporaries that die before the first
+  /// kernel runs).
   SparseEngine(Backend backend, const Coo& coo, const gpusim::DeviceSpec& dev);
 
   Backend backend() const { return backend_; }
@@ -119,7 +123,7 @@ class SparseEngine {
               const gpusim::KernelStats& ks) const;
 
   Backend backend_;
-  const gpusim::DeviceSpec* dev_;
+  gpusim::DeviceSpec dev_;  // by value: binding a caller temporary is legal
   Coo coo_;            // forward graph, CSR-arranged COO
   Coo coo_t_;          // transpose (backward)
   std::vector<eid_t> perm_;    // transposed NZE -> forward NZE

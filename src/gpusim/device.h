@@ -47,6 +47,14 @@ struct DeviceSpec {
   // misses expensive (docs/SERVING.md).
   double pcie_bytes_per_cycle = 22.0;
 
+  // Peer (device-to-device) interconnect bandwidth: bytes crossing an
+  // NVLink-class link per SM cycle. A100 NVLink3: ~300 GB/s per direction
+  // at 1.41 GHz => ~212 B/cycle; rounded down. Sits between DRAM (~1024)
+  // and PCIe (~22) — a remote shard's cached feature row is ~9x cheaper
+  // than refetching it from the host, which is what makes sharded serving's
+  // peer fetches worthwhile (docs/SERVING.md §10).
+  double nvlink_bytes_per_cycle = 200.0;
+
   // Maximum number of load instructions whose latency can overlap within a
   // single warp before the LSU queue itself serializes (MSHR-style cap).
   int max_outstanding_loads = 32;

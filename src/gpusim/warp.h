@@ -74,6 +74,11 @@ using CommitLog = std::vector<AtomicCommit>;
 /// allocator placement.
 class WarpCtx {
  public:
+  /// `spec` and `shmem` are captured by pointer and must outlive the ctx —
+  /// a WarpCtx is a per-warp view scoped inside one kernel launch, created
+  /// in the launch's hot loop (copying the spec per warp would be pure
+  /// overhead). Do NOT pass temporaries; the launch layer owns both for the
+  /// whole execution.
   WarpCtx(const DeviceSpec& spec, std::int64_t cta_id, int warp_in_cta,
           int warps_per_cta, SharedMem& shmem, CtaSanitizer* san = nullptr,
           CommitLog* commit_log = nullptr)

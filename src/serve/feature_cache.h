@@ -55,6 +55,14 @@ struct GatherStats {
   std::size_t miss_bytes = 0;
   /// CLOCK only: bytes of fetched rows written into their cache slots.
   std::size_t insert_bytes = 0;
+  /// Sharded serving only (docs/SERVING.md §10; always 0 from
+  /// FeatureCache::gather itself): vertices owned by a peer device, served
+  /// from the peer's pinned rows over NVLink (remote hit) or refetched from
+  /// the host over PCIe (remote miss).
+  std::uint64_t remote_hits = 0;
+  std::uint64_t remote_misses = 0;
+  std::size_t remote_hit_bytes = 0;
+  std::size_t remote_miss_bytes = 0;
   std::uint64_t cycles = 0;  // modeled cycles of the gather launch
 };
 

@@ -85,6 +85,8 @@ TenantScheduler::TenantScheduler(const std::vector<TenantSpec>& tenants,
       batch_size_(batch_size),
       queues_(tenants.size()),
       heads_(tenants.size(), 0),
+      admit_pos_(tenants.size(), 0),
+      depth_(tenants.size(), 0),
       estimator_(int(tenants.size()), opts.estimator_ewma) {
   opts_.Validate();
   if (tenants_.empty()) {
@@ -109,9 +111,56 @@ void TenantScheduler::enqueue(std::size_t index, int tenant,
   ++remaining_;
 }
 
+void TenantScheduler::skip_shed(int tenant) {
+  const auto& q = queues_[std::size_t(tenant)];
+  std::size_t& h = heads_[std::size_t(tenant)];
+  while (h < q.size() && q[h].shed) ++h;
+}
+
+std::size_t TenantScheduler::nth_pending(int tenant, int k) const {
+  const auto& q = queues_[std::size_t(tenant)];
+  std::size_t i = heads_[std::size_t(tenant)];
+  for (; i < q.size(); ++i) {
+    if (q[i].shed) continue;
+    if (k == 0) return i;
+    --k;
+  }
+  return q.size();
+}
+
+void TenantScheduler::admit_until(std::uint64_t cycle) {
+  for (std::size_t t = 0; t < queues_.size(); ++t) {
+    auto& q = queues_[t];
+    std::size_t& a = admit_pos_[t];
+    for (; a < q.size() && q[a].arrival <= cycle; ++a) {
+      // Unmeetable first: a request the estimator already prices above its
+      // SLO *solo* is refused even when the queue has room — admitting it
+      // cannot end well and delays everyone behind it. Before the tenant's
+      // first observation there is no evidence to refuse on, so everything
+      // admits (exactly like the slack policy's unseeded behavior).
+      if (opts_.shed_unmeetable && estimator_.seeded(int(t)) &&
+          estimator_.estimate(int(t), 1) > tenants_[t].slo_cycles) {
+        q[a].shed = true;
+        shed_events_.push_back(ShedEvent{q[a].index, int(t), true});
+        --remaining_;
+        continue;
+      }
+      if (opts_.max_queue_depth > 0 && depth_[t] >= opts_.max_queue_depth) {
+        q[a].shed = true;  // tail drop: the queue is at its depth bound
+        shed_events_.push_back(ShedEvent{q[a].index, int(t), false});
+        --remaining_;
+        continue;
+      }
+      ++depth_[t];
+      peak_depth_ = std::max(peak_depth_, depth_[t]);
+    }
+    skip_shed(int(t));
+  }
+}
+
 std::uint64_t TenantScheduler::head_deadline(int tenant) const {
   const auto& q = queues_[std::size_t(tenant)];
-  const std::size_t h = heads_[std::size_t(tenant)];
+  const std::size_t h = nth_pending(tenant, 0);
   if (h >= q.size()) return kNever;
   return q[h].arrival + tenants_[std::size_t(tenant)].slo_cycles;
 }
@@ -121,6 +170,7 @@ int TenantScheduler::arrived_count(int tenant, std::uint64_t cycle) const {
   int count = 0;
   for (std::size_t i = heads_[std::size_t(tenant)];
        i < q.size() && count < batch_size_; ++i) {
+    if (q[i].shed) continue;
     if (q[i].arrival > cycle) break;  // queues are arrival-ordered
     ++count;
   }
@@ -136,10 +186,13 @@ TenantScheduler::BatchPlan TenantScheduler::cut(int tenant,
   auto& q = queues_[std::size_t(tenant)];
   std::size_t& h = heads_[std::size_t(tenant)];
   plan.members.reserve(std::size_t(take));
-  for (int i = 0; i < take && h < q.size(); ++i, ++h) {
-    plan.members.push_back(q[h].index);
+  while (int(plan.members.size()) < take && h < q.size()) {
+    if (!q[h].shed) plan.members.push_back(q[h].index);
+    ++h;
   }
   remaining_ -= plan.members.size();
+  depth_[std::size_t(tenant)] -= plan.members.size();
+  skip_shed(tenant);
   return plan;
 }
 
@@ -148,14 +201,31 @@ std::optional<TenantScheduler::BatchPlan> TenantScheduler::next_batch(
   if (remaining_ == 0) return std::nullopt;
 
   // The server only sees requests that have arrived: advance the clock to
-  // the earliest pending head when everything is still in flight.
-  std::uint64_t earliest_arrival = kNever;
-  for (std::size_t t = 0; t < queues_.size(); ++t) {
-    if (heads_[t] < queues_[t].size()) {
-      earliest_arrival = std::min(earliest_arrival, queues_[t][heads_[t]].arrival);
+  // the earliest pending head when everything is still in flight, then run
+  // admission for everything arrived by the clock. Admission can shed the
+  // very head we advanced to (queue full, deadline unmeetable), emptying
+  // the arrived set again — loop until an admitted head has arrived or the
+  // trace is exhausted. Each pass processes at least one entry, so the loop
+  // terminates.
+  std::uint64_t clock = now;
+  for (;;) {
+    if (remaining_ == 0) return std::nullopt;
+    std::uint64_t earliest_arrival = kNever;
+    for (std::size_t t = 0; t < queues_.size(); ++t) {
+      const std::size_t h = nth_pending(int(t), 0);
+      if (h < queues_[t].size()) {
+        earliest_arrival = std::min(earliest_arrival, queues_[t][h].arrival);
+      }
     }
+    clock = std::max(now, earliest_arrival);
+    admit_until(clock);
+    bool any_arrived = false;
+    for (std::size_t t = 0; t < queues_.size() && !any_arrived; ++t) {
+      const std::size_t h = nth_pending(int(t), 0);
+      any_arrived = h < queues_[t].size() && queues_[t][h].arrival <= clock;
+    }
+    if (any_arrived) break;
   }
-  const std::uint64_t clock = std::max(now, earliest_arrival);
 
   switch (opts_.policy) {
     case SchedulerPolicy::kFifoAggregate: {
@@ -172,8 +242,7 @@ std::optional<TenantScheduler::BatchPlan> TenantScheduler::next_batch(
         }
       }
       const auto& q = queues_[std::size_t(pick)];
-      const std::size_t h = heads_[std::size_t(pick)];
-      const std::size_t fill_idx = h + std::size_t(batch_size_) - 1;
+      const std::size_t fill_idx = nth_pending(pick, batch_size_ - 1);
       const std::uint64_t fill_cut =
           fill_idx < q.size() ? q[fill_idx].arrival : kNever;
       std::uint64_t timeout_cut = pick_arrival;
@@ -185,6 +254,9 @@ std::optional<TenantScheduler::BatchPlan> TenantScheduler::next_batch(
       std::uint64_t when = std::min(fill_cut, timeout_cut);
       if (when == kNever) when = pick_arrival;  // short tail: take what exists
       when = std::max(when, clock);
+      // Arrivals between the decision clock and the cut face admission too
+      // — a full queue sheds them even while the batch is still filling.
+      admit_until(when);
       return cut(pick, when, arrived_count(pick, when));
     }
 
@@ -229,15 +301,19 @@ std::optional<TenantScheduler::BatchPlan> TenantScheduler::next_batch(
       std::uint64_t when = clock;
       if (estimator_.seeded(pick)) {
         const auto& q = queues_[std::size_t(pick)];
-        const std::size_t h = heads_[std::size_t(pick)];
         const std::uint64_t deadline = head_deadline(pick);
         int size = arrived_count(pick, when);
-        while (size < batch_size_ && h + std::size_t(size) < q.size()) {
-          const std::uint64_t next_arrival = q[h + std::size_t(size)].arrival;
+        while (size < batch_size_) {
+          const std::size_t next_idx = nth_pending(pick, size);
+          if (next_idx >= q.size()) break;
+          const std::uint64_t next_arrival = q[next_idx].arrival;
           const std::uint64_t est =
               estimator_.estimate(pick, size + 1);
           if (next_arrival > deadline || est > deadline - next_arrival) break;
           when = next_arrival;
+          // The awaited arrival itself faces admission — if it is shed the
+          // count stays put and the next pass awaits the entry behind it.
+          admit_until(when);
           size = arrived_count(pick, when);
         }
       }

@@ -82,6 +82,18 @@ struct SchedulerOptions {
   /// kSlack: EWMA weight of the newest per-request service observation in
   /// the batch-cost estimator, in (0, 1].
   double estimator_ewma = 0.3;
+  /// Admission control: the deepest arrived-but-unserved backlog any single
+  /// tenant queue may hold. A request arriving at a full queue is shed at
+  /// admission (tail drop) — it reports Status::kRejected, is never batched,
+  /// and its neighbors' schedule is untouched. 0 (the default) = unbounded,
+  /// which reproduces the pre-admission scheduler bit for bit.
+  std::size_t max_queue_depth = 0;
+  /// Admission control: shed a request at arrival when the cost estimator —
+  /// once seeded for its tenant — already prices a *solo* batch above the
+  /// tenant's SLO. Such a request cannot meet its deadline even served
+  /// alone and immediately; serving it anyway only deepens every queue
+  /// behind it. Off by default (no shedding).
+  bool shed_unmeetable = false;
 
   /// Throws std::invalid_argument on estimator_ewma outside (0, 1].
   void Validate() const;
@@ -160,11 +172,37 @@ class TenantScheduler {
   const BatchCostEstimator& estimator() const { return estimator_; }
   bool empty() const { return remaining_ == 0; }
 
+  /// One request shed at admission (SchedulerOptions::max_queue_depth /
+  /// shed_unmeetable), in admission order.
+  struct ShedEvent {
+    std::size_t index = 0;  // trace index
+    int tenant = 0;
+    /// true: priced above its SLO even solo; false: queue-full tail drop.
+    bool unmeetable = false;
+  };
+  const std::vector<ShedEvent>& shed_events() const { return shed_events_; }
+
+  /// Deepest arrived-but-unserved backlog any tenant queue reached across
+  /// the run (admitted requests only — shed requests never occupy a slot).
+  /// Tracked whether or not admission control is on.
+  std::size_t peak_queue_depth() const { return peak_depth_; }
+
  private:
   struct Pending {
     std::size_t index;
     std::uint64_t arrival;
+    /// Shed at admission: skipped by every cut and count, never handed out.
+    bool shed = false;
   };
+  /// Processes admission for every entry arrived by `cycle`, in arrival
+  /// order: sheds (unmeetable / tail drop) or admits, maintaining the live
+  /// depth and its peak. Idempotent per entry.
+  void admit_until(std::uint64_t cycle);
+  /// Advances tenant `t`'s head past shed entries.
+  void skip_shed(int tenant);
+  /// Queue position of the (k+1)-th unshed pending entry of `tenant`
+  /// (k = 0 is the head), or the queue size when fewer exist.
+  std::size_t nth_pending(int tenant, int k) const;
   /// Queue head position per tenant (queues are consumed front to back).
   std::uint64_t head_deadline(int tenant) const;
   /// Pending requests of `tenant` that have arrived by `cycle`, capped at
@@ -177,6 +215,13 @@ class TenantScheduler {
   int batch_size_;
   std::vector<std::vector<Pending>> queues_;  // per tenant, arrival order
   std::vector<std::size_t> heads_;            // consumed prefix per queue
+  /// Admission cursor per queue: entries before it have been admitted or
+  /// shed; entries at/after it have not "arrived" yet on the decision clock.
+  std::vector<std::size_t> admit_pos_;
+  /// Live (admitted, uncut) backlog per queue, and the run-wide peak.
+  std::vector<std::size_t> depth_;
+  std::size_t peak_depth_ = 0;
+  std::vector<ShedEvent> shed_events_;
   std::size_t remaining_ = 0;
   BatchCostEstimator estimator_;
 };

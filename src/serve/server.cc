@@ -9,6 +9,7 @@
 
 #include "gpusim/sanitizer.h"
 #include "graph/convert.h"
+#include "serve/server_state.h"
 
 namespace gnnone {
 
@@ -20,6 +21,21 @@ std::uint64_t backoff_for(const serve::RetryPolicy& p, int attempt) {
   const int shift = std::min(std::max(attempt - 1, 0), 10);
   return p.backoff_cycles << shift;
 }
+
+std::vector<int> truncated_fanouts(const std::vector<int>& fanouts) {
+  std::vector<int> out = fanouts;
+  for (int& f : out) f = std::max(1, f / 2);
+  return out;
+}
+
+const ServeOptions& validated(const ServeOptions& opts) {
+  opts.Validate();
+  return opts;
+}
+
+}  // namespace
+
+namespace serve_detail {
 
 /// Boundary validation of one request. Empty = admissible. The sampler
 /// would throw std::invalid_argument on an out-of-range seed — the server
@@ -43,18 +59,7 @@ std::string validate_request(const SeedRequest& r, vid_t num_vertices) {
   return {};
 }
 
-std::vector<int> truncated_fanouts(const std::vector<int>& fanouts) {
-  std::vector<int> out = fanouts;
-  for (int& f : out) f = std::max(1, f / 2);
-  return out;
-}
-
-const ServeOptions& validated(const ServeOptions& opts) {
-  opts.Validate();
-  return opts;
-}
-
-}  // namespace
+}  // namespace serve_detail
 
 void ServeOptions::Validate() const {
   if (model_kind != "gcn" && model_kind != "gin" && model_kind != "gat") {
@@ -135,6 +140,27 @@ void ServeOptions::Validate() const {
     }
   }
   scheduler.Validate();
+  shard.Validate();
+  if (shard.enabled()) {
+    if (!tenants.empty()) {
+      throw std::invalid_argument(
+          "ServeOptions: shard and tenants are mutually exclusive (the "
+          "sharded tier routes by vertex ownership, the scheduled tier by "
+          "tenant queues)");
+    }
+    if (device_memory != nullptr) {
+      throw std::invalid_argument(
+          "ServeOptions: shard and an external device_memory are mutually "
+          "exclusive (each shard owns its own tracker; use "
+          "InferenceServer::shard_memory)");
+    }
+    if (pipeline) {
+      throw std::invalid_argument(
+          "ServeOptions: shard and pipeline are mutually exclusive (the "
+          "sharded tier's overlap is across devices; within a device batches "
+          "run serially)");
+    }
+  }
 }
 
 serve::CachePolicy InferenceServer::resolve_policy(const Dataset& ds,
@@ -165,12 +191,13 @@ FeatureCache InferenceServer::make_cache(const Dataset& ds,
                                          serve::CachePolicy policy) {
   CacheConfig cc;
   cc.policy = policy;
-  // Partitioned serving moves every row into the per-tenant caches; the
-  // shared cache stays allocated-but-empty so the device byte budget is
-  // owned entirely by the partitions.
-  if (opts.partition_cache) cc.capacity_override = 0;
+  // Partitioned serving moves every row into the per-tenant caches (sharded
+  // serving into the per-device caches); the shared cache stays
+  // allocated-but-empty so the device byte budget is owned entirely by the
+  // partitions.
+  if (opts.partition_cache || opts.shard.enabled()) cc.capacity_override = 0;
   if (policy == serve::CachePolicy::kPresampleFrequency &&
-      !opts.partition_cache) {
+      !opts.partition_cache && !opts.shard.enabled()) {
     const std::vector<SeedRequest> own_probe =
         opts.presample_probe.empty()
             ? serve::default_presample_probe(ds.coo, opts.seed)
@@ -209,6 +236,83 @@ InferenceServer::InferenceServer(const Dataset& ds,
                                          : owned_mem_.get()),
       cache_alloc_(*mem_, cache_.device_bytes()) {
   cache_.set_fetch_faults(opts_.chaos.fetch_rate, opts_.chaos.seed);
+
+  if (opts_.shard.enabled()) {
+    // Sharded tier (serve/shard.h): the vertex set splits over the
+    // sampler-capable devices by contiguous ranges of the *global* pin
+    // order, and device d's cache partition pins exactly the globally
+    // pinned rows it owns — per-vertex membership is identical to the
+    // unsharded cache (the shared cache_ above was built empty, like the
+    // tenant-partitioned path), which is what makes the sharded hit/miss
+    // stream exact rather than approximate: a globally pinned row is a
+    // local hit on its owner and a remote (NVLink) hit everywhere else.
+    std::vector<int> owners;
+    for (int d = 0; d < opts_.shard.num_devices; ++d) {
+      if (opts_.shard.samples(d)) owners.push_back(d);
+    }
+    std::vector<vid_t> order;
+    if (policy_ == serve::CachePolicy::kPresampleFrequency) {
+      const std::vector<SeedRequest> own_probe =
+          opts_.presample_probe.empty()
+              ? serve::default_presample_probe(ds.coo, opts_.seed)
+              : std::vector<SeedRequest>{};
+      const std::span<const SeedRequest> probe =
+          opts_.presample_probe.empty()
+              ? std::span<const SeedRequest>(own_probe)
+              : std::span<const SeedRequest>(opts_.presample_probe);
+      const auto freq = serve::presample_frequencies(
+          csr_, probe, opts_.fanouts, opts_.seed, opts_.presample_epochs);
+      order = serve::frequency_order(freq, row_lengths(ds.coo));
+    } else {
+      order = serve::degree_order(ds.coo);
+    }
+    shard_map_ = serve::ShardMap(order, owners);
+
+    const vid_t cap =
+        FeatureCache::capacity_for(ds.coo.num_rows, opts_.cache_alpha);
+    const std::size_t nd = std::size_t(opts_.shard.num_devices);
+    shard_caches_.reserve(nd);
+    shard_mems_.reserve(nd);
+    shard_cache_allocs_.reserve(nd);
+    for (int d = 0; d < opts_.shard.num_devices; ++d) {
+      // Device d's pin order: its owned vertices first (global-order
+      // sequence preserved, so the first `pinned` of them are exactly the
+      // owned ∩ globally-pinned rows), everyone else's after — the full
+      // ranking FeatureCache requires, with capacity_override cutting it at
+      // the owned pinned count. Σ over devices of the overrides == the
+      // global capacity exactly. Forward-only devices pin nothing.
+      std::vector<vid_t> dev_order;
+      vid_t pinned = 0;
+      if (opts_.shard.samples(d)) {
+        dev_order.reserve(order.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+          if (shard_map_.owner(order[i]) != d) continue;
+          dev_order.push_back(order[i]);
+          if (vid_t(i) < cap) ++pinned;
+        }
+        for (vid_t v : order) {
+          if (shard_map_.owner(v) != d) dev_order.push_back(v);
+        }
+      }
+      CacheConfig cc;
+      cc.policy = policy_;
+      cc.capacity_override = pinned;
+      shard_caches_.emplace_back(
+          ds.coo, in_dim_, opts_.cache_alpha, dev_, cc,
+          dev_order.empty() ? std::span<const vid_t>()
+                            : std::span<const vid_t>(dev_order));
+      // The per-device caches stay fault-disarmed: the sharded gather
+      // probes the fetch-fate schedule itself (serve/shard.cc), before the
+      // local/remote split, so a fault's (request, attempt) coordinate is
+      // independent of the shard layout.
+      shard_mems_.push_back(
+          std::make_unique<gpusim::DeviceMemory>(dev.device_memory_bytes));
+      shard_cache_allocs_.emplace_back(*shard_mems_.back(),
+                                       shard_caches_.back().device_bytes());
+    }
+    return;
+  }
+
   if (!opts_.partition_cache) return;
 
   // Per-tenant partitions: the alpha capacity splits by TenantSpec shares
@@ -265,46 +369,6 @@ InferenceServer::InferenceServer(const Dataset& ds,
                                       tenant_caches_.back().device_bytes());
   }
 }
-
-/// Per-serve mutable state threaded through every attempt.
-struct InferenceServer::ServeState {
-  std::span<const SeedRequest> requests;
-  ServingReport* rep = nullptr;
-  const ModelConfig* cfg = nullptr;
-  /// Active tenant while a scheduled batch (and its whole recovery ladder —
-  /// a batch never mixes tenants) runs; null on the legacy single-tenant
-  /// path, which reads model_kind/fanouts from the options instead.
-  const serve::TenantSpec* tenant = nullptr;
-  /// Active tenant index (the partition selector); -1 on the legacy path.
-  int tenant_idx = -1;
-  OpContext ctx;
-  SamplerScratch scratch;
-  /// Gather attempts per trace index — the `attempt` coordinate of the
-  /// transient-fetch fault schedule. Counted per gather entry per request,
-  /// success or not, so a transient clears after its scheduled number of
-  /// failures no matter how the request is (re)grouped.
-  std::vector<int> gather_attempts;
-  /// Per-cache CLOCK transactions (kClock only; one per partition on the
-  /// partitioned path, one for the shared cache otherwise). A fresh serve
-  /// starts from the cache's seeded initial state — serves are independent.
-  std::vector<FeatureCache::ClockTxn> clock_txns;
-  gpusim::DeviceMemory* mem = nullptr;
-};
-
-struct InferenceServer::PreparedGroup {
-  std::vector<std::size_t> indices;  // trace indices of the member requests
-  std::size_t batch = 0;             // owning minibatch (stats slot)
-  GroupMode mode;
-  /// Per block row: the global vertex whose features the row carries.
-  std::vector<vid_t> block_vertices;
-  /// Per member: block row of each of its seeds, request-seed order.
-  std::vector<std::vector<vid_t>> seed_rows;
-  Coo coo;  // block-diagonal composition of the per-request blocks
-  /// Device registrations of the sampled topology and the gathered feature
-  /// rows; released (RAII) when the group retires or its attempt unwinds.
-  gpusim::DeviceAllocation topo;
-  gpusim::DeviceAllocation staging;
-};
 
 bool InferenceServer::arms_oom(const std::vector<std::size_t>& indices,
                                GroupMode mode, serve::ChaosSite site) const {
@@ -396,6 +460,16 @@ InferenceServer::PreparedGroup InferenceServer::prepare_group(
                                      dev_.dram_bytes_per_cycle));
   rep.ledger.add("sample", sample_cycles);
   bs.sample_cycles += sample_cycles;
+  // Sharded serving: a kSymmetric device co-locates the sampling scan with
+  // forward kernels and pays the contention dilation on both (shard.h);
+  // dedicated devices and the single-device paths charge nothing here.
+  const std::uint64_t sample_dil =
+      colocation_extra(st.shard_device, sample_cycles);
+  if (sample_dil > 0) {
+    rep.ledger.add("colocation", sample_dil);
+    bs.sample_cycles += sample_dil;
+    bs.colocation_sample_cycles += sample_dil;
+  }
   bs.num_seeds += group_seeds;
   bs.num_vertices += pg.coo.num_rows;
   bs.num_edges += pg.coo.nnz();
@@ -429,36 +503,45 @@ InferenceServer::PreparedGroup InferenceServer::prepare_group(
   for (std::size_t idx : indices) {
     probes.push_back({std::uint64_t(idx), st.gather_attempts[idx]++});
   }
-  // Gather through the active cache: the tenant's partition when serving
-  // is partitioned, the shared cache otherwise. Under kClock the gather
-  // carries its batch's transaction coordinates; only the batch's first
-  // full-fidelity, full-membership attempt commits the advanced state
-  // (recovery replays — retries after a commit, bisected halves, truncated
-  // or safe reruns — observe the same basis and discard), which is what
-  // keeps the hit stream identical across serial, pipelined, and chaos
-  // drivers.
-  const FeatureCache& fc =
-      (!tenant_caches_.empty() && st.tenant_idx >= 0)
-          ? tenant_caches_[std::size_t(st.tenant_idx)]
-          : cache_;
-  FeatureCache::ClockGatherCtx clock;
-  if (policy_ == serve::CachePolicy::kClock && !st.clock_txns.empty()) {
-    const std::size_t slot = (!tenant_caches_.empty() && st.tenant_idx >= 0)
-                                 ? std::size_t(st.tenant_idx)
-                                 : 0;
-    clock.txn = &st.clock_txns[slot];
-    clock.batch = std::int64_t(b);
-    clock.commit = !mode.truncated && !mode.safe &&
-                   indices.size() == std::size_t(bs.num_requests);
+  // Gather through the active cache: the owner device's partition when
+  // serving is sharded, the tenant's partition when partitioned, the shared
+  // cache otherwise. Under kClock the gather carries its batch's
+  // transaction coordinates; only the batch's first full-fidelity,
+  // full-membership attempt commits the advanced state (recovery replays —
+  // retries after a commit, bisected halves, truncated or safe reruns —
+  // observe the same basis and discard), which is what keeps the hit stream
+  // identical across serial, pipelined, and chaos drivers.
+  GatherStats gst;
+  if (sharded()) {
+    gst = sharded_gather(st, unique_vertices, probes, mode, b);
+  } else {
+    const FeatureCache& fc =
+        (!tenant_caches_.empty() && st.tenant_idx >= 0)
+            ? tenant_caches_[std::size_t(st.tenant_idx)]
+            : cache_;
+    FeatureCache::ClockGatherCtx clock;
+    if (policy_ == serve::CachePolicy::kClock && !st.clock_txns.empty()) {
+      const std::size_t slot = (!tenant_caches_.empty() && st.tenant_idx >= 0)
+                                   ? std::size_t(st.tenant_idx)
+                                   : 0;
+      clock.txn = &st.clock_txns[slot];
+      clock.batch = std::int64_t(b);
+      clock.commit = !mode.truncated && !mode.safe &&
+                     indices.size() == std::size_t(bs.num_requests);
+    }
+    gst = fc.gather(unique_vertices, &rep.ledger, &rep.bytes, probes,
+                    mode.safe, clock);
   }
-  const GatherStats gst = fc.gather(unique_vertices, &rep.ledger, &rep.bytes,
-                                    probes, mode.safe, clock);
   bs.gather.hits += gst.hits;
   bs.gather.misses += gst.misses;
   bs.gather.evictions += gst.evictions;
   bs.gather.hit_bytes += gst.hit_bytes;
   bs.gather.miss_bytes += gst.miss_bytes;
   bs.gather.insert_bytes += gst.insert_bytes;
+  bs.gather.remote_hits += gst.remote_hits;
+  bs.gather.remote_misses += gst.remote_misses;
+  bs.gather.remote_hit_bytes += gst.remote_hit_bytes;
+  bs.gather.remote_miss_bytes += gst.remote_miss_bytes;
   bs.gather.cycles += gst.cycles;
   bs.num_unique_vertices += vid_t(unique_vertices.size());
   return pg;
@@ -470,13 +553,15 @@ void InferenceServer::forward_group(ServeState& st,
   BatchStats& bs = rep.batches[pg.batch];
   const vid_t n = pg.coo.num_rows;
 
-  // Activations: the staged input block plus the output logits. May throw
+  // Activations: the staged input block plus the output logits, on the
+  // forward device's tracker when sharding handed the batch off. May throw
   // DeviceOutOfMemory (armed below for an injected forward-site fault).
+  gpusim::DeviceMemory& fwd_mem = st.fwd_mem != nullptr ? *st.fwd_mem : *st.mem;
   if (arms_oom(pg.indices, pg.mode, serve::ChaosSite::kForward)) {
-    st.mem->fail_at_allocation(1);
+    fwd_mem.fail_at_allocation(1);
   }
   const gpusim::DeviceAllocation activations(
-      *st.mem,
+      fwd_mem,
       std::size_t(n) * std::size_t(in_dim_ + ds_->num_classes) * 4);
 
   // Injected kernel fault: fires at forward entry, before any kernel
@@ -528,7 +613,17 @@ void InferenceServer::forward_group(ServeState& st,
   }
   // forward_group charges the ledger contiguously, so the delta is this
   // group's forward cost even when prepare calls interleave (pipelined).
-  bs.forward_cycles += rep.ledger.total() - fwd_before;
+  const std::uint64_t fwd_cycles = rep.ledger.total() - fwd_before;
+  bs.forward_cycles += fwd_cycles;
+  // Sharded serving: the forward side of the colocation dilation (the
+  // sample side is charged in prepare_group).
+  const std::uint64_t fwd_dil =
+      colocation_extra(st.shard_fwd_device, fwd_cycles);
+  if (fwd_dil > 0) {
+    rep.ledger.add("colocation", fwd_dil);
+    bs.forward_cycles += fwd_dil;
+    bs.colocation_forward_cycles += fwd_dil;
+  }
 }
 
 bool InferenceServer::forward_or_fault(ServeState& st, const PreparedGroup& pg,
@@ -720,6 +815,7 @@ void InferenceServer::singleton_ladder(ServeState& st, std::size_t b,
 
 ServingReport InferenceServer::serve(
     std::span<const SeedRequest> requests) const {
+  if (sharded()) return serve_sharded(requests);
   if (!opts_.tenants.empty()) return serve_scheduled(requests);
   ServingReport rep;
   rep.num_requests = int(requests.size());
@@ -732,7 +828,7 @@ ServingReport InferenceServer::serve(
   std::vector<std::size_t> valid;
   valid.reserve(requests.size());
   for (std::size_t r = 0; r < requests.size(); ++r) {
-    std::string err = validate_request(requests[r], csr_.num_rows);
+    std::string err = serve_detail::validate_request(requests[r], csr_.num_rows);
     if (err.empty()) {
       valid.push_back(r);
     } else {
@@ -859,7 +955,7 @@ ServingReport InferenceServer::serve_scheduled(
                           ? "tenant " + std::to_string(requests[r].tenant) +
                                 " out of range [0, " +
                                 std::to_string(num_tenants) + ")"
-                          : validate_request(requests[r], csr_.num_rows);
+                          : serve_detail::validate_request(requests[r], csr_.num_rows);
     if (err.empty()) {
       valid.push_back(r);
     } else {
@@ -950,6 +1046,19 @@ ServingReport InferenceServer::serve_scheduled(
     now = start + service;
   }
   rep.num_batches = int(rep.batches.size());
+  rep.peak_queue_depth = sched.peak_queue_depth();
+
+  // Requests shed at admission (SchedulerOptions::max_queue_depth /
+  // shed_unmeetable) were never batched: they report kRejected like any
+  // other boundary refusal, with zero queue/service attribution, and tile
+  // with served + degraded + failed in the tenant reports.
+  for (const serve::TenantScheduler::ShedEvent& e : sched.shed_events()) {
+    rep.outcomes[e.index].status = serve::Status::kRejected;
+    rep.outcomes[e.index].error =
+        e.unmeetable ? "shed at admission: estimated service exceeds the "
+                       "tenant SLO even served alone"
+                     : "shed at admission: tenant queue at max_queue_depth";
+  }
 
   fold_timeline(rep, opts_.pipeline);
   rep.tenants =

@@ -61,6 +61,7 @@
 #include "serve/feature_cache.h"
 #include "serve/pipeline.h"
 #include "serve/scheduler.h"
+#include "serve/shard.h"
 #include "serve/status.h"
 
 namespace gnnone {
@@ -122,6 +123,15 @@ struct ServeOptions {
   std::vector<serve::TenantSpec> tenants;
   /// Batch-formation policy for the multi-tenant path (ignored otherwise).
   serve::SchedulerOptions scheduler;
+  /// Sharded multi-device serving (docs/SERVING.md §10): shard.num_devices
+  /// > 0 partitions graph + feature table across N simulated devices
+  /// (serve/shard.h) and routes each request to the device owning its first
+  /// seed. Mutually exclusive with `tenants` and an external
+  /// `device_memory` for now (each shard owns its own tracker); predictions
+  /// stay bit-identical to the unsharded driver at every shard count and
+  /// role assignment (GIN excepted — its vcolnorm is batch-coupled, and
+  /// sharding regroups batches).
+  serve::ShardOptions shard;
 
   /// Throws std::invalid_argument on out-of-range options (unknown
   /// model_kind, batch_size < 1, empty or non-positive fanouts, cache_alpha
@@ -167,6 +177,19 @@ struct BatchStats {
   /// charged to the ledger under "backoff" and placed on the batch's host
   /// stream in the timeline. 0 on a fault-free batch.
   std::uint64_t backoff_cycles = 0;
+  /// Sharded serving: NVLink cycles moving the sampled topology + staged
+  /// features from the sampler device to the forward device (rides the
+  /// batch's gather span; 0 when both stages share a device).
+  std::uint64_t handoff_cycles = 0;
+  std::size_t handoff_bytes = 0;
+  /// Sharded serving: the devices this batch ran on (-1 unsharded).
+  int sampler_device = -1;
+  int forward_device = -1;
+  /// Sharded serving: extra cycles the colocation dilation added to this
+  /// batch's sample and forward stages (already included in sample_cycles /
+  /// forward_cycles; 0 off the sharded path and on dedicated devices).
+  std::uint64_t colocation_sample_cycles = 0;
+  std::uint64_t colocation_forward_cycles = 0;
   /// Faults that fired while serving this batch (initial run + recovery).
   int fault_events = 0;
   std::uint64_t cycles = 0;  // all stages + backoff (the batch's work)
@@ -229,6 +252,28 @@ struct ServingReport {
   /// so they are identical in serial and pipelined mode, like every other
   /// per-request observable.
   std::vector<serve::TenantReport> tenants;
+  /// Scheduled serving: the largest arrived-but-unserved backlog any tenant
+  /// queue reached — what SchedulerOptions::max_queue_depth bounds.
+  std::size_t peak_queue_depth = 0;
+
+  /// Sharded serving (docs/SERVING.md §10; empty on the single-device
+  /// path): per-device stage/traffic/memory accounting. total_cycles is the
+  /// slowest device's makespan; Σ exposed + idle == makespan holds exactly
+  /// per device.
+  std::vector<serve::DeviceShardReport> devices;
+  /// Sharded serving: cross-device gather traffic totals — peer-pinned rows
+  /// over NVLink (remote hits), peer-owned unpinned rows over host PCIe
+  /// (remote misses). The byte-conservation invariant is hit + miss +
+  /// remote_hit + remote_miss bytes == Σ unique gathered vertices × row
+  /// bytes. For the static policies hit + remote_hit == the unsharded run's
+  /// hits whenever batch composition matches (e.g. batch_size 1 — routing
+  /// regroups larger batches, which shifts per-batch vertex dedup).
+  std::uint64_t remote_hits = 0;
+  std::uint64_t remote_misses = 0;
+  std::size_t remote_hit_bytes = 0;
+  std::size_t remote_miss_bytes = 0;
+  /// Sharded serving: sampler->forward NVLink handoff traffic.
+  std::size_t handoff_bytes = 0;
 
   std::vector<BatchStats> batches;
   /// The full schedule, batch-major: span 3 * b + stream (serve/pipeline.h
@@ -308,6 +353,22 @@ class InferenceServer {
   /// leak check.
   gpusim::DeviceMemory& device_memory() const { return *mem_; }
 
+  /// Whether ServeOptions::shard split this server across devices.
+  bool sharded() const { return !shard_mems_.empty(); }
+  int shard_devices() const { return int(shard_mems_.size()); }
+  /// The edge-cut vertex partition (sharded() must hold).
+  const serve::ShardMap& shard_map() const { return shard_map_; }
+  /// Device d's cache partition: the globally pinned rows it owns (empty on
+  /// a forward-only device).
+  const FeatureCache& shard_cache(int d) const {
+    return shard_caches_[std::size_t(d)];
+  }
+  /// Device d's memory tracker. Between serves exactly the device's pinned
+  /// cache bytes are in use — the per-device leak check.
+  gpusim::DeviceMemory& shard_memory(int d) const {
+    return *shard_mems_[std::size_t(d)];
+  }
+
   /// Runs every request, batching opts.batch_size at a time (the final
   /// batch may be smaller). Invalid requests (empty seed set, out-of-range
   /// or duplicated seed ids, a tenant index outside the tenant table) are
@@ -336,7 +397,7 @@ class InferenceServer {
     serve::ChaosSite site = serve::ChaosSite::kSample;
     std::string message;
   };
-  struct ServeState;     // per-serve scratch (defined in server.cc)
+  struct ServeState;     // per-serve scratch (serve/server_state.h)
   struct PreparedGroup;  // sampled + gathered, awaiting its forward pass
 
   PreparedGroup prepare_group(ServeState& st,
@@ -365,6 +426,21 @@ class InferenceServer {
   /// The multi-tenant open-loop driver behind serve() (tenants non-empty):
   /// scheduler-formed batches on a discrete-event decision clock.
   ServingReport serve_scheduled(std::span<const SeedRequest> requests) const;
+  /// The sharded multi-device driver behind serve() (shard.num_devices > 0;
+  /// serve/shard.cc): requests routed to owner devices, per-device batches,
+  /// factored or symmetric roles, one three-stream timeline per device.
+  ServingReport serve_sharded(std::span<const SeedRequest> requests) const;
+  /// The sharded gather (serve/shard.cc): splits the batch's unique
+  /// vertices by owner against the per-device cache partitions, charging
+  /// local hits at DRAM, local/remote misses at PCIe and peer-pinned rows
+  /// at NVLink. Fault probes fire first, exactly like FeatureCache::gather.
+  GatherStats sharded_gather(ServeState& st,
+                             std::span<const vid_t> unique_vertices,
+                             std::span<const GatherProbe> probes,
+                             GroupMode mode, std::size_t b) const;
+  /// Colocation-dilation surcharge for stage cycles on device `device`
+  /// (serve/shard.cc): 0 unless sharded and the device is kSymmetric.
+  std::uint64_t colocation_extra(int device, std::uint64_t cycles) const;
 
   /// kAuto resolution at construction: consult the tuning cache's serve
   /// table (exact signature, then nearest) for this workload; degree when
@@ -396,6 +472,17 @@ class InferenceServer {
   /// Device registrations of the per-tenant partitions (aligned with
   /// tenant_caches_).
   std::vector<gpusim::DeviceAllocation> tenant_cache_allocs_;
+
+  // --- sharded serving (ServeOptions::shard; serve/shard.cc) --------------
+  /// Vertex -> owner device over contiguous degree-order ranges.
+  serve::ShardMap shard_map_;
+  /// Per-device cache partitions, index = device id. Device d pins exactly
+  /// the globally pinned rows it owns (so per-vertex hit/miss membership is
+  /// identical to the unsharded cache); forward-only devices pin nothing.
+  std::vector<FeatureCache> shard_caches_;
+  /// Per-device memory trackers + the partitions' resident registrations.
+  std::vector<std::unique_ptr<gpusim::DeviceMemory>> shard_mems_;
+  std::vector<gpusim::DeviceAllocation> shard_cache_allocs_;
 };
 
 }  // namespace gnnone

@@ -1,0 +1,79 @@
+// Per-serve mutable state shared by the serving drivers.
+//
+// InferenceServer's drivers live in two translation units — the single-device
+// and scheduled drivers in serve/server.cc, the sharded multi-device driver
+// in serve/shard.cc — and all of them thread the same scratch through
+// prepare_group / forward_group / the recovery ladder. The two nested structs
+// are defined here so both files see one definition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/requests.h"
+#include "gpusim/memory.h"
+#include "graph/coo.h"
+#include "sample/sampler.h"
+#include "serve/feature_cache.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "tensor/ops.h"
+
+namespace gnnone {
+
+namespace serve_detail {
+/// Boundary validation of one request (server.cc). Empty = admissible.
+std::string validate_request(const SeedRequest& r, vid_t num_vertices);
+}  // namespace serve_detail
+
+/// Per-serve mutable state threaded through every attempt.
+struct InferenceServer::ServeState {
+  std::span<const SeedRequest> requests;
+  ServingReport* rep = nullptr;
+  const ModelConfig* cfg = nullptr;
+  /// Active tenant while a scheduled batch (and its whole recovery ladder —
+  /// a batch never mixes tenants) runs; null on the legacy single-tenant
+  /// path, which reads model_kind/fanouts from the options instead.
+  const serve::TenantSpec* tenant = nullptr;
+  /// Active tenant index (the partition selector); -1 on the legacy path.
+  int tenant_idx = -1;
+  OpContext ctx;
+  SamplerScratch scratch;
+  /// Gather attempts per trace index — the `attempt` coordinate of the
+  /// transient-fetch fault schedule. Counted per gather entry per request,
+  /// success or not, so a transient clears after its scheduled number of
+  /// failures no matter how the request is (re)grouped.
+  std::vector<int> gather_attempts;
+  /// Per-cache CLOCK transactions (kClock only; one per partition on the
+  /// partitioned path, one per device on the sharded path, one for the
+  /// shared cache otherwise). A fresh serve starts from the cache's seeded
+  /// initial state — serves are independent.
+  std::vector<FeatureCache::ClockTxn> clock_txns;
+  gpusim::DeviceMemory* mem = nullptr;
+  /// Sharded serving only (serve/shard.cc): the devices the active batch's
+  /// sample+gather and forward stages run on (-1 on the single-device
+  /// paths), and the forward device's memory tracker when it differs from
+  /// `mem` (null otherwise — forward_group then allocates against `mem`).
+  int shard_device = -1;
+  int shard_fwd_device = -1;
+  gpusim::DeviceMemory* fwd_mem = nullptr;
+};
+
+struct InferenceServer::PreparedGroup {
+  std::vector<std::size_t> indices;  // trace indices of the member requests
+  std::size_t batch = 0;             // owning minibatch (stats slot)
+  GroupMode mode;
+  /// Per block row: the global vertex whose features the row carries.
+  std::vector<vid_t> block_vertices;
+  /// Per member: block row of each of its seeds, request-seed order.
+  std::vector<std::vector<vid_t>> seed_rows;
+  Coo coo;  // block-diagonal composition of the per-request blocks
+  /// Device registrations of the sampled topology and the gathered feature
+  /// rows; released (RAII) when the group retires or its attempt unwinds.
+  gpusim::DeviceAllocation topo;
+  gpusim::DeviceAllocation staging;
+};
+
+}  // namespace gnnone

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "gen/datasets.h"
 #include "gen/random.h"
@@ -161,6 +162,32 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, SparseOpsGrad,
                          [](const auto& info) {
                            return backend_name(info.param);
                          });
+
+/// Regression for the ctor-captures-temporary pattern: SparseEngine copies
+/// the device spec by value (gnn/backends.h), so an engine built from a
+/// spec that dies before the first kernel runs must compute exactly what an
+/// engine built from a live spec does.
+TEST(SparseEngineLifetime, SurvivesTemporaryDeviceSpec) {
+  const Coo coo = small_graph();
+  auto ctx = ctx_of(nullptr);
+  const int f = 4;
+  auto x = make_var(random_tensor(coo.num_rows, f, 1), false, "x");
+  auto w = make_var(random_tensor(coo.nnz(), 1, 2), false, "w");
+
+  SparseEngine live(Backend::kGnnOne, coo, gpusim::default_device());
+  const VarPtr ref = live.spmm(ctx, w, x);
+
+  std::unique_ptr<SparseEngine> engine;
+  {
+    const gpusim::DeviceSpec spec{};  // destroyed before any kernel runs
+    engine = std::make_unique<SparseEngine>(Backend::kGnnOne, coo, spec);
+  }
+  const VarPtr out = engine->spmm(ctx, w, x);
+  ASSERT_EQ(out->value.numel(), ref->value.numel());
+  for (std::size_t i = 0; i < std::size_t(out->value.numel()); ++i) {
+    EXPECT_EQ(out->value[i], ref->value[i]) << i;
+  }
+}
 
 TEST(BackendEquivalence, IdenticalForwardAcrossBackends) {
   // The Fig. 5 property: all backends compute the same math.

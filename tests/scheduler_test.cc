@@ -541,5 +541,138 @@ TEST(ScheduledServing, DeterministicAcrossHostThreads) {
   }
 }
 
+// --- admission control (SchedulerOptions::max_queue_depth / -------------
+// --- shed_unmeetable) ----------------------------------------------------
+
+/// Tail drop at the scheduler level: with depth 2 and six simultaneous
+/// arrivals, the first two are admitted and the other four shed in arrival
+/// order, before any batch is cut.
+TEST(ScheduledServingAdmission, SchedulerTailDropsBeyondMaxDepth) {
+  SchedulerOptions so;
+  so.max_queue_depth = 2;
+  TenantScheduler sched(two_tenants(1u << 20, 1u << 20), so, 2);
+  for (std::size_t r = 0; r < 6; ++r) sched.enqueue(r, 0, 0);
+
+  const auto plan = sched.next_batch(0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_FALSE(sched.next_batch(plan->cut_cycle).has_value());
+
+  EXPECT_EQ(sched.peak_queue_depth(), 2u);
+  ASSERT_EQ(sched.shed_events().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sched.shed_events()[i].index, i + 2);
+    EXPECT_EQ(sched.shed_events()[i].tenant, 0);
+    EXPECT_FALSE(sched.shed_events()[i].unmeetable);
+  }
+}
+
+/// Unmeetable shedding: once the estimator prices a solo batch above the
+/// tenant's SLO, arrivals are shed at admission without occupying a slot.
+/// Without an observation the estimator is unseeded and nothing is shed.
+TEST(ScheduledServingAdmission, SchedulerShedsUnmeetableOnceSeeded) {
+  SchedulerOptions so;
+  so.shed_unmeetable = true;
+  TenantScheduler sched(two_tenants(10, 1u << 30), so, 2);
+  sched.observe(0, 1, 1'000'000);  // solo service far above tenant 0's SLO
+  sched.enqueue(0, 0, 0);
+  sched.enqueue(1, 0, 0);
+  sched.enqueue(2, 1, 0);  // the loose tenant is unaffected
+
+  const auto plan = sched.next_batch(0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->tenant, 1);
+  EXPECT_EQ(plan->members, (std::vector<std::size_t>{2}));
+  EXPECT_FALSE(sched.next_batch(plan->cut_cycle).has_value());
+
+  ASSERT_EQ(sched.shed_events().size(), 2u);
+  EXPECT_TRUE(sched.shed_events()[0].unmeetable);
+  EXPECT_TRUE(sched.shed_events()[1].unmeetable);
+  EXPECT_EQ(sched.peak_queue_depth(), 1u);  // only the loose tenant queued
+
+  // Unseeded estimator: the same arrivals are all admitted.
+  TenantScheduler fresh(two_tenants(10, 1u << 30), so, 2);
+  fresh.enqueue(0, 0, 0);
+  fresh.enqueue(1, 0, 0);
+  ASSERT_TRUE(fresh.next_batch(0).has_value());
+  EXPECT_TRUE(fresh.shed_events().empty());
+}
+
+/// One overloaded tenant end to end: a bounded queue keeps the backlog at
+/// the cap, sheds the overflow as kRejected, and the per-tenant accounting
+/// tiles — requests == served + failed + rejected.
+TEST(ScheduledServingAdmission, BoundedQueueShedsAndAccountingTiles) {
+  const Dataset ds = make_dataset("G4");
+  TenantSpec t;
+  t.name = "overloaded";
+  t.model_kind = "gcn";
+  t.fanouts = {6, 3};
+  t.slo_cycles = 40'000'000;
+
+  TenantWorkload w;
+  w.requests.num_requests = 48;
+  w.requests.max_seeds = 2;
+  w.requests.seed = 31;
+  w.arrivals.mean_interarrival_cycles = 100.0;  // far faster than service
+  w.arrivals.seed = 5;
+  const auto trace = make_open_loop_trace(ds.coo, {w});
+
+  ServeOptions opts = scheduled_opts({t}, SchedulerPolicy::kFifoAggregate);
+  const ServingReport open =
+      InferenceServer(ds, test_device(), opts).serve(trace);
+
+  constexpr std::size_t kDepth = 6;
+  opts.scheduler.max_queue_depth = kDepth;
+  const ServingReport bounded =
+      InferenceServer(ds, test_device(), opts).serve(trace);
+
+  EXPECT_GT(open.peak_queue_depth, kDepth);  // genuinely overloaded
+  EXPECT_LE(bounded.peak_queue_depth, kDepth);
+  ASSERT_EQ(bounded.tenants.size(), 1u);
+  const serve::TenantReport& rep = bounded.tenants[0];
+  EXPECT_GT(rep.rejected, 0);
+  EXPECT_GT(rep.served, 0);
+  EXPECT_EQ(rep.requests, rep.served + rep.failed + rep.rejected);
+
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    const serve::RequestOutcome& oc = bounded.outcomes[r];
+    if (oc.status != serve::Status::kRejected) continue;
+    EXPECT_NE(oc.error.find("max_queue_depth"), std::string::npos) << r;
+    EXPECT_TRUE(bounded.predictions[r].empty()) << r;
+    EXPECT_EQ(oc.queue_cycles, 0u) << r;
+    EXPECT_EQ(oc.service_cycles, 0u) << r;
+  }
+}
+
+/// Admission defaults are inert: depth 0 (unbounded) and a cap the backlog
+/// never reaches produce bit-identical runs, and the peak-depth gauge is
+/// tracked either way.
+TEST(ScheduledServingAdmission, DefaultsAndSlackCapsAreBitIdentical) {
+  const Dataset ds = make_dataset("G4");
+  const auto trace = two_tenant_trace(ds, 10, 6, 40000.0, 90000.0);
+  ServeOptions opts =
+      scheduled_opts(two_tenants(1u << 28, 1u << 29), SchedulerPolicy::kSlack);
+  const ServingReport def = InferenceServer(ds, test_device(), opts).serve(trace);
+
+  opts.scheduler.max_queue_depth = 1u << 20;  // never reached
+  const ServingReport capped =
+      InferenceServer(ds, test_device(), opts).serve(trace);
+
+  EXPECT_GT(def.peak_queue_depth, 0u);
+  EXPECT_EQ(capped.peak_queue_depth, def.peak_queue_depth);
+  EXPECT_EQ(capped.total_cycles, def.total_cycles);
+  EXPECT_EQ(capped.ledger.total(), def.ledger.total());
+  EXPECT_EQ(capped.predictions, def.predictions);
+  ASSERT_EQ(capped.outcomes.size(), def.outcomes.size());
+  for (std::size_t r = 0; r < def.outcomes.size(); ++r) {
+    EXPECT_EQ(capped.outcomes[r].status, def.outcomes[r].status) << r;
+    EXPECT_EQ(capped.outcomes[r].queue_cycles, def.outcomes[r].queue_cycles)
+        << r;
+  }
+  for (const serve::RequestOutcome& oc : def.outcomes) {
+    EXPECT_NE(oc.status, serve::Status::kRejected);
+  }
+}
+
 }  // namespace
 }  // namespace gnnone
